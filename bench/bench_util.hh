@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared glue for the figure/table reproduction binaries.
+ *
+ * Every bench binary renders scenes through a process-local TraceStore,
+ * replays the texel trace under the layouts/caches its figure sweeps,
+ * and prints the same rows or series the paper reports. Absolute miss
+ * rates depend on our synthetic stand-in scenes; the *shapes* (who
+ * wins, crossover points) are the reproduction targets recorded in
+ * EXPERIMENTS.md.
+ */
+
+#ifndef TEXCACHE_BENCH_BENCH_UTIL_HH
+#define TEXCACHE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+namespace texcache {
+namespace benchutil {
+
+/** The square-ish block dimensions whose storage equals a line size. */
+inline LayoutParams
+blockedForLine(unsigned line_bytes, LayoutKind kind = LayoutKind::Blocked)
+{
+    LayoutParams p;
+    p.kind = kind;
+    switch (line_bytes) {
+      case 16:
+        p.blockW = 2;
+        p.blockH = 2;
+        break;
+      case 32:
+        p.blockW = 4;
+        p.blockH = 2;
+        break;
+      case 64:
+        p.blockW = 4;
+        p.blockH = 4;
+        break;
+      case 128:
+        p.blockW = 8;
+        p.blockH = 4;
+        break;
+      case 256:
+        p.blockW = 8;
+        p.blockH = 8;
+        break;
+      case 512:
+        p.blockW = 16;
+        p.blockH = 8;
+        break;
+      default:
+        fatal("no block shape for line size ", line_bytes);
+    }
+    return p;
+}
+
+/** The paper's per-scene scan direction, optionally tiled. */
+inline RasterOrder
+sceneOrder(BenchScene s, bool tiled = false, unsigned tile = 8)
+{
+    RasterOrder order;
+    order.dir = paperScanDirection(s);
+    if (tiled) {
+        order.tiled = true;
+        order.tileW = tile;
+        order.tileH = tile;
+    }
+    return order;
+}
+
+/** Process-wide trace store shared by one bench binary. */
+inline TraceStore &
+store()
+{
+    static TraceStore s;
+    return s;
+}
+
+} // namespace benchutil
+} // namespace texcache
+
+#endif // TEXCACHE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Figure 5.2: miss rate versus cache size for the base
+ * nonblocked representation, fully associative caches, 32-byte lines.
+ *
+ * Panel (a) rasterizes horizontally, panel (b) vertically. The paper's
+ * headline observations to reproduce:
+ *  - first-level working sets of 4-16 KB (sharp miss-rate drops);
+ *  - cold-miss floors below ~3% at large sizes (Flight highest);
+ *  - the Town scene degrading badly under vertical rasterization
+ *    because its textures appear upright on screen (the base
+ *    representation's orientation sensitivity).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace texcache;
+using namespace texcache::benchutil;
+
+namespace {
+
+void
+panel(const char *title, ScanDirection dir)
+{
+    TextTable table(title);
+    std::vector<uint64_t> sizes = cacheSizeSweep(1 << 10, 512 << 10);
+    std::vector<std::string> header = {"Scene"};
+    for (uint64_t s : sizes)
+        header.push_back(fmtBytes(s));
+    header.push_back("WorkingSet");
+    table.header(header);
+
+    for (BenchScene s : allBenchScenes()) {
+        RasterOrder order;
+        order.dir = dir;
+        const RenderOutput &out = store().output(s, order);
+        LayoutParams params;
+        params.kind = LayoutKind::Nonblocked;
+        SceneLayout layout(store().scene(s), params);
+        StackDistProfiler prof = profileTrace(out.trace, layout, 32);
+
+        std::vector<std::string> row = {benchSceneName(s)};
+        for (uint64_t size : sizes)
+            row.push_back(fmtPercent(prof.missRate(size)));
+        row.push_back(fmtBytes(firstWorkingSet(prof, sizes)));
+        table.row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    panel("Figure 5.2(a): base representation, horizontal "
+          "rasterization, FA, 32B lines",
+          ScanDirection::Horizontal);
+    panel("Figure 5.2(b): base representation, vertical rasterization, "
+          "FA, 32B lines",
+          ScanDirection::Vertical);
+    std::cout << "Paper reference: working sets Flight 4KB, Town 8KB "
+                 "(16KB vertical), Guitar 16KB, Goblet 16KB; Town's "
+                 "small-cache miss rates rise sharply under vertical "
+                 "rasterization.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Figure 5.7: the effect of cache associativity on conflict
+ * misses. Textures in 8x8 blocks, 128-byte lines (the worst case for
+ * conflicts: few lines in the cache).
+ *
+ * Panel (a) Goblet-horizontal: two-way set-associativity eliminates the
+ * conflicts between the two mip-map levels of a trilinear access and
+ * matches fully associative - small triangles make same-level block
+ * conflicts unlikely.
+ * Panel (b) Town-vertical: two-way helps, but vertical rasterization
+ * through upright textures leaves same-array block conflicts that even
+ * higher associativity cannot remove at large sizes.
+ *
+ * A supplementary panel shows the nonblocked representation on Goblet,
+ * where the paper notes ~8-way would be needed to match fully
+ * associative at small sizes.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace texcache;
+using namespace texcache::benchutil;
+
+namespace {
+
+void
+panel(const char *title, BenchScene s, const LayoutParams &params,
+      unsigned line)
+{
+    std::vector<uint64_t> sizes = cacheSizeSweep(1 << 10, 128 << 10);
+    TextTable table(title);
+    std::vector<std::string> header = {"Assoc"};
+    for (uint64_t sz : sizes)
+        header.push_back(fmtBytes(sz));
+    table.header(header);
+
+    const RenderOutput &out = store().output(s, sceneOrder(s));
+    SceneLayout layout(store().scene(s), params);
+
+    struct AssocChoice
+    {
+        const char *label;
+        unsigned assoc;
+    };
+    const AssocChoice choices[] = {
+        {"direct", 1},       {"2-way", 2},
+        {"4-way", 4},        {"8-way", 8},
+        {"full", CacheConfig::kFullyAssoc},
+    };
+
+    for (const AssocChoice &c : choices) {
+        std::vector<std::string> row = {c.label};
+        for (uint64_t size : sizes) {
+            if (c.assoc != CacheConfig::kFullyAssoc &&
+                size / line < c.assoc) {
+                row.push_back("-");
+                continue;
+            }
+            CacheStats stats =
+                runCache(out.trace, layout, {size, line, c.assoc});
+            row.push_back(fmtPercent(stats.missRate()));
+        }
+        table.row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    LayoutParams blocked = blockedForLine(256); // 8x8 blocks
+    blocked.blockW = 8;
+    blocked.blockH = 8;
+
+    panel("Figure 5.7(a): Goblet-horizontal, 8x8 blocks, 128B lines",
+          BenchScene::Goblet, blocked, 128);
+    panel("Figure 5.7(b): Town-vertical, 8x8 blocks, 128B lines",
+          BenchScene::Town, blocked, 128);
+
+    LayoutParams nonblocked;
+    nonblocked.kind = LayoutKind::Nonblocked;
+    panel("Supplement (section 5.3.3): Goblet-horizontal, nonblocked, "
+          "128B lines",
+          BenchScene::Goblet, nonblocked, 128);
+
+    std::cout << "Paper reference: (a) 2-way == full for Goblet; (b) "
+                 "a 2-way-vs-full gap persists for Town; nonblocked "
+                 "Goblet needs ~8-way at small sizes.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Google-benchmark microbenchmark for texel address computation
+ * (sections 5.2.1, 5.3.1, 6.2): the software cost of each memory
+ * representation's addressing, corroborating the paper's claim that
+ * blocking adds only a couple of adds (in hardware: two adders).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "layout/layout.hh"
+
+using namespace texcache;
+
+namespace {
+
+std::vector<LevelDims>
+pyramid(unsigned size)
+{
+    std::vector<LevelDims> d;
+    for (unsigned w = size; w >= 1; w /= 2)
+        d.push_back({w, w});
+    return d;
+}
+
+void
+runAddressing(benchmark::State &state, LayoutKind kind)
+{
+    AddressSpace space;
+    LayoutParams p;
+    p.kind = kind;
+    p.blockW = p.blockH = 8;
+    p.padBlocks = 4;
+    p.coarseBytes = 32 * 1024;
+    auto lay = makeLayout(p, pyramid(256), space);
+
+    // A texture-walk access pattern touching varied levels.
+    uint32_t x = 12345;
+    Addr out[3];
+    for (auto _ : state) {
+        x = x * 1664525u + 1013904223u;
+        uint16_t level = (x >> 28) & 7;
+        uint16_t w = static_cast<uint16_t>(256 >> level);
+        TexelTouch t{level, static_cast<uint16_t>(x & (w - 1)),
+                     static_cast<uint16_t>((x >> 8) & (w - 1))};
+        unsigned n = lay->addresses(t, out);
+        benchmark::DoNotOptimize(out[0]);
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(runAddressing, williams, LayoutKind::Williams);
+BENCHMARK_CAPTURE(runAddressing, nonblocked, LayoutKind::Nonblocked);
+BENCHMARK_CAPTURE(runAddressing, blocked, LayoutKind::Blocked);
+BENCHMARK_CAPTURE(runAddressing, padded, LayoutKind::PaddedBlocked);
+BENCHMARK_CAPTURE(runAddressing, blocked6d, LayoutKind::Blocked6D);
+
+BENCHMARK_MAIN();

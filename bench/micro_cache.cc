@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Google-benchmark microbenchmark for the cache simulator components:
+ * set-associative CacheSim, O(1) FullyAssocLru, and the Mattson
+ * stack-distance profiler. These bound the wall-clock cost of the
+ * figure sweeps (tens of millions of accesses each).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_sim.hh"
+#include "cache/stack_dist.hh"
+
+using namespace texcache;
+
+namespace {
+
+/** Texture-like address stream: mostly local walk, occasional jump. */
+inline uint64_t
+nextAddr(uint32_t &x, uint64_t &cursor)
+{
+    x = x * 1664525u + 1013904223u;
+    if ((x >> 24) < 8)
+        cursor = (x >> 4) & 0xffffff;
+    else
+        cursor = (cursor + ((x >> 8) & 0xff)) & 0xffffff;
+    return cursor;
+}
+
+void
+cacheSimSetAssoc(benchmark::State &state)
+{
+    CacheSim cache({32 * 1024, 64, static_cast<unsigned>(state.range(0))});
+    uint32_t x = 7;
+    uint64_t cursor = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(nextAddr(x, cursor)));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+fullyAssocLru(benchmark::State &state)
+{
+    FullyAssocLru cache(32 * 1024, 64);
+    uint32_t x = 7;
+    uint64_t cursor = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(nextAddr(x, cursor)));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+stackDistProfiler(benchmark::State &state)
+{
+    StackDistProfiler prof(64);
+    uint32_t x = 7;
+    uint64_t cursor = 0;
+    for (auto _ : state)
+        prof.access(nextAddr(x, cursor));
+    state.SetItemsProcessed(state.iterations());
+    benchmark::DoNotOptimize(prof.coldMisses());
+}
+
+} // namespace
+
+BENCHMARK(cacheSimSetAssoc)->Arg(1)->Arg(2)->Arg(8);
+BENCHMARK(fullyAssocLru);
+BENCHMARK(stackDistProfiler);
+
+BENCHMARK_MAIN();

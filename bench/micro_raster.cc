@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Google-benchmark microbenchmark for the rasterizer and sampler hot
+ * paths: fragments/second through triangle traversal and mip-mapped
+ * trilinear filtering.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "img/procedural.hh"
+#include "raster/rasterizer.hh"
+#include "raster/span_rasterizer.hh"
+#include "texture/sampler.hh"
+
+using namespace texcache;
+
+namespace {
+
+ScreenVertex
+sv(float x, float y, float w, float u, float v)
+{
+    ScreenVertex r;
+    r.x = x;
+    r.y = y;
+    r.z = 0.5f;
+    r.invW = 1.0f / w;
+    r.uOverW = u / w;
+    r.vOverW = v / w;
+    return r;
+}
+
+void
+rasterizeBigTriangle(benchmark::State &state)
+{
+    RasterOrder order = state.range(0) == 0
+                            ? RasterOrder::horizontal()
+                            : RasterOrder::tiledOrder(8, 8);
+    TriangleSetup tri(sv(0, 0, 1, 0, 0), sv(255, 0, 2, 1, 0),
+                      sv(0, 255, 2, 0, 1));
+    uint64_t frags = 0;
+    for (auto _ : state) {
+        frags = 0;
+        rasterizeTriangle(tri, 256, 256, order,
+                          [&](const Fragment &f) {
+                              benchmark::DoNotOptimize(f.u);
+                              ++frags;
+                          });
+    }
+    state.SetItemsProcessed(state.iterations() * frags);
+    state.counters["fragments"] = static_cast<double>(frags);
+}
+
+void
+trilinearSample(benchmark::State &state)
+{
+    static MipMap mip(makeChecker(256, 32, Rgba8{255, 255, 255, 255},
+                                  Rgba8{0, 0, 0, 255}));
+    uint32_t x = 99;
+    for (auto _ : state) {
+        x = x * 1664525u + 1013904223u;
+        float u = static_cast<float>(x & 0xffff) / 65536.0f;
+        float v = static_cast<float>((x >> 16) & 0x7fff) / 32768.0f;
+        float lambda = static_cast<float>((x >> 28) & 7) * 0.7f;
+        SampleResult s = sampleMipMap(mip, u, v, lambda);
+        benchmark::DoNotOptimize(s.color.x);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+void
+rasterizeBigTriangleSpans(benchmark::State &state)
+{
+    TriangleSetup tri(sv(0, 0, 1, 0, 0), sv(255, 0, 2, 1, 0),
+                      sv(0, 255, 2, 0, 1));
+    uint64_t frags = 0;
+    for (auto _ : state) {
+        frags = 0;
+        rasterizeTriangleSpans(tri, 256, 256,
+                               ScanDirection::Horizontal,
+                               [&](const Fragment &f) {
+                                   benchmark::DoNotOptimize(f.u);
+                                   ++frags;
+                               });
+    }
+    state.SetItemsProcessed(state.iterations() * frags);
+    state.counters["fragments"] = static_cast<double>(frags);
+}
+
+BENCHMARK(rasterizeBigTriangle)
+    ->Arg(0)
+    ->ArgName("order")
+    ->Arg(1);
+BENCHMARK(rasterizeBigTriangleSpans);
+BENCHMARK(trilinearSample);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces section 7's rendering-performance analysis: the achieved
+ * textured-fragment rate of the 100 MHz machine model as a function of
+ * cache size, with and without prefetch-FIFO latency hiding.
+ *
+ * The paper's argument: the machine is designed for 50 M fragments/s;
+ * cache misses cost ~50 cycles each, so without latency hiding the
+ * achieved rate sags with the miss rate, and robustness across scenes
+ * requires both a sufficient cache (bandwidth) and prefetching
+ * (latency). With both, even 4 KB caches sustain near-peak rates -
+ * the latency problem and the bandwidth problem are separable.
+ */
+
+#include "bench/bench_util.hh"
+#include "timing/prefetch_model.hh"
+
+using namespace texcache;
+using namespace texcache::benchutil;
+
+int
+main()
+{
+    LayoutParams params;
+    params.kind = LayoutKind::PaddedBlocked;
+    params.blockW = params.blockH = 8;
+    constexpr unsigned kLine = 128;
+
+    const uint64_t sizes[] = {4 << 10, 16 << 10, 32 << 10, 128 << 10};
+
+    TextTable table("Section 7: achieved fragment rate (Mfrag/s) vs "
+                    "cache size; no-prefetch / fifo=32; peak 50");
+    std::vector<std::string> header = {"Scene"};
+    for (uint64_t s : sizes)
+        header.push_back(fmtBytes(s));
+    table.header(header);
+
+    for (BenchScene s : allBenchScenes()) {
+        const RenderOutput &out =
+            store().output(s, sceneOrder(s, /*tiled=*/true, 8));
+        SceneLayout layout(store().scene(s), params);
+        std::vector<std::string> row = {benchSceneName(s)};
+        for (uint64_t size : sizes) {
+            CacheConfig cache{size, kLine, 2};
+            TimingConfig no_pf;
+            no_pf.fifoDepth = 0;
+            TimingConfig pf;
+            pf.fifoDepth = 32;
+            TimingResult a =
+                simulateTiming(out.trace, layout, cache, no_pf);
+            TimingResult b =
+                simulateTiming(out.trace, layout, cache, pf);
+            row.push_back(
+                fmtFixed(a.fragmentsPerSecond(no_pf.clockHz) / 1e6,
+                         1) +
+                " / " +
+                fmtFixed(b.fragmentsPerSecond(pf.clockHz) / 1e6, 1));
+        }
+        table.row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper reference: the memory latency must be "
+                 "hidden to sustain the peak rate; with prefetching, "
+                 "performance is robust across scenes and nearly "
+                 "independent of cache size down to 4KB (bandwidth "
+                 "permitting).\n";
+    return 0;
+}

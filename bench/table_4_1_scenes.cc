@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Table 4.1: texture mapping benchmark characteristics.
+ *
+ * Paper values for reference:
+ *   Scene   Res        Tris  Area  W   H   Tex  Store  Used   Used%  PixM
+ *   Flight  1280x1024  9152  294   38  20  15   56MB   6.3MB  11%    1.4
+ *   Town    1280x1024  5317  1149  67  23  51   4.7MB  1.8MB  38%    2.1
+ *   Guitar  800x800    719   1867  72  94  8    4.9MB  1.1MB  23%    0.7
+ *   Goblet  800x800    7200  41    25  14  1    1.4MB  0.78MB 56%    0.3
+ */
+
+#include <unordered_set>
+
+#include "bench/bench_util.hh"
+#include "trace/trace_stats.hh"
+
+using namespace texcache;
+using namespace texcache::benchutil;
+
+namespace {
+
+/** Unique texels touched anywhere in the trace, in bytes. */
+uint64_t
+uniqueTexelBytes(const TexelTrace &trace)
+{
+    std::unordered_set<uint64_t> uniq;
+    trace.forEach([&](const TexelRecord &r) {
+        uniq.insert(static_cast<uint64_t>(r.u) |
+                    (static_cast<uint64_t>(r.v) << 16) |
+                    (static_cast<uint64_t>(r.level) << 32) |
+                    (static_cast<uint64_t>(r.texture) << 37));
+    });
+    return uniq.size() * kBytesPerTexel;
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table(
+        "Table 4.1: Texture Mapping Benchmarks (measured on the "
+        "reproduction scenes)");
+    table.header({"Scene", "Resolution", "Triangles", "AvgArea(px)",
+                  "AvgW", "AvgH", "Textures", "Storage(MB)", "Used(MB)",
+                  "Used(%)", "PixTex(M)"});
+
+    for (BenchScene s : allBenchScenes()) {
+        const Scene &scene = store().scene(s);
+        const RenderOutput &out = store().output(s, sceneOrder(s));
+
+        double storage_mb = scene.textureStorageBytes() / 1048576.0;
+        double used_mb = uniqueTexelBytes(out.trace) / 1048576.0;
+
+        table.row({scene.name,
+                   std::to_string(scene.screenW) + "x" +
+                       std::to_string(scene.screenH),
+                   std::to_string(scene.triangles.size()),
+                   fmtFixed(out.stats.avgTriangleArea(), 0),
+                   fmtFixed(out.stats.avgTriangleWidth(), 0),
+                   fmtFixed(out.stats.avgTriangleHeight(), 0),
+                   std::to_string(scene.textures.size()),
+                   fmtFixed(storage_mb, 1), fmtFixed(used_mb, 2),
+                   fmtPercent(used_mb / storage_mb, 0),
+                   fmtFixed(out.stats.fragments / 1e6, 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Interactive cache-design explorer.
+ *
+ * Renders a chosen benchmark and sweeps any combination of memory
+ * representation, rasterization order and cache organization from the
+ * command line, printing miss rate, miss breakdown (3-C) and memory
+ * bandwidth. This is the tool a texture-mapping-hardware designer
+ * would use on top of the library.
+ *
+ * Usage:
+ *   cache_explorer [--scene flight|town|guitar|goblet]
+ *                  [--layout williams|nonblocked|blocked|padded|
+ *                            blocked6d|compressed]
+ *                  [--block WxH] [--ratio N]
+ *                  [--order horizontal|vertical|hilbert]
+ *                  [--tile N] [--size BYTES] [--line BYTES]
+ *                  [--assoc N|full]
+ *
+ * Example:
+ *   cache_explorer --scene town --layout padded --block 8x8 \
+ *                  --order vertical --tile 8 --size 32768 --line 128 \
+ *                  --assoc 2
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cache/bandwidth.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace texcache;
+
+namespace {
+
+[[noreturn]] void
+usage(const std::string &msg)
+{
+    std::cerr << "cache_explorer: " << msg
+              << "\nSee the header comment for usage.\n";
+    std::exit(1);
+}
+
+BenchScene
+parseScene(const std::string &s)
+{
+    if (s == "flight")
+        return BenchScene::Flight;
+    if (s == "town")
+        return BenchScene::Town;
+    if (s == "guitar")
+        return BenchScene::Guitar;
+    if (s == "goblet")
+        return BenchScene::Goblet;
+    usage("unknown scene '" + s + "'");
+}
+
+LayoutKind
+parseLayout(const std::string &s)
+{
+    if (s == "williams")
+        return LayoutKind::Williams;
+    if (s == "nonblocked")
+        return LayoutKind::Nonblocked;
+    if (s == "blocked")
+        return LayoutKind::Blocked;
+    if (s == "padded")
+        return LayoutKind::PaddedBlocked;
+    if (s == "blocked6d")
+        return LayoutKind::Blocked6D;
+    if (s == "compressed")
+        return LayoutKind::CompressedBlocked;
+    usage("unknown layout '" + s + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchScene scene_id = BenchScene::Goblet;
+    LayoutParams params;
+    params.kind = LayoutKind::PaddedBlocked;
+    params.blockW = params.blockH = 8;
+    RasterOrder order = RasterOrder::horizontal();
+    unsigned tile = 0;
+    CacheConfig cache{32 * 1024, 128, 2};
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--scene") {
+            scene_id = parseScene(next());
+        } else if (arg == "--layout") {
+            params.kind = parseLayout(next());
+        } else if (arg == "--block") {
+            std::string b = next();
+            size_t x = b.find('x');
+            if (x == std::string::npos)
+                usage("--block expects WxH, e.g. 8x8");
+            params.blockW =
+                static_cast<unsigned>(std::atoi(b.substr(0, x).c_str()));
+            params.blockH = static_cast<unsigned>(
+                std::atoi(b.substr(x + 1).c_str()));
+        } else if (arg == "--ratio") {
+            params.compressionRatio =
+                static_cast<unsigned>(std::atoi(next().c_str()));
+        } else if (arg == "--order") {
+            std::string o = next();
+            if (o == "horizontal")
+                order.dir = ScanDirection::Horizontal;
+            else if (o == "vertical")
+                order.dir = ScanDirection::Vertical;
+            else if (o == "hilbert")
+                order.hilbert = true;
+            else
+                usage("unknown order '" + o + "'");
+        } else if (arg == "--tile") {
+            tile = static_cast<unsigned>(std::atoi(next().c_str()));
+        } else if (arg == "--size") {
+            cache.sizeBytes =
+                static_cast<uint64_t>(std::atoll(next().c_str()));
+        } else if (arg == "--line") {
+            cache.lineBytes =
+                static_cast<unsigned>(std::atoi(next().c_str()));
+        } else if (arg == "--assoc") {
+            std::string a = next();
+            cache.assoc = a == "full"
+                              ? CacheConfig::kFullyAssoc
+                              : static_cast<unsigned>(
+                                    std::atoi(a.c_str()));
+        } else {
+            usage("unknown option '" + arg + "'");
+        }
+    }
+    if (tile > 0) {
+        order.tiled = true;
+        order.tileW = order.tileH = tile;
+    }
+    // 6-D blocking sizes its super-block to the cache under study.
+    params.coarseBytes = cache.sizeBytes;
+
+    Scene scene = makeScene(scene_id);
+    std::cerr << "rendering " << scene.name << " (" << order.str()
+              << ")...\n";
+    RenderOptions opts;
+    opts.writeFramebuffer = false;
+    RenderOutput out = render(scene, order, opts);
+
+    SceneLayout layout(scene, params);
+    MissBreakdown breakdown = classifyCache(out.trace, layout, cache);
+    MachineModel machine;
+
+    TextTable table("cache_explorer result");
+    table.header({"Scene", "Layout", "Order", "Cache", "MissRate",
+                  "Cold", "Capacity", "Conflict", "BW (MB/s)"});
+    table.row({scene.name, layout.layout(0).name(), order.str(),
+               cache.str(), fmtPercent(breakdown.missRate()),
+               std::to_string(breakdown.cold),
+               std::to_string(breakdown.capacity),
+               std::to_string(breakdown.conflict),
+               fmtFixed(machine.cachedBandwidth(breakdown.missRate(),
+                                                cache.lineBytes) /
+                            1e6,
+                        1)});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory bandwidth model (paper section 7.2).
+ *
+ * The machine model is a fragment generator running at 100 MHz that
+ * reads four texels per cycle, i.e. 50 million trilinearly textured
+ * fragments per second. A cache-less system fetches 4 bytes/texel *
+ * 8 texels/fragment * 50M fragments/s = 1.5 GB/s from texture memory;
+ * a cached system fetches (misses/access) * line bytes per texel access.
+ */
+
+#ifndef TEXCACHE_CACHE_BANDWIDTH_HH
+#define TEXCACHE_CACHE_BANDWIDTH_HH
+
+#include <cstdint>
+
+namespace texcache {
+
+/** Machine-model constants from section 7.1. */
+struct MachineModel
+{
+    double clockHz = 100e6;          ///< fragment generator clock
+    unsigned texelsPerCycle = 4;     ///< cache read ports
+    unsigned texelsPerFragment = 8;  ///< trilinear interpolation
+    unsigned bytesPerTexel = 4;      ///< RGBA8
+    double memLatencyCycles = 50;    ///< 128B line fill (section 7.1.1)
+
+    /** Peak textured fragments per second (50M in the paper). */
+    double
+    fragmentsPerSecond() const
+    {
+        return clockHz * texelsPerCycle / texelsPerFragment;
+    }
+
+    /** Texel accesses per second at peak. */
+    double
+    texelAccessesPerSecond() const
+    {
+        return fragmentsPerSecond() * texelsPerFragment;
+    }
+
+    /** Bandwidth of an uncached system in bytes/second (1.5 GB/s). */
+    double
+    uncachedBandwidth() const
+    {
+        return texelAccessesPerSecond() * bytesPerTexel;
+    }
+
+    /**
+     * Bandwidth of a cached system in bytes/second, given the measured
+     * miss rate (misses per texel access) and the line size.
+     */
+    double
+    cachedBandwidth(double miss_rate, unsigned line_bytes) const
+    {
+        return texelAccessesPerSecond() * miss_rate * line_bytes;
+    }
+
+    /** Bandwidth-reduction factor of caching vs no cache. */
+    double
+    reductionFactor(double miss_rate, unsigned line_bytes) const
+    {
+        double c = cachedBandwidth(miss_rate, line_bytes);
+        return c > 0.0 ? uncachedBandwidth() / c : 0.0;
+    }
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_CACHE_BANDWIDTH_HH

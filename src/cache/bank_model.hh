@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multi-banked cache port model (paper section 7.1.2).
+ *
+ * A trilinear interpolation needs the four texels of a 2x2 quad from a
+ * level in the same cycle. The paper interleaves the cache across four
+ * independently addressed banks at texel granularity and notes that a
+ * *morton* intra-line texel order makes every aligned or unaligned 2x2
+ * quad conflict-free, whereas a row-major intra-line order can place two
+ * quad texels in the same bank.
+ *
+ * This model assigns each texel of a quad to a bank under a chosen
+ * interleaving scheme and charges one cycle per access to the busiest
+ * bank (bank conflicts serialize).
+ */
+
+#ifndef TEXCACHE_CACHE_BANK_MODEL_HH
+#define TEXCACHE_CACHE_BANK_MODEL_HH
+
+#include <cstdint>
+
+#include "texture/sampler.hh"
+
+namespace texcache {
+
+/** Intra-line texel-to-bank interleaving scheme. */
+enum class BankInterleave
+{
+    /** bank = (v&1)*2 + (u&1): morton 2x2 interleave - conflict-free. */
+    Morton,
+    /** bank = (row-major texel index) % 4: naive linear interleave. */
+    RowMajor,
+};
+
+/** Counts quad-access cycles under a 4-bank cache. */
+class BankModel
+{
+  public:
+    explicit BankModel(BankInterleave scheme, unsigned row_width_texels = 8)
+        : scheme_(scheme), rowWidth_(row_width_texels)
+    {}
+
+    /**
+     * Account one 2x2 quad read (the four texels of one bilinear
+     * filter); texels are identified by their (u, v) coordinates.
+     *
+     * @return cycles the quad needed (1 = conflict-free, up to 4).
+     */
+    unsigned
+    accessQuad(const TexelTouch quad[4])
+    {
+        unsigned counts[4] = {0, 0, 0, 0};
+        for (int i = 0; i < 4; ++i)
+            ++counts[bankOf(quad[i].u, quad[i].v)];
+        unsigned cycles = 0;
+        for (unsigned c : counts)
+            cycles = cycles > c ? cycles : c;
+        quads_ += 1;
+        cycles_ += cycles;
+        conflicts_ += cycles - 1;
+        return cycles;
+    }
+
+    uint64_t quads() const { return quads_; }
+    uint64_t cycles() const { return cycles_; }
+    uint64_t conflictCycles() const { return conflicts_; }
+
+    /** Mean cycles per quad (1.0 = perfectly conflict-free). */
+    double
+    cyclesPerQuad() const
+    {
+        return quads_ ? static_cast<double>(cycles_) / quads_ : 0.0;
+    }
+
+  private:
+    unsigned
+    bankOf(unsigned u, unsigned v) const
+    {
+        if (scheme_ == BankInterleave::Morton)
+            return ((v & 1) << 1) | (u & 1);
+        return (v * rowWidth_ + u) & 3;
+    }
+
+    BankInterleave scheme_;
+    unsigned rowWidth_;
+    uint64_t quads_ = 0;
+    uint64_t cycles_ = 0;
+    uint64_t conflicts_ = 0;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_CACHE_BANK_MODEL_HH

@@ -1,0 +1,186 @@
+#include "cache/cache_sim.hh"
+
+#include "common/table.hh"
+
+namespace texcache {
+
+std::string
+CacheConfig::str() const
+{
+    std::string s = fmtBytes(sizeBytes) + "/" + fmtBytes(lineBytes);
+    if (assoc == kFullyAssoc)
+        s += "/full";
+    else
+        s += "/" + std::to_string(assoc) + "way";
+    return s;
+}
+
+CacheSim::CacheSim(const CacheConfig &config) : config_(config)
+{
+    fatal_if(!isPowerOfTwo(config.sizeBytes) ||
+                 !isPowerOfTwo(config.lineBytes),
+             "cache geometry must be powers of two: ", config.str());
+    fatal_if(config.lineBytes > config.sizeBytes,
+             "line larger than cache: ", config.str());
+    lineShift_ = log2Exact(config.lineBytes);
+    uint64_t lines = config.numLines();
+    if (config.assoc == CacheConfig::kFullyAssoc) {
+        ways_ = static_cast<unsigned>(lines);
+        setMask_ = 0;
+    } else {
+        fatal_if(lines % config.assoc != 0,
+                 "associativity does not divide line count: ",
+                 config.str());
+        uint64_t sets = lines / config.assoc;
+        fatal_if(!isPowerOfTwo(sets), "set count not a power of two: ",
+                 config.str());
+        ways_ = config.assoc;
+        setMask_ = sets - 1;
+    }
+    table_.assign(config.numSets() * ways_, Way{});
+}
+
+bool
+CacheSim::access(Addr addr)
+{
+    uint64_t line = addr >> lineShift_;
+    uint64_t set = line & setMask_;
+    Way *ways = &table_[set * ways_];
+
+    ++stats_.accesses;
+    ++tick_;
+
+    unsigned victim = 0;
+    uint64_t oldest = ~0ULL;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (ways[w].tag == line) {
+            ways[w].lastUse = tick_;
+            return true;
+        }
+        if (ways[w].lastUse < oldest) {
+            oldest = ways[w].lastUse;
+            victim = w;
+        }
+    }
+
+    ++stats_.misses;
+    if (touched_.insert(line).second)
+        ++stats_.coldMisses;
+    ways[victim].tag = line;
+    ways[victim].lastUse = tick_;
+    return false;
+}
+
+void
+CacheSim::flush()
+{
+    table_.assign(table_.size(), Way{});
+    tick_ = 0;
+}
+
+void
+CacheSim::reset()
+{
+    table_.assign(table_.size(), Way{});
+    touched_.clear();
+    tick_ = 0;
+    stats_ = CacheStats{};
+}
+
+FullyAssocLru::FullyAssocLru(uint64_t size_bytes, unsigned line_bytes)
+{
+    fatal_if(!isPowerOfTwo(size_bytes) || !isPowerOfTwo(line_bytes),
+             "cache geometry must be powers of two");
+    fatal_if(line_bytes > size_bytes, "line larger than cache");
+    lineShift_ = log2Exact(line_bytes);
+    capacity_ = size_bytes / line_bytes;
+    pool_.reserve(capacity_);
+}
+
+void
+FullyAssocLru::unlink(uint32_t n)
+{
+    Node &node = pool_[n];
+    if (node.prev != kNil)
+        pool_[node.prev].next = node.next;
+    else
+        head_ = node.next;
+    if (node.next != kNil)
+        pool_[node.next].prev = node.prev;
+    else
+        tail_ = node.prev;
+}
+
+void
+FullyAssocLru::pushFront(uint32_t n)
+{
+    Node &node = pool_[n];
+    node.prev = kNil;
+    node.next = head_;
+    if (head_ != kNil)
+        pool_[head_].prev = n;
+    head_ = n;
+    if (tail_ == kNil)
+        tail_ = n;
+}
+
+bool
+FullyAssocLru::access(Addr addr)
+{
+    uint64_t line = addr >> lineShift_;
+    ++stats_.accesses;
+
+    auto it = map_.find(line);
+    if (it != map_.end()) {
+        uint32_t n = it->second;
+        if (n != head_) {
+            unlink(n);
+            pushFront(n);
+        }
+        return true;
+    }
+
+    ++stats_.misses;
+    if (touched_.insert(line).second)
+        ++stats_.coldMisses;
+
+    uint32_t n;
+    if (map_.size() >= capacity_) {
+        // Evict the least recently used line and reuse its node.
+        n = tail_;
+        map_.erase(pool_[n].line);
+        unlink(n);
+    } else if (!freeList_.empty()) {
+        n = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        n = static_cast<uint32_t>(pool_.size());
+        pool_.push_back(Node{});
+    }
+    pool_[n].line = line;
+    pushFront(n);
+    map_[line] = n;
+    return false;
+}
+
+void
+FullyAssocLru::flush()
+{
+    pool_.clear();
+    freeList_.clear();
+    map_.clear();
+    head_ = tail_ = kNil;
+}
+
+void
+FullyAssocLru::reset()
+{
+    pool_.clear();
+    freeList_.clear();
+    map_.clear();
+    touched_.clear();
+    head_ = tail_ = kNil;
+    stats_ = CacheStats{};
+}
+
+} // namespace texcache

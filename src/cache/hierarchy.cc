@@ -1,0 +1,40 @@
+#include "cache/hierarchy.hh"
+
+namespace texcache {
+
+TwoLevelCache::TwoLevelCache(unsigned num_l1, const CacheConfig &l1,
+                             const CacheConfig &l2)
+    : l2_(l2)
+{
+    fatal_if(num_l1 == 0, "hierarchy needs at least one L1");
+    fatal_if(l2.lineBytes < l1.lineBytes,
+             "L2 line (", l2.lineBytes, "B) smaller than L1 line (",
+             l1.lineBytes, "B)");
+    l1s_.reserve(num_l1);
+    for (unsigned i = 0; i < num_l1; ++i)
+        l1s_.emplace_back(l1);
+}
+
+HierarchyHit
+TwoLevelCache::access(unsigned l1_index, Addr addr)
+{
+    panic_if(l1_index >= l1s_.size(), "L1 index ", l1_index, " of ",
+             l1s_.size());
+    if (l1s_[l1_index].access(addr))
+        return HierarchyHit::L1;
+    // L1 miss: the fill request goes to the shared level.
+    if (l2_.access(addr))
+        return HierarchyHit::L2;
+    return HierarchyHit::Memory;
+}
+
+uint64_t
+TwoLevelCache::totalAccesses() const
+{
+    uint64_t total = 0;
+    for (const CacheSim &c : l1s_)
+        total += c.stats().accesses;
+    return total;
+}
+
+} // namespace texcache

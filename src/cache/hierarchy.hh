@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Two-level cache hierarchy.
+ *
+ * The paper's parallel proposal (section 8) has several fragment
+ * generators with private SRAM caches sharing one DRAM texture memory.
+ * The natural architectural refinement - and this module's subject -
+ * inserts a shared second-level cache between the private L1s and
+ * DRAM: texture data is read-only, so the L2 needs no coherence and
+ * simply absorbs the inter-generator re-fetches that private L1s
+ * cause. The parallel ablation uses this to show a shared L2 recovers
+ * most of the locality lost to fine-grained work distribution.
+ *
+ * The model is a miss-path composition: an access probes L1; on an L1
+ * miss the line's address probes L2; on an L2 miss the fill comes from
+ * memory. Lines are read-only so no writeback path exists.
+ */
+
+#ifndef TEXCACHE_CACHE_HIERARCHY_HH
+#define TEXCACHE_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_sim.hh"
+
+namespace texcache {
+
+/** Result of one access through a hierarchy. */
+enum class HierarchyHit : uint8_t
+{
+    L1,     ///< served by the private first level
+    L2,     ///< L1 miss, shared second level hit
+    Memory, ///< missed both levels
+};
+
+/** N private L1 caches over one shared L2. */
+class TwoLevelCache
+{
+  public:
+    /**
+     * @param num_l1   number of private first-level caches
+     * @param l1       geometry of each L1
+     * @param l2       geometry of the shared L2
+     */
+    TwoLevelCache(unsigned num_l1, const CacheConfig &l1,
+                  const CacheConfig &l2);
+
+    /** Access @p addr through L1 @p l1_index. */
+    HierarchyHit access(unsigned l1_index, Addr addr);
+
+    const CacheStats &l1Stats(unsigned i) const
+    {
+        return l1s_[i].stats();
+    }
+
+    const CacheStats &l2Stats() const { return l2_.stats(); }
+
+    unsigned numL1() const
+    {
+        return static_cast<unsigned>(l1s_.size());
+    }
+
+    /** Total accesses across all L1s. */
+    uint64_t totalAccesses() const;
+
+    /** Fills from memory (the shared DRAM's read traffic, in lines). */
+    uint64_t
+    memoryFills() const
+    {
+        return l2_.stats().misses;
+    }
+
+    /** Bytes fetched from memory. */
+    uint64_t
+    memoryBytes() const
+    {
+        return l2_.stats().bytesFetched(l2_.config().lineBytes);
+    }
+
+  private:
+    std::vector<CacheSim> l1s_;
+    CacheSim l2_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_CACHE_HIERARCHY_HH

@@ -1,0 +1,113 @@
+#include "cache/stack_dist.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+
+namespace texcache {
+
+StackDistProfiler::StackDistProfiler(unsigned line_bytes)
+{
+    fatal_if(!isPowerOfTwo(line_bytes), "line size ", line_bytes,
+             " not a power of two");
+    lineShift_ = log2Exact(line_bytes);
+}
+
+void
+StackDistProfiler::fenwickAdd(size_t pos, int delta)
+{
+    // 1-based Fenwick update.
+    for (size_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1))
+        tree_[i - 1] += static_cast<uint64_t>(static_cast<int64_t>(delta));
+}
+
+uint64_t
+StackDistProfiler::fenwickSuffix(size_t pos) const
+{
+    // Count of live timestamps at positions > pos:
+    // total - prefix(pos + 1).
+    uint64_t prefix = 0;
+    for (size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+        prefix += tree_[i - 1];
+    // Every live line has exactly one set timestamp, so the total live
+    // count is the map size (the caller queries before inserting).
+    uint64_t total = lastTime_.size();
+    return total - prefix;
+}
+
+void
+StackDistProfiler::compact()
+{
+    // Renumber live timestamps densely, preserving order.
+    std::vector<std::pair<uint64_t, uint64_t>> live; // (old time, line)
+    live.reserve(lastTime_.size());
+    for (const auto &[line, t] : lastTime_)
+        live.emplace_back(t, line);
+    std::sort(live.begin(), live.end());
+
+    present_.assign(live.size() * 2 + 64, false);
+    tree_.assign(present_.size(), 0);
+    now_ = 0;
+    for (const auto &[t, line] : live) {
+        lastTime_[line] = now_;
+        present_[now_] = true;
+        fenwickAdd(now_, 1);
+        ++now_;
+    }
+}
+
+void
+StackDistProfiler::access(Addr addr)
+{
+    uint64_t line = addr >> lineShift_;
+    ++accesses_;
+
+    if (now_ >= tree_.size()) {
+        if (lastTime_.size() * 2 + 64 < tree_.size()) {
+            compact();
+        } else {
+            size_t new_size = tree_.size() ? tree_.size() * 2 : 1024;
+            // Rebuild the Fenwick tree at the larger size.
+            std::vector<bool> old_present = present_;
+            present_.assign(new_size, false);
+            tree_.assign(new_size, 0);
+            for (size_t i = 0; i < old_present.size(); ++i) {
+                if (old_present[i]) {
+                    present_[i] = true;
+                    fenwickAdd(i, 1);
+                }
+            }
+        }
+    }
+
+    auto it = lastTime_.find(line);
+    if (it == lastTime_.end()) {
+        ++cold_;
+    } else {
+        uint64_t prev = it->second;
+        // Distance = live timestamps after prev, plus this line itself.
+        uint64_t dist = fenwickSuffix(prev) + 1;
+        if (hist_.size() <= dist)
+            hist_.resize(dist + 1, 0);
+        ++hist_[dist];
+        present_[prev] = false;
+        fenwickAdd(prev, -1);
+    }
+
+    lastTime_[line] = now_;
+    present_[now_] = true;
+    fenwickAdd(now_, 1);
+    ++now_;
+}
+
+uint64_t
+StackDistProfiler::misses(uint64_t size_bytes) const
+{
+    uint64_t capacity = size_bytes >> lineShift_;
+    uint64_t m = cold_;
+    for (uint64_t d = capacity + 1; d < hist_.size(); ++d)
+        m += hist_[d];
+    return m;
+}
+
+} // namespace texcache

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Mattson stack-distance profiler.
+ *
+ * For an LRU-managed fully associative cache, an access hits iff its
+ * reuse (stack) distance - the number of distinct lines touched since the
+ * previous access to the same line - is at most the cache's line
+ * capacity. Profiling the distance histogram in one pass therefore
+ * yields the miss-rate-versus-cache-size curve for *every* cache size at
+ * once, which is how the working-set figures of the paper (5.2, 5.6,
+ * 6.2, ...) are regenerated efficiently.
+ *
+ * Distances are computed with a Fenwick tree over access timestamps:
+ * each line contributes a 1 at its last-access time, and the distance of
+ * a new access is the count of set positions after the line's previous
+ * timestamp. The tree is periodically compacted so its size stays
+ * proportional to the number of distinct lines.
+ */
+
+#ifndef TEXCACHE_CACHE_STACK_DIST_HH
+#define TEXCACHE_CACHE_STACK_DIST_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "layout/address_space.hh"
+
+namespace texcache {
+
+/** One-pass LRU stack-distance profiler at line granularity. */
+class StackDistProfiler
+{
+  public:
+    explicit StackDistProfiler(unsigned line_bytes);
+
+    /** Record one byte access. */
+    void access(Addr addr);
+
+    /** Total accesses recorded. */
+    uint64_t accesses() const { return accesses_; }
+
+    /** Cold (first-touch) accesses - misses at any cache size. */
+    uint64_t coldMisses() const { return cold_; }
+
+    /**
+     * Misses a fully associative LRU cache of @p size_bytes would take
+     * on the recorded trace (cold + reuse distances > capacity).
+     */
+    uint64_t misses(uint64_t size_bytes) const;
+
+    /** Miss rate at @p size_bytes. */
+    double
+    missRate(uint64_t size_bytes) const
+    {
+        return accesses_
+                   ? static_cast<double>(misses(size_bytes)) / accesses_
+                   : 0.0;
+    }
+
+    /** The raw histogram: hist[d] = accesses with stack distance d
+     *  (d >= 1; index 0 unused). */
+    const std::vector<uint64_t> &histogram() const { return hist_; }
+
+  private:
+    void compact();
+    void fenwickAdd(size_t pos, int delta);
+    uint64_t fenwickSuffix(size_t pos) const;
+
+    unsigned lineShift_;
+    uint64_t accesses_ = 0;
+    uint64_t cold_ = 0;
+    std::vector<uint64_t> hist_;
+
+    std::unordered_map<uint64_t, uint64_t> lastTime_; ///< line -> time
+    std::vector<uint64_t> tree_; ///< Fenwick over timestamps
+    std::vector<bool> present_;  ///< timestamp still live
+    uint64_t now_ = 0;           ///< next timestamp
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_CACHE_STACK_DIST_HH

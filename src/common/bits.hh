@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ *
+ * Texture dimensions, block dimensions, cache line sizes and cache sizes
+ * are all powers of two in this study (as in the paper and in OpenGL 1.0),
+ * so exact log2/power-of-two helpers are used pervasively.
+ */
+
+#ifndef TEXCACHE_COMMON_BITS_HH
+#define TEXCACHE_COMMON_BITS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace texcache {
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Exact log2 of a power of two; panics on other inputs. */
+inline unsigned
+log2Exact(uint64_t v)
+{
+    panic_if(!isPowerOfTwo(v), "log2Exact(", v, "): not a power of two");
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Floor of log2; panics on zero. */
+inline unsigned
+log2Floor(uint64_t v)
+{
+    panic_if(v == 0, "log2Floor(0)");
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Smallest power of two >= @p v (v must be nonzero). */
+inline uint64_t
+nextPowerOfTwo(uint64_t v)
+{
+    panic_if(v == 0, "nextPowerOfTwo(0)");
+    uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Interleave the low 16 bits of x and y into a 32-bit morton code
+ * (x in even bit positions, y in odd). Used for intra-line texel
+ * interleaving across cache banks (paper section 7.1.2).
+ */
+inline uint32_t
+mortonEncode(uint32_t x, uint32_t y)
+{
+    auto spread = [](uint32_t v) {
+        v &= 0xffff;
+        v = (v | (v << 8)) & 0x00ff00ff;
+        v = (v | (v << 4)) & 0x0f0f0f0f;
+        v = (v | (v << 2)) & 0x33333333;
+        v = (v | (v << 1)) & 0x55555555;
+        return v;
+    };
+    return spread(x) | (spread(y) << 1);
+}
+
+/** Inverse of mortonEncode: extract (x, y) from a morton code. */
+inline void
+mortonDecode(uint32_t code, uint32_t &x, uint32_t &y)
+{
+    auto compact = [](uint32_t v) {
+        v &= 0x55555555;
+        v = (v | (v >> 1)) & 0x33333333;
+        v = (v | (v >> 2)) & 0x0f0f0f0f;
+        v = (v | (v >> 4)) & 0x00ff00ff;
+        v = (v | (v >> 8)) & 0x0000ffff;
+        return v;
+    };
+    x = compact(code);
+    y = compact(code >> 1);
+}
+
+} // namespace texcache
+
+#endif // TEXCACHE_COMMON_BITS_HH

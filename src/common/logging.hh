@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 idiom.
+ *
+ * panic()  - an internal invariant of the simulator was violated; aborts.
+ * fatal()  - the user supplied an impossible configuration; exits cleanly.
+ * warn()   - something is suspicious but the run can continue.
+ * inform() - a normal status message.
+ */
+
+#ifndef TEXCACHE_COMMON_LOGGING_HH
+#define TEXCACHE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace texcache {
+
+namespace detail {
+
+/** Concatenate a parameter pack into a single string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace texcache
+
+/** Abort: an internal invariant was violated (a texcache bug). */
+#define panic(...) \
+    ::texcache::detail::panicImpl(__FILE__, __LINE__, \
+                                  ::texcache::detail::concat(__VA_ARGS__))
+
+/** Exit(1): the configuration or input is invalid (a user error). */
+#define fatal(...) \
+    ::texcache::detail::fatalImpl(__FILE__, __LINE__, \
+                                  ::texcache::detail::concat(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition to stderr. */
+#define warn(...) \
+    ::texcache::detail::warnImpl(::texcache::detail::concat(__VA_ARGS__))
+
+/** Report normal status to stderr. */
+#define inform(...) \
+    ::texcache::detail::informImpl(::texcache::detail::concat(__VA_ARGS__))
+
+/** panic() unless the given invariant holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** fatal() unless the given user-facing precondition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // TEXCACHE_COMMON_LOGGING_HH

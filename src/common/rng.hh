@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic choices in the scene generators and tests flow through
+ * this PCG32 generator so that traces, images and cache statistics are
+ * bit-reproducible across runs and platforms.
+ */
+
+#ifndef TEXCACHE_COMMON_RNG_HH
+#define TEXCACHE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace texcache {
+
+/** Minimal PCG32 generator (O'Neill 2014), deterministic and seedable. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL)
+    {
+        state = 0;
+        inc = (seed << 1u) | 1u;
+        next();
+        state += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    uint32_t
+    next()
+    {
+        uint64_t old = state;
+        state = old * 6364136223846793005ULL + inc;
+        uint32_t xorshifted =
+            static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+        uint32_t rot = static_cast<uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        // Lemire-style rejection-free-enough reduction; bias is
+        // negligible for our bounds and keeps the generator branch-light.
+        return static_cast<uint32_t>(
+            (static_cast<uint64_t>(next()) * bound) >> 32);
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    uniform()
+    {
+        return static_cast<float>(next() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + uniform() * (hi - lo);
+    }
+
+  private:
+    uint64_t state;
+    uint64_t inc;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_COMMON_RNG_HH

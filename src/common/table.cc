@@ -1,0 +1,102 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace texcache {
+
+void
+TextTable::print(std::ostream &os) const
+{
+    const char *csv = std::getenv("TEXCACHE_CSV");
+    if (csv != nullptr && csv[0] != '\0') {
+        if (!title_.empty())
+            os << "# " << title_ << "\n";
+        printCsv(os);
+        return;
+    }
+
+    std::vector<size_t> widths;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+fmtFixed(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int digits)
+{
+    return fmtFixed(fraction * 100.0, digits) + "%";
+}
+
+std::string
+fmtBytes(uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(bytes >> 20));
+    else if (bytes >= (1ULL << 10) && bytes % (1ULL << 10) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(bytes >> 10));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+} // namespace texcache

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark harness output.
+ *
+ * The figure/table reproduction binaries print the same rows and series
+ * the paper reports; this helper keeps their output aligned and uniform.
+ */
+
+#ifndef TEXCACHE_COMMON_TABLE_HH
+#define TEXCACHE_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace texcache {
+
+/** A simple column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        header_ = std::move(cells);
+    }
+
+    /** Append a data row. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /**
+     * Render the table to @p os. When the TEXCACHE_CSV environment
+     * variable is set (to anything non-empty), emits CSV instead of
+     * the aligned text form, so every figure binary doubles as a
+     * plot-data generator.
+     */
+    void print(std::ostream &os) const;
+
+    /** Render the table as comma-separated values (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits fractional digits. */
+std::string fmtFixed(double v, int digits);
+
+/** Format a miss rate (fraction) as a percentage like "1.53%". */
+std::string fmtPercent(double fraction, int digits = 2);
+
+/** Format a byte count as "32B", "4KB", "1MB" etc. (power of two). */
+std::string fmtBytes(uint64_t bytes);
+
+} // namespace texcache
+
+#endif // TEXCACHE_COMMON_TABLE_HH

@@ -1,0 +1,92 @@
+#include "core/experiment.hh"
+
+namespace texcache {
+
+const Scene &
+TraceStore::scene(BenchScene s)
+{
+    int key = static_cast<int>(s);
+    auto it = scenes_.find(key);
+    if (it == scenes_.end()) {
+        inform("building scene ", benchSceneName(s));
+        it = scenes_.emplace(key, makeScene(s)).first;
+    }
+    return it->second;
+}
+
+const RenderOutput &
+TraceStore::output(BenchScene s, const RasterOrder &order)
+{
+    auto key = std::make_pair(static_cast<int>(s), order.str());
+    auto it = outputs_.find(key);
+    if (it == outputs_.end()) {
+        const Scene &sc = scene(s);
+        inform("rendering ", benchSceneName(s), " (", order.str(), ")");
+        RenderOptions opts;
+        opts.writeFramebuffer = false; // figures need traces only
+        it = outputs_.emplace(key, render(sc, order, opts)).first;
+    }
+    return it->second;
+}
+
+StackDistProfiler
+profileTrace(const TexelTrace &trace, const SceneLayout &layout,
+             unsigned line_bytes)
+{
+    StackDistProfiler prof(line_bytes);
+    layout.forEachAddress(trace, [&](Addr a) { prof.access(a); });
+    return prof;
+}
+
+CacheStats
+runCache(const TexelTrace &trace, const SceneLayout &layout,
+         const CacheConfig &config)
+{
+    if (config.assoc == CacheConfig::kFullyAssoc) {
+        FullyAssocLru cache(config.sizeBytes, config.lineBytes);
+        layout.forEachAddress(trace, [&](Addr a) { cache.access(a); });
+        return cache.stats();
+    }
+    CacheSim cache(config);
+    layout.forEachAddress(trace, [&](Addr a) { cache.access(a); });
+    return cache.stats();
+}
+
+MissBreakdown
+classifyCache(const TexelTrace &trace, const SceneLayout &layout,
+              const CacheConfig &config)
+{
+    MissClassifier cls(config);
+    layout.forEachAddress(trace, [&](Addr a) { cls.access(a); });
+    return cls.breakdown();
+}
+
+std::vector<uint64_t>
+cacheSizeSweep(uint64_t lo, uint64_t hi)
+{
+    std::vector<uint64_t> sizes;
+    for (uint64_t s = lo; s <= hi; s <<= 1)
+        sizes.push_back(s);
+    return sizes;
+}
+
+uint64_t
+firstWorkingSet(const StackDistProfiler &prof,
+                const std::vector<uint64_t> &sizes, double capture)
+{
+    panic_if(sizes.empty(), "empty size sweep");
+    // The first significant working set is where the steep part of the
+    // miss-rate curve ends: the smallest size capturing at least
+    // `capture` of the achievable miss-rate reduction between the
+    // smallest and largest swept caches (section 5.2.3).
+    double top = prof.missRate(sizes.front());
+    double floor_rate = prof.missRate(sizes.back());
+    double threshold = top - capture * (top - floor_rate);
+    for (uint64_t s : sizes) {
+        if (prof.missRate(s) <= threshold)
+            return s;
+    }
+    return sizes.back();
+}
+
+} // namespace texcache

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Experiment harness: scene/trace caching and the simulation runners
+ * behind every figure and table reproduction.
+ *
+ * Rendering the benchmark scenes is the expensive step, so a TraceStore
+ * memoizes (scene, rasterization order) -> RenderOutput within one
+ * process. The runner functions replay a trace through a SceneLayout
+ * into cache models and return the statistics the paper plots.
+ */
+
+#ifndef TEXCACHE_CORE_EXPERIMENT_HH
+#define TEXCACHE_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/cache_sim.hh"
+#include "cache/stack_dist.hh"
+#include "cache/three_c.hh"
+#include "core/scene_layout.hh"
+#include "pipeline/renderer.hh"
+#include "scene/benchmarks.hh"
+
+namespace texcache {
+
+/** Memoizes built scenes and rendered traces for one process. */
+class TraceStore
+{
+  public:
+    /** The (memoized) scene object. */
+    const Scene &scene(BenchScene s);
+
+    /** The (memoized) render output for a scene and raster order. */
+    const RenderOutput &output(BenchScene s, const RasterOrder &order);
+
+    /** Shorthand for output(...).trace. */
+    const TexelTrace &
+    trace(BenchScene s, const RasterOrder &order)
+    {
+        return output(s, order).trace;
+    }
+
+  private:
+    std::map<int, Scene> scenes_;
+    std::map<std::pair<int, std::string>, RenderOutput> outputs_;
+};
+
+/** Replay a trace through a layout into a stack-distance profiler. */
+StackDistProfiler profileTrace(const TexelTrace &trace,
+                               const SceneLayout &layout,
+                               unsigned line_bytes);
+
+/** Replay a trace through a layout into one cache configuration. */
+CacheStats runCache(const TexelTrace &trace, const SceneLayout &layout,
+                    const CacheConfig &config);
+
+/** Replay with side-by-side FA twin for 3-C classification. */
+MissBreakdown classifyCache(const TexelTrace &trace,
+                            const SceneLayout &layout,
+                            const CacheConfig &config);
+
+/** Power-of-two cache sizes from @p lo to @p hi inclusive (bytes). */
+std::vector<uint64_t> cacheSizeSweep(uint64_t lo = 1 << 10,
+                                     uint64_t hi = 512 << 10);
+
+/**
+ * First significant working set (section 5.2.3): the smallest swept
+ * size capturing at least @p capture of the achievable miss-rate
+ * reduction between the smallest and largest swept caches - i.e. the
+ * end of the steep part of the miss-rate-versus-size curve.
+ */
+uint64_t firstWorkingSet(const StackDistProfiler &prof,
+                         const std::vector<uint64_t> &sizes,
+                         double capture = 0.85);
+
+} // namespace texcache
+
+#endif // TEXCACHE_CORE_EXPERIMENT_HH

@@ -1,0 +1,71 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+
+namespace texcache {
+
+const char *
+workDistributionName(WorkDistribution d)
+{
+    switch (d) {
+      case WorkDistribution::ScanlineInterleaved:
+        return "scanline-interleaved";
+      case WorkDistribution::TileInterleaved:
+        return "tile-interleaved";
+      case WorkDistribution::Bands:
+        return "bands";
+    }
+    panic("unknown distribution");
+}
+
+double
+ParallelStats::loadImbalance() const
+{
+    if (perGenerator.empty() || fragments == 0)
+        return 0.0;
+    // Imbalance over texel accesses (the unit of generator work).
+    uint64_t max_acc = 0;
+    for (const CacheStats &s : perGenerator)
+        max_acc = std::max(max_acc, s.accesses);
+    double mean = static_cast<double>(totalAccesses()) /
+                  static_cast<double>(perGenerator.size());
+    return mean > 0.0 ? static_cast<double>(max_acc) / mean : 0.0;
+}
+
+MultiGeneratorSim::MultiGeneratorSim(unsigned num_generators,
+                                     WorkDistribution dist,
+                                     const CacheConfig &per_cache,
+                                     unsigned tile, unsigned screen_h)
+    : n_(num_generators), dist_(dist), tile_(tile), screenH_(screen_h)
+{
+    fatal_if(n_ == 0, "need at least one fragment generator");
+    fatal_if(tile_ == 0, "tile size must be nonzero");
+    caches_.reserve(n_);
+    for (unsigned i = 0; i < n_; ++i)
+        caches_.emplace_back(per_cache);
+    fragmentsPer_.assign(n_, 0);
+}
+
+void
+MultiGeneratorSim::addFragment(int x, int y, const Addr *addrs,
+                               unsigned n)
+{
+    unsigned g = generatorFor(x, y);
+    CacheSim &cache = caches_[g];
+    for (unsigned i = 0; i < n; ++i)
+        cache.access(addrs[i]);
+    ++fragmentsPer_[g];
+    ++fragments_;
+}
+
+ParallelStats
+MultiGeneratorSim::finish() const
+{
+    ParallelStats stats;
+    stats.fragments = fragments_;
+    for (const CacheSim &c : caches_)
+        stats.perGenerator.push_back(c.stats());
+    return stats;
+}
+
+} // namespace texcache

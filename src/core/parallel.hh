@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Multi-fragment-generator cache simulation.
+ *
+ * The paper's conclusion (section 8) proposes parallel systems where
+ * several fragment generators share one texture memory, each with its
+ * own cache (no coherence needed: texture data is read-only), and
+ * poses the open question: "how to balance the work among multiple
+ * fragment generators without reducing the spatial locality in each
+ * reference stream."
+ *
+ * This model makes that question measurable. Fragments of a rendered
+ * frame are assigned to N generators under a screen-space work
+ * distribution policy; each generator owns a private cache fed only
+ * with its own texel addresses. The aggregate miss traffic, compared
+ * with the single-generator baseline, quantifies the locality lost to
+ * each distribution.
+ */
+
+#ifndef TEXCACHE_CORE_PARALLEL_HH
+#define TEXCACHE_CORE_PARALLEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_sim.hh"
+#include "core/scene_layout.hh"
+#include "trace/texel_trace.hh"
+
+namespace texcache {
+
+/** Screen-space work distribution across fragment generators. */
+enum class WorkDistribution
+{
+    /** Scanlines round-robin: generator = y % N (fine interleave). */
+    ScanlineInterleaved,
+    /** Screen tiles round-robin: generator = tile index % N. */
+    TileInterleaved,
+    /** Contiguous horizontal bands: generator = y / (H / N). */
+    Bands,
+};
+
+/** Display name for a distribution policy. */
+const char *workDistributionName(WorkDistribution d);
+
+/** Result of a parallel run. */
+struct ParallelStats
+{
+    std::vector<CacheStats> perGenerator;
+    uint64_t fragments = 0;
+
+    uint64_t
+    totalAccesses() const
+    {
+        uint64_t t = 0;
+        for (const CacheStats &s : perGenerator)
+            t += s.accesses;
+        return t;
+    }
+
+    uint64_t
+    totalMisses() const
+    {
+        uint64_t t = 0;
+        for (const CacheStats &s : perGenerator)
+            t += s.misses;
+        return t;
+    }
+
+    double
+    aggregateMissRate() const
+    {
+        uint64_t a = totalAccesses();
+        return a ? static_cast<double>(totalMisses()) / a : 0.0;
+    }
+
+    /** Max/mean fragment-count imbalance across generators (1 = even). */
+    double loadImbalance() const;
+};
+
+/**
+ * Replay a frame's fragments through N per-generator caches.
+ *
+ * The texel trace does not carry screen positions, so this simulator
+ * is fed during rendering through RenderOptions::onFragment: the
+ * caller maps each fragment's touches to addresses under its chosen
+ * layout and calls addFragment with the fragment's screen position.
+ */
+class MultiGeneratorSim
+{
+  public:
+    MultiGeneratorSim(unsigned num_generators, WorkDistribution dist,
+                      const CacheConfig &per_cache, unsigned tile = 32,
+                      unsigned screen_h = 1024);
+
+    /** Route one fragment's texel addresses to its generator. */
+    void addFragment(int x, int y, const Addr *addrs, unsigned n);
+
+    ParallelStats finish() const;
+
+    unsigned
+    generatorFor(int x, int y) const
+    {
+        switch (dist_) {
+          case WorkDistribution::ScanlineInterleaved:
+            return static_cast<unsigned>(y) % n_;
+          case WorkDistribution::TileInterleaved: {
+              unsigned tx = static_cast<unsigned>(x) / tile_;
+              unsigned ty = static_cast<unsigned>(y) / tile_;
+              return (ty * 37 + tx) % n_; // skewed round-robin
+          }
+          case WorkDistribution::Bands: {
+              unsigned band = screenH_ / n_;
+              unsigned g = static_cast<unsigned>(y) / (band ? band : 1);
+              return g < n_ ? g : n_ - 1;
+          }
+        }
+        panic("unknown distribution");
+    }
+
+  private:
+    unsigned n_;
+    WorkDistribution dist_;
+    unsigned tile_;
+    unsigned screenH_;
+    std::vector<CacheSim> caches_;
+    std::vector<uint64_t> fragmentsPer_;
+    uint64_t fragments_ = 0;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_CORE_PARALLEL_HH

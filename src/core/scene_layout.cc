@@ -1,0 +1,14 @@
+#include "core/scene_layout.hh"
+
+namespace texcache {
+
+SceneLayout::SceneLayout(const Scene &scene, const LayoutParams &params)
+    : params_(params), space_(params.baseAlign)
+{
+    layouts_.reserve(scene.textures.size());
+    for (const MipMap &mip : scene.textures)
+        layouts_.push_back(makeLayout(params, levelDims(mip), space_));
+    footprint_ = space_.used();
+}
+
+} // namespace texcache

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Binding between a scene's textures and a memory representation.
+ *
+ * A SceneLayout places every texture of a scene into one simulated
+ * address space under a chosen representation and then maps recorded
+ * texel traces to byte-address streams - the paper's pipeline-coupled
+ * cache simulation, factored so one rendered trace can be replayed
+ * under many representations (DESIGN.md section 5).
+ */
+
+#ifndef TEXCACHE_CORE_SCENE_LAYOUT_HH
+#define TEXCACHE_CORE_SCENE_LAYOUT_HH
+
+#include <memory>
+#include <vector>
+
+#include "layout/layout.hh"
+#include "pipeline/scene_types.hh"
+#include "trace/texel_trace.hh"
+
+namespace texcache {
+
+/** Per-scene instantiation of a texture memory representation. */
+class SceneLayout
+{
+  public:
+    SceneLayout(const Scene &scene, const LayoutParams &params);
+
+    /** The layout serving texture @p tex. */
+    const TextureLayout &
+    layout(unsigned tex) const
+    {
+        panic_if(tex >= layouts_.size(), "texture ", tex, " of ",
+                 layouts_.size());
+        return *layouts_[tex];
+    }
+
+    unsigned numTextures() const
+    {
+        return static_cast<unsigned>(layouts_.size());
+    }
+
+    const LayoutParams &params() const { return params_; }
+
+    /** Bytes of simulated memory all textures occupy together. */
+    uint64_t totalFootprint() const { return footprint_; }
+
+    /**
+     * Map every record of @p trace to its byte address(es) in order and
+     * invoke @p fn(Addr) for each.
+     */
+    template <typename Fn>
+    void
+    forEachAddress(const TexelTrace &trace, Fn &&fn) const
+    {
+        Addr out[3];
+        trace.forEach([&](const TexelRecord &r) {
+            const TextureLayout &lay = *layouts_[r.texture];
+            unsigned n =
+                lay.addresses({r.level, r.u, r.v}, out);
+            for (unsigned i = 0; i < n; ++i)
+                fn(out[i]);
+        });
+    }
+
+  private:
+    LayoutParams params_;
+    AddressSpace space_;
+    std::vector<std::unique_ptr<TextureLayout>> layouts_;
+    uint64_t footprint_ = 0;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_CORE_SCENE_LAYOUT_HH

@@ -1,0 +1,132 @@
+#include "geom/mat4.hh"
+
+#include <cmath>
+
+namespace texcache {
+
+Mat4
+Mat4::identity()
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        r.m[i][i] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::translate(Vec3 t)
+{
+    Mat4 r = identity();
+    r.m[0][3] = t.x;
+    r.m[1][3] = t.y;
+    r.m[2][3] = t.z;
+    return r;
+}
+
+Mat4
+Mat4::scale(Vec3 s)
+{
+    Mat4 r;
+    r.m[0][0] = s.x;
+    r.m[1][1] = s.y;
+    r.m[2][2] = s.z;
+    r.m[3][3] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::rotateX(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[1][1] = c;
+    r.m[1][2] = -s;
+    r.m[2][1] = s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::rotateY(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][2] = s;
+    r.m[2][0] = -s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::rotateZ(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians), s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][1] = -s;
+    r.m[1][0] = s;
+    r.m[1][1] = c;
+    return r;
+}
+
+Mat4
+Mat4::perspective(float fovy_radians, float aspect, float z_near,
+                  float z_far)
+{
+    Mat4 r;
+    float f = 1.0f / std::tan(fovy_radians / 2.0f);
+    r.m[0][0] = f / aspect;
+    r.m[1][1] = f;
+    r.m[2][2] = (z_far + z_near) / (z_near - z_far);
+    r.m[2][3] = (2.0f * z_far * z_near) / (z_near - z_far);
+    r.m[3][2] = -1.0f;
+    return r;
+}
+
+Mat4
+Mat4::lookAt(Vec3 eye, Vec3 center, Vec3 up)
+{
+    Vec3 f = (center - eye).normalized();
+    Vec3 s = f.cross(up).normalized();
+    Vec3 u = s.cross(f);
+
+    Mat4 r = identity();
+    r.m[0][0] = s.x;
+    r.m[0][1] = s.y;
+    r.m[0][2] = s.z;
+    r.m[1][0] = u.x;
+    r.m[1][1] = u.y;
+    r.m[1][2] = u.z;
+    r.m[2][0] = -f.x;
+    r.m[2][1] = -f.y;
+    r.m[2][2] = -f.z;
+    return r * translate(Vec3{-eye.x, -eye.y, -eye.z});
+}
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            float acc = 0.0f;
+            for (int k = 0; k < 4; ++k)
+                acc += m[i][k] * o.m[k][j];
+            r.m[i][j] = acc;
+        }
+    return r;
+}
+
+Vec4
+Mat4::operator*(Vec4 v) const
+{
+    return {
+        m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+        m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+        m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+        m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w,
+    };
+}
+
+} // namespace texcache

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * 4x4 matrix with the standard graphics transform constructors
+ * (OpenGL-style right-handed view/projection conventions).
+ */
+
+#ifndef TEXCACHE_GEOM_MAT4_HH
+#define TEXCACHE_GEOM_MAT4_HH
+
+#include "geom/vec.hh"
+
+namespace texcache {
+
+/** Row-major 4x4 float matrix. m[r][c]. */
+struct Mat4
+{
+    float m[4][4] = {};
+
+    /** Identity matrix. */
+    static Mat4 identity();
+
+    /** Translation by @p t. */
+    static Mat4 translate(Vec3 t);
+
+    /** Non-uniform scale. */
+    static Mat4 scale(Vec3 s);
+
+    /** Rotation about X axis by @p radians. */
+    static Mat4 rotateX(float radians);
+
+    /** Rotation about Y axis by @p radians. */
+    static Mat4 rotateY(float radians);
+
+    /** Rotation about Z axis by @p radians. */
+    static Mat4 rotateZ(float radians);
+
+    /**
+     * Right-handed perspective projection (like gluPerspective).
+     *
+     * @param fovy_radians vertical field of view
+     * @param aspect       width / height
+     * @param z_near       near plane distance (> 0)
+     * @param z_far        far plane distance (> z_near)
+     */
+    static Mat4 perspective(float fovy_radians, float aspect, float z_near,
+                            float z_far);
+
+    /** Right-handed view matrix (like gluLookAt). */
+    static Mat4 lookAt(Vec3 eye, Vec3 center, Vec3 up);
+
+    /** Matrix product this * o (applies o first). */
+    Mat4 operator*(const Mat4 &o) const;
+
+    /** Transform a homogeneous vector. */
+    Vec4 operator*(Vec4 v) const;
+
+    /** Transform a point (w = 1). */
+    Vec4 transformPoint(Vec3 p) const { return (*this) * Vec4(p, 1.0f); }
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_GEOM_MAT4_HH

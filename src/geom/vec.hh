@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Small fixed-size vector types used by the software graphics pipeline.
+ *
+ * These are deliberately minimal: float storage, value semantics, and the
+ * handful of operations a rasterizer needs (arithmetic, dot/cross,
+ * normalization, homogeneous divide).
+ */
+
+#ifndef TEXCACHE_GEOM_VEC_HH
+#define TEXCACHE_GEOM_VEC_HH
+
+#include <cmath>
+
+namespace texcache {
+
+/** 2-component float vector (texture coordinates, screen positions). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float x_, float y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+};
+
+/** 3-component float vector (positions, normals, colors). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(Vec3 o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(Vec3 o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+
+    constexpr float dot(Vec3 o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    constexpr Vec3
+    cross(Vec3 o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float length() const { return std::sqrt(dot(*this)); }
+
+    Vec3
+    normalized() const
+    {
+        float l = length();
+        return l > 0.0f ? (*this) * (1.0f / l) : Vec3{};
+    }
+};
+
+/** 4-component homogeneous vector. */
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(float x_, float y_, float z_, float w_)
+        : x(x_), y(y_), z(z_), w(w_)
+    {}
+    constexpr Vec4(Vec3 v, float w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+    constexpr Vec4 operator+(Vec4 o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+    constexpr Vec4 operator-(Vec4 o) const
+    {
+        return {x - o.x, y - o.y, z - o.z, w - o.w};
+    }
+    constexpr Vec4 operator*(float s) const
+    {
+        return {x * s, y * s, z * s, w * s};
+    }
+
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+
+    /** Perspective divide (caller must ensure w != 0). */
+    constexpr Vec3 project() const
+    {
+        return {x / w, y / w, z / w};
+    }
+};
+
+/** Linear interpolation between two values by t in [0, 1]. */
+template <typename T>
+constexpr T
+lerp(T a, T b, float t)
+{
+    return a + (b - a) * t;
+}
+
+} // namespace texcache
+
+#endif // TEXCACHE_GEOM_VEC_HH

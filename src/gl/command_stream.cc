@@ -1,0 +1,374 @@
+#include "gl/command_stream.hh"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "gl/gl_context.hh"
+
+namespace texcache {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'L', 'T', 'R', 'C', '0', '0', '1'};
+
+} // namespace
+
+void
+GlRecorder::viewport(unsigned width, unsigned height)
+{
+    GlCommand c;
+    c.op = GlOp::Viewport;
+    c.u32a = width;
+    c.u32b = height;
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->viewport(width, height);
+}
+
+void
+GlRecorder::loadProjection(const Mat4 &m)
+{
+    GlCommand c;
+    c.op = GlOp::LoadProjection;
+    c.matrix = m;
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->loadProjection(m);
+}
+
+void
+GlRecorder::loadModelView(const Mat4 &m)
+{
+    GlCommand c;
+    c.op = GlOp::LoadModelView;
+    c.matrix = m;
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->loadModelView(m);
+}
+
+GlTexture
+GlRecorder::genTexture()
+{
+    GlCommand c;
+    c.op = GlOp::GenTexture;
+    GlTexture name = nextName_++;
+    c.u32a = name;
+    stream_.push_back(std::move(c));
+    if (forward_) {
+        GlTexture fwd = forward_->genTexture();
+        panic_if(fwd != name,
+                 "forwarded context handed out a different name");
+    }
+    return name;
+}
+
+void
+GlRecorder::bindTexture(GlTexture tex)
+{
+    GlCommand c;
+    c.op = GlOp::BindTexture;
+    c.u32a = tex;
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->bindTexture(tex);
+}
+
+void
+GlRecorder::texImage2D(const Image &base)
+{
+    GlCommand c;
+    c.op = GlOp::TexImage2D;
+    c.image = base;
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->texImage2D(base);
+}
+
+void
+GlRecorder::begin(GlPrimitive prim)
+{
+    GlCommand c;
+    c.op = GlOp::Begin;
+    c.u32a = static_cast<uint32_t>(prim);
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->begin(prim);
+}
+
+void
+GlRecorder::texCoord(float u, float v)
+{
+    GlCommand c;
+    c.op = GlOp::TexCoord;
+    c.f0 = u;
+    c.f1 = v;
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->texCoord(u, v);
+}
+
+void
+GlRecorder::shade(float s)
+{
+    GlCommand c;
+    c.op = GlOp::Shade;
+    c.f0 = s;
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->shade(s);
+}
+
+void
+GlRecorder::vertex(float x, float y, float z)
+{
+    GlCommand c;
+    c.op = GlOp::Vertex;
+    c.f0 = x;
+    c.f1 = y;
+    c.f2 = z;
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->vertex(x, y, z);
+}
+
+void
+GlRecorder::end()
+{
+    GlCommand c;
+    c.op = GlOp::End;
+    stream_.push_back(std::move(c));
+    if (forward_)
+        forward_->end();
+}
+
+void
+playCommands(const GlCommandStream &stream, GlApi &target)
+{
+    // Recorded texture names -> names the target handed out.
+    std::unordered_map<GlTexture, GlTexture> names;
+    for (const GlCommand &c : stream) {
+        switch (c.op) {
+          case GlOp::Viewport:
+            target.viewport(c.u32a, c.u32b);
+            break;
+          case GlOp::LoadProjection:
+            target.loadProjection(c.matrix);
+            break;
+          case GlOp::LoadModelView:
+            target.loadModelView(c.matrix);
+            break;
+          case GlOp::GenTexture:
+            names[c.u32a] = target.genTexture();
+            break;
+          case GlOp::BindTexture: {
+              auto it = names.find(c.u32a);
+              fatal_if(it == names.end(),
+                       "trace binds texture ", c.u32a,
+                       " before generating it");
+              target.bindTexture(it->second);
+              break;
+          }
+          case GlOp::TexImage2D:
+            target.texImage2D(c.image);
+            break;
+          case GlOp::Begin:
+            target.begin(static_cast<GlPrimitive>(c.u32a));
+            break;
+          case GlOp::TexCoord:
+            target.texCoord(c.f0, c.f1);
+            break;
+          case GlOp::Shade:
+            target.shade(c.f0);
+            break;
+          case GlOp::Vertex:
+            target.vertex(c.f0, c.f1, c.f2);
+            break;
+          case GlOp::End:
+            target.end();
+            break;
+        }
+    }
+}
+
+namespace {
+
+template <typename T>
+void
+put(std::ofstream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+void
+get(std::ifstream &in, T &v, const std::string &path)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    fatal_if(!in, "GL trace '", path, "' is truncated");
+}
+
+} // namespace
+
+void
+writeGlTrace(const GlCommandStream &stream, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatal_if(!out, "cannot open GL trace '", path, "' for writing");
+    out.write(kMagic, sizeof(kMagic));
+    uint64_t count = stream.size();
+    put(out, count);
+    for (const GlCommand &c : stream) {
+        put(out, static_cast<uint8_t>(c.op));
+        switch (c.op) {
+          case GlOp::Viewport:
+            put(out, c.u32a);
+            put(out, c.u32b);
+            break;
+          case GlOp::LoadProjection:
+          case GlOp::LoadModelView:
+            put(out, c.matrix);
+            break;
+          case GlOp::GenTexture:
+          case GlOp::BindTexture:
+          case GlOp::Begin:
+            put(out, c.u32a);
+            break;
+          case GlOp::TexCoord:
+            put(out, c.f0);
+            put(out, c.f1);
+            break;
+          case GlOp::Shade:
+            put(out, c.f0);
+            break;
+          case GlOp::Vertex:
+            put(out, c.f0);
+            put(out, c.f1);
+            put(out, c.f2);
+            break;
+          case GlOp::TexImage2D: {
+              uint32_t w = c.image.width(), h = c.image.height();
+              put(out, w);
+              put(out, h);
+              out.write(reinterpret_cast<const char *>(
+                            c.image.pixels().data()),
+                        static_cast<std::streamsize>(
+                            static_cast<size_t>(w) * h *
+                            sizeof(Rgba8)));
+              break;
+          }
+          case GlOp::End:
+            break;
+        }
+    }
+    fatal_if(!out, "short write to GL trace '", path, "'");
+}
+
+GlCommandStream
+readGlTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open GL trace '", path, "'");
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    fatal_if(!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+             "'", path, "' is not a texcache GL trace");
+    uint64_t count = 0;
+    get(in, count, path);
+
+    GlCommandStream stream;
+    stream.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        uint8_t op_byte = 0;
+        get(in, op_byte, path);
+        GlCommand c;
+        c.op = static_cast<GlOp>(op_byte);
+        switch (c.op) {
+          case GlOp::Viewport:
+            get(in, c.u32a, path);
+            get(in, c.u32b, path);
+            break;
+          case GlOp::LoadProjection:
+          case GlOp::LoadModelView:
+            get(in, c.matrix, path);
+            break;
+          case GlOp::GenTexture:
+          case GlOp::BindTexture:
+          case GlOp::Begin:
+            get(in, c.u32a, path);
+            break;
+          case GlOp::TexCoord:
+            get(in, c.f0, path);
+            get(in, c.f1, path);
+            break;
+          case GlOp::Shade:
+            get(in, c.f0, path);
+            break;
+          case GlOp::Vertex:
+            get(in, c.f0, path);
+            get(in, c.f1, path);
+            get(in, c.f2, path);
+            break;
+          case GlOp::TexImage2D: {
+              uint32_t w = 0, h = 0;
+              get(in, w, path);
+              get(in, h, path);
+              fatal_if(w == 0 || h == 0 || w > 16384 || h > 16384,
+                       "GL trace '", path,
+                       "' has an implausible texture size");
+              Image img(w, h);
+              in.read(reinterpret_cast<char *>(img.data()),
+                      static_cast<std::streamsize>(
+                          static_cast<size_t>(w) * h * sizeof(Rgba8)));
+              fatal_if(!in, "GL trace '", path, "' is truncated");
+              c.image = std::move(img);
+              break;
+          }
+          case GlOp::End:
+            break;
+          default:
+            fatal("GL trace '", path, "' has unknown opcode ",
+                  static_cast<int>(op_byte));
+        }
+        stream.push_back(std::move(c));
+    }
+    return stream;
+}
+
+void
+emitScene(const Scene &scene, GlApi &api)
+{
+    api.viewport(scene.screenW, scene.screenH);
+    api.loadProjection(scene.proj);
+    api.loadModelView(scene.view);
+
+    std::vector<GlTexture> names;
+    names.reserve(scene.textures.size());
+    for (const MipMap &mip : scene.textures) {
+        GlTexture name = api.genTexture();
+        api.bindTexture(name);
+        api.texImage2D(mip.level(0));
+        names.push_back(name);
+    }
+
+    // Batch consecutive same-texture triangles into one begin/end.
+    size_t i = 0;
+    while (i < scene.triangles.size()) {
+        uint16_t tex = scene.triangles[i].texture;
+        api.bindTexture(names.at(tex));
+        api.begin(GlPrimitive::Triangles);
+        while (i < scene.triangles.size() &&
+               scene.triangles[i].texture == tex) {
+            for (const SceneVertex &v : scene.triangles[i].v) {
+                api.texCoord(v.uv.x, v.uv.y);
+                api.shade(v.shade);
+                api.vertex(v.pos.x, v.pos.y, v.pos.z);
+            }
+            ++i;
+        }
+        api.end();
+    }
+}
+
+} // namespace texcache

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * GL command recording, serialization and replay - the reproduction of
+ * the paper's `gldebug`-based trace capability (section 4.1, second
+ * component).
+ *
+ * A GlRecorder implements GlApi by appending commands to a stream
+ * (optionally forwarding to a live context, as the paper's parser ran
+ * alongside the application). Streams serialize to a binary .gltrc
+ * file and replay against any GlApi implementation, so a captured
+ * frame can be re-rendered under different pipeline configurations
+ * without the generating application.
+ *
+ * File format (little-endian):
+ *   [0..7]  magic "GLTRC001"
+ *   [8..15] uint64 command count
+ *   then per command: 1-byte opcode + op-specific payload; texImage2D
+ *   carries the raw RGBA8 base image.
+ */
+
+#ifndef TEXCACHE_GL_COMMAND_STREAM_HH
+#define TEXCACHE_GL_COMMAND_STREAM_HH
+
+#include <string>
+#include <vector>
+
+#include "gl/gl_api.hh"
+#include "pipeline/scene_types.hh"
+
+namespace texcache {
+
+/** Opcode of one recorded GL call. */
+enum class GlOp : uint8_t
+{
+    Viewport = 1,
+    LoadProjection,
+    LoadModelView,
+    GenTexture,
+    BindTexture,
+    TexImage2D,
+    Begin,
+    TexCoord,
+    Shade,
+    Vertex,
+    End,
+};
+
+/** One recorded call (a fat struct; streams are triangle-scale). */
+struct GlCommand
+{
+    GlOp op;
+    uint32_t u32a = 0; ///< viewport w / texture name / primitive
+    uint32_t u32b = 0; ///< viewport h
+    float f0 = 0.0f;   ///< vertex x / texcoord u / shade
+    float f1 = 0.0f;   ///< vertex y / texcoord v
+    float f2 = 0.0f;   ///< vertex z
+    Mat4 matrix;       ///< for Load* ops
+    Image image;       ///< for TexImage2D
+};
+
+/** A recorded sequence of GL calls. */
+using GlCommandStream = std::vector<GlCommand>;
+
+/** Records GlApi calls, optionally forwarding to a live sink. */
+class GlRecorder : public GlApi
+{
+  public:
+    /** @param forward_to live context to also execute against (may be
+     *         nullptr for record-only operation). */
+    explicit GlRecorder(GlApi *forward_to = nullptr)
+        : forward_(forward_to)
+    {}
+
+    void viewport(unsigned width, unsigned height) override;
+    void loadProjection(const Mat4 &m) override;
+    void loadModelView(const Mat4 &m) override;
+    GlTexture genTexture() override;
+    void bindTexture(GlTexture tex) override;
+    void texImage2D(const Image &base) override;
+    void begin(GlPrimitive prim) override;
+    void texCoord(float u, float v) override;
+    void shade(float s) override;
+    void vertex(float x, float y, float z) override;
+    void end() override;
+
+    const GlCommandStream &stream() const { return stream_; }
+    GlCommandStream takeStream() { return std::move(stream_); }
+
+  private:
+    GlApi *forward_;
+    GlCommandStream stream_;
+    GlTexture nextName_ = 1;
+};
+
+/**
+ * Replay a command stream against @p target. Texture names recorded
+ * in the stream are remapped to the names the target hands out, so
+ * replay composes with prior activity on the target.
+ */
+void playCommands(const GlCommandStream &stream, GlApi &target);
+
+/** Serialize a stream to @p path; fatal()s on I/O failure. */
+void writeGlTrace(const GlCommandStream &stream,
+                  const std::string &path);
+
+/** Read a stream written by writeGlTrace; fatal()s on corruption. */
+GlCommandStream readGlTrace(const std::string &path);
+
+/**
+ * Issue an assembled Scene through the GlApi (viewport, matrices,
+ * textures, then triangles batched into GL_TRIANGLES runs by
+ * texture). Replaying the result through a GlContext reconstructs a
+ * scene that renders the identical texel trace.
+ */
+void emitScene(const Scene &scene, GlApi &api);
+
+} // namespace texcache
+
+#endif // TEXCACHE_GL_COMMAND_STREAM_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The OpenGL-1.0-flavored drawing interface of the trace layer.
+ *
+ * The paper's second simulation component captures the GL calls an
+ * application makes and feeds them to the software pipeline ("a parser
+ * that parses the GL calls while the application is running ... the
+ * trace is then fed to our software implementation"). This interface
+ * is that boundary: an immediate-mode command surface that both the
+ * live context (gl_context.hh) and the command recorder/player
+ * (command_stream.hh) implement, so anything expressed against GlApi
+ * can be executed now or recorded and replayed later.
+ *
+ * The subset matches what the benchmarks need from GL 1.0: viewport,
+ * projection/modelview matrices, mip-mapped 2-D textures, and
+ * immediate-mode triangles / strips / fans with texture coordinates
+ * and a scalar shade (the lighting result).
+ */
+
+#ifndef TEXCACHE_GL_GL_API_HH
+#define TEXCACHE_GL_GL_API_HH
+
+#include <cstdint>
+
+#include "geom/mat4.hh"
+#include "img/image.hh"
+
+namespace texcache {
+
+/** Immediate-mode primitive kinds (GL_TRIANGLES and friends). */
+enum class GlPrimitive : uint8_t
+{
+    Triangles,     ///< independent triples
+    TriangleStrip, ///< sliding window, alternating winding
+    TriangleFan,   ///< first vertex shared by all triangles
+};
+
+/** Texture object handle (0 is never a valid name, as in GL). */
+using GlTexture = uint32_t;
+
+/** The recordable drawing interface. */
+class GlApi
+{
+  public:
+    virtual ~GlApi() = default;
+
+    /** Set the render target size in pixels. */
+    virtual void viewport(unsigned width, unsigned height) = 0;
+
+    /** Load the projection matrix (replaces, no stack). */
+    virtual void loadProjection(const Mat4 &m) = 0;
+
+    /** Load the modelview matrix (replaces, no stack). */
+    virtual void loadModelView(const Mat4 &m) = 0;
+
+    /** Create a new texture name. */
+    virtual GlTexture genTexture() = 0;
+
+    /** Make @p tex the active texture for texImage2D and drawing. */
+    virtual void bindTexture(GlTexture tex) = 0;
+
+    /**
+     * Define the bound texture's base image; the full mip pyramid is
+     * derived by box filtering (gluBuild2DMipmaps-style).
+     */
+    virtual void texImage2D(const Image &base) = 0;
+
+    /** Begin an immediate-mode primitive. */
+    virtual void begin(GlPrimitive prim) = 0;
+
+    /** Set the current texture coordinate (glTexCoord2f). */
+    virtual void texCoord(float u, float v) = 0;
+
+    /** Set the current shade - the scalar lighting result. */
+    virtual void shade(float s) = 0;
+
+    /** Emit a vertex with the current attributes (glVertex3f). */
+    virtual void vertex(float x, float y, float z) = 0;
+
+    /** End the current primitive. */
+    virtual void end() = 0;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_GL_GL_API_HH

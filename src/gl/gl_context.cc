@@ -1,0 +1,149 @@
+#include "gl/gl_context.hh"
+
+namespace texcache {
+
+void
+GlContext::viewport(unsigned width, unsigned height)
+{
+    fatal_if(width == 0 || height == 0, "empty viewport");
+    scene_.screenW = width;
+    scene_.screenH = height;
+}
+
+void
+GlContext::loadProjection(const Mat4 &m)
+{
+    scene_.proj = m;
+}
+
+void
+GlContext::loadModelView(const Mat4 &m)
+{
+    scene_.view = m;
+}
+
+GlTexture
+GlContext::genTexture()
+{
+    return nextName_++;
+}
+
+void
+GlContext::bindTexture(GlTexture tex)
+{
+    fatal_if(tex == 0, "cannot bind texture name 0");
+    fatal_if(tex >= nextName_, "texture name ", tex,
+             " was never generated");
+    bound_ = tex;
+    boundValid_ = true;
+}
+
+void
+GlContext::texImage2D(const Image &base)
+{
+    fatal_if(!boundValid_, "texImage2D with no texture bound");
+    auto it = textureSlots_.find(bound_);
+    if (it == textureSlots_.end()) {
+        uint16_t slot = static_cast<uint16_t>(scene_.textures.size());
+        scene_.textures.emplace_back(base);
+        textureSlots_[bound_] = slot;
+    } else {
+        // Redefinition replaces the pyramid (textures may change
+        // between frames; the cache would be flushed, section 3.2).
+        scene_.textures[it->second] = MipMap(base);
+    }
+}
+
+void
+GlContext::begin(GlPrimitive prim)
+{
+    fatal_if(inPrimitive_, "begin() inside begin/end");
+    fatal_if(!boundValid_ || !textureSlots_.count(bound_),
+             "drawing requires a bound texture with an image");
+    inPrimitive_ = true;
+    prim_ = prim;
+    assembly_.clear();
+}
+
+void
+GlContext::texCoord(float u, float v)
+{
+    current_.uv = {u, v};
+}
+
+void
+GlContext::shade(float s)
+{
+    current_.shade = s;
+}
+
+void
+GlContext::vertex(float x, float y, float z)
+{
+    fatal_if(!inPrimitive_, "vertex() outside begin/end");
+    current_.pos = {x, y, z};
+    assembly_.push_back(current_);
+
+    size_t n = assembly_.size();
+    switch (prim_) {
+      case GlPrimitive::Triangles:
+        if (n == 3) {
+            emitTriangle(assembly_[0], assembly_[1], assembly_[2]);
+            assembly_.clear();
+        }
+        break;
+      case GlPrimitive::TriangleStrip:
+        if (n >= 3) {
+            // Alternate winding so all triangles face the same way.
+            if (n % 2 == 1)
+                emitTriangle(assembly_[n - 3], assembly_[n - 2],
+                             assembly_[n - 1]);
+            else
+                emitTriangle(assembly_[n - 2], assembly_[n - 3],
+                             assembly_[n - 1]);
+        }
+        break;
+      case GlPrimitive::TriangleFan:
+        if (n >= 3)
+            emitTriangle(assembly_[0], assembly_[n - 2],
+                         assembly_[n - 1]);
+        break;
+    }
+}
+
+void
+GlContext::end()
+{
+    fatal_if(!inPrimitive_, "end() outside begin/end");
+    if (prim_ == GlPrimitive::Triangles)
+        fatal_if(!assembly_.empty(),
+                 "GL_TRIANGLES vertex count not a multiple of 3");
+    inPrimitive_ = false;
+    assembly_.clear();
+}
+
+void
+GlContext::emitTriangle(const SceneVertex &a, const SceneVertex &b,
+                        const SceneVertex &c)
+{
+    SceneTriangle tri;
+    tri.v[0] = a;
+    tri.v[1] = b;
+    tri.v[2] = c;
+    tri.texture = textureSlots_.at(bound_);
+    scene_.triangles.push_back(tri);
+}
+
+Scene
+GlContext::takeScene()
+{
+    fatal_if(inPrimitive_, "takeScene() inside begin/end");
+    Scene s = std::move(scene_);
+    scene_ = Scene{};
+    textureSlots_.clear();
+    nextName_ = 1;
+    boundValid_ = false;
+    return s;
+}
+
+} // namespace texcache

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The live GL context: executes GlApi calls by assembling a Scene for
+ * the software pipeline.
+ *
+ * Primitive assembly follows the GL 1.0 rules: GL_TRIANGLES consumes
+ * independent vertex triples, GL_TRIANGLE_STRIP re-uses the previous
+ * two vertices with alternating winding, GL_TRIANGLE_FAN pivots on the
+ * first vertex. Triangles accumulate in submission order, which the
+ * paper's runlength analysis depends on.
+ */
+
+#ifndef TEXCACHE_GL_GL_CONTEXT_HH
+#define TEXCACHE_GL_GL_CONTEXT_HH
+
+#include <map>
+#include <vector>
+
+#include "gl/gl_api.hh"
+#include "pipeline/scene_types.hh"
+
+namespace texcache {
+
+/** Executes the GlApi by building a renderable Scene. */
+class GlContext : public GlApi
+{
+  public:
+    void viewport(unsigned width, unsigned height) override;
+    void loadProjection(const Mat4 &m) override;
+    void loadModelView(const Mat4 &m) override;
+    GlTexture genTexture() override;
+    void bindTexture(GlTexture tex) override;
+    void texImage2D(const Image &base) override;
+    void begin(GlPrimitive prim) override;
+    void texCoord(float u, float v) override;
+    void shade(float s) override;
+    void vertex(float x, float y, float z) override;
+    void end() override;
+
+    /**
+     * The scene assembled so far. Textures appear in genTexture
+     * order; triangles in submission order.
+     */
+    const Scene &scene() const { return scene_; }
+
+    /** Move the assembled scene out (the context resets). */
+    Scene takeScene();
+
+  private:
+    void emitTriangle(const SceneVertex &a, const SceneVertex &b,
+                      const SceneVertex &c);
+
+    Scene scene_;
+    std::map<GlTexture, uint16_t> textureSlots_; ///< name -> index
+    GlTexture nextName_ = 1;
+    GlTexture bound_ = 0;
+    bool boundValid_ = false;
+
+    bool inPrimitive_ = false;
+    GlPrimitive prim_ = GlPrimitive::Triangles;
+    SceneVertex current_;                 ///< pending attributes
+    std::vector<SceneVertex> assembly_;   ///< vertices of the primitive
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_GL_GL_CONTEXT_HH

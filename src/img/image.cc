@@ -1,0 +1,22 @@
+#include "img/image.hh"
+
+#include <cstdio>
+#include <fstream>
+
+namespace texcache {
+
+void
+Image::writePpm(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    fatal_if(!out, "cannot open '", path, "' for writing");
+    out << "P6\n" << width_ << " " << height_ << "\n255\n";
+    for (const Rgba8 &p : pixels_) {
+        char rgb[3] = {static_cast<char>(p.r), static_cast<char>(p.g),
+                       static_cast<char>(p.b)};
+        out.write(rgb, 3);
+    }
+    fatal_if(!out, "short write to '", path, "'");
+}
+
+} // namespace texcache

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * RGBA8 image container used for texture level storage and framebuffers.
+ *
+ * The paper allocates 32 bits per texel (R, G, B, A at 8 bits each); this
+ * container mirrors that. Texel *values* never influence the cache study
+ * (only addresses do) but they are kept real so the renderer can produce
+ * verifiable output images.
+ */
+
+#ifndef TEXCACHE_IMG_IMAGE_HH
+#define TEXCACHE_IMG_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace texcache {
+
+/** An 8-bit-per-channel RGBA color. */
+struct Rgba8
+{
+    uint8_t r = 0;
+    uint8_t g = 0;
+    uint8_t b = 0;
+    uint8_t a = 255;
+
+    bool
+    operator==(const Rgba8 &o) const
+    {
+        return r == o.r && g == o.g && b == o.b && a == o.a;
+    }
+};
+
+/** Bytes per texel, fixed at 4 throughout the study (paper section 4.1). */
+constexpr unsigned kBytesPerTexel = 4;
+
+/** A width x height RGBA8 raster stored row-major. */
+class Image
+{
+  public:
+    Image() = default;
+
+    Image(unsigned width, unsigned height, Rgba8 fill = Rgba8{})
+        : width_(width), height_(height),
+          pixels_(static_cast<size_t>(width) * height, fill)
+    {}
+
+    unsigned width() const { return width_; }
+    unsigned height() const { return height_; }
+    bool empty() const { return pixels_.empty(); }
+
+    /** Pixel accessor with bounds checking via panic. */
+    Rgba8 &
+    at(unsigned x, unsigned y)
+    {
+        panic_if(x >= width_ || y >= height_,
+                 "Image::at(", x, ",", y, ") out of ", width_, "x",
+                 height_);
+        return pixels_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    const Rgba8 &
+    at(unsigned x, unsigned y) const
+    {
+        panic_if(x >= width_ || y >= height_,
+                 "Image::at(", x, ",", y, ") out of ", width_, "x",
+                 height_);
+        return pixels_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    /** Unchecked accessor for hot loops. */
+    const Rgba8 &
+    texel(unsigned x, unsigned y) const
+    {
+        return pixels_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    Rgba8 &
+    texel(unsigned x, unsigned y)
+    {
+        return pixels_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    const std::vector<Rgba8> &pixels() const { return pixels_; }
+
+    /** Mutable raw pixel pointer (row-major), for bulk loads. */
+    Rgba8 *data() { return pixels_.data(); }
+
+    /** Write the image as a binary PPM (P6) file; alpha is dropped. */
+    void writePpm(const std::string &path) const;
+
+  private:
+    unsigned width_ = 0;
+    unsigned height_ = 0;
+    std::vector<Rgba8> pixels_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_IMG_IMAGE_HH

@@ -1,0 +1,174 @@
+#include "img/procedural.hh"
+
+#include <cmath>
+
+namespace texcache {
+
+namespace {
+
+/** Integer lattice hash -> [0,1). */
+float
+latticeHash(int x, int y, uint32_t seed)
+{
+    uint32_t h = static_cast<uint32_t>(x) * 0x9e3779b1u;
+    h ^= static_cast<uint32_t>(y) * 0x85ebca77u;
+    h ^= seed * 0xc2b2ae3du;
+    h ^= h >> 16;
+    h *= 0x7feb352du;
+    h ^= h >> 15;
+    h *= 0x846ca68bu;
+    h ^= h >> 16;
+    return static_cast<float>(h) * (1.0f / 4294967296.0f);
+}
+
+float
+smooth(float t)
+{
+    return t * t * (3.0f - 2.0f * t);
+}
+
+/** One octave of bilinearly interpolated lattice noise. */
+float
+noiseOctave(float x, float y, uint32_t seed)
+{
+    int xi = static_cast<int>(std::floor(x));
+    int yi = static_cast<int>(std::floor(y));
+    float tx = smooth(x - static_cast<float>(xi));
+    float ty = smooth(y - static_cast<float>(yi));
+    float v00 = latticeHash(xi, yi, seed);
+    float v10 = latticeHash(xi + 1, yi, seed);
+    float v01 = latticeHash(xi, yi + 1, seed);
+    float v11 = latticeHash(xi + 1, yi + 1, seed);
+    float a = v00 + (v10 - v00) * tx;
+    float b = v01 + (v11 - v01) * tx;
+    return a + (b - a) * ty;
+}
+
+uint8_t
+toByte(float v)
+{
+    v = v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v);
+    return static_cast<uint8_t>(v * 255.0f + 0.5f);
+}
+
+} // namespace
+
+float
+valueNoise(float x, float y, unsigned octaves, uint32_t seed)
+{
+    float sum = 0.0f;
+    float amp = 0.5f;
+    float freq = 1.0f;
+    float norm = 0.0f;
+    for (unsigned o = 0; o < octaves; ++o) {
+        sum += amp * noiseOctave(x * freq, y * freq, seed + o * 131u);
+        norm += amp;
+        amp *= 0.5f;
+        freq *= 2.0f;
+    }
+    return norm > 0.0f ? sum / norm : 0.0f;
+}
+
+Image
+makeChecker(unsigned size, unsigned cells, Rgba8 a, Rgba8 b)
+{
+    Image img(size, size);
+    unsigned cell = size / (cells ? cells : 1);
+    if (cell == 0)
+        cell = 1;
+    for (unsigned y = 0; y < size; ++y)
+        for (unsigned x = 0; x < size; ++x)
+            img.texel(x, y) = (((x / cell) + (y / cell)) & 1) ? a : b;
+    return img;
+}
+
+Image
+makeSatellite(unsigned size, uint32_t seed)
+{
+    Image img(size, size);
+    float inv = 8.0f / static_cast<float>(size);
+    for (unsigned y = 0; y < size; ++y) {
+        for (unsigned x = 0; x < size; ++x) {
+            float h = valueNoise(x * inv, y * inv, 5, seed);
+            // Elevation-banded coloring: water, fields, forest, rock.
+            Rgba8 c;
+            if (h < 0.35f)
+                c = {30, 60, static_cast<uint8_t>(120 + h * 100), 255};
+            else if (h < 0.6f)
+                c = {static_cast<uint8_t>(60 + h * 80),
+                     static_cast<uint8_t>(120 + h * 60), 50, 255};
+            else if (h < 0.8f)
+                c = {static_cast<uint8_t>(40 + h * 60),
+                     static_cast<uint8_t>(80 + h * 40), 30, 255};
+            else
+                c = {toByte(h), toByte(h * 0.95f), toByte(h * 0.9f), 255};
+            img.texel(x, y) = c;
+        }
+    }
+    return img;
+}
+
+Image
+makeBricks(unsigned width, unsigned height, uint32_t seed)
+{
+    Image img(width, height);
+    unsigned brick_h = height / 8 ? height / 8 : 1;
+    unsigned brick_w = width / 4 ? width / 4 : 1;
+    for (unsigned y = 0; y < height; ++y) {
+        unsigned row = y / brick_h;
+        unsigned offset = (row & 1) ? brick_w / 2 : 0;
+        for (unsigned x = 0; x < width; ++x) {
+            bool mortar = (y % brick_h) < 2 ||
+                          ((x + offset) % brick_w) < 2;
+            if (mortar) {
+                img.texel(x, y) = {180, 180, 175, 255};
+            } else {
+                float n = valueNoise(x * 0.05f, y * 0.05f, 3, seed);
+                img.texel(x, y) = {toByte(0.55f + 0.2f * n),
+                                   toByte(0.25f + 0.1f * n),
+                                   toByte(0.2f + 0.05f * n), 255};
+            }
+        }
+    }
+    return img;
+}
+
+Image
+makeWood(unsigned width, unsigned height, uint32_t seed)
+{
+    Image img(width, height);
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            float fx = static_cast<float>(x) / width - 0.5f;
+            float fy = static_cast<float>(y) / height - 0.5f;
+            float r = std::sqrt(fx * fx + fy * fy);
+            float wobble = valueNoise(fx * 6.0f, fy * 6.0f, 3, seed);
+            float ring = std::sin((r * 40.0f + wobble * 4.0f)) * 0.5f +
+                         0.5f;
+            img.texel(x, y) = {toByte(0.45f + 0.3f * ring),
+                               toByte(0.27f + 0.18f * ring),
+                               toByte(0.12f + 0.08f * ring), 255};
+        }
+    }
+    return img;
+}
+
+Image
+makeMarble(unsigned size, uint32_t seed)
+{
+    Image img(size, size);
+    float inv = 4.0f / static_cast<float>(size);
+    for (unsigned y = 0; y < size; ++y) {
+        for (unsigned x = 0; x < size; ++x) {
+            float n = valueNoise(x * inv, y * inv, 4, seed);
+            float v = std::sin((x * inv + n * 5.0f) * 3.14159f) * 0.5f +
+                      0.5f;
+            img.texel(x, y) = {toByte(0.7f + 0.3f * v),
+                               toByte(0.68f + 0.3f * v),
+                               toByte(0.72f + 0.25f * v), 255};
+        }
+    }
+    return img;
+}
+
+} // namespace texcache

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Procedural texture-content generators.
+ *
+ * The paper's benchmark textures are photographs (satellite imagery,
+ * building facades, wood grain). Texel values never affect the address
+ * stream, but visually distinct content makes the rendered validation
+ * images meaningful, so each generator imitates the look of its scene's
+ * texture class.
+ */
+
+#ifndef TEXCACHE_IMG_PROCEDURAL_HH
+#define TEXCACHE_IMG_PROCEDURAL_HH
+
+#include <cstdint>
+
+#include "img/image.hh"
+
+namespace texcache {
+
+/** 2-D value-noise in [0,1] with @p octaves octaves (deterministic). */
+float valueNoise(float x, float y, unsigned octaves, uint32_t seed);
+
+/** A checkerboard of @p cells x @p cells squares in two colors. */
+Image makeChecker(unsigned size, unsigned cells, Rgba8 a, Rgba8 b);
+
+/** Fractal-noise terrain imagery (greens/browns), satellite-photo-like. */
+Image makeSatellite(unsigned size, uint32_t seed);
+
+/** Brick-wall facade texture (mortar grid over noisy brick color). */
+Image makeBricks(unsigned width, unsigned height, uint32_t seed);
+
+/** Wood-grain texture (concentric noisy rings), guitar-body-like. */
+Image makeWood(unsigned width, unsigned height, uint32_t seed);
+
+/** Marble-like texture used for the goblet surface. */
+Image makeMarble(unsigned size, uint32_t seed);
+
+} // namespace texcache
+
+#endif // TEXCACHE_IMG_PROCEDURAL_HH

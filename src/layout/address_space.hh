@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulated texture memory address space.
+ *
+ * The paper assigns texture arrays with malloc(); we use a deterministic
+ * bump allocator instead so traces are reproducible run-to-run. Addresses
+ * are abstract byte addresses fed to the cache simulator; no real storage
+ * backs them (texel colors live in the MipMap images).
+ */
+
+#ifndef TEXCACHE_LAYOUT_ADDRESS_SPACE_HH
+#define TEXCACHE_LAYOUT_ADDRESS_SPACE_HH
+
+#include <cstdint>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace texcache {
+
+/** A byte address in the simulated texture memory. */
+using Addr = uint64_t;
+
+/** Deterministic, monotonically growing allocator of texture memory. */
+class AddressSpace
+{
+  public:
+    /**
+     * @param base_align every allocation is aligned to this many bytes
+     *                   (default 4 KB, mimicking page-aligned mallocs of
+     *                   large texture arrays).
+     */
+    explicit AddressSpace(uint64_t base_align = 4096)
+        : align_(base_align)
+    {
+        fatal_if(!isPowerOfTwo(base_align), "alignment ", base_align,
+                 " is not a power of two");
+    }
+
+    /** Reserve @p bytes and return the base address of the region. */
+    Addr
+    allocate(uint64_t bytes)
+    {
+        panic_if(bytes == 0, "zero-byte allocation");
+        Addr base = (next_ + align_ - 1) & ~(align_ - 1);
+        next_ = base + bytes;
+        return base;
+    }
+
+    /** Total bytes spanned so far (high-water mark). */
+    uint64_t used() const { return next_; }
+
+  private:
+    uint64_t align_;
+    Addr next_ = 0;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_LAYOUT_ADDRESS_SPACE_HH

@@ -1,0 +1,159 @@
+#include "layout/blocked.hh"
+
+#include <algorithm>
+
+namespace texcache {
+
+BlockedLayout::BlockedLayout(const std::vector<LevelDims> &d,
+                             AddressSpace &space, unsigned block_w,
+                             unsigned block_h)
+    : BlockedLayout(d, space, block_w, block_h, /*pad_blocks=*/0)
+{}
+
+BlockedLayout::BlockedLayout(const std::vector<LevelDims> &d,
+                             AddressSpace &space, unsigned block_w,
+                             unsigned block_h, unsigned pad_blocks)
+    : TextureLayout(d), blockW_(block_w), blockH_(block_h),
+      padBlocks_(pad_blocks)
+{
+    fatal_if(!isPowerOfTwo(block_w) || !isPowerOfTwo(block_h),
+             "block dims ", block_w, "x", block_h, " not powers of two");
+    fatal_if(pad_blocks != 0 && !isPowerOfTwo(pad_blocks),
+             "pad block count ", pad_blocks, " not a power of two");
+
+    Addr first = 0;
+    for (size_t l = 0; l < dims_.size(); ++l) {
+        unsigned w = dims_[l].w, h = dims_[l].h;
+        unsigned ebw = std::min(block_w, w);
+        unsigned ebh = std::min(block_h, h);
+        BlockedLevel lv;
+        lv.lbw = log2Exact(ebw);
+        lv.lbh = log2Exact(ebh);
+        lv.bsLog = lv.lbw + lv.lbh + 2; // block bytes = ebw*ebh*4
+        lv.rsLog = log2Exact(w) + lv.lbh + 2; // w * ebh * 4 bytes
+        lv.padded = pad_blocks != 0;
+        lv.psLog = lv.padded ? lv.bsLog + log2Exact(pad_blocks) : 0;
+
+        unsigned block_rows = h / ebh;
+        uint64_t bytes = static_cast<uint64_t>(w) * h * kBytesPerTexel;
+        if (lv.padded)
+            bytes += static_cast<uint64_t>(block_rows)
+                     << lv.psLog; // pad bytes per block row
+        lv.base = space.allocate(bytes);
+        if (l == 0)
+            first = lv.base;
+        levels_.push_back(lv);
+    }
+    footprint_ = space.used() - first;
+}
+
+unsigned
+BlockedLayout::addresses(const TexelTouch &t, Addr out[3]) const
+{
+    const BlockedLevel &lv = levels_[t.level];
+    uint64_t bx = t.u >> lv.lbw;
+    uint64_t by = t.v >> lv.lbh;
+    uint64_t sx = t.u & ((1u << lv.lbw) - 1);
+    uint64_t sy = t.v & ((1u << lv.lbh) - 1);
+    Addr a = lv.base + (by << lv.rsLog) + (bx << lv.bsLog) +
+             (sy << (lv.lbw + 2)) + (sx << 2);
+    if (lv.padded)
+        a += by << lv.psLog;
+    out[0] = a;
+    return 1;
+}
+
+std::string
+BlockedLayout::name() const
+{
+    return "blocked-" + std::to_string(blockW_) + "x" +
+           std::to_string(blockH_);
+}
+
+PaddedBlockedLayout::PaddedBlockedLayout(const std::vector<LevelDims> &d,
+                                         AddressSpace &space,
+                                         unsigned block_w,
+                                         unsigned block_h,
+                                         unsigned pad_blocks)
+    : BlockedLayout(d, space, block_w, block_h, pad_blocks)
+{
+    fatal_if(pad_blocks == 0, "padded layout requires pad blocks");
+}
+
+std::string
+PaddedBlockedLayout::name() const
+{
+    return "padded-" + std::to_string(blockW_) + "x" +
+           std::to_string(blockH_) + "+" + std::to_string(padBlocks_);
+}
+
+Blocked6DLayout::Blocked6DLayout(const std::vector<LevelDims> &d,
+                                 AddressSpace &space, unsigned block_w,
+                                 unsigned block_h, uint64_t coarse_bytes)
+    : TextureLayout(d), blockW_(block_w), blockH_(block_h)
+{
+    fatal_if(!isPowerOfTwo(block_w) || !isPowerOfTwo(block_h),
+             "block dims ", block_w, "x", block_h, " not powers of two");
+    fatal_if(coarse_bytes < static_cast<uint64_t>(block_w) * block_h *
+                                kBytesPerTexel,
+             "6D coarse budget ", coarse_bytes, "B smaller than one block");
+
+    // Largest square power-of-two region whose storage fits the budget.
+    coarseW_ = 1;
+    while (static_cast<uint64_t>(coarseW_ * 2) * (coarseW_ * 2) *
+               kBytesPerTexel <=
+           coarse_bytes)
+        coarseW_ *= 2;
+    coarseW_ = std::max(coarseW_, std::max(block_w, block_h));
+
+    Addr first = 0;
+    for (size_t l = 0; l < dims_.size(); ++l) {
+        unsigned w = dims_[l].w, h = dims_[l].h;
+        Level lv;
+        unsigned ecw = std::min(coarseW_, w);
+        unsigned ech = std::min(coarseW_, h);
+        unsigned ebw = std::min(block_w, ecw);
+        unsigned ebh = std::min(block_h, ech);
+        lv.lcw = log2Exact(ecw);
+        lv.lch = log2Exact(ech);
+        lv.cbLog = lv.lcw + lv.lch + 2;          // super-block bytes
+        lv.crsLog = log2Exact(w) + lv.lch + 2;   // w * ech * 4
+        lv.lbw = log2Exact(ebw);
+        lv.lbh = log2Exact(ebh);
+        lv.bsLog = lv.lbw + lv.lbh + 2;
+        lv.frsLog = lv.lcw + lv.lbh + 2;         // ecw * ebh * 4
+        uint64_t bytes = static_cast<uint64_t>(w) * h * kBytesPerTexel;
+        lv.base = space.allocate(bytes);
+        if (l == 0)
+            first = lv.base;
+        levels_.push_back(lv);
+    }
+    footprint_ = space.used() - first;
+}
+
+unsigned
+Blocked6DLayout::addresses(const TexelTouch &t, Addr out[3]) const
+{
+    const Level &lv = levels_[t.level];
+    uint64_t cx = t.u >> lv.lcw;
+    uint64_t cy = t.v >> lv.lch;
+    uint64_t iu = t.u & ((1u << lv.lcw) - 1);
+    uint64_t iv = t.v & ((1u << lv.lch) - 1);
+    uint64_t bx = iu >> lv.lbw;
+    uint64_t by = iv >> lv.lbh;
+    uint64_t sx = iu & ((1u << lv.lbw) - 1);
+    uint64_t sy = iv & ((1u << lv.lbh) - 1);
+    out[0] = lv.base + (cy << lv.crsLog) + (cx << lv.cbLog) +
+             (by << lv.frsLog) + (bx << lv.bsLog) +
+             (sy << (lv.lbw + 2)) + (sx << 2);
+    return 1;
+}
+
+std::string
+Blocked6DLayout::name() const
+{
+    return "blocked6d-" + std::to_string(blockW_) + "x" +
+           std::to_string(blockH_) + "/" + std::to_string(coarseW_);
+}
+
+} // namespace texcache

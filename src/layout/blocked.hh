@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The blocked family of texture representations (paper sections 5.3 and
+ * 6.2).
+ *
+ * BlockedLayout stores each level as a 4-D array: texels within a
+ * bw x bh block are consecutive, and blocks are laid out in row-major
+ * block order. PaddedBlockedLayout appends unused pad blocks to each
+ * block row so that vertically adjacent blocks cannot map to the same
+ * cache set (Fig 6.3(a)). Blocked6DLayout adds a second, coarser level
+ * of blocking whose super-block is sized to the cache so that a square
+ * region of blocks fits without conflicts (Fig 6.3(b)).
+ *
+ * Coarse pyramid levels smaller than a block (or super-block) clamp the
+ * effective block dimensions to the level dimensions, preserving the
+ * power-of-two structure with zero wasted memory.
+ */
+
+#ifndef TEXCACHE_LAYOUT_BLOCKED_HH
+#define TEXCACHE_LAYOUT_BLOCKED_HH
+
+#include "layout/layout.hh"
+
+namespace texcache {
+
+/** Per-level precomputed addressing parameters shared by the family. */
+struct BlockedLevel
+{
+    Addr base;
+    unsigned lbw;     ///< log2(effective block width in texels)
+    unsigned lbh;     ///< log2(effective block height)
+    unsigned bsLog;   ///< log2(block bytes)
+    unsigned rsLog;   ///< log2(row-of-blocks stride in bytes), unpadded
+    unsigned psLog;   ///< log2(pad bytes per block row); 0 if unpadded
+    bool padded;      ///< whether psLog applies
+};
+
+/** 4-D blocked representation (section 5.3). */
+class BlockedLayout : public TextureLayout
+{
+  public:
+    BlockedLayout(const std::vector<LevelDims> &d, AddressSpace &space,
+                  unsigned block_w, unsigned block_h);
+
+    unsigned addresses(const TexelTouch &t, Addr out[3]) const override;
+    std::string name() const override;
+
+    AddressingCost
+    cost() const override
+    {
+        // Two extra adds over the nonblocked base (section 5.3.1): the
+        // block address (by << rs) + (bx << bs) and the sub-block offset
+        // (sy << lbw) + sx, of which two shifts are constant-amount.
+        return {/*adds=*/4, /*shifts=*/1, /*constShifts=*/4, /*ands=*/2,
+                /*accessesPerTexel=*/1};
+    }
+
+    unsigned blockW() const { return blockW_; }
+    unsigned blockH() const { return blockH_; }
+
+  protected:
+    /** Shared constructor logic; @p pad_blocks > 0 enables padding. */
+    BlockedLayout(const std::vector<LevelDims> &d, AddressSpace &space,
+                  unsigned block_w, unsigned block_h, unsigned pad_blocks);
+
+    std::vector<BlockedLevel> levels_;
+    unsigned blockW_;
+    unsigned blockH_;
+    unsigned padBlocks_ = 0;
+};
+
+/** Blocked with pad blocks at the end of each block row (Fig 6.3(a)). */
+class PaddedBlockedLayout : public BlockedLayout
+{
+  public:
+    PaddedBlockedLayout(const std::vector<LevelDims> &d,
+                        AddressSpace &space, unsigned block_w,
+                        unsigned block_h, unsigned pad_blocks);
+
+    std::string name() const override;
+
+    AddressingCost
+    cost() const override
+    {
+        // One extra add over blocked (section 6.2): + (by << ps).
+        AddressingCost c = BlockedLayout::cost();
+        c.adds += 1;
+        c.constShifts += 1;
+        return c;
+    }
+};
+
+/** Two-level (6-D) blocking with cache-sized super-blocks (Fig 6.3(b)). */
+class Blocked6DLayout : public TextureLayout
+{
+  public:
+    /**
+     * @param coarse_bytes the cache size the super-block should fit; the
+     *        super-block is the largest square power-of-two region whose
+     *        storage is <= coarse_bytes.
+     */
+    Blocked6DLayout(const std::vector<LevelDims> &d, AddressSpace &space,
+                    unsigned block_w, unsigned block_h,
+                    uint64_t coarse_bytes);
+
+    unsigned addresses(const TexelTouch &t, Addr out[3]) const override;
+    std::string name() const override;
+
+    AddressingCost
+    cost() const override
+    {
+        // Two extra adds over blocked (section 6.2).
+        return {/*adds=*/6, /*shifts=*/1, /*constShifts=*/6, /*ands=*/4,
+                /*accessesPerTexel=*/1};
+    }
+
+    unsigned coarseW() const { return coarseW_; }
+
+  private:
+    struct Level
+    {
+        Addr base;
+        unsigned lcw;    ///< log2(effective super-block width in texels)
+        unsigned lch;    ///< log2(effective super-block height)
+        unsigned cbLog;  ///< log2(super-block bytes)
+        unsigned crsLog; ///< log2(row-of-super-blocks stride in bytes)
+        unsigned lbw;    ///< log2(effective fine block width)
+        unsigned lbh;
+        unsigned bsLog;  ///< log2(fine block bytes)
+        unsigned frsLog; ///< log2(fine row-of-blocks stride in bytes)
+    };
+    std::vector<Level> levels_;
+    unsigned blockW_;
+    unsigned blockH_;
+    unsigned coarseW_; ///< nominal super-block edge in texels
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_LAYOUT_BLOCKED_HH

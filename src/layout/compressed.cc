@@ -1,0 +1,67 @@
+#include "layout/compressed.hh"
+
+#include <algorithm>
+
+namespace texcache {
+
+CompressedBlockedLayout::CompressedBlockedLayout(
+    const std::vector<LevelDims> &d, AddressSpace &space,
+    unsigned block_w, unsigned block_h, unsigned ratio)
+    : TextureLayout(d), blockW_(block_w), blockH_(block_h), ratio_(ratio)
+{
+    fatal_if(!isPowerOfTwo(block_w) || !isPowerOfTwo(block_h),
+             "block dims ", block_w, "x", block_h, " not powers of two");
+    fatal_if(!isPowerOfTwo(ratio) || ratio < 2,
+             "compression ratio ", ratio,
+             " must be a power of two >= 2");
+
+    unsigned ratio_log = log2Exact(ratio);
+    Addr first = 0;
+    for (size_t l = 0; l < dims_.size(); ++l) {
+        unsigned w = dims_[l].w, h = dims_[l].h;
+        unsigned ebw = std::min(block_w, w);
+        unsigned ebh = std::min(block_h, h);
+        Level lv;
+        lv.lbw = log2Exact(ebw);
+        lv.lbh = log2Exact(ebh);
+        // Clamp the ratio so a block compresses to at least one byte.
+        unsigned raw_log = lv.lbw + lv.lbh + 2;
+        lv.ratioLog = std::min(ratio_log, raw_log);
+        lv.bsLog = raw_log - lv.ratioLog;
+        lv.rsLog = log2Exact(w) - lv.lbw + lv.bsLog; // blocks/row * bs
+        uint64_t bytes = (static_cast<uint64_t>(w) * h *
+                          kBytesPerTexel) >>
+                         lv.ratioLog;
+        if (bytes == 0)
+            bytes = 1;
+        lv.base = space.allocate(bytes);
+        if (l == 0)
+            first = lv.base;
+        levels_.push_back(lv);
+    }
+    footprint_ = space.used() - first;
+}
+
+unsigned
+CompressedBlockedLayout::addresses(const TexelTouch &t, Addr out[3]) const
+{
+    const Level &lv = levels_[t.level];
+    uint64_t bx = t.u >> lv.lbw;
+    uint64_t by = t.v >> lv.lbh;
+    uint64_t sx = t.u & ((1u << lv.lbw) - 1);
+    uint64_t sy = t.v & ((1u << lv.lbh) - 1);
+    // Intra-block texel offset, scaled down to the compressed image.
+    uint64_t sub = ((sy << (lv.lbw + 2)) + (sx << 2)) >> lv.ratioLog;
+    out[0] = lv.base + (by << lv.rsLog) + (bx << lv.bsLog) + sub;
+    return 1;
+}
+
+std::string
+CompressedBlockedLayout::name() const
+{
+    return "compressed-" + std::to_string(blockW_) + "x" +
+           std::to_string(blockH_) + "@" + std::to_string(ratio_) +
+           ":1";
+}
+
+} // namespace texcache

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-rate compressed blocked texture representation.
+ *
+ * The paper's future-work section (8) points at rendering directly
+ * from compressed textures (Beers, Agrawala & Chaddha, SIGGRAPH'96)
+ * and asks how compression interacts with a texture cache. This layout
+ * models the arrangement those systems use: each bw x bh texel block
+ * is compressed at a fixed rate (e.g. 8:1 vector quantization) and the
+ * *compressed* blocks are what live in memory and in the cache;
+ * decompression happens between the cache and the filter.
+ *
+ * A texel access therefore touches one byte-range inside its block's
+ * compressed image. Texel->address mapping is deliberately *not*
+ * injective (ratio texels share each compressed byte) - that is the
+ * point: one cache line now covers `ratio` times more texture area, so
+ * both the working set and the fetched bytes shrink.
+ */
+
+#ifndef TEXCACHE_LAYOUT_COMPRESSED_HH
+#define TEXCACHE_LAYOUT_COMPRESSED_HH
+
+#include "layout/layout.hh"
+
+namespace texcache {
+
+/** Blocked layout over fixed-rate compressed blocks. */
+class CompressedBlockedLayout : public TextureLayout
+{
+  public:
+    /**
+     * @param ratio fixed compression ratio (texel bytes : stored
+     *              bytes); must be a power of two and divide the block
+     *              byte size.
+     */
+    CompressedBlockedLayout(const std::vector<LevelDims> &d,
+                            AddressSpace &space, unsigned block_w,
+                            unsigned block_h, unsigned ratio);
+
+    unsigned addresses(const TexelTouch &t, Addr out[3]) const override;
+    std::string name() const override;
+
+    AddressingCost
+    cost() const override
+    {
+        // Blocked addressing plus one constant shift to scale the
+        // intra-block offset down by the compression ratio.
+        return {/*adds=*/4, /*shifts=*/1, /*constShifts=*/5, /*ands=*/2,
+                /*accessesPerTexel=*/1};
+    }
+
+    unsigned ratio() const { return ratio_; }
+
+  private:
+    struct Level
+    {
+        Addr base;
+        unsigned lbw;
+        unsigned lbh;
+        unsigned bsLog;    ///< log2(compressed block bytes)
+        unsigned rsLog;    ///< log2(compressed row-of-blocks stride)
+        unsigned ratioLog; ///< log2(effective ratio at this level)
+    };
+    std::vector<Level> levels_;
+    unsigned blockW_;
+    unsigned blockH_;
+    unsigned ratio_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_LAYOUT_COMPRESSED_HH

@@ -1,0 +1,66 @@
+#include "layout/layout.hh"
+
+#include "layout/blocked.hh"
+#include "layout/compressed.hh"
+#include "layout/nonblocked.hh"
+#include "layout/williams.hh"
+
+namespace texcache {
+
+std::vector<LevelDims>
+levelDims(const MipMap &mip)
+{
+    std::vector<LevelDims> d;
+    d.reserve(mip.numLevels());
+    for (unsigned l = 0; l < mip.numLevels(); ++l)
+        d.push_back({mip.width(l), mip.height(l)});
+    return d;
+}
+
+const char *
+layoutKindName(LayoutKind kind)
+{
+    switch (kind) {
+      case LayoutKind::Williams:
+        return "williams";
+      case LayoutKind::Nonblocked:
+        return "nonblocked";
+      case LayoutKind::Blocked:
+        return "blocked";
+      case LayoutKind::PaddedBlocked:
+        return "padded";
+      case LayoutKind::Blocked6D:
+        return "blocked6d";
+      case LayoutKind::CompressedBlocked:
+        return "compressed";
+    }
+    panic("unknown layout kind");
+}
+
+std::unique_ptr<TextureLayout>
+makeLayout(const LayoutParams &params, const std::vector<LevelDims> &d,
+           AddressSpace &space)
+{
+    switch (params.kind) {
+      case LayoutKind::Williams:
+        return std::make_unique<WilliamsLayout>(d, space);
+      case LayoutKind::Nonblocked:
+        return std::make_unique<NonblockedLayout>(d, space);
+      case LayoutKind::Blocked:
+        return std::make_unique<BlockedLayout>(d, space, params.blockW,
+                                               params.blockH);
+      case LayoutKind::PaddedBlocked:
+        return std::make_unique<PaddedBlockedLayout>(
+            d, space, params.blockW, params.blockH, params.padBlocks);
+      case LayoutKind::Blocked6D:
+        return std::make_unique<Blocked6DLayout>(
+            d, space, params.blockW, params.blockH, params.coarseBytes);
+      case LayoutKind::CompressedBlocked:
+        return std::make_unique<CompressedBlockedLayout>(
+            d, space, params.blockW, params.blockH,
+            params.compressionRatio);
+    }
+    panic("unknown layout kind");
+}
+
+} // namespace texcache

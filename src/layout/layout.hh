@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Texture memory representations (the paper's sections 5 and 6.2).
+ *
+ * A TextureLayout maps a texel coordinate (level, u, v) of one mip-mapped
+ * texture to the byte address(es) the hardware would read. Five
+ * representations are implemented:
+ *
+ *  - WilliamsLayout       Fig 5.1(a): component planes in one quadtree
+ *                         arrangement; three 1-byte accesses per texel.
+ *  - NonblockedLayout     Fig 5.1(b): the base representation; one
+ *                         row-major 2-D RGBA array per level.
+ *  - BlockedLayout        section 5.3: 4-D arrays of bw x bh texel blocks.
+ *  - PaddedBlockedLayout  section 6.2 / Fig 6.3(a): blocked plus pad
+ *                         blocks at the end of each block row.
+ *  - Blocked6DLayout      section 6.2 / Fig 6.3(b): two-level blocking
+ *                         (texels in blocks, blocks in cache-sized
+ *                         super-blocks).
+ */
+
+#ifndef TEXCACHE_LAYOUT_LAYOUT_HH
+#define TEXCACHE_LAYOUT_LAYOUT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "layout/address_space.hh"
+#include "texture/mipmap.hh"
+#include "texture/sampler.hh"
+
+namespace texcache {
+
+/** Dimensions of each level of a pyramid (layouts never need pixels). */
+struct LevelDims
+{
+    unsigned w;
+    unsigned h;
+};
+
+/** Extract per-level dimensions from a mip map. */
+std::vector<LevelDims> levelDims(const MipMap &mip);
+
+/** Per-texel addressing cost of a representation (paper Table 2.1 and
+ *  sections 5.2.1 / 5.3.1 / 6.2). Shift-by-constant operations are
+ *  counted separately from general shifts as the paper does. */
+struct AddressingCost
+{
+    unsigned adds = 0;
+    unsigned shifts = 0;       ///< variable-amount shifts
+    unsigned constShifts = 0;  ///< fixed-amount shifts (wiring in HW)
+    unsigned ands = 0;         ///< bit-field masks
+    unsigned accessesPerTexel = 1;
+};
+
+/**
+ * Maps texel coordinates of one texture to simulated memory addresses.
+ *
+ * Subclasses place the pyramid in an AddressSpace at construction and
+ * then serve address queries. All power-of-two assumptions of the paper
+ * (texture, block and pad dimensions) are checked at construction.
+ */
+class TextureLayout
+{
+  public:
+    virtual ~TextureLayout() = default;
+
+    /**
+     * Compute the memory addresses read for one texel touch.
+     *
+     * @param t     texel coordinate (level, u, v); must be in range.
+     * @param out   receives 1..3 byte addresses.
+     * @return number of addresses written (3 for Williams, else 1).
+     */
+    virtual unsigned addresses(const TexelTouch &t, Addr out[3]) const = 0;
+
+    /** Human-readable name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Static per-texel addressing cost of this representation. */
+    virtual AddressingCost cost() const = 0;
+
+    /** Total bytes this texture occupies under this representation. */
+    uint64_t footprint() const { return footprint_; }
+
+    /** Number of pyramid levels. */
+    unsigned numLevels() const
+    {
+        return static_cast<unsigned>(dims_.size());
+    }
+
+    /** Dimensions of level @p l. */
+    LevelDims
+    dims(unsigned l) const
+    {
+        panic_if(l >= dims_.size(), "level ", l, " out of range");
+        return dims_[l];
+    }
+
+  protected:
+    explicit TextureLayout(std::vector<LevelDims> dims)
+        : dims_(std::move(dims))
+    {
+        fatal_if(dims_.empty(), "layout with no levels");
+        for (const LevelDims &d : dims_) {
+            fatal_if(!isPowerOfTwo(d.w) || !isPowerOfTwo(d.h),
+                     "texture level ", d.w, "x", d.h,
+                     " is not power-of-two");
+        }
+    }
+
+    std::vector<LevelDims> dims_;
+    uint64_t footprint_ = 0;
+};
+
+/** Which representation to build. */
+enum class LayoutKind
+{
+    Williams,
+    Nonblocked,
+    Blocked,
+    PaddedBlocked,
+    Blocked6D,
+    CompressedBlocked, ///< extension: fixed-rate compressed blocks
+};
+
+/** Parameters shared by the blocked family. */
+struct LayoutParams
+{
+    LayoutKind kind = LayoutKind::Nonblocked;
+    unsigned blockW = 4;      ///< block width in texels (power of two)
+    unsigned blockH = 4;      ///< block height in texels (power of two)
+    unsigned padBlocks = 4;   ///< pad blocks per block row (power of two)
+    uint64_t coarseBytes = 32 * 1024; ///< 6-D super-block budget (bytes)
+    unsigned compressionRatio = 8;    ///< compressed layout rate (N:1)
+    /** Allocation alignment for each texture array (power of two).
+     *  The default mimics page-aligned mallocs; because texture bases
+     *  then share low address bits, it is the worst case for
+     *  inter-texture cache conflicts. */
+    uint64_t baseAlign = 4096;
+};
+
+/** Short display name for a layout kind. */
+const char *layoutKindName(LayoutKind kind);
+
+/**
+ * Build a layout for a texture with the given level dimensions, placing
+ * it in @p space.
+ */
+std::unique_ptr<TextureLayout> makeLayout(const LayoutParams &params,
+                                          const std::vector<LevelDims> &d,
+                                          AddressSpace &space);
+
+} // namespace texcache
+
+#endif // TEXCACHE_LAYOUT_LAYOUT_HH

@@ -1,0 +1,30 @@
+#include "layout/nonblocked.hh"
+
+namespace texcache {
+
+NonblockedLayout::NonblockedLayout(const std::vector<LevelDims> &d,
+                                   AddressSpace &space)
+    : TextureLayout(d)
+{
+    Addr first = 0;
+    for (size_t l = 0; l < dims_.size(); ++l) {
+        uint64_t bytes = static_cast<uint64_t>(dims_[l].w) * dims_[l].h *
+                         kBytesPerTexel;
+        Addr base = space.allocate(bytes);
+        if (l == 0)
+            first = base;
+        levels_.push_back({base, log2Exact(dims_[l].w)});
+    }
+    footprint_ = space.used() - first;
+}
+
+unsigned
+NonblockedLayout::addresses(const TexelTouch &t, Addr out[3]) const
+{
+    const Level &lv = levels_[t.level];
+    uint64_t texel_index = (static_cast<uint64_t>(t.v) << lv.lw) + t.u;
+    out[0] = lv.base + (texel_index << 2);
+    return 1;
+}
+
+} // namespace texcache

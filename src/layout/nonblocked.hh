@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The base nonblocked representation (paper Fig 5.1(b), section 5.2).
+ *
+ * RGBA components are stored contiguously (4 bytes per texel) and each
+ * pyramid level is its own row-major 2-D array. Addressing is the
+ * paper's: Texel address = base + (tv << lw) + tu, in texel units,
+ * scaled by 4 bytes.
+ */
+
+#ifndef TEXCACHE_LAYOUT_NONBLOCKED_HH
+#define TEXCACHE_LAYOUT_NONBLOCKED_HH
+
+#include "layout/layout.hh"
+
+namespace texcache {
+
+/** Row-major per-level RGBA arrays; the study's base representation. */
+class NonblockedLayout : public TextureLayout
+{
+  public:
+    NonblockedLayout(const std::vector<LevelDims> &d, AddressSpace &space);
+
+    unsigned addresses(const TexelTouch &t, Addr out[3]) const override;
+    std::string name() const override { return "nonblocked"; }
+
+    AddressingCost
+    cost() const override
+    {
+        // base + (tv << lw) + tu, then << 2 for the 4-byte texel.
+        return {/*adds=*/2, /*shifts=*/1, /*constShifts=*/1, /*ands=*/0,
+                /*accessesPerTexel=*/1};
+    }
+
+  private:
+    struct Level
+    {
+        Addr base;
+        unsigned lw; ///< log2(width in texels)
+    };
+    std::vector<Level> levels_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_LAYOUT_NONBLOCKED_HH

@@ -1,0 +1,39 @@
+#include "layout/williams.hh"
+
+namespace texcache {
+
+WilliamsLayout::WilliamsLayout(const std::vector<LevelDims> &d,
+                               AddressSpace &space)
+    : TextureLayout(d)
+{
+    // The quadrant nesting of the 1983 scheme is only well defined for
+    // square images: once one dimension of a non-square pyramid clamps
+    // at 1, a coarser level's component plane would overlap its
+    // predecessor's.
+    fatal_if(dims_[0].w != dims_[0].h,
+             "Williams layout requires square textures, got ",
+             dims_[0].w, "x", dims_[0].h);
+    uint64_t w2 = 2ULL * dims_[0].w;
+    uint64_t h2 = 2ULL * dims_[0].h;
+    footprint_ = w2 * h2; // one byte per component cell
+    base_ = space.allocate(footprint_);
+    strideLog_ = log2Exact(w2);
+}
+
+unsigned
+WilliamsLayout::addresses(const TexelTouch &t, Addr out[3]) const
+{
+    const LevelDims &lv = dims_[t.level];
+    // Component-plane origins within the arrangement: R right of the
+    // level's quadrant, G below it, B diagonal. (ox, oy) per component:
+    uint64_t stride = 1ULL << strideLog_;
+    uint64_t rx = lv.w + t.u, ry = t.v;          // R: (w_l, 0)
+    uint64_t gx = t.u, gy = lv.h + t.v;          // G: (0, h_l)
+    uint64_t bx = lv.w + t.u, by = lv.h + t.v;   // B: (w_l, h_l)
+    out[0] = base_ + ry * stride + rx;
+    out[1] = base_ + gy * stride + gx;
+    out[2] = base_ + by * stride + bx;
+    return 3;
+}
+
+} // namespace texcache

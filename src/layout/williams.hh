@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Williams' original mip-map memory organization (paper Fig 5.1(a),
+ * Pyramidal Parametrics 1983).
+ *
+ * Red, green and blue component planes of every level share one
+ * 2W x 2H byte array: level l's R plane sits at (w_l, 0), G at (0, h_l)
+ * and B at (w_l, h_l), where (w_l, h_l) are level l's dimensions, so each
+ * coarser level nests into the upper-left quadrant of its predecessor.
+ *
+ * From a caching perspective this representation needs *three* memory
+ * accesses per texel (one per component plane) and the planes are
+ * separated by power-of-two offsets, which is exactly the pathology the
+ * paper calls out in section 5.1.
+ */
+
+#ifndef TEXCACHE_LAYOUT_WILLIAMS_HH
+#define TEXCACHE_LAYOUT_WILLIAMS_HH
+
+#include "layout/layout.hh"
+
+namespace texcache {
+
+/** Component-plane quadtree arrangement; 3 accesses per texel. */
+class WilliamsLayout : public TextureLayout
+{
+  public:
+    WilliamsLayout(const std::vector<LevelDims> &d, AddressSpace &space);
+
+    unsigned addresses(const TexelTouch &t, Addr out[3]) const override;
+    std::string name() const override { return "williams"; }
+
+    AddressingCost
+    cost() const override
+    {
+        // Per component: base + ((oy + tv) << stride_log) + ox + tu.
+        // Three component reads per texel.
+        return {/*adds=*/3, /*shifts=*/1, /*constShifts=*/0, /*ands=*/0,
+                /*accessesPerTexel=*/3};
+    }
+
+  private:
+    Addr base_;
+    unsigned strideLog_; ///< log2 of the arrangement width (2W bytes)
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_LAYOUT_WILLIAMS_HH

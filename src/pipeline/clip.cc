@@ -1,0 +1,49 @@
+#include "pipeline/clip.hh"
+
+namespace texcache {
+
+namespace {
+
+constexpr float kNearEpsilon = 1e-5f;
+
+/** Signed distance to the near plane (positive = visible side). */
+inline float
+nearDist(const ClipVertex &v)
+{
+    return v.pos.z + v.pos.w - kNearEpsilon;
+}
+
+inline ClipVertex
+intersect(const ClipVertex &a, const ClipVertex &b, float da, float db)
+{
+    float t = da / (da - db);
+    ClipVertex r;
+    r.pos = a.pos + (b.pos - a.pos) * t;
+    r.uv = a.uv + (b.uv - a.uv) * t;
+    r.shade = a.shade + (b.shade - a.shade) * t;
+    return r;
+}
+
+} // namespace
+
+unsigned
+clipNear(const ClipVertex in[3], ClipVertex out[4])
+{
+    unsigned n = 0;
+    for (int i = 0; i < 3; ++i) {
+        const ClipVertex &cur = in[i];
+        const ClipVertex &nxt = in[(i + 1) % 3];
+        float dc = nearDist(cur);
+        float dn = nearDist(nxt);
+        if (dc >= 0.0f) {
+            out[n++] = cur;
+            if (dn < 0.0f)
+                out[n++] = intersect(cur, nxt, dc, dn);
+        } else if (dn >= 0.0f) {
+            out[n++] = intersect(cur, nxt, dc, dn);
+        }
+    }
+    return n;
+}
+
+} // namespace texcache

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Near-plane clipping in homogeneous clip space.
+ *
+ * Triangles that cross the eye plane cannot be projected directly
+ * (w changes sign), so they are clipped against z + w >= epsilon with
+ * Sutherland-Hodgman before the perspective divide. Attributes (uv,
+ * shade) interpolate linearly in clip space, which is exact.
+ */
+
+#ifndef TEXCACHE_PIPELINE_CLIP_HH
+#define TEXCACHE_PIPELINE_CLIP_HH
+
+#include "geom/vec.hh"
+
+namespace texcache {
+
+/** A clip-space vertex with its varyings. */
+struct ClipVertex
+{
+    Vec4 pos;  ///< clip coordinates
+    Vec2 uv;
+    float shade = 1.0f;
+};
+
+/**
+ * Clip a triangle against the near plane z + w >= epsilon.
+ *
+ * @param in   three clip-space vertices
+ * @param out  receives 0..4 vertices of the clipped convex polygon
+ * @return number of vertices written to @p out
+ */
+unsigned clipNear(const ClipVertex in[3], ClipVertex out[4]);
+
+} // namespace texcache
+
+#endif // TEXCACHE_PIPELINE_CLIP_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The software graphics pipeline (paper section 4.1, first component).
+ *
+ * Geometry -> near clip -> perspective divide -> viewport -> fragment
+ * generation in the configured rasterization order -> mip-mapped
+ * texturing (every generated fragment is textured) -> depth test ->
+ * framebuffer write. As in the paper's machine model (Fig 2.1), hidden
+ * surface removal happens *after* texturing, so occluded fragments still
+ * produce texture traffic.
+ *
+ * Rendering produces the frame image, the texel-coordinate trace, and
+ * the per-scene statistics used by Tables 2.1 and 4.1.
+ */
+
+#ifndef TEXCACHE_PIPELINE_RENDERER_HH
+#define TEXCACHE_PIPELINE_RENDERER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "img/image.hh"
+#include "pipeline/scene_types.hh"
+#include "raster/rasterizer.hh"
+#include "trace/texel_trace.hh"
+#include "trace/trace_stats.hh"
+
+namespace texcache {
+
+/** Per-frame pipeline statistics (Table 4.1 inputs). */
+struct RenderStats
+{
+    uint64_t trianglesIn = 0;
+    uint64_t trianglesculled = 0;     ///< rejected by near clip
+    uint64_t trianglesRasterized = 0; ///< post-clip screen triangles
+    uint64_t fragments = 0;           ///< textured pixels (with overdraw)
+    uint64_t texelAccesses = 0;
+    uint64_t bilinearFragments = 0;   ///< single-level bilinear
+    uint64_t trilinearFragments = 0;
+    uint64_t nearestFragments = 0;    ///< nearest-filter (extension)
+
+    double sumCoveredArea = 0.0; ///< covered pixels per *input* triangle
+    double sumBoxWidth = 0.0;    ///< screen bbox dims of drawn triangles
+    double sumBoxHeight = 0.0;
+    uint64_t boxSamples = 0;
+
+    double avgTriangleArea() const
+    {
+        return trianglesIn ? sumCoveredArea / trianglesIn : 0.0;
+    }
+    double avgTriangleWidth() const
+    {
+        return boxSamples ? sumBoxWidth / boxSamples : 0.0;
+    }
+    double avgTriangleHeight() const
+    {
+        return boxSamples ? sumBoxHeight / boxSamples : 0.0;
+    }
+};
+
+/** Everything a frame render produces. */
+struct RenderOutput
+{
+    Image framebuffer;
+    TexelTrace trace;
+    RepetitionCounter repetition;
+    RenderStats stats;
+};
+
+/** Options controlling what the render captures and how it filters. */
+struct RenderOptions
+{
+    bool captureTrace = true;   ///< record the texel trace
+    bool writeFramebuffer = true; ///< produce the color image
+    bool countRepetition = true;  ///< feed the RepetitionCounter
+    /** Minification filter; the paper's studies all use Trilinear. */
+    FilterMode filterMode = FilterMode::Trilinear;
+    /**
+     * Optional per-fragment hook invoked with the fragment (screen
+     * position, attributes), its filtered sample (texel touches) and
+     * the texture it sampled. Used by consumers that need screen
+     * positions alongside texel accesses, e.g. the multi-generator
+     * simulation (core/parallel.hh).
+     */
+    std::function<void(const Fragment &, const SampleResult &,
+                       uint16_t texture)>
+        onFragment;
+};
+
+/**
+ * Render one frame of @p scene with the given rasterization order.
+ */
+RenderOutput render(const Scene &scene, const RasterOrder &order,
+                    const RenderOptions &opts = RenderOptions{});
+
+} // namespace texcache
+
+#endif // TEXCACHE_PIPELINE_RENDERER_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Scene description consumed by the software pipeline: textured
+ * triangles in submission order, a camera, and mip-mapped textures.
+ *
+ * Triangles are rendered in exactly the order they appear (the paper
+ * notes the triangles are rasterized in the order specified in the
+ * input, which its runlength measurements depend on).
+ */
+
+#ifndef TEXCACHE_PIPELINE_SCENE_TYPES_HH
+#define TEXCACHE_PIPELINE_SCENE_TYPES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/mat4.hh"
+#include "geom/vec.hh"
+#include "texture/mipmap.hh"
+
+namespace texcache {
+
+/** A vertex with object-space position and texture coordinates. */
+struct SceneVertex
+{
+    Vec3 pos;
+    Vec2 uv;     ///< may exceed [0,1]; wraps via GL_REPEAT
+    float shade = 1.0f; ///< precomputed scalar lighting
+};
+
+/** One textured triangle. */
+struct SceneTriangle
+{
+    SceneVertex v[3];
+    uint16_t texture = 0; ///< index into Scene::textures
+};
+
+/** A complete single-frame benchmark scene. */
+struct Scene
+{
+    std::string name;
+    unsigned screenW = 640;
+    unsigned screenH = 480;
+    Mat4 view = Mat4::identity();
+    Mat4 proj = Mat4::identity();
+    std::vector<MipMap> textures;
+    std::vector<SceneTriangle> triangles;
+
+    /** Total mip-mapped texture storage in bytes (Table 4.1 column). */
+    uint64_t
+    textureStorageBytes() const
+    {
+        uint64_t total = 0;
+        for (const MipMap &m : textures)
+            total += m.storageBytes();
+        return total;
+    }
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_PIPELINE_SCENE_TYPES_HH

@@ -1,0 +1,54 @@
+#include "raster/hilbert.hh"
+
+namespace texcache {
+
+// Classic iterative rotate-and-fold conversion (Hilbert 1891 via the
+// well-known Wikipedia/Warren formulation).
+
+uint64_t
+hilbertIndex(unsigned k, uint32_t x, uint32_t y)
+{
+    uint64_t n = 1ULL << k;
+    uint64_t rx, ry, d = 0;
+    for (uint64_t s = n / 2; s > 0; s /= 2) {
+        rx = (x & s) > 0 ? 1 : 0;
+        ry = (y & s) > 0 ? 1 : 0;
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the quadrant (over the full n x n grid).
+        if (ry == 0) {
+            if (rx == 1) {
+                x = static_cast<uint32_t>(n - 1 - x);
+                y = static_cast<uint32_t>(n - 1 - y);
+            }
+            uint32_t t = x;
+            x = y;
+            y = t;
+        }
+    }
+    return d;
+}
+
+void
+hilbertPoint(unsigned k, uint64_t d, uint32_t &x, uint32_t &y)
+{
+    uint64_t rx, ry, t = d;
+    x = y = 0;
+    for (uint64_t s = 1; s < (1ULL << k); s *= 2) {
+        rx = 1 & (t / 2);
+        ry = 1 & (t ^ rx);
+        if (ry == 0) {
+            if (rx == 1) {
+                x = static_cast<uint32_t>(s - 1 - x);
+                y = static_cast<uint32_t>(s - 1 - y);
+            }
+            uint32_t tmp = x;
+            x = y;
+            y = tmp;
+        }
+        x += static_cast<uint32_t>(s * rx);
+        y += static_cast<uint32_t>(s * ry);
+        t /= 4;
+    }
+}
+
+} // namespace texcache

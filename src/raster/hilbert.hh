@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Peano-Hilbert curve indexing for screen traversal.
+ *
+ * Footnote 1 of the paper: "The screen rasterization path that would
+ * lead to the smallest working set would follow a Peano-Hilbert order
+ * since this would traverse a region of the texture in a spatially
+ * contiguous manner." This header provides the curve index so the
+ * rasterizer can offer that traversal as an (extension) order, and the
+ * ablation bench can quantify the footnote.
+ */
+
+#ifndef TEXCACHE_RASTER_HILBERT_HH
+#define TEXCACHE_RASTER_HILBERT_HH
+
+#include <cstdint>
+
+namespace texcache {
+
+/**
+ * Distance of cell (x, y) along the Hilbert curve over a 2^k x 2^k
+ * grid.
+ *
+ * @param k    curve order; the grid must contain all queried points.
+ * @param x, y cell coordinates in [0, 2^k).
+ */
+uint64_t hilbertIndex(unsigned k, uint32_t x, uint32_t y);
+
+/** Inverse of hilbertIndex: the (x, y) cell at distance @p d. */
+void hilbertPoint(unsigned k, uint64_t d, uint32_t &x, uint32_t &y);
+
+} // namespace texcache
+
+#endif // TEXCACHE_RASTER_HILBERT_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Rasterizer data types: screen-space vertices, fragments and the
+ * traversal-order configuration (paper section 6).
+ */
+
+#ifndef TEXCACHE_RASTER_RASTER_TYPES_HH
+#define TEXCACHE_RASTER_RASTER_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace texcache {
+
+/**
+ * A vertex after projection and viewport transform, carrying the
+ * perspective-correct interpolants (attribute / w and 1 / w).
+ */
+struct ScreenVertex
+{
+    float x = 0.0f;      ///< window x (pixel centers at integer + 0.5)
+    float y = 0.0f;      ///< window y
+    float z = 0.0f;      ///< depth in [0, 1]
+    float invW = 1.0f;   ///< 1 / clip-space w
+    float uOverW = 0.0f; ///< texture u / w
+    float vOverW = 0.0f; ///< texture v / w
+    float shade = 1.0f;  ///< scalar shading intensity (flat-ish lighting)
+};
+
+/** One covered pixel with perspective-correct attributes. */
+struct Fragment
+{
+    int x = 0;
+    int y = 0;
+    float depth = 0.0f;
+    float u = 0.0f; ///< normalized texture coordinate
+    float v = 0.0f;
+    float dudx = 0.0f; ///< screen-space derivatives of (u, v)
+    float dvdx = 0.0f;
+    float dudy = 0.0f;
+    float dvdy = 0.0f;
+    float shade = 1.0f;
+};
+
+/** Scan direction of the rasterizer (paper section 5.2.3). */
+enum class ScanDirection : uint8_t
+{
+    Horizontal, ///< row-major: x varies fastest
+    Vertical,   ///< column-major: y varies fastest
+};
+
+/** Pixel traversal order: direction plus optional screen tiling.
+ *
+ *  The Peano-Hilbert order (an extension; paper footnote 1) traverses
+ *  pixels along the Hilbert curve over the screen, the path the paper
+ *  identifies as working-set optimal. It supersedes dir/tiling when
+ *  set.
+ */
+struct RasterOrder
+{
+    ScanDirection dir = ScanDirection::Horizontal;
+    bool tiled = false;
+    unsigned tileW = 8; ///< tile width in pixels (power of two)
+    unsigned tileH = 8;
+    bool hilbert = false;
+
+    static RasterOrder
+    horizontal()
+    {
+        return {ScanDirection::Horizontal, false, 0, 0};
+    }
+
+    static RasterOrder
+    vertical()
+    {
+        return {ScanDirection::Vertical, false, 0, 0};
+    }
+
+    static RasterOrder
+    tiledOrder(unsigned tw, unsigned th,
+               ScanDirection d = ScanDirection::Horizontal)
+    {
+        return {d, true, tw, th, false};
+    }
+
+    static RasterOrder
+    hilbertOrder()
+    {
+        RasterOrder o;
+        o.hilbert = true;
+        return o;
+    }
+
+    /** Display string like "horizontal" or "tiled-8x8-vertical". */
+    std::string str() const;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_RASTER_RASTER_TYPES_HH

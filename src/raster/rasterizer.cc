@@ -1,0 +1,132 @@
+#include "raster/rasterizer.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "raster/hilbert.hh"
+
+namespace texcache {
+
+namespace {
+
+/** Visit one (possibly partial) tile's pixels in scan order. */
+void
+visitSpan(int x0, int y0, int x1, int y1, ScanDirection dir,
+          const std::function<void(int, int)> &visit)
+{
+    if (dir == ScanDirection::Horizontal) {
+        for (int y = y0; y <= y1; ++y)
+            for (int x = x0; x <= x1; ++x)
+                visit(x, y);
+    } else {
+        for (int x = x0; x <= x1; ++x)
+            for (int y = y0; y <= y1; ++y)
+                visit(x, y);
+    }
+}
+
+} // namespace
+
+namespace {
+
+/** Visit the rect's pixels along the screen's Hilbert curve. */
+void
+visitHilbert(const PixelRect &rect,
+             const std::function<void(int, int)> &visit)
+{
+    // Fixed curve order covering any screen used in the study (2048^2).
+    constexpr unsigned kOrder = 11;
+    std::vector<std::pair<uint64_t, std::pair<int, int>>> cells;
+    cells.reserve(static_cast<size_t>(rect.x1 - rect.x0 + 1) *
+                  (rect.y1 - rect.y0 + 1));
+    for (int y = rect.y0; y <= rect.y1; ++y)
+        for (int x = rect.x0; x <= rect.x1; ++x)
+            cells.emplace_back(
+                hilbertIndex(kOrder, static_cast<uint32_t>(x),
+                             static_cast<uint32_t>(y)),
+                std::make_pair(x, y));
+    std::sort(cells.begin(), cells.end());
+    for (const auto &c : cells)
+        visit(c.second.first, c.second.second);
+}
+
+} // namespace
+
+void
+traverseRect(const PixelRect &rect, const RasterOrder &order,
+             const std::function<void(int, int)> &visit)
+{
+    if (rect.empty())
+        return;
+
+    if (order.hilbert) {
+        visitHilbert(rect, visit);
+        return;
+    }
+
+    if (!order.tiled) {
+        visitSpan(rect.x0, rect.y0, rect.x1, rect.y1, order.dir, visit);
+        return;
+    }
+
+    fatal_if(order.tileW == 0 || order.tileH == 0,
+             "tiled order with zero tile dimensions");
+    int tw = static_cast<int>(order.tileW);
+    int th = static_cast<int>(order.tileH);
+
+    // Screen-aligned tile indices covering the rect.
+    int tx0 = rect.x0 / tw, tx1 = rect.x1 / tw;
+    int ty0 = rect.y0 / th, ty1 = rect.y1 / th;
+
+    auto tile = [&](int tx, int ty) {
+        int x0 = std::max(rect.x0, tx * tw);
+        int x1 = std::min(rect.x1, tx * tw + tw - 1);
+        int y0 = std::max(rect.y0, ty * th);
+        int y1 = std::min(rect.y1, ty * th + th - 1);
+        visitSpan(x0, y0, x1, y1, order.dir, visit);
+    };
+
+    // The scan direction also orders the tiles themselves
+    // (Fig 6.4(a): "column major order within and between tiles").
+    if (order.dir == ScanDirection::Horizontal) {
+        for (int ty = ty0; ty <= ty1; ++ty)
+            for (int tx = tx0; tx <= tx1; ++tx)
+                tile(tx, ty);
+    } else {
+        for (int tx = tx0; tx <= tx1; ++tx)
+            for (int ty = ty0; ty <= ty1; ++ty)
+                tile(tx, ty);
+    }
+}
+
+void
+rasterizeTriangle(const TriangleSetup &tri, unsigned screen_w,
+                  unsigned screen_h, const RasterOrder &order,
+                  const FragmentSink &sink)
+{
+    if (!tri.valid())
+        return;
+    PixelRect box = tri.bounds(screen_w, screen_h);
+    Fragment frag;
+    traverseRect(box, order, [&](int x, int y) {
+        if (tri.shade(x, y, frag))
+            sink(frag);
+    });
+}
+
+std::string
+RasterOrder::str() const
+{
+    if (hilbert)
+        return "hilbert";
+    std::string d = dir == ScanDirection::Horizontal ? "horizontal"
+                                                     : "vertical";
+    if (!tiled)
+        return d;
+    return "tiled-" + std::to_string(tileW) + "x" + std::to_string(tileH) +
+           "-" + d;
+}
+
+} // namespace texcache

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Pixel traversal and fragment generation (paper sections 2 and 6).
+ *
+ * The rasterization order determines the texture access pattern and is
+ * one of the paper's three key levers. Supported orders:
+ *
+ *  - horizontal (row major): the classic scanline order (Fig 6.1(a));
+ *  - vertical (column major): used to demonstrate the base
+ *    representation's orientation sensitivity (Fig 5.2(b));
+ *  - tiled: the screen is statically decomposed into tiles and each
+ *    triangle's pixels are visited tile by tile (Fig 6.1(b)); the scan
+ *    direction applies both within tiles and to the tile order.
+ */
+
+#ifndef TEXCACHE_RASTER_RASTERIZER_HH
+#define TEXCACHE_RASTER_RASTERIZER_HH
+
+#include <functional>
+
+#include "raster/triangle.hh"
+
+namespace texcache {
+
+/** Receives each covered fragment in traversal order. */
+using FragmentSink = std::function<void(const Fragment &)>;
+
+/**
+ * Rasterize one prepared triangle over a screen of the given size,
+ * visiting pixels in the configured order and invoking @p sink for each
+ * covered pixel.
+ */
+void rasterizeTriangle(const TriangleSetup &tri, unsigned screen_w,
+                       unsigned screen_h, const RasterOrder &order,
+                       const FragmentSink &sink);
+
+/**
+ * Visit all pixels of @p rect in the given order (exposed for tests and
+ * for the working-set discussion in section 6.1). Tiles are aligned to
+ * the screen origin, so @p rect is traversed tile-aligned exactly as a
+ * full-screen traversal would visit it.
+ */
+void traverseRect(const PixelRect &rect, const RasterOrder &order,
+                  const std::function<void(int, int)> &visit);
+
+} // namespace texcache
+
+#endif // TEXCACHE_RASTER_RASTERIZER_HH

@@ -1,0 +1,111 @@
+#include "raster/span_rasterizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace texcache {
+
+namespace {
+
+/**
+ * Conservative pixel interval of one scan row/column from the
+ * triangle's half-planes, then refined to exactness with the same
+ * per-pixel predicate the bounding-box rasterizer uses. Coverage along
+ * a line is an interval (each half-plane condition is monotone in the
+ * running coordinate, even under float rounding), so refining only
+ * the endpoints is sufficient.
+ *
+ * @param horizontal true = fixed y, interval in x; false = fixed x,
+ *                   interval in y
+ * @param fixed      the fixed pixel coordinate
+ * @param lo, hi     in: clamp range; out: exact covered interval
+ * @return false when the line is empty
+ */
+bool
+refineSpan(const TriangleSetup &tri, bool horizontal, int fixed,
+           int &lo, int &hi)
+{
+    float fixed_center = static_cast<float>(fixed) + 0.5f;
+    float f_lo = static_cast<float>(lo);
+    float f_hi = static_cast<float>(hi);
+
+    // Intersect four half-planes (3 edges + positive 1/w) with the
+    // line; each contributes a running-coordinate bound.
+    for (int i = 0; i < 4; ++i) {
+        TriangleSetup::EdgeView e =
+            i < 3 ? tri.edge(i) : tri.invWPlane();
+        float run_coef = horizontal ? e.ex : e.ey;
+        float c = e.e0 +
+                  (horizontal ? e.ey : e.ex) * fixed_center +
+                  run_coef * 0.5f; // value at pixel index 0's center
+        if (run_coef > 0.0f) {
+            f_lo = std::max(f_lo, (-c) / run_coef - 1.0f);
+        } else if (run_coef < 0.0f) {
+            f_hi = std::min(f_hi, (-c) / run_coef + 1.0f);
+        } else if (c < 0.0f || (c == 0.0f && (i == 3 || !e.topLeft))) {
+            return false; // whole line outside this half-plane
+        }
+    }
+    if (f_hi < f_lo - 2.0f)
+        return false;
+
+    lo = std::max(lo, static_cast<int>(std::floor(f_lo)) - 1);
+    hi = std::min(hi, static_cast<int>(std::ceil(f_hi)) + 1);
+
+    auto covered = [&](int run) {
+        return horizontal ? tri.covers(run, fixed)
+                          : tri.covers(fixed, run);
+    };
+    while (lo <= hi && !covered(lo))
+        ++lo;
+    while (hi >= lo && !covered(hi))
+        --hi;
+    return lo <= hi;
+}
+
+} // namespace
+
+bool
+spanOnScanline(const TriangleSetup &tri, int y, int &x_lo, int &x_hi)
+{
+    return refineSpan(tri, /*horizontal=*/true, y, x_lo, x_hi);
+}
+
+void
+rasterizeTriangleSpans(const TriangleSetup &tri, unsigned screen_w,
+                       unsigned screen_h, ScanDirection dir,
+                       const FragmentSink &sink)
+{
+    if (!tri.valid())
+        return;
+    PixelRect box = tri.bounds(screen_w, screen_h);
+    if (box.empty())
+        return;
+
+    Fragment frag;
+    if (dir == ScanDirection::Horizontal) {
+        for (int y = box.y0; y <= box.y1; ++y) {
+            int lo = box.x0, hi = box.x1;
+            if (!refineSpan(tri, true, y, lo, hi))
+                continue;
+            for (int x = lo; x <= hi; ++x) {
+                // Interior pixels need no coverage test: coverage is
+                // an interval and both endpoints were verified.
+                tri.attributesAt(x, y, frag);
+                sink(frag);
+            }
+        }
+    } else {
+        for (int x = box.x0; x <= box.x1; ++x) {
+            int lo = box.y0, hi = box.y1;
+            if (!refineSpan(tri, false, x, lo, hi))
+                continue;
+            for (int y = lo; y <= hi; ++y) {
+                tri.attributesAt(x, y, frag);
+                sink(frag);
+            }
+        }
+    }
+}
+
+} // namespace texcache

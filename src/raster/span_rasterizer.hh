@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Span (scanline) rasterization - the algorithm the paper describes:
+ * "a triangle is rasterized one scan line at a time, where a scan line
+ * consists of either a horizontal or vertical span of pixels".
+ *
+ * For each scanline, the covered pixel interval is computed
+ * analytically from the triangle's three edge half-planes, so interior
+ * pixels are emitted without per-pixel coverage tests (the win of
+ * span rasterization over bounding-box scanning). The interval
+ * endpoints are resolved with the *same* top-left fill rule as
+ * TriangleSetup::shade, so both rasterizers produce bit-identical
+ * fragment sets - a property the differential fuzz tests enforce.
+ */
+
+#ifndef TEXCACHE_RASTER_SPAN_RASTERIZER_HH
+#define TEXCACHE_RASTER_SPAN_RASTERIZER_HH
+
+#include "raster/rasterizer.hh"
+
+namespace texcache {
+
+/**
+ * Rasterize one triangle in spans.
+ *
+ * @param tri      prepared triangle
+ * @param screen_w target width in pixels
+ * @param screen_h target height
+ * @param dir      Horizontal = spans along x (scanlines), Vertical =
+ *                 spans along y (the paper's vertical rasterization)
+ * @param sink     receives each covered fragment in span order
+ */
+void rasterizeTriangleSpans(const TriangleSetup &tri, unsigned screen_w,
+                            unsigned screen_h, ScanDirection dir,
+                            const FragmentSink &sink);
+
+/**
+ * The covered pixel interval of one scanline (exposed for tests).
+ *
+ * @param tri  prepared triangle
+ * @param y    scanline (pixels sampled at y + 0.5)
+ * @param x_lo in/out: clamped inclusive lower bound
+ * @param x_hi in/out: clamped inclusive upper bound
+ * @return false when the scanline is empty
+ */
+bool spanOnScanline(const TriangleSetup &tri, int y, int &x_lo,
+                    int &x_hi);
+
+} // namespace texcache
+
+#endif // TEXCACHE_RASTER_SPAN_RASTERIZER_HH

@@ -1,0 +1,159 @@
+#include "raster/triangle.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace texcache {
+
+TriangleSetup::Plane
+TriangleSetup::fromValues(const ScreenVertex &a, const ScreenVertex &b,
+                          const ScreenVertex &c, float va, float vb,
+                          float vc, float inv_area2)
+{
+    // Solve for the affine function f with f(a) = va, f(b) = vb,
+    // f(c) = vc using the standard cross-product formulation.
+    Plane p;
+    p.ex = (va * (b.y - c.y) + vb * (c.y - a.y) + vc * (a.y - b.y)) *
+           inv_area2;
+    p.ey = (va * (c.x - b.x) + vb * (a.x - c.x) + vc * (b.x - a.x)) *
+           inv_area2;
+    p.e0 = va - p.ex * a.x - p.ey * a.y;
+    return p;
+}
+
+TriangleSetup::TriangleSetup(const ScreenVertex &a0, const ScreenVertex &b0,
+                             const ScreenVertex &c0)
+{
+    ScreenVertex a = a0, b = b0, c = c0;
+    float area2 = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    if (area2 == 0.0f || !std::isfinite(area2)) {
+        valid_ = false;
+        return;
+    }
+    if (area2 < 0.0f) {
+        // Normalize winding so edge functions are positive inside.
+        std::swap(b, c);
+        area2 = -area2;
+    }
+    valid_ = true;
+    area2_ = area2;
+    float inv_area2 = 1.0f / area2;
+
+    minX_ = std::min({a.x, b.x, c.x});
+    maxX_ = std::max({a.x, b.x, c.x});
+    minY_ = std::min({a.y, b.y, c.y});
+    maxY_ = std::max({a.y, b.y, c.y});
+
+    // Edge i runs from vertex (i+1) to vertex (i+2); E >= 0 inside.
+    const ScreenVertex *v[3] = {&a, &b, &c};
+    for (int i = 0; i < 3; ++i) {
+        const ScreenVertex &p = *v[(i + 1) % 3];
+        const ScreenVertex &q = *v[(i + 2) % 3];
+        Plane e;
+        e.ex = p.y - q.y;
+        e.ey = q.x - p.x;
+        e.e0 = p.x * q.y - q.x * p.y;
+        edges_[i] = e;
+        // Top-left rule: edges that are horizontal-going-left ("top") or
+        // any left edge own their boundary pixels.
+        topLeft_[i] = (p.y == q.y && q.x < p.x) || (q.y < p.y);
+    }
+
+    invW_ = fromValues(a, b, c, a.invW, b.invW, c.invW, inv_area2);
+    uOverW_ = fromValues(a, b, c, a.uOverW, b.uOverW, c.uOverW, inv_area2);
+    vOverW_ = fromValues(a, b, c, a.vOverW, b.vOverW, c.vOverW, inv_area2);
+    depth_ = fromValues(a, b, c, a.z, b.z, c.z, inv_area2);
+    shade_ = fromValues(a, b, c, a.shade, b.shade, c.shade, inv_area2);
+}
+
+PixelRect
+TriangleSetup::bounds(unsigned screen_w, unsigned screen_h) const
+{
+    PixelRect r;
+    if (!valid_)
+        return r;
+    r.x0 = std::max(0, static_cast<int>(std::floor(minX_ - 0.5f)));
+    r.y0 = std::max(0, static_cast<int>(std::floor(minY_ - 0.5f)));
+    r.x1 = std::min(static_cast<int>(screen_w) - 1,
+                    static_cast<int>(std::ceil(maxX_ - 0.5f)));
+    r.y1 = std::min(static_cast<int>(screen_h) - 1,
+                    static_cast<int>(std::ceil(maxY_ - 0.5f)));
+    return r;
+}
+
+bool
+TriangleSetup::covers(int x, int y) const
+{
+    if (!valid_)
+        return false;
+    float px = static_cast<float>(x) + 0.5f;
+    float py = static_cast<float>(y) + 0.5f;
+    for (int i = 0; i < 3; ++i) {
+        float e = edges_[i].at(px, py);
+        if (e < 0.0f || (e == 0.0f && !topLeft_[i]))
+            return false;
+    }
+    // Behind the eye; clipping should prevent this.
+    return invW_.at(px, py) > 0.0f;
+}
+
+void
+TriangleSetup::attributesAt(int x, int y, Fragment &frag) const
+{
+    float px = static_cast<float>(x) + 0.5f;
+    float py = static_cast<float>(y) + 0.5f;
+    float iw = invW_.at(px, py);
+    float w = 1.0f / iw;
+    float uw = uOverW_.at(px, py);
+    float vw = vOverW_.at(px, py);
+
+    frag.x = x;
+    frag.y = y;
+    frag.depth = depth_.at(px, py);
+    frag.shade = shade_.at(px, py);
+    frag.u = uw * w;
+    frag.v = vw * w;
+    frag.dudx = (uOverW_.ex - frag.u * invW_.ex) * w;
+    frag.dudy = (uOverW_.ey - frag.u * invW_.ey) * w;
+    frag.dvdx = (vOverW_.ex - frag.v * invW_.ex) * w;
+    frag.dvdy = (vOverW_.ey - frag.v * invW_.ey) * w;
+}
+
+bool
+TriangleSetup::shade(int x, int y, Fragment &frag) const
+{
+    if (!valid_)
+        return false;
+    float px = static_cast<float>(x) + 0.5f;
+    float py = static_cast<float>(y) + 0.5f;
+
+    for (int i = 0; i < 3; ++i) {
+        float e = edges_[i].at(px, py);
+        if (e < 0.0f || (e == 0.0f && !topLeft_[i]))
+            return false;
+    }
+
+    float iw = invW_.at(px, py);
+    if (iw <= 0.0f)
+        return false; // behind the eye; clipping should prevent this
+    float w = 1.0f / iw;
+    float uw = uOverW_.at(px, py);
+    float vw = vOverW_.at(px, py);
+
+    frag.x = x;
+    frag.y = y;
+    frag.depth = depth_.at(px, py);
+    frag.shade = shade_.at(px, py);
+    frag.u = uw * w;
+    frag.v = vw * w;
+
+    // d(u)/dx for u = U(x,y) / W(x,y) (quotient rule); all planes are
+    // affine so their partials are constants.
+    frag.dudx = (uOverW_.ex - frag.u * invW_.ex) * w;
+    frag.dudy = (uOverW_.ey - frag.u * invW_.ey) * w;
+    frag.dvdx = (vOverW_.ex - frag.v * invW_.ex) * w;
+    frag.dvdy = (vOverW_.ey - frag.v * invW_.ey) * w;
+    return true;
+}
+
+} // namespace texcache

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Triangle setup: edge functions and perspective-correct attribute
+ * planes.
+ *
+ * 1/w, u/w, v/w, depth and shade all vary linearly in screen space, so
+ * setup solves one 3x3 system per attribute (expressed via barycentric
+ * edge functions). Per-fragment evaluation then recovers
+ * perspective-correct u, v and their analytic screen-space derivatives,
+ * which feed the mip-map level-of-detail computation.
+ */
+
+#ifndef TEXCACHE_RASTER_TRIANGLE_HH
+#define TEXCACHE_RASTER_TRIANGLE_HH
+
+#include "raster/raster_types.hh"
+
+namespace texcache {
+
+/** Inclusive pixel bounding box. */
+struct PixelRect
+{
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = -1; ///< inclusive; empty when x1 < x0
+    int y1 = -1;
+
+    bool empty() const { return x1 < x0 || y1 < y0; }
+};
+
+/** A triangle ready for traversal. */
+class TriangleSetup
+{
+  public:
+    /**
+     * Prepare a triangle from three screen-space vertices. Degenerate
+     * (zero-area) triangles yield valid() == false and cover nothing.
+     */
+    TriangleSetup(const ScreenVertex &a, const ScreenVertex &b,
+                  const ScreenVertex &c);
+
+    bool valid() const { return valid_; }
+
+    /** Pixel bounding box clipped to a width x height screen. */
+    PixelRect bounds(unsigned screen_w, unsigned screen_h) const;
+
+    /**
+     * Test pixel (x, y) (sampled at its center) against the triangle
+     * with a top-left fill rule, and produce the fragment's attributes
+     * if covered.
+     *
+     * @return true and fills @p frag when the pixel is covered.
+     */
+    bool shade(int x, int y, Fragment &frag) const;
+
+    /** The coverage test of shade() alone (exact, including the
+     *  positive-1/w requirement). */
+    bool covers(int x, int y) const;
+
+    /** Attribute evaluation without the coverage test; only valid for
+     *  pixels covers() accepts (the span rasterizer's interior). */
+    void attributesAt(int x, int y, Fragment &frag) const;
+
+    /** Read-only view of edge i's half-plane (for span setup). */
+    struct EdgeView
+    {
+        float e0, ex, ey;
+        bool topLeft;
+    };
+
+    EdgeView
+    edge(int i) const
+    {
+        return {edges_[i].e0, edges_[i].ex, edges_[i].ey, topLeft_[i]};
+    }
+
+    /** 1/w plane coefficients (for span setup's positivity bound). */
+    EdgeView
+    invWPlane() const
+    {
+        return {invW_.e0, invW_.ex, invW_.ey, false};
+    }
+
+    /** Signed double area in pixels^2 (positive after orientation fix). */
+    float area2() const { return area2_; }
+
+  private:
+    /** An affine screen-space function e0 + ex * x + ey * y. */
+    struct Plane
+    {
+        float e0 = 0.0f;
+        float ex = 0.0f;
+        float ey = 0.0f;
+
+        float
+        at(float x, float y) const
+        {
+            return e0 + ex * x + ey * y;
+        }
+    };
+
+    static Plane fromValues(const ScreenVertex &a, const ScreenVertex &b,
+                            const ScreenVertex &c, float va, float vb,
+                            float vc, float inv_area2);
+
+    bool valid_ = false;
+    float area2_ = 0.0f;
+    float minX_, minY_, maxX_, maxY_;
+
+    // Edge functions; pixel covered when all three >= 0 (with top-left
+    // tie-breaking). Each edge i is opposite vertex i.
+    Plane edges_[3];
+    bool topLeft_[3];
+
+    // Attribute planes (linear in screen space).
+    Plane invW_;
+    Plane uOverW_;
+    Plane vOverW_;
+    Plane depth_;
+    Plane shade_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_RASTER_TRIANGLE_HH

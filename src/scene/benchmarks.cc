@@ -1,0 +1,120 @@
+#include <cmath>
+
+#include "scene/benchmarks.hh"
+
+#include "img/procedural.hh"
+#include "scene/mesh_util.hh"
+
+namespace texcache {
+
+std::vector<BenchScene>
+allBenchScenes()
+{
+    return {BenchScene::Flight, BenchScene::Town, BenchScene::Guitar,
+            BenchScene::Goblet};
+}
+
+const char *
+benchSceneName(BenchScene s)
+{
+    switch (s) {
+      case BenchScene::Flight:
+        return "Flight";
+      case BenchScene::Town:
+        return "Town";
+      case BenchScene::Guitar:
+        return "Guitar";
+      case BenchScene::Goblet:
+        return "Goblet";
+    }
+    panic("unknown scene");
+}
+
+ScanDirection
+paperScanDirection(BenchScene s)
+{
+    // Section 5.2.3: Town is reported with vertical rasterization (its
+    // worst case); the other scenes with horizontal.
+    return s == BenchScene::Town ? ScanDirection::Vertical
+                                 : ScanDirection::Horizontal;
+}
+
+Scene
+makeScene(BenchScene s)
+{
+    switch (s) {
+      case BenchScene::Flight:
+        return makeFlightScene();
+      case BenchScene::Town:
+        return makeTownScene();
+      case BenchScene::Guitar:
+        return makeGuitarScene();
+      case BenchScene::Goblet:
+        return makeGobletScene();
+    }
+    panic("unknown scene");
+}
+
+Scene
+makeQuadTestScene(unsigned tex_size, unsigned screen, float uv_repeat)
+{
+    Scene scene;
+    scene.name = "QuadTest";
+    scene.screenW = screen;
+    scene.screenH = screen;
+    scene.textures.emplace_back(
+        makeChecker(tex_size, 8, Rgba8{220, 220, 220, 255},
+                    Rgba8{40, 40, 80, 255}));
+
+    Vec3 light{0.3f, -1.0f, -0.5f};
+    addQuadPatch(scene, 0, Vec3{-1, -1, 0}, Vec3{1, -1, 0}, Vec3{1, 1, 0},
+                 Vec3{-1, 1, 0}, Vec2{0, 0}, Vec2{uv_repeat, uv_repeat},
+                 1, 1, light);
+
+    scene.view = Mat4::lookAt(Vec3{0, 0, 2.2f}, Vec3{0, 0, 0},
+                              Vec3{0, 1, 0});
+    scene.proj = Mat4::perspective(1.0f, 1.0f, 0.1f, 10.0f);
+    return scene;
+}
+
+Scene
+makeWorstCaseScene(unsigned tex_size, unsigned screen,
+                   float angle_radians)
+{
+    Scene scene;
+    scene.name = "WorstCase";
+    scene.screenW = screen;
+    scene.screenH = screen;
+    scene.textures.emplace_back(
+        makeChecker(tex_size, 16, Rgba8{230, 230, 230, 255},
+                    Rgba8{30, 30, 60, 255}));
+
+    // Head-on quad spanning the viewport exactly; uv scaled so level 0
+    // maps ~1 texel per pixel, rotated by the requested angle.
+    float c = std::cos(angle_radians), s = std::sin(angle_radians);
+    // Clip x spans [-1, 1] = `screen` pixels; one texel per pixel
+    // means the uv span across the quad is screen / tex_size.
+    float scale = static_cast<float>(screen) / (2.0f * tex_size);
+    auto uv_at = [&](float x, float y) {
+        // Rotate screen-aligned coordinates into texture space.
+        return Vec2{scale * (c * x - s * y), scale * (s * x + c * y)};
+    };
+    auto vert = [&](float x, float y) {
+        SceneVertex v;
+        v.pos = {x, y, 0.0f};
+        v.uv = uv_at(x, y);
+        v.shade = 1.0f;
+        return v;
+    };
+    SceneVertex v00 = vert(-1, -1), v10 = vert(1, -1);
+    SceneVertex v11 = vert(1, 1), v01 = vert(-1, 1);
+    scene.triangles.push_back({{v00, v10, v11}, 0});
+    scene.triangles.push_back({{v00, v11, v01}, 0});
+
+    // Orthographic-like view: quad exactly fills the clip volume.
+    scene.view = Mat4::identity();
+    scene.proj = Mat4::identity();
+    return scene;
+}
+
+} // namespace texcache

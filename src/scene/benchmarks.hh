@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The four benchmark scenes of the study (paper section 4.2, Table 4.1).
+ *
+ * The paper captures GL traces of real SGI applications; we rebuild each
+ * scene procedurally to the published characteristics:
+ *
+ *  - Flight: satellite-textured mountainous terrain, 1280x1024, ~9.2k
+ *    triangles, 15 large textures (~56 MB), large level-of-detail
+ *    variation.
+ *  - Town:   many small upright facade textures on flat surfaces,
+ *    1280x1024, ~5.3k triangles, 51 textures (~4.7 MB), repeated
+ *    texture (factor ~2.9).
+ *  - Guitar: large triangles, large non-uniformly oriented textures,
+ *    800x800, ~719 triangles, 8 textures (~4.9 MB).
+ *  - Goblet: one 512x512 texture wrapped around a surface of
+ *    revolution built from small triangles, 800x800, 7200 triangles.
+ *
+ * DESIGN.md section 2 documents this substitution.
+ */
+
+#ifndef TEXCACHE_SCENE_BENCHMARKS_HH
+#define TEXCACHE_SCENE_BENCHMARKS_HH
+
+#include <vector>
+
+#include "pipeline/scene_types.hh"
+#include "raster/raster_types.hh"
+
+namespace texcache {
+
+/** Identifies one of the four paper benchmarks. */
+enum class BenchScene
+{
+    Flight,
+    Town,
+    Guitar,
+    Goblet,
+};
+
+/** All four benchmarks in the paper's reporting order. */
+std::vector<BenchScene> allBenchScenes();
+
+/** Display name ("Flight", ...). */
+const char *benchSceneName(BenchScene s);
+
+/**
+ * The rasterization scan direction the paper reports each scene with
+ * (section 5.2.3): vertical for Town (its worst case), horizontal for
+ * the others.
+ */
+ScanDirection paperScanDirection(BenchScene s);
+
+/** Build a benchmark scene (deterministic; ~1-60 MB of textures). */
+Scene makeScene(BenchScene s);
+
+Scene makeFlightScene();
+
+/**
+ * Flight at a later point of its camera path (frame @p time of an
+ * animation; frame 0 is makeFlightScene). Consecutive frames overlap
+ * heavily in the texture regions they touch, which is the inter-frame
+ * temporal locality the paper notes caches cannot exploit but a large
+ * texture *memory* can (section 3.1.2).
+ */
+Scene makeFlightSceneAt(float time);
+Scene makeTownScene();
+Scene makeGuitarScene();
+Scene makeGobletScene();
+
+/**
+ * A small single-quad test scene: one @p tex_size texture on a unit
+ * quad filling most of a @p screen x @p screen viewport. Used by unit
+ * and integration tests that need cheap but realistic traffic.
+ */
+Scene makeQuadTestScene(unsigned tex_size = 64, unsigned screen = 128,
+                        float uv_repeat = 1.0f);
+
+/**
+ * The worst-case analysis scene of section 5.2.3: one large triangle
+ * pair filling the whole @p screen x @p screen viewport, textured at
+ * ~1 texel per pixel with the texture axes rotated by
+ * @p angle_radians on screen. Sweeping the angle exercises arbitrary
+ * texture-space traversal directions; the paper bounds the resulting
+ * first-level working set by line size x texture diagonal (texture
+ * smaller than screen, wrapped) or line size x screen dimension
+ * (texture larger than screen).
+ */
+Scene makeWorstCaseScene(unsigned tex_size, unsigned screen,
+                         float angle_radians);
+
+} // namespace texcache
+
+#endif // TEXCACHE_SCENE_BENCHMARKS_HH

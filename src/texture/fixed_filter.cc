@@ -1,0 +1,116 @@
+#include "texture/fixed_filter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace texcache {
+
+namespace {
+
+/** 8-bit fractional weight of a sample coordinate. */
+inline unsigned
+weight8(float frac)
+{
+    int w = static_cast<int>(frac * 256.0f + 0.5f);
+    return static_cast<unsigned>(std::clamp(w, 0, 256));
+}
+
+/** The section-7.1.2 core: a + (w * (b - a)) >> 8, per channel. */
+inline Rgba8
+lerpFixed(Rgba8 a, Rgba8 b, unsigned w)
+{
+    auto chan = [w](uint8_t x, uint8_t y) {
+        int d = static_cast<int>(y) - static_cast<int>(x);
+        return static_cast<uint8_t>(
+            static_cast<int>(x) +
+            ((static_cast<int>(w) * d + 128) >> 8));
+    };
+    return {chan(a.r, b.r), chan(a.g, b.g), chan(a.b, b.b),
+            chan(a.a, b.a)};
+}
+
+inline unsigned
+wrapCoord(int coord, unsigned size, WrapMode wrap)
+{
+    if (wrap == WrapMode::Repeat)
+        return static_cast<unsigned>(coord) & (size - 1);
+    if (coord < 0)
+        return 0;
+    if (coord >= static_cast<int>(size))
+        return size - 1;
+    return static_cast<unsigned>(coord);
+}
+
+/** Fixed-point bilinear within one level; appends 4 touches. */
+Rgba8
+bilinearFixed(const MipMap &mip, unsigned level, float u, float v,
+              WrapMode wrap, TexelTouch *touches)
+{
+    const Image &img = mip.level(level);
+    unsigned w = img.width();
+    unsigned h = img.height();
+    float su = u * static_cast<float>(w) - 0.5f;
+    float sv = v * static_cast<float>(h) - 0.5f;
+    int i0 = static_cast<int>(std::floor(su));
+    int j0 = static_cast<int>(std::floor(sv));
+    unsigned wu = weight8(su - static_cast<float>(i0));
+    unsigned wv = weight8(sv - static_cast<float>(j0));
+
+    unsigned u0 = wrapCoord(i0, w, wrap);
+    unsigned u1 = wrapCoord(i0 + 1, w, wrap);
+    unsigned v0 = wrapCoord(j0, h, wrap);
+    unsigned v1 = wrapCoord(j0 + 1, h, wrap);
+
+    touches[0] = {static_cast<uint16_t>(level),
+                  static_cast<uint16_t>(u0),
+                  static_cast<uint16_t>(v0)};
+    touches[1] = {static_cast<uint16_t>(level),
+                  static_cast<uint16_t>(u1),
+                  static_cast<uint16_t>(v0)};
+    touches[2] = {static_cast<uint16_t>(level),
+                  static_cast<uint16_t>(u0),
+                  static_cast<uint16_t>(v1)};
+    touches[3] = {static_cast<uint16_t>(level),
+                  static_cast<uint16_t>(u1),
+                  static_cast<uint16_t>(v1)};
+
+    Rgba8 top = lerpFixed(img.texel(u0, v0), img.texel(u1, v0), wu);
+    Rgba8 bot = lerpFixed(img.texel(u0, v1), img.texel(u1, v1), wu);
+    return lerpFixed(top, bot, wv);
+}
+
+} // namespace
+
+FixedSampleResult
+sampleMipMapFixed(const MipMap &mip, float u, float v, float lambda,
+                  WrapMode wrap)
+{
+    FixedSampleResult res;
+    if (lambda <= 0.0f) {
+        res.kind = FilterKind::Bilinear;
+        res.numTouches = 4;
+        res.color = bilinearFixed(mip, 0, u, v, wrap, res.touches);
+        return res;
+    }
+
+    // Level selection identical to the float path.
+    unsigned max_level = mip.numLevels() - 1;
+    float clamped = std::min(lambda, static_cast<float>(max_level));
+    unsigned lower = static_cast<unsigned>(clamped);
+    if (lower > max_level - (max_level ? 1 : 0) && max_level > 0)
+        lower = max_level - 1;
+    if (max_level == 0)
+        lower = 0;
+    unsigned upper = std::min(lower + 1, max_level);
+    float frac = std::clamp(clamped - static_cast<float>(lower), 0.0f,
+                            1.0f);
+
+    res.kind = FilterKind::Trilinear;
+    res.numTouches = 8;
+    Rgba8 lo = bilinearFixed(mip, lower, u, v, wrap, res.touches);
+    Rgba8 hi = bilinearFixed(mip, upper, u, v, wrap, res.touches + 4);
+    res.color = lerpFixed(lo, hi, weight8(frac));
+    return res;
+}
+
+} // namespace texcache

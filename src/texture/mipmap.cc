@@ -1,0 +1,59 @@
+#include "texture/mipmap.hh"
+
+#include "common/bits.hh"
+
+namespace texcache {
+
+MipMap::MipMap(Image base)
+{
+    fatal_if(base.width() == 0 || base.height() == 0,
+             "mip map base image is empty");
+    fatal_if(!isPowerOfTwo(base.width()) || !isPowerOfTwo(base.height()),
+             "mip map base dimensions ", base.width(), "x", base.height(),
+             " are not powers of two");
+
+    levels_.push_back(std::move(base));
+    while (levels_.back().width() > 1 || levels_.back().height() > 1) {
+        const Image &src = levels_.back();
+        unsigned w = src.width() > 1 ? src.width() / 2 : 1;
+        unsigned h = src.height() > 1 ? src.height() / 2 : 1;
+        Image dst(w, h);
+        for (unsigned y = 0; y < h; ++y) {
+            for (unsigned x = 0; x < w; ++x) {
+                // 2x2 box filter; when a dimension has clamped at 1 the
+                // second sample coordinate folds back onto the first.
+                unsigned x0 = src.width() > 1 ? 2 * x : x;
+                unsigned y0 = src.height() > 1 ? 2 * y : y;
+                unsigned x1 = src.width() > 1 ? x0 + 1 : x0;
+                unsigned y1 = src.height() > 1 ? y0 + 1 : y0;
+                const Rgba8 &p00 = src.texel(x0, y0);
+                const Rgba8 &p10 = src.texel(x1, y0);
+                const Rgba8 &p01 = src.texel(x0, y1);
+                const Rgba8 &p11 = src.texel(x1, y1);
+                dst.texel(x, y) = {
+                    static_cast<uint8_t>((p00.r + p10.r + p01.r + p11.r +
+                                          2) / 4),
+                    static_cast<uint8_t>((p00.g + p10.g + p01.g + p11.g +
+                                          2) / 4),
+                    static_cast<uint8_t>((p00.b + p10.b + p01.b + p11.b +
+                                          2) / 4),
+                    static_cast<uint8_t>((p00.a + p10.a + p01.a + p11.a +
+                                          2) / 4),
+                };
+            }
+        }
+        levels_.push_back(std::move(dst));
+    }
+}
+
+uint64_t
+MipMap::storageBytes() const
+{
+    uint64_t total = 0;
+    for (const Image &l : levels_)
+        total += static_cast<uint64_t>(l.width()) * l.height() *
+                 kBytesPerTexel;
+    return total;
+}
+
+} // namespace texcache

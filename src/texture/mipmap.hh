@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Mip-map image pyramid (Williams 1983), the texture representation the
+ * whole study rests on.
+ *
+ * Level 0 is the original image; each subsequent level is a box-filtered
+ * 2x down-sampling of its predecessor, ending at 1x1. Dimensions must be
+ * powers of two (as required by OpenGL 1.0 and assumed by every memory
+ * layout in the paper).
+ */
+
+#ifndef TEXCACHE_TEXTURE_MIPMAP_HH
+#define TEXCACHE_TEXTURE_MIPMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.hh"
+
+namespace texcache {
+
+/** A full image pyramid for one texture. */
+class MipMap
+{
+  public:
+    MipMap() = default;
+
+    /**
+     * Build the pyramid from a base image by repeated 2x2 box filtering.
+     * Non-square images are supported; the smaller dimension clamps at 1.
+     *
+     * @param base level-0 image; dimensions must be powers of two.
+     */
+    explicit MipMap(Image base);
+
+    unsigned numLevels() const
+    {
+        return static_cast<unsigned>(levels_.size());
+    }
+
+    /** Width of level @p l in texels (>= 1). */
+    unsigned width(unsigned l) const { return level(l).width(); }
+
+    /** Height of level @p l in texels (>= 1). */
+    unsigned height(unsigned l) const { return level(l).height(); }
+
+    const Image &
+    level(unsigned l) const
+    {
+        panic_if(l >= levels_.size(), "MipMap level ", l, " of ",
+                 levels_.size());
+        return levels_[l];
+    }
+
+    /**
+     * Total storage for the pyramid in bytes at kBytesPerTexel per texel.
+     * For a square map this is ~4/3 the size of level 0.
+     */
+    uint64_t storageBytes() const;
+
+  private:
+    std::vector<Image> levels_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_TEXTURE_MIPMAP_HH

@@ -1,0 +1,44 @@
+#include "timing/dram_model.hh"
+
+namespace texcache {
+
+DramModel::DramModel(const DramConfig &config) : config_(config)
+{
+    fatal_if(!isPowerOfTwo(config.rowBytes) ||
+                 !isPowerOfTwo(config.numBanks) ||
+                 !isPowerOfTwo(config.busBytes),
+             "DRAM geometry must be powers of two");
+    openRow_.assign(config.numBanks, kNoRow);
+}
+
+uint64_t
+DramModel::fill(Addr addr, unsigned bytes)
+{
+    panic_if(bytes == 0, "zero-byte DRAM fill");
+    // Consecutive rows interleave across banks.
+    uint64_t row_index = addr / config_.rowBytes;
+    unsigned bank =
+        static_cast<unsigned>(row_index & (config_.numBanks - 1));
+    uint64_t row = row_index / config_.numBanks;
+
+    uint64_t setup;
+    if (openRow_[bank] == row) {
+        setup = config_.tCas;
+        ++stats_.rowHits;
+    } else {
+        setup = config_.tRowMiss;
+        ++stats_.rowMisses;
+        openRow_[bank] = row;
+    }
+
+    uint64_t burst =
+        (bytes + config_.busBytes - 1) / config_.busBytes;
+    uint64_t cycles = setup + burst;
+
+    ++stats_.fills;
+    stats_.bytes += bytes;
+    stats_.cycles += cycles;
+    return cycles;
+}
+
+} // namespace texcache

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DRAM memory model for line fills.
+ *
+ * Section 3.2 of the paper motivates caches partly through DRAM
+ * behavior: "block transfers of cache lines between the cache and
+ * memory make it possible to get the most bandwidth out of the
+ * memory. Present-day DRAM architectures are optimized for long burst
+ * transfers ... since this amortizes the setup costs of the transfer
+ * over many bytes." This model makes that argument measurable.
+ *
+ * The memory is a set of independently-buffered banks; consecutive
+ * rows interleave across banks. A fill to an open row pays the CAS
+ * latency, a fill to a closed row pays precharge+activate+CAS, and
+ * the burst itself occupies the bus for bytes/busBytes cycles. Bus
+ * utilization = transferred bytes / (busy cycles * bus width).
+ */
+
+#ifndef TEXCACHE_TIMING_DRAM_MODEL_HH
+#define TEXCACHE_TIMING_DRAM_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+#include "layout/address_space.hh"
+
+namespace texcache {
+
+/** DRAM timing and geometry parameters (100 MHz bus cycles). */
+struct DramConfig
+{
+    unsigned rowBytes = 2048; ///< row-buffer (page) size per bank
+    unsigned numBanks = 4;    ///< independently buffered banks
+    unsigned busBytes = 8;    ///< bytes transferred per bus cycle
+    unsigned tCas = 4;        ///< cycles to first data, row open
+    unsigned tRowMiss = 12;   ///< precharge + activate + CAS
+};
+
+/** Accumulated DRAM statistics. */
+struct DramStats
+{
+    uint64_t fills = 0;
+    uint64_t rowHits = 0;
+    uint64_t rowMisses = 0;
+    uint64_t bytes = 0;
+    uint64_t cycles = 0; ///< total bus-occupied cycles
+
+    double
+    rowHitRate() const
+    {
+        return fills ? static_cast<double>(rowHits) / fills : 0.0;
+    }
+
+    /** Fraction of occupied cycles spent moving data (vs setup). */
+    double
+    busUtilization(unsigned bus_bytes) const
+    {
+        return cycles ? static_cast<double>(bytes) /
+                            (static_cast<double>(cycles) * bus_bytes)
+                      : 0.0;
+    }
+};
+
+/** Open-row DRAM bank model fed with cache line fills. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config);
+
+    /**
+     * Account one line fill of @p bytes starting at @p addr.
+     * @return bus cycles the fill occupied.
+     */
+    uint64_t fill(Addr addr, unsigned bytes);
+
+    const DramStats &stats() const { return stats_; }
+    const DramConfig &config() const { return config_; }
+
+  private:
+    DramConfig config_;
+    std::vector<uint64_t> openRow_; ///< per bank; kNoRow when closed
+    static constexpr uint64_t kNoRow = ~0ULL;
+    DramStats stats_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_TIMING_DRAM_MODEL_HH

@@ -1,0 +1,70 @@
+#include "timing/prefetch_model.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "trace/fragment_iter.hh"
+
+namespace texcache {
+
+TimingResult
+simulateTiming(const TexelTrace &trace, const SceneLayout &layout,
+               const CacheConfig &cache_config, const TimingConfig &timing)
+{
+    TimingResult res;
+    CacheSim cache(cache_config);
+
+    // Retire times of the last `fifoDepth` fragments; the lead
+    // rasterizer may not run further ahead than that, so a miss of
+    // fragment f cannot issue before fragment (f - fifoDepth) started.
+    std::deque<uint64_t> start_times;
+
+    uint64_t pipe_time = 0; // when the texturing pipe frees up
+    uint64_t mem_free = 0;  // when the memory port frees up
+
+    Addr out[3];
+    forEachFragment(trace, [&](const FragmentTouches &frag) {
+        ++res.fragments;
+
+        // Lead-rasterizer constraint on this fragment's prefetches.
+        uint64_t issue_floor = 0;
+        if (timing.fifoDepth == 0) {
+            // No prefetching: misses issue when the fragment reaches
+            // the texturing stage itself.
+            issue_floor = pipe_time;
+        } else if (start_times.size() >= timing.fifoDepth) {
+            issue_floor = start_times.front();
+        }
+
+        uint64_t data_ready = 0;
+        for (unsigned i = 0; i < frag.count; ++i) {
+            const TexelRecord &r = frag.recs[i];
+            unsigned n =
+                layout.layout(r.texture).addresses({r.level, r.u, r.v},
+                                                   out);
+            for (unsigned k = 0; k < n; ++k) {
+                if (!cache.access(out[k])) {
+                    ++res.misses;
+                    uint64_t issue = std::max(issue_floor, mem_free);
+                    mem_free = issue + timing.fillCycles;
+                    data_ready = std::max(
+                        data_ready, issue + timing.memLatencyCycles);
+                }
+            }
+        }
+
+        uint64_t start =
+            std::max(pipe_time, data_ready);
+        res.stallCycles += start - pipe_time;
+        pipe_time = start + timing.cyclesPerFragment;
+
+        start_times.push_back(start);
+        if (start_times.size() > std::max(1u, timing.fifoDepth))
+            start_times.pop_front();
+    });
+
+    res.cycles = pipe_time;
+    return res;
+}
+
+} // namespace texcache

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fragment-generator timing model with prefetch-FIFO latency hiding
+ * (paper section 7.1.1).
+ *
+ * The paper's machine is a 100 MHz fragment generator reading four
+ * texels per cycle (one trilinear fragment every two cycles). A cache
+ * miss costs ~50 cycles of DRAM latency; hidden, the pipeline sustains
+ * 50 M fragments/s; exposed, every miss stalls the pipe. The
+ * latency-hiding scheme (after Talisman [13]) rasterizes each triangle
+ * twice: a lead rasterizer computes texel addresses and prefetches
+ * missing lines up to a FIFO depth ahead of the texturing rasterizer.
+ *
+ * The model simulates the fragment stream against a cache: each miss is
+ * issued when (a) the lead rasterizer has reached that fragment (it may
+ * run at most `fifoDepth` fragments ahead of the texturing pipe) and
+ * (b) the memory port is free (one outstanding fill per
+ * `fillCycles`). The fragment retires when the pipe slot and all its
+ * line fills are complete.
+ */
+
+#ifndef TEXCACHE_TIMING_PREFETCH_MODEL_HH
+#define TEXCACHE_TIMING_PREFETCH_MODEL_HH
+
+#include <cstdint>
+
+#include "cache/cache_sim.hh"
+#include "core/scene_layout.hh"
+#include "trace/texel_trace.hh"
+
+namespace texcache {
+
+/** Timing parameters of the machine model. */
+struct TimingConfig
+{
+    double clockHz = 100e6;
+    unsigned cyclesPerFragment = 2; ///< 8 texels at 4 ports/cycle
+    unsigned memLatencyCycles = 50; ///< miss latency (fill of a line)
+    unsigned fillCycles = 8;        ///< memory occupancy per line fill
+    unsigned fifoDepth = 64;        ///< lead rasterizer headroom
+                                    ///< (fragments); 0 = no prefetch
+};
+
+/** Result of a timed run. */
+struct TimingResult
+{
+    uint64_t fragments = 0;
+    uint64_t cycles = 0;
+    uint64_t stallCycles = 0;
+    uint64_t misses = 0;
+
+    /** Achieved textured-fragment rate in fragments per second. */
+    double
+    fragmentsPerSecond(double clock_hz) const
+    {
+        return cycles ? static_cast<double>(fragments) * clock_hz /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Fraction of the no-stall fragment rate achieved. */
+    double
+    efficiency(unsigned cycles_per_fragment) const
+    {
+        return cycles ? static_cast<double>(fragments) *
+                            cycles_per_fragment /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * Run the timing model over a trace: the cache decides which texel
+ * accesses miss; the prefetch FIFO decides how much of the miss latency
+ * the pipeline can hide.
+ */
+TimingResult simulateTiming(const TexelTrace &trace,
+                            const SceneLayout &layout,
+                            const CacheConfig &cache_config,
+                            const TimingConfig &timing);
+
+} // namespace texcache
+
+#endif // TEXCACHE_TIMING_PREFETCH_MODEL_HH

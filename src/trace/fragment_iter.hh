@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Re-grouping a texel trace into per-fragment filter footprints.
+ *
+ * The trace is a flat record stream, but several models operate per
+ * fragment: the banked-cache model reads 2x2 quads per cycle
+ * (section 7.1.2) and the prefetch timing model advances fragment by
+ * fragment (section 7.1.1). Records were appended as 4 bilinear touches
+ * or 4 trilinear-lower + 4 trilinear-upper touches, so fragments can be
+ * reconstructed exactly from the kind tags.
+ */
+
+#ifndef TEXCACHE_TRACE_FRAGMENT_ITER_HH
+#define TEXCACHE_TRACE_FRAGMENT_ITER_HH
+
+#include "trace/texel_trace.hh"
+
+namespace texcache {
+
+/** One fragment's texel touches (1/4/8 by filter kind). */
+struct FragmentTouches
+{
+    TexelRecord recs[8];
+    unsigned count = 0;
+
+    bool
+    trilinear() const
+    {
+        return count == 8;
+    }
+};
+
+/**
+ * Visit the trace fragment by fragment.
+ *
+ * @param fn invoked with a FragmentTouches per textured fragment.
+ */
+template <typename Fn>
+void
+forEachFragment(const TexelTrace &trace, Fn &&fn)
+{
+    FragmentTouches cur;
+    size_t n = trace.size();
+    size_t i = 0;
+    while (i < n) {
+        TexelRecord first = trace[i];
+        unsigned take = first.kind == TouchKind::Nearest
+                            ? 1
+                            : (first.kind == TouchKind::Bilinear ? 4
+                                                                 : 8);
+        panic_if(i + take > n, "truncated fragment at record ", i);
+        cur.count = take;
+        for (unsigned k = 0; k < take; ++k)
+            cur.recs[k] = trace[i + k];
+        fn(cur);
+        i += take;
+    }
+}
+
+} // namespace texcache
+
+#endif // TEXCACHE_TRACE_FRAGMENT_ITER_HH

@@ -1,0 +1,28 @@
+#include "trace/texel_trace.hh"
+
+namespace texcache {
+
+void
+TexelTrace::appendSample(uint16_t tex, const SampleResult &s)
+{
+    if (s.kind == FilterKind::Nearest) {
+        const TexelTouch &t = s.touches[0];
+        append({tex, t.level, t.u, t.v, TouchKind::Nearest});
+    } else if (s.kind == FilterKind::Bilinear) {
+        for (unsigned i = 0; i < 4; ++i) {
+            const TexelTouch &t = s.touches[i];
+            append({tex, t.level, t.u, t.v, TouchKind::Bilinear});
+        }
+    } else {
+        for (unsigned i = 0; i < 4; ++i) {
+            const TexelTouch &t = s.touches[i];
+            append({tex, t.level, t.u, t.v, TouchKind::TrilinearLower});
+        }
+        for (unsigned i = 4; i < 8; ++i) {
+            const TexelTouch &t = s.touches[i];
+            append({tex, t.level, t.u, t.v, TouchKind::TrilinearUpper});
+        }
+    }
+}
+
+} // namespace texcache

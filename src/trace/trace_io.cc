@@ -1,0 +1,75 @@
+#include "trace/trace_io.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace texcache {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'E', 'X', 'T', 'R', 'C', '0', '1'};
+
+} // namespace
+
+void
+writeTrace(const TexelTrace &trace, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatal_if(!out, "cannot open trace file '", path, "' for writing");
+
+    out.write(kMagic, sizeof(kMagic));
+    uint64_t count = trace.size();
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+
+    // Stream in chunks to keep memory flat for very large traces.
+    std::vector<uint64_t> buf;
+    buf.reserve(1 << 16);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        buf.push_back(trace[i].pack());
+        if (buf.size() == buf.capacity()) {
+            out.write(reinterpret_cast<const char *>(buf.data()),
+                      static_cast<std::streamsize>(buf.size() * 8));
+            buf.clear();
+        }
+    }
+    if (!buf.empty())
+        out.write(reinterpret_cast<const char *>(buf.data()),
+                  static_cast<std::streamsize>(buf.size() * 8));
+    fatal_if(!out, "short write to trace file '", path, "'");
+}
+
+TexelTrace
+readTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open trace file '", path, "'");
+
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    fatal_if(!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+             "'", path, "' is not a texcache trace file");
+
+    uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    fatal_if(!in, "trace file '", path, "' has a truncated header");
+
+    TexelTrace trace;
+    trace.reserve(count);
+    std::vector<uint64_t> buf(1 << 16);
+    uint64_t remaining = count;
+    while (remaining > 0) {
+        uint64_t n = std::min<uint64_t>(remaining, buf.size());
+        in.read(reinterpret_cast<char *>(buf.data()),
+                static_cast<std::streamsize>(n * 8));
+        fatal_if(!in, "trace file '", path, "' is truncated (expected ",
+                 count, " records)");
+        for (uint64_t i = 0; i < n; ++i)
+            trace.append(TexelRecord::unpack(buf[i]));
+        remaining -= n;
+    }
+    return trace;
+}
+
+} // namespace texcache

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Binary texel-trace files.
+ *
+ * The paper's methodology separates trace capture (running the graphics
+ * pipeline) from trace consumption (the cache simulator). Persisting
+ * traces makes that split usable offline: render once, then sweep cache
+ * organizations without re-rendering - or exchange traces between
+ * machines.
+ *
+ * Format (little-endian):
+ *   [0..7]   magic "TEXTRC01"
+ *   [8..15]  uint64 record count
+ *   [16..]   packed 64-bit TexelRecords (texel_trace.hh layout)
+ */
+
+#ifndef TEXCACHE_TRACE_TRACE_IO_HH
+#define TEXCACHE_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/texel_trace.hh"
+
+namespace texcache {
+
+/** Write @p trace to @p path; fatal()s on I/O failure. */
+void writeTrace(const TexelTrace &trace, const std::string &path);
+
+/**
+ * Read a trace file written by writeTrace.
+ *
+ * fatal()s on missing file, bad magic, or truncated payload, so a
+ * corrupt trace can never silently yield wrong cache statistics.
+ */
+TexelTrace readTrace(const std::string &path);
+
+} // namespace texcache
+
+#endif // TEXCACHE_TRACE_TRACE_IO_HH

@@ -1,0 +1,51 @@
+#include "trace/trace_stats.hh"
+
+namespace texcache {
+
+TraceStats
+analyzeTrace(const TexelTrace &trace)
+{
+    TraceStats stats;
+    // Unique-texel sets, one per filter role; key = packed coordinates
+    // without the kind bits so roles are tracked independently.
+    std::unordered_set<uint64_t> uniq[4];
+
+    bool have_prev = false;
+    uint16_t prev_tex = 0;
+
+    trace.forEach([&](const TexelRecord &r) {
+        ++stats.accesses;
+        unsigned k = static_cast<unsigned>(r.kind);
+        PerTexelStats *per;
+        switch (k) {
+          case 0:
+            per = &stats.bilinear;
+            break;
+          case 1:
+            per = &stats.trilinearLower;
+            break;
+          case 2:
+            per = &stats.trilinearUpper;
+            break;
+          default:
+            per = &stats.nearest;
+            break;
+        }
+        ++per->accesses;
+        uint64_t key = static_cast<uint64_t>(r.u) |
+                       (static_cast<uint64_t>(r.v) << 16) |
+                       (static_cast<uint64_t>(r.level) << 32) |
+                       (static_cast<uint64_t>(r.texture) << 37);
+        if (uniq[k].insert(key).second)
+            ++per->uniqueTexels;
+
+        if (!have_prev || r.texture != prev_tex) {
+            ++stats.textureRuns;
+            prev_tex = r.texture;
+            have_prev = true;
+        }
+    });
+    return stats;
+}
+
+} // namespace texcache

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Locality statistics over texel traces (paper sections 3.1.2 and 5.2.3).
+ *
+ *  - accesses per unique texel, split by filter role (the paper reports
+ *    ~4 for the trilinear lower level, ~14-16 for the upper level, and
+ *    scene-dependent values around 18 for bilinear magnification);
+ *  - texture runlengths: the average run of consecutive accesses to the
+ *    same texture (hundreds of thousands in the paper, showing the
+ *    working set holds one texture at a time);
+ *  - texture repetition: how often a texel is reused because texture
+ *    coordinates wrap (fed by the renderer, which sees pre-wrap
+ *    coordinates).
+ */
+
+#ifndef TEXCACHE_TRACE_TRACE_STATS_HH
+#define TEXCACHE_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "trace/texel_trace.hh"
+
+namespace texcache {
+
+/** Accesses-per-unique-texel for one filter role. */
+struct PerTexelStats
+{
+    uint64_t accesses = 0;
+    uint64_t uniqueTexels = 0;
+
+    double
+    accessesPerTexel() const
+    {
+        return uniqueTexels
+                   ? static_cast<double>(accesses) / uniqueTexels
+                   : 0.0;
+    }
+};
+
+/** Result of analyzing a trace. */
+struct TraceStats
+{
+    PerTexelStats bilinear;
+    PerTexelStats trilinearLower;
+    PerTexelStats trilinearUpper;
+    PerTexelStats nearest;
+
+    uint64_t accesses = 0;
+    uint64_t textureRuns = 0;
+
+    /** Mean length of a run of accesses to one texture (section 5.2.3). */
+    double
+    averageRunlength() const
+    {
+        return textureRuns ? static_cast<double>(accesses) / textureRuns
+                           : 0.0;
+    }
+};
+
+/** Single pass over a trace computing TraceStats. */
+TraceStats analyzeTrace(const TexelTrace &trace);
+
+/**
+ * Texture-repetition counter (section 3.1.2). The renderer feeds one
+ * sample per fragment: the *unwrapped* integer texel coordinate of the
+ * filter footprint alongside its wrapped counterpart. The repetition
+ * factor is (# distinct unwrapped texels) / (# distinct wrapped texels):
+ * 1.0 when no texture repeats, ~3 for heavily tiled brick walls.
+ */
+class RepetitionCounter
+{
+  public:
+    /** Record one fragment's footprint anchor for texture @p tex. */
+    void
+    record(uint16_t tex, uint16_t level, int32_t unwrapped_u,
+           int32_t unwrapped_v, uint16_t wrapped_u, uint16_t wrapped_v)
+    {
+        uint64_t key_base = (static_cast<uint64_t>(tex) << 48) |
+                            (static_cast<uint64_t>(level) << 40);
+        uint64_t uw = key_base |
+                      (static_cast<uint64_t>(static_cast<uint32_t>(
+                           unwrapped_u)) &
+                       0xfffff) |
+                      ((static_cast<uint64_t>(static_cast<uint32_t>(
+                            unwrapped_v)) &
+                        0xfffff)
+                       << 20);
+        uint64_t wr = key_base | wrapped_u |
+                      (static_cast<uint64_t>(wrapped_v) << 20);
+        unwrapped_.insert(uw);
+        wrapped_.insert(wr);
+    }
+
+    double
+    repetitionFactor() const
+    {
+        return wrapped_.empty()
+                   ? 0.0
+                   : static_cast<double>(unwrapped_.size()) /
+                         static_cast<double>(wrapped_.size());
+    }
+
+    uint64_t uniqueWrapped() const { return wrapped_.size(); }
+    uint64_t uniqueUnwrapped() const { return unwrapped_.size(); }
+
+  private:
+    std::unordered_set<uint64_t> unwrapped_;
+    std::unordered_set<uint64_t> wrapped_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_TRACE_TRACE_STATS_HH

@@ -1,0 +1,66 @@
+/** @file Tests for the 4-bank cache port model (paper section 7.1.2). */
+
+#include <gtest/gtest.h>
+
+#include "cache/bank_model.hh"
+
+using namespace texcache;
+
+namespace {
+
+/** Build the 2x2 quad anchored at (u, v) on one level. */
+void
+quadAt(unsigned u, unsigned v, TexelTouch out[4])
+{
+    out[0] = {0, static_cast<uint16_t>(u), static_cast<uint16_t>(v)};
+    out[1] = {0, static_cast<uint16_t>(u + 1),
+              static_cast<uint16_t>(v)};
+    out[2] = {0, static_cast<uint16_t>(u),
+              static_cast<uint16_t>(v + 1)};
+    out[3] = {0, static_cast<uint16_t>(u + 1),
+              static_cast<uint16_t>(v + 1)};
+}
+
+} // namespace
+
+TEST(BankModel, MortonIsConflictFreeForEveryQuadPhase)
+{
+    // The paper's claim: morton 2x2 interleaving serves any aligned or
+    // unaligned 2x2 quad in one cycle.
+    BankModel model(BankInterleave::Morton);
+    TexelTouch quad[4];
+    for (unsigned v = 0; v < 16; ++v)
+        for (unsigned u = 0; u < 16; ++u) {
+            quadAt(u, v, quad);
+            ASSERT_EQ(model.accessQuad(quad), 1u)
+                << "quad at (" << u << "," << v << ")";
+        }
+    EXPECT_EQ(model.conflictCycles(), 0u);
+    EXPECT_DOUBLE_EQ(model.cyclesPerQuad(), 1.0);
+}
+
+TEST(BankModel, RowMajorConflictsWhenRowsAlias)
+{
+    // With a row width divisible by 4, texel (u, v) and (u, v+1) land
+    // in the same bank -> every quad needs 2 cycles.
+    BankModel model(BankInterleave::RowMajor, /*row_width_texels=*/8);
+    TexelTouch quad[4];
+    quadAt(0, 0, quad);
+    EXPECT_EQ(model.accessQuad(quad), 2u);
+    quadAt(3, 5, quad);
+    EXPECT_EQ(model.accessQuad(quad), 2u);
+    EXPECT_GT(model.conflictCycles(), 0u);
+}
+
+TEST(BankModel, CyclesPerQuadAggregates)
+{
+    BankModel model(BankInterleave::RowMajor, 8);
+    TexelTouch quad[4];
+    for (unsigned i = 0; i < 10; ++i) {
+        quadAt(i, i, quad);
+        model.accessQuad(quad);
+    }
+    EXPECT_EQ(model.quads(), 10u);
+    EXPECT_EQ(model.cycles(), 20u); // 2 cycles each
+    EXPECT_DOUBLE_EQ(model.cyclesPerQuad(), 2.0);
+}

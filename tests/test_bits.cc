@@ -1,0 +1,79 @@
+/** @file Unit tests for common/bits.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+using namespace texcache;
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+    EXPECT_FALSE(isPowerOfTwo(~0ULL));
+}
+
+TEST(Bits, Log2Exact)
+{
+    for (unsigned i = 0; i < 63; ++i)
+        EXPECT_EQ(log2Exact(1ULL << i), i) << "i=" << i;
+}
+
+TEST(Bits, Log2ExactPanicsOnNonPower)
+{
+    EXPECT_DEATH(log2Exact(3), "not a power of two");
+    EXPECT_DEATH(log2Exact(0), "not a power of two");
+}
+
+TEST(Bits, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4), 2u);
+    EXPECT_EQ(log2Floor(1023), 9u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+}
+
+TEST(Bits, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(2), 2u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+}
+
+/** Morton encode/decode must be a bijection on 16-bit pairs. */
+class MortonRoundTrip : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(MortonRoundTrip, RoundTrips)
+{
+    uint32_t x = GetParam() & 0xffff;
+    uint32_t y = (GetParam() * 2654435761u) & 0xffff;
+    uint32_t code = mortonEncode(x, y);
+    uint32_t dx, dy;
+    mortonDecode(code, dx, dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MortonRoundTrip,
+                         ::testing::Values(0u, 1u, 2u, 3u, 0xffu, 0x100u,
+                                           0xffffu, 12345u, 54321u,
+                                           0xaaaau, 0x5555u));
+
+TEST(Bits, MortonOrderIsInterleaved)
+{
+    // The 2x2 block {(0,0),(1,0),(0,1),(1,1)} maps to codes 0..3.
+    EXPECT_EQ(mortonEncode(0, 0), 0u);
+    EXPECT_EQ(mortonEncode(1, 0), 1u);
+    EXPECT_EQ(mortonEncode(0, 1), 2u);
+    EXPECT_EQ(mortonEncode(1, 1), 3u);
+    // And (2,0) starts the next 2x2 block.
+    EXPECT_EQ(mortonEncode(2, 0), 4u);
+}

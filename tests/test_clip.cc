@@ -1,0 +1,84 @@
+/** @file Tests for homogeneous near-plane clipping. */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/clip.hh"
+
+using namespace texcache;
+
+namespace {
+
+ClipVertex
+cv(float x, float y, float z, float w, float u = 0, float v = 0)
+{
+    ClipVertex r;
+    r.pos = {x, y, z, w};
+    r.uv = {u, v};
+    r.shade = 1.0f;
+    return r;
+}
+
+} // namespace
+
+TEST(Clip, FullyVisiblePassesThrough)
+{
+    ClipVertex in[3] = {cv(0, 0, 0, 1), cv(1, 0, 0, 1), cv(0, 1, 0, 1)};
+    ClipVertex out[4];
+    ASSERT_EQ(clipNear(in, out), 3u);
+    EXPECT_FLOAT_EQ(out[0].pos.x, 0);
+    EXPECT_FLOAT_EQ(out[1].pos.x, 1);
+    EXPECT_FLOAT_EQ(out[2].pos.y, 1);
+}
+
+TEST(Clip, FullyBehindIsRejected)
+{
+    // z + w < 0 for all vertices.
+    ClipVertex in[3] = {cv(0, 0, -2, 1), cv(1, 0, -3, 1),
+                        cv(0, 1, -2.5f, 1)};
+    ClipVertex out[4];
+    EXPECT_EQ(clipNear(in, out), 0u);
+}
+
+TEST(Clip, OneVertexBehindYieldsQuad)
+{
+    ClipVertex in[3] = {cv(0, 0, 1, 1), cv(4, 0, 1, 1),
+                        cv(0, 4, -3, 1)};
+    ClipVertex out[4];
+    ASSERT_EQ(clipNear(in, out), 4u);
+    // Every output vertex satisfies the near-plane condition.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_GE(out[i].pos.z + out[i].pos.w, -1e-4f);
+}
+
+TEST(Clip, TwoVerticesBehindYieldsTriangle)
+{
+    ClipVertex in[3] = {cv(0, 0, 1, 1), cv(4, 0, -3, 1),
+                        cv(0, 4, -3, 1)};
+    ClipVertex out[4];
+    ASSERT_EQ(clipNear(in, out), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GE(out[i].pos.z + out[i].pos.w, -1e-4f);
+}
+
+TEST(Clip, IntersectionInterpolatesAttributes)
+{
+    // Edge from (z+w = 2) to (z+w = -2): the crossing is at t = 0.5.
+    ClipVertex a = cv(0, 0, 1, 1, /*u=*/0.0f, /*v=*/0.0f);
+    ClipVertex b = cv(2, 0, -3, 1, /*u=*/1.0f, /*v=*/2.0f);
+    ClipVertex c = cv(0, 2, 1, 1, /*u=*/0.0f, /*v=*/0.0f);
+    ClipVertex in[3] = {a, b, c};
+    ClipVertex out[4];
+    ASSERT_EQ(clipNear(in, out), 4u);
+    // Find the vertex on the a->b edge (x between 0 and 2, y == 0).
+    bool found = false;
+    for (int i = 0; i < 4; ++i) {
+        if (out[i].pos.y == 0.0f && out[i].pos.x > 0.1f &&
+            out[i].pos.x < 1.9f) {
+            EXPECT_NEAR(out[i].pos.x, 1.0f, 1e-3f);
+            EXPECT_NEAR(out[i].uv.x, 0.5f, 1e-3f);
+            EXPECT_NEAR(out[i].uv.y, 1.0f, 1e-3f);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}

@@ -1,0 +1,116 @@
+/** @file Unit tests for common/table.hh and common/rng.hh. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+
+using namespace texcache;
+
+TEST(Table, FormatFixed)
+{
+    EXPECT_EQ(fmtFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtFixed(1.23556, 2), "1.24");
+    EXPECT_EQ(fmtFixed(-0.5, 1), "-0.5");
+    EXPECT_EQ(fmtFixed(3.0, 0), "3");
+}
+
+TEST(Table, FormatPercent)
+{
+    EXPECT_EQ(fmtPercent(0.0153), "1.53%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+    EXPECT_EQ(fmtPercent(0.0028, 2), "0.28%");
+}
+
+TEST(Table, FormatBytes)
+{
+    EXPECT_EQ(fmtBytes(32), "32B");
+    EXPECT_EQ(fmtBytes(1024), "1KB");
+    EXPECT_EQ(fmtBytes(32 * 1024), "32KB");
+    EXPECT_EQ(fmtBytes(1 << 20), "1MB");
+    EXPECT_EQ(fmtBytes(1536), "1536B"); // not a whole KB
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t("demo");
+    t.header({"a", "bbbb"});
+    t.row({"xxx", "y"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("a    bbbb"), std::string::npos);
+    EXPECT_NE(s.find("xxx  y"), std::string::npos);
+}
+
+TEST(Table, Csv)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformIsInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        float v = r.uniform();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Rng, BelowCoversValues)
+{
+    Rng r(11);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Table, CsvEnvSwitchesPrintToCsv)
+{
+    TextTable t("env");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    setenv("TEXCACHE_CSV", "1", 1);
+    std::ostringstream os;
+    t.print(os);
+    unsetenv("TEXCACHE_CSV");
+    EXPECT_EQ(os.str(), "# env\na,b\n1,2\n");
+    // And back to aligned text once unset.
+    std::ostringstream os2;
+    t.print(os2);
+    EXPECT_NE(os2.str().find("== env =="), std::string::npos);
+}

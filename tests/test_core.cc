@@ -1,0 +1,207 @@
+/** @file
+ * Integration tests for the experiment harness: trace -> layout ->
+ * cache simulation, cross-validating the fast paths against the
+ * explicit simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/scene_layout.hh"
+
+using namespace texcache;
+
+namespace {
+
+/** A shared small scene + trace for the whole file (built once). */
+struct Fixture
+{
+    Scene scene = makeQuadTestScene(128, 160, 2.0f);
+    RenderOutput out = render(scene, RasterOrder::horizontal());
+};
+
+Fixture &
+fix()
+{
+    static Fixture f;
+    return f;
+}
+
+} // namespace
+
+TEST(SceneLayout, AddressCountMatchesTraceSize)
+{
+    LayoutParams p;
+    p.kind = LayoutKind::Nonblocked;
+    SceneLayout lay(fix().scene, p);
+    uint64_t n = 0;
+    lay.forEachAddress(fix().out.trace, [&](Addr) { ++n; });
+    EXPECT_EQ(n, fix().out.trace.size());
+}
+
+TEST(SceneLayout, WilliamsTriplesTheAddressStream)
+{
+    LayoutParams p;
+    p.kind = LayoutKind::Williams;
+    SceneLayout lay(fix().scene, p);
+    uint64_t n = 0;
+    lay.forEachAddress(fix().out.trace, [&](Addr) { ++n; });
+    EXPECT_EQ(n, fix().out.trace.size() * 3);
+}
+
+TEST(SceneLayout, FootprintCoversAllTextures)
+{
+    LayoutParams p;
+    p.kind = LayoutKind::Blocked;
+    SceneLayout lay(fix().scene, p);
+    EXPECT_EQ(lay.numTextures(), fix().scene.textures.size());
+    uint64_t texel_bytes = 0;
+    for (const MipMap &m : fix().scene.textures)
+        texel_bytes += m.storageBytes();
+    EXPECT_GE(lay.totalFootprint(), texel_bytes);
+}
+
+TEST(Experiment, ProfilerMatchesExplicitFaCache)
+{
+    LayoutParams p;
+    p.kind = LayoutKind::Blocked;
+    p.blockW = p.blockH = 4;
+    SceneLayout lay(fix().scene, p);
+    StackDistProfiler prof = profileTrace(fix().out.trace, lay, 32);
+    for (uint64_t size : {2048u, 8192u, 32768u}) {
+        CacheStats fa = runCache(
+            fix().out.trace, lay,
+            {size, 32, CacheConfig::kFullyAssoc});
+        EXPECT_EQ(prof.misses(size), fa.misses) << "size " << size;
+        EXPECT_EQ(prof.accesses(), fa.accesses);
+        EXPECT_EQ(prof.coldMisses(), fa.coldMisses);
+    }
+}
+
+TEST(Experiment, MissRatesDecreaseWithAssociativityOnAverage)
+{
+    LayoutParams p;
+    p.kind = LayoutKind::Nonblocked;
+    SceneLayout lay(fix().scene, p);
+    CacheStats dm = runCache(fix().out.trace, lay, {4096, 32, 1});
+    CacheStats fa = runCache(fix().out.trace, lay,
+                             {4096, 32, CacheConfig::kFullyAssoc});
+    EXPECT_GE(dm.misses, fa.misses);
+}
+
+TEST(Experiment, ClassifierIdentity)
+{
+    LayoutParams p;
+    p.kind = LayoutKind::Nonblocked;
+    SceneLayout lay(fix().scene, p);
+    MissBreakdown b =
+        classifyCache(fix().out.trace, lay, {4096, 32, 2});
+    EXPECT_EQ(b.cold + b.capacity + b.conflict, b.misses);
+    EXPECT_EQ(b.accesses, fix().out.trace.size());
+}
+
+TEST(Experiment, CacheSizeSweepIsPowerOfTwo)
+{
+    auto sizes = cacheSizeSweep(1024, 65536);
+    ASSERT_EQ(sizes.size(), 7u);
+    EXPECT_EQ(sizes.front(), 1024u);
+    EXPECT_EQ(sizes.back(), 65536u);
+    for (size_t i = 1; i < sizes.size(); ++i)
+        EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+}
+
+TEST(Experiment, FirstWorkingSetFindsThePlateau)
+{
+    LayoutParams p;
+    p.kind = LayoutKind::Blocked;
+    SceneLayout lay(fix().scene, p);
+    StackDistProfiler prof = profileTrace(fix().out.trace, lay, 32);
+    auto sizes = cacheSizeSweep(1024, 256 * 1024);
+    uint64_t ws = firstWorkingSet(prof, sizes);
+    EXPECT_GE(ws, sizes.front());
+    EXPECT_LE(ws, sizes.back());
+    // By definition, the working-set size captures >= 85% of the
+    // achievable miss-rate reduction.
+    double top = prof.missRate(sizes.front());
+    double floor_rate = prof.missRate(sizes.back());
+    EXPECT_LE(prof.missRate(ws),
+              top - 0.85 * (top - floor_rate) + 1e-12);
+}
+
+TEST(Experiment, BlockedBeatsNonblockedAtLargeLines)
+{
+    // The paper's core finding (section 5.3.2): with a large line, a
+    // blocked representation exploits spatial locality much better
+    // than the row-major one on a 2-D access pattern.
+    LayoutParams pn;
+    pn.kind = LayoutKind::Nonblocked;
+    LayoutParams pb;
+    pb.kind = LayoutKind::Blocked;
+    pb.blockW = pb.blockH = 8; // 8x8 texels = 256 B... use 128 B: 8x4
+    pb.blockH = 4;
+    SceneLayout ln(fix().scene, pn);
+    SceneLayout lb(fix().scene, pb);
+    StackDistProfiler profile_n = profileTrace(fix().out.trace, ln, 128);
+    StackDistProfiler profile_b = profileTrace(fix().out.trace, lb, 128);
+    EXPECT_LT(profile_b.missRate(32 * 1024),
+              profile_n.missRate(32 * 1024));
+}
+
+TEST(TraceStore, MemoizesScenesAndOutputs)
+{
+    TraceStore store;
+    const Scene &a = store.scene(BenchScene::Goblet);
+    const Scene &b = store.scene(BenchScene::Goblet);
+    EXPECT_EQ(&a, &b);
+    const RenderOutput &o1 =
+        store.output(BenchScene::Goblet, RasterOrder::horizontal());
+    const RenderOutput &o2 =
+        store.output(BenchScene::Goblet, RasterOrder::horizontal());
+    EXPECT_EQ(&o1, &o2);
+    EXPECT_GT(o1.trace.size(), 0u);
+    // A different order is a different cache entry.
+    const RenderOutput &o3 =
+        store.output(BenchScene::Goblet, RasterOrder::vertical());
+    EXPECT_NE(&o1, &o3);
+}
+
+TEST(Experiment, FirstWorkingSetPanicsOnEmptySweep)
+{
+    LayoutParams p;
+    p.kind = LayoutKind::Nonblocked;
+    SceneLayout lay(fix().scene, p);
+    StackDistProfiler prof = profileTrace(fix().out.trace, lay, 32);
+    std::vector<uint64_t> empty;
+    EXPECT_DEATH(firstWorkingSet(prof, empty), "empty size sweep");
+}
+
+TEST(Experiment, LayoutKindNamesAreStable)
+{
+    EXPECT_STREQ(layoutKindName(LayoutKind::Williams), "williams");
+    EXPECT_STREQ(layoutKindName(LayoutKind::Nonblocked), "nonblocked");
+    EXPECT_STREQ(layoutKindName(LayoutKind::Blocked), "blocked");
+    EXPECT_STREQ(layoutKindName(LayoutKind::PaddedBlocked), "padded");
+    EXPECT_STREQ(layoutKindName(LayoutKind::Blocked6D), "blocked6d");
+    EXPECT_STREQ(layoutKindName(LayoutKind::CompressedBlocked),
+                 "compressed");
+}
+
+TEST(Experiment, StatsHelpersHandleZeroAccesses)
+{
+    CacheStats empty;
+    EXPECT_DOUBLE_EQ(empty.missRate(), 0.0);
+    EXPECT_EQ(empty.bytesFetched(64), 0u);
+}
+
+TEST(Experiment, BaseAlignIsHonored)
+{
+    LayoutParams fine;
+    fine.kind = LayoutKind::Blocked;
+    fine.baseAlign = 64;
+    LayoutParams coarse = fine;
+    coarse.baseAlign = 32768;
+    SceneLayout a(fix().scene, fine);
+    SceneLayout b(fix().scene, coarse);
+    // Coarser alignment can only grow the footprint.
+    EXPECT_LE(a.totalFootprint(), b.totalFootprint());
+}

@@ -1,0 +1,89 @@
+/** @file Tests for the open-row DRAM fill model (section 3.2). */
+
+#include <gtest/gtest.h>
+
+#include "timing/dram_model.hh"
+
+using namespace texcache;
+
+TEST(Dram, FirstFillIsARowMiss)
+{
+    DramModel dram(DramConfig{});
+    uint64_t cycles = dram.fill(0, 32);
+    // tRowMiss (12) + 32/8 burst = 16 cycles.
+    EXPECT_EQ(cycles, 16u);
+    EXPECT_EQ(dram.stats().rowMisses, 1u);
+    EXPECT_EQ(dram.stats().rowHits, 0u);
+}
+
+TEST(Dram, SameRowHitsOpenBuffer)
+{
+    DramModel dram(DramConfig{});
+    dram.fill(0, 32);
+    uint64_t cycles = dram.fill(128, 32); // same 2 KB row
+    EXPECT_EQ(cycles, 4u + 4u);           // tCas + burst
+    EXPECT_EQ(dram.stats().rowHits, 1u);
+}
+
+TEST(Dram, DifferentRowSameBankMisses)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    dram.fill(0, 32);
+    // Row 0 -> bank 0; row 4 (addr 4*2048) -> bank 0 again, row 1.
+    uint64_t addr = static_cast<uint64_t>(cfg.rowBytes) * cfg.numBanks;
+    uint64_t cycles = dram.fill(addr, 32);
+    EXPECT_EQ(cycles, 16u);
+    EXPECT_EQ(dram.stats().rowMisses, 2u);
+}
+
+TEST(Dram, BanksBufferIndependently)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    dram.fill(0, 32);                      // bank 0
+    dram.fill(cfg.rowBytes, 32);           // bank 1 (row miss)
+    EXPECT_EQ(dram.fill(64, 32), 8u);      // bank 0 still open
+    EXPECT_EQ(dram.fill(cfg.rowBytes + 64, 32), 8u); // bank 1 open
+    EXPECT_EQ(dram.stats().rowHits, 2u);
+    EXPECT_EQ(dram.stats().rowMisses, 2u);
+}
+
+TEST(Dram, LargerBurstsRaiseBusUtilization)
+{
+    // The paper's section-3.2 argument: longer bursts amortize setup.
+    auto utilization = [](unsigned line) {
+        DramModel dram(DramConfig{});
+        // Random-ish line fills, all row misses (worst case).
+        for (int i = 0; i < 1000; ++i)
+            dram.fill(static_cast<uint64_t>(i) * 8192 * 5, line);
+        return dram.stats().busUtilization(8);
+    };
+    double u32 = utilization(32);
+    double u128 = utilization(128);
+    double u512 = utilization(512);
+    EXPECT_LT(u32, u128);
+    EXPECT_LT(u128, u512);
+    // 32B: 4 cycles data / 16 total = 0.25; 512B: 64/76 = 0.84.
+    EXPECT_NEAR(u32, 0.25, 1e-9);
+    EXPECT_NEAR(u512, 64.0 / 76.0, 1e-9);
+}
+
+TEST(Dram, StatsAccumulate)
+{
+    DramModel dram(DramConfig{});
+    dram.fill(0, 64);
+    dram.fill(64, 64);
+    EXPECT_EQ(dram.stats().fills, 2u);
+    EXPECT_EQ(dram.stats().bytes, 128u);
+    EXPECT_GT(dram.stats().cycles, 16u);
+    EXPECT_DOUBLE_EQ(dram.stats().rowHitRate(), 0.5);
+}
+
+TEST(Dram, RejectsBadGeometry)
+{
+    DramConfig cfg;
+    cfg.numBanks = 3;
+    EXPECT_EXIT(DramModel{cfg}, ::testing::ExitedWithCode(1),
+                "powers of two");
+}

@@ -1,0 +1,128 @@
+/** @file Tests for the extension filter modes (GL 1.0 filter set). */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/renderer.hh"
+#include "scene/benchmarks.hh"
+#include "trace/fragment_iter.hh"
+#include "trace/trace_stats.hh"
+
+using namespace texcache;
+
+namespace {
+
+MipMap
+flatMip(unsigned size, uint8_t red)
+{
+    return MipMap(Image(size, size, Rgba8{red, 0, 0, 255}));
+}
+
+} // namespace
+
+TEST(FilterModes, TrilinearModeMatchesSampleMipMap)
+{
+    MipMap m = flatMip(64, 120);
+    SampleResult a = sampleMipMap(m, 0.3f, 0.7f, 1.8f);
+    SampleResult b =
+        sampleMipMapMode(m, 0.3f, 0.7f, 1.8f, FilterMode::Trilinear);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.numTouches, b.numTouches);
+    for (unsigned i = 0; i < a.numTouches; ++i) {
+        EXPECT_EQ(a.touches[i].level, b.touches[i].level);
+        EXPECT_EQ(a.touches[i].u, b.touches[i].u);
+    }
+}
+
+TEST(FilterModes, BilinearMipNearestPicksNearestLevel)
+{
+    MipMap m = flatMip(64, 80);
+    // lambda 1.8 rounds to level 2; lambda 1.4 rounds to level 1.
+    SampleResult hi = sampleMipMapMode(m, 0.5f, 0.5f, 1.8f,
+                                       FilterMode::BilinearMipNearest);
+    SampleResult lo = sampleMipMapMode(m, 0.5f, 0.5f, 1.4f,
+                                       FilterMode::BilinearMipNearest);
+    EXPECT_EQ(hi.numTouches, 4u);
+    EXPECT_EQ(hi.kind, FilterKind::Bilinear);
+    EXPECT_EQ(hi.touches[0].level, 2);
+    EXPECT_EQ(lo.touches[0].level, 1);
+}
+
+TEST(FilterModes, BilinearMipNearestMagnificationStaysOnLevel0)
+{
+    MipMap m = flatMip(64, 80);
+    SampleResult s = sampleMipMapMode(m, 0.5f, 0.5f, -2.0f,
+                                      FilterMode::BilinearMipNearest);
+    EXPECT_EQ(s.touches[0].level, 0);
+}
+
+TEST(FilterModes, NearestTouchesExactlyOneTexel)
+{
+    MipMap m = flatMip(16, 33);
+    SampleResult s = sampleMipMapMode(m, 0.26f, 0.51f, 0.0f,
+                                      FilterMode::NearestMipNearest);
+    EXPECT_EQ(s.kind, FilterKind::Nearest);
+    EXPECT_EQ(s.numTouches, 1u);
+    // (0.26, 0.51) on a 16x16 level 0 -> texel (4, 8).
+    EXPECT_EQ(s.touches[0].level, 0);
+    EXPECT_EQ(s.touches[0].u, 4);
+    EXPECT_EQ(s.touches[0].v, 8);
+    EXPECT_NEAR(s.color.x * 255.0f, 33.0f, 0.51f);
+}
+
+TEST(FilterModes, NearestClampsToCoarsestLevel)
+{
+    MipMap m = flatMip(16, 10); // levels 0..4
+    SampleResult s = sampleMipMapMode(m, 0.9f, 0.9f, 99.0f,
+                                      FilterMode::NearestMipNearest);
+    EXPECT_EQ(s.touches[0].level, 4);
+    EXPECT_EQ(s.touches[0].u, 0);
+}
+
+TEST(FilterModes, NearestWrapsRepeat)
+{
+    MipMap m = flatMip(16, 1);
+    SampleResult a = sampleMipMapMode(m, 0.26f, 0.51f, 0.0f,
+                                      FilterMode::NearestMipNearest);
+    SampleResult b = sampleMipMapMode(m, 2.26f, -0.49f, 0.0f,
+                                      FilterMode::NearestMipNearest);
+    EXPECT_EQ(a.touches[0].u, b.touches[0].u);
+    EXPECT_EQ(a.touches[0].v, b.touches[0].v);
+}
+
+TEST(FilterModes, RendererTrafficScalesWithMode)
+{
+    Scene scene = makeQuadTestScene(512, 64); // minified everywhere
+    RenderOptions tri;
+    RenderOptions bil;
+    bil.filterMode = FilterMode::BilinearMipNearest;
+    RenderOptions nst;
+    nst.filterMode = FilterMode::NearestMipNearest;
+
+    RenderOutput a = render(scene, RasterOrder::horizontal(), tri);
+    RenderOutput b = render(scene, RasterOrder::horizontal(), bil);
+    RenderOutput c = render(scene, RasterOrder::horizontal(), nst);
+
+    EXPECT_EQ(a.stats.fragments, b.stats.fragments);
+    EXPECT_EQ(b.stats.fragments, c.stats.fragments);
+    EXPECT_EQ(a.stats.texelAccesses, 8 * a.stats.fragments);
+    EXPECT_EQ(b.stats.texelAccesses, 4 * b.stats.fragments);
+    EXPECT_EQ(c.stats.texelAccesses, 1 * c.stats.fragments);
+    EXPECT_EQ(c.stats.nearestFragments, c.stats.fragments);
+}
+
+TEST(FilterModes, NearestTraceGroupsByFragment)
+{
+    Scene scene = makeQuadTestScene(128, 32);
+    RenderOptions opts;
+    opts.filterMode = FilterMode::NearestMipNearest;
+    RenderOutput out = render(scene, RasterOrder::horizontal(), opts);
+    uint64_t frags = 0;
+    forEachFragment(out.trace, [&](const FragmentTouches &f) {
+        ASSERT_EQ(f.count, 1u);
+        ASSERT_EQ(f.recs[0].kind, TouchKind::Nearest);
+        ++frags;
+    });
+    EXPECT_EQ(frags, out.stats.fragments);
+    TraceStats stats = analyzeTrace(out.trace);
+    EXPECT_EQ(stats.nearest.accesses, out.stats.texelAccesses);
+}

@@ -1,0 +1,97 @@
+/** @file
+ * Tests for fixed-point filtering: identical texel touches to the
+ * float path, color agreement within fixed-point tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "img/procedural.hh"
+#include "texture/fixed_filter.hh"
+
+using namespace texcache;
+
+namespace {
+
+const MipMap &
+noiseMip()
+{
+    static MipMap m(makeSatellite(64, 5));
+    return m;
+}
+
+} // namespace
+
+TEST(FixedFilter, ExactAtTexelCenters)
+{
+    Image base(4, 4);
+    base.at(2, 1) = {200, 100, 50, 255};
+    MipMap m(std::move(base));
+    FixedSampleResult s =
+        sampleMipMapFixed(m, 2.5f / 4, 1.5f / 4, -1.0f);
+    EXPECT_EQ(s.color.r, 200);
+    EXPECT_EQ(s.color.g, 100);
+    EXPECT_EQ(s.color.b, 50);
+}
+
+TEST(FixedFilter, MidpointIsAverage)
+{
+    Image base(4, 4, Rgba8{0, 0, 0, 255});
+    base.at(1, 0) = {100, 0, 0, 255};
+    MipMap m(std::move(base));
+    // Halfway between texels (0,0)=0 and (1,0)=100.
+    FixedSampleResult s =
+        sampleMipMapFixed(m, 1.0f / 4, 0.5f / 4, -1.0f);
+    EXPECT_NEAR(s.color.r, 50, 1);
+}
+
+TEST(FixedFilter, TouchesMatchFloatPathExactly)
+{
+    Rng rng(17);
+    for (int i = 0; i < 2000; ++i) {
+        float u = rng.uniform(-2.0f, 3.0f);
+        float v = rng.uniform(-2.0f, 3.0f);
+        float lambda = rng.uniform(-2.0f, 8.0f);
+        SampleResult f = sampleMipMap(noiseMip(), u, v, lambda);
+        FixedSampleResult x =
+            sampleMipMapFixed(noiseMip(), u, v, lambda);
+        ASSERT_EQ(f.kind, x.kind);
+        ASSERT_EQ(f.numTouches, x.numTouches);
+        for (unsigned k = 0; k < f.numTouches; ++k) {
+            ASSERT_EQ(f.touches[k].level, x.touches[k].level);
+            ASSERT_EQ(f.touches[k].u, x.touches[k].u);
+            ASSERT_EQ(f.touches[k].v, x.touches[k].v);
+        }
+    }
+}
+
+TEST(FixedFilter, ColorWithinFixedPointTolerance)
+{
+    Rng rng(29);
+    for (int i = 0; i < 2000; ++i) {
+        float u = rng.uniform();
+        float v = rng.uniform();
+        float lambda = rng.uniform(-1.0f, 6.0f);
+        SampleResult f = sampleMipMap(noiseMip(), u, v, lambda);
+        FixedSampleResult x =
+            sampleMipMapFixed(noiseMip(), u, v, lambda);
+        ASSERT_NEAR(x.color.r, f.color.x * 255.0f, 2.0f)
+            << "u=" << u << " v=" << v << " lambda=" << lambda;
+        ASSERT_NEAR(x.color.g, f.color.y * 255.0f, 2.0f);
+        ASSERT_NEAR(x.color.b, f.color.z * 255.0f, 2.0f);
+    }
+}
+
+TEST(FixedFilter, ClampWrapAgrees)
+{
+    SampleResult f = sampleMipMap(noiseMip(), 1.4f, -0.3f, 0.7f,
+                                  WrapMode::Clamp);
+    FixedSampleResult x = sampleMipMapFixed(noiseMip(), 1.4f, -0.3f,
+                                            0.7f, WrapMode::Clamp);
+    for (unsigned k = 0; k < f.numTouches; ++k) {
+        EXPECT_EQ(f.touches[k].u, x.touches[k].u);
+        EXPECT_EQ(f.touches[k].v, x.touches[k].v);
+    }
+}

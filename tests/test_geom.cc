@@ -1,0 +1,143 @@
+/** @file Unit tests for the geometry module (vectors and matrices). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/mat4.hh"
+#include "geom/vec.hh"
+
+using namespace texcache;
+
+namespace {
+
+void
+expectVec3Near(Vec3 a, Vec3 b, float eps = 1e-5f)
+{
+    EXPECT_NEAR(a.x, b.x, eps);
+    EXPECT_NEAR(a.y, b.y, eps);
+    EXPECT_NEAR(a.z, b.z, eps);
+}
+
+} // namespace
+
+TEST(Vec, DotAndCross)
+{
+    Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_FLOAT_EQ(x.dot(y), 0.0f);
+    EXPECT_FLOAT_EQ(x.dot(x), 1.0f);
+    expectVec3Near(x.cross(y), z);
+    expectVec3Near(y.cross(z), x);
+    expectVec3Near(z.cross(x), y);
+}
+
+TEST(Vec, NormalizedLength)
+{
+    Vec3 v{3, 4, 0};
+    EXPECT_FLOAT_EQ(v.length(), 5.0f);
+    EXPECT_NEAR(v.normalized().length(), 1.0f, 1e-6f);
+    expectVec3Near(Vec3{}.normalized(), Vec3{});
+}
+
+TEST(Vec, HomogeneousProject)
+{
+    Vec4 v{2, 4, 6, 2};
+    expectVec3Near(v.project(), Vec3{1, 2, 3});
+}
+
+TEST(Mat4, IdentityIsNeutral)
+{
+    Mat4 id = Mat4::identity();
+    Vec4 v{1, 2, 3, 1};
+    Vec4 r = id * v;
+    EXPECT_FLOAT_EQ(r.x, 1);
+    EXPECT_FLOAT_EQ(r.y, 2);
+    EXPECT_FLOAT_EQ(r.z, 3);
+    EXPECT_FLOAT_EQ(r.w, 1);
+}
+
+TEST(Mat4, TranslateMovesPoints)
+{
+    Mat4 t = Mat4::translate({10, 20, 30});
+    Vec4 r = t.transformPoint({1, 2, 3});
+    expectVec3Near(r.xyz(), Vec3{11, 22, 33});
+    EXPECT_FLOAT_EQ(r.w, 1.0f);
+}
+
+TEST(Mat4, ScaleScales)
+{
+    Mat4 s = Mat4::scale({2, 3, 4});
+    expectVec3Near(s.transformPoint({1, 1, 1}).xyz(), Vec3{2, 3, 4});
+}
+
+TEST(Mat4, RotationsPreserveLengthAndAxis)
+{
+    float a = 0.7f;
+    Vec3 p{1, 2, 3};
+    for (Mat4 m : {Mat4::rotateX(a), Mat4::rotateY(a), Mat4::rotateZ(a)}) {
+        Vec3 r = m.transformPoint(p).xyz();
+        EXPECT_NEAR(r.length(), p.length(), 1e-5f);
+    }
+    // Rotation about X fixes the X axis.
+    expectVec3Near(Mat4::rotateX(a).transformPoint({5, 0, 0}).xyz(),
+                   Vec3{5, 0, 0});
+}
+
+TEST(Mat4, RotateZQuarterTurn)
+{
+    Mat4 m = Mat4::rotateZ(3.14159265f / 2.0f);
+    expectVec3Near(m.transformPoint({1, 0, 0}).xyz(), Vec3{0, 1, 0},
+                   1e-5f);
+}
+
+TEST(Mat4, MultiplyComposesInOrder)
+{
+    Mat4 t = Mat4::translate({1, 0, 0});
+    Mat4 s = Mat4::scale({2, 2, 2});
+    // (t * s) applies s first, then t.
+    Vec3 r = (t * s).transformPoint({1, 1, 1}).xyz();
+    expectVec3Near(r, Vec3{3, 2, 2});
+    // (s * t) applies t first, then s.
+    r = (s * t).transformPoint({1, 1, 1}).xyz();
+    expectVec3Near(r, Vec3{4, 2, 2});
+}
+
+TEST(Mat4, LookAtMapsEyeToOrigin)
+{
+    Vec3 eye{3, 4, 5};
+    Mat4 v = Mat4::lookAt(eye, {0, 0, 0}, {0, 1, 0});
+    expectVec3Near(v.transformPoint(eye).xyz(), Vec3{0, 0, 0}, 1e-4f);
+}
+
+TEST(Mat4, LookAtLooksDownNegativeZ)
+{
+    Mat4 v = Mat4::lookAt({0, 0, 10}, {0, 0, 0}, {0, 1, 0});
+    // A point in front of the eye must land on the -z axis.
+    Vec3 r = v.transformPoint({0, 0, 0}).xyz();
+    EXPECT_NEAR(r.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.y, 0.0f, 1e-5f);
+    EXPECT_LT(r.z, 0.0f);
+}
+
+TEST(Mat4, PerspectiveMapsNearFarPlanes)
+{
+    float near = 1.0f, far = 100.0f;
+    Mat4 p = Mat4::perspective(1.0f, 1.0f, near, far);
+    // Points on the near/far planes map to ndc z = -1 / +1.
+    Vec4 pn = p.transformPoint({0, 0, -near});
+    Vec4 pf = p.transformPoint({0, 0, -far});
+    EXPECT_NEAR(pn.project().z, -1.0f, 1e-5f);
+    EXPECT_NEAR(pf.project().z, 1.0f, 1e-4f);
+    // w equals the view-space distance.
+    EXPECT_NEAR(pn.w, near, 1e-5f);
+    EXPECT_NEAR(pf.w, far, 1e-4f);
+}
+
+TEST(Mat4, PerspectiveFovEdges)
+{
+    // With fovy = 90 degrees, a point at 45 degrees up maps to the top
+    // edge of the frustum (ndc y = 1).
+    Mat4 p = Mat4::perspective(3.14159265f / 2.0f, 1.0f, 0.1f, 10.0f);
+    Vec4 r = p.transformPoint({0, 5, -5});
+    EXPECT_NEAR(r.project().y, 1.0f, 1e-5f);
+}

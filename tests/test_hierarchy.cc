@@ -1,0 +1,96 @@
+/** @file Tests for the two-level (private L1 + shared L2) hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+
+using namespace texcache;
+
+namespace {
+
+const CacheConfig kL1{1024, 32, 2};
+const CacheConfig kL2{16 * 1024, 32, 4};
+
+} // namespace
+
+TEST(Hierarchy, MissPathEscalates)
+{
+    TwoLevelCache h(2, kL1, kL2);
+    EXPECT_EQ(h.access(0, 0), HierarchyHit::Memory); // cold everywhere
+    EXPECT_EQ(h.access(0, 0), HierarchyHit::L1);     // now in L1 #0
+    // Same line from the other generator: misses its L1, hits the
+    // shared L2 - the read-only sharing the design exploits.
+    EXPECT_EQ(h.access(1, 0), HierarchyHit::L2);
+    EXPECT_EQ(h.access(1, 0), HierarchyHit::L1);
+}
+
+TEST(Hierarchy, L2SeesOnlyL1Misses)
+{
+    TwoLevelCache h(1, kL1, kL2);
+    for (int i = 0; i < 100; ++i)
+        h.access(0, 0); // 1 miss + 99 L1 hits
+    EXPECT_EQ(h.l1Stats(0).accesses, 100u);
+    EXPECT_EQ(h.l2Stats().accesses, 1u);
+    EXPECT_EQ(h.memoryFills(), 1u);
+}
+
+TEST(Hierarchy, SharedL2AbsorbsCrossGeneratorRefetches)
+{
+    // Interleave one working set across 4 generators: private L1s
+    // each re-fetch the lines, but only the first touch reaches
+    // memory.
+    TwoLevelCache h(4, kL1, kL2);
+    for (unsigned pass = 0; pass < 4; ++pass)
+        for (uint64_t line = 0; line < 64; ++line)
+            h.access((pass + static_cast<unsigned>(line)) % 4,
+                     line * 32);
+    EXPECT_EQ(h.memoryFills(), 64u);
+    EXPECT_GT(h.l2Stats().accesses, 64u); // cross-generator misses
+}
+
+TEST(Hierarchy, TotalAccessesSumsL1s)
+{
+    TwoLevelCache h(3, kL1, kL2);
+    h.access(0, 0);
+    h.access(1, 32);
+    h.access(1, 64);
+    h.access(2, 0);
+    EXPECT_EQ(h.totalAccesses(), 4u);
+}
+
+TEST(Hierarchy, MemoryBytesUseL2Line)
+{
+    CacheConfig l2 = kL2;
+    l2.lineBytes = 128;
+    TwoLevelCache h(1, kL1, l2);
+    h.access(0, 0);
+    EXPECT_EQ(h.memoryBytes(), 128u);
+}
+
+TEST(Hierarchy, RejectsBadGeometry)
+{
+    EXPECT_EXIT(TwoLevelCache(0, kL1, kL2),
+                ::testing::ExitedWithCode(1), "at least one");
+    CacheConfig small_line = kL2;
+    small_line.lineBytes = 16;
+    EXPECT_EXIT(TwoLevelCache(1, kL1, small_line),
+                ::testing::ExitedWithCode(1), "smaller than L1");
+}
+
+TEST(Hierarchy, NeverWorseThanNoL2OnMemoryTraffic)
+{
+    // Property: for any trace, memory fills through the hierarchy are
+    // at most the L1s' total misses (the L2 can only filter).
+    Rng rng(3);
+    TwoLevelCache h(2, kL1, kL2);
+    uint64_t cursor = 0;
+    for (int i = 0; i < 20000; ++i) {
+        cursor = (cursor + rng.below(256)) & 0x7fff;
+        h.access(rng.below(2), cursor);
+    }
+    uint64_t l1_misses =
+        h.l1Stats(0).misses + h.l1Stats(1).misses;
+    EXPECT_LE(h.memoryFills(), l1_misses);
+    EXPECT_EQ(h.l2Stats().accesses, l1_misses);
+}

@@ -1,0 +1,347 @@
+/** @file
+ * Unit and property tests for the texture memory representations
+ * (paper sections 5 and 6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "layout/blocked.hh"
+#include "layout/layout.hh"
+#include "layout/nonblocked.hh"
+#include "layout/williams.hh"
+
+using namespace texcache;
+
+namespace {
+
+std::vector<LevelDims>
+pyramid(unsigned w, unsigned h)
+{
+    std::vector<LevelDims> d;
+    while (true) {
+        d.push_back({w, h});
+        if (w == 1 && h == 1)
+            break;
+        w = w > 1 ? w / 2 : 1;
+        h = h > 1 ? h / 2 : 1;
+    }
+    return d;
+}
+
+} // namespace
+
+TEST(AddressSpace, AlignsAndGrows)
+{
+    AddressSpace space(4096);
+    Addr a = space.allocate(100);
+    Addr b = space.allocate(100);
+    EXPECT_EQ(a % 4096, 0u);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(space.used(), b + 100);
+}
+
+TEST(AddressSpace, RejectsNonPowerAlignment)
+{
+    EXPECT_EXIT(AddressSpace(100), ::testing::ExitedWithCode(1),
+                "not a power of two");
+}
+
+TEST(Nonblocked, MatchesPaperFormula)
+{
+    // Texel address = base + ((tv << lw) + tu) * 4.
+    AddressSpace space;
+    NonblockedLayout lay(pyramid(8, 8), space);
+    Addr a0[3], a1[3], a2[3];
+    lay.addresses({0, 0, 0}, a0);
+    lay.addresses({0, 3, 0}, a1);
+    lay.addresses({0, 0, 2}, a2);
+    EXPECT_EQ(a1[0] - a0[0], 3u * 4);
+    EXPECT_EQ(a2[0] - a0[0], 2u * 8 * 4);
+}
+
+TEST(Nonblocked, LevelsAreDisjointArrays)
+{
+    AddressSpace space;
+    NonblockedLayout lay(pyramid(16, 16), space);
+    Addr lo[3], hi[3];
+    lay.addresses({0, 15, 15}, lo); // last texel of level 0
+    lay.addresses({1, 0, 0}, hi);   // first texel of level 1
+    EXPECT_GE(hi[0], lo[0] + 4);
+}
+
+TEST(Williams, EmitsThreeComponentAddresses)
+{
+    AddressSpace space;
+    WilliamsLayout lay(pyramid(8, 8), space);
+    Addr a[3];
+    EXPECT_EQ(lay.addresses({0, 0, 0}, a), 3u);
+    // Component planes are separated by power-of-two offsets: R at
+    // (8,0), G at (0,8), B at (8,8) in a 16-wide byte array.
+    EXPECT_EQ(a[1] - a[0], 8u * 16 - 8); // G - R
+    EXPECT_EQ(a[2] - a[0], 8u * 16);     // B - R
+}
+
+TEST(Williams, RejectsNonSquareTextures)
+{
+    AddressSpace space;
+    EXPECT_EXIT(WilliamsLayout(pyramid(8, 32), space),
+                ::testing::ExitedWithCode(1), "square");
+}
+
+TEST(Williams, CostReflectsThreeAccesses)
+{
+    AddressSpace space;
+    WilliamsLayout lay(pyramid(8, 8), space);
+    EXPECT_EQ(lay.cost().accessesPerTexel, 3u);
+}
+
+TEST(Blocked, TexelsWithinBlockAreContiguous)
+{
+    AddressSpace space;
+    BlockedLayout lay(pyramid(16, 16), space, 4, 4);
+    // All 16 texels of block (0,0) of level 0 occupy one 64-byte run.
+    Addr base[3];
+    lay.addresses({0, 0, 0}, base);
+    std::set<Addr> seen;
+    for (unsigned v = 0; v < 4; ++v)
+        for (unsigned u = 0; u < 4; ++u) {
+            Addr a[3];
+            lay.addresses({0, static_cast<uint16_t>(u),
+                           static_cast<uint16_t>(v)},
+                          a);
+            EXPECT_GE(a[0], base[0]);
+            EXPECT_LT(a[0], base[0] + 64);
+            seen.insert(a[0]);
+        }
+    EXPECT_EQ(seen.size(), 16u); // all distinct
+}
+
+TEST(Blocked, NeighboringBlocksAreBlockBytesApart)
+{
+    AddressSpace space;
+    BlockedLayout lay(pyramid(32, 32), space, 4, 4);
+    Addr a[3], b[3];
+    lay.addresses({0, 0, 0}, a);
+    lay.addresses({0, 4, 0}, b); // next block in the row
+    EXPECT_EQ(b[0] - a[0], 4u * 4 * 4);
+}
+
+TEST(Blocked, MatchesPaperTwoStepFormula)
+{
+    // Verify against a hand-computed example: 16x16 level, 4x4 blocks.
+    // Texel (tu=7, tv=5): bx=1, by=1, sx=3, sy=1.
+    // rs = width*bh*4 = 16*4*4 = 256; bs = 64.
+    // addr = base + 1*256 + 1*64 + (1*4 + 3)*4 = base + 348.
+    AddressSpace space;
+    BlockedLayout lay(pyramid(16, 16), space, 4, 4);
+    Addr base[3], t[3];
+    lay.addresses({0, 0, 0}, base);
+    lay.addresses({0, 7, 5}, t);
+    EXPECT_EQ(t[0] - base[0], 256u + 64 + 28);
+}
+
+TEST(Blocked, CoarseLevelsClampBlockDims)
+{
+    // A 2x2 level with 8x8 blocks must still address within 2x2*4
+    // bytes and stay bijective.
+    AddressSpace space;
+    BlockedLayout lay(pyramid(8, 8), space, 8, 8);
+    std::set<Addr> seen;
+    for (unsigned v = 0; v < 2; ++v)
+        for (unsigned u = 0; u < 2; ++u) {
+            Addr a[3];
+            lay.addresses({2, static_cast<uint16_t>(u),
+                           static_cast<uint16_t>(v)},
+                          a);
+            seen.insert(a[0]);
+        }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Padded, ShiftsBlockRowsApart)
+{
+    // With pad blocks, vertically adjacent blocks differ by the pad in
+    // addition to the row stride.
+    AddressSpace s1, s2;
+    BlockedLayout plain(pyramid(64, 64), s1, 8, 8);
+    PaddedBlockedLayout padded(pyramid(64, 64), s2, 8, 8, 4);
+
+    Addr p0[3], p1[3], q0[3], q1[3];
+    plain.addresses({0, 0, 0}, p0);
+    plain.addresses({0, 0, 8}, p1); // next block row
+    padded.addresses({0, 0, 0}, q0);
+    padded.addresses({0, 0, 8}, q1);
+
+    uint64_t plain_stride = p1[0] - p0[0];
+    uint64_t padded_stride = q1[0] - q0[0];
+    // Pad = 4 blocks of 8x8 texels = 1024 bytes.
+    EXPECT_EQ(padded_stride, plain_stride + 4u * 8 * 8 * 4);
+}
+
+TEST(Padded, FootprintIncludesPad)
+{
+    AddressSpace s1, s2;
+    BlockedLayout plain(pyramid(64, 64), s1, 8, 8);
+    PaddedBlockedLayout padded(pyramid(64, 64), s2, 8, 8, 4);
+    EXPECT_GT(padded.footprint(), plain.footprint());
+}
+
+TEST(Blocked6D, SuperBlockFitsCoarseBudget)
+{
+    AddressSpace space;
+    Blocked6DLayout lay(pyramid(256, 256), space, 8, 8, 32 * 1024);
+    // Largest square power-of-two region <= 32 KB at 4 B/texel: 64x64
+    // (16 KB); 128x128 would be 64 KB.
+    EXPECT_EQ(lay.coarseW(), 64u);
+    uint64_t bytes =
+        static_cast<uint64_t>(lay.coarseW()) * lay.coarseW() * 4;
+    EXPECT_LE(bytes, 32u * 1024);
+}
+
+TEST(Blocked6D, SuperBlockIsContiguous)
+{
+    AddressSpace space;
+    Blocked6DLayout lay(pyramid(256, 256), space, 8, 8, 32 * 1024);
+    unsigned cw = lay.coarseW();
+    uint64_t cb_bytes = static_cast<uint64_t>(cw) * cw * 4;
+    Addr first[3];
+    lay.addresses({0, 0, 0}, first);
+    // Every texel of super-block (0,0) lands inside one cb_bytes run.
+    for (unsigned v = 0; v < cw; v += 7)
+        for (unsigned u = 0; u < cw; u += 7) {
+            Addr a[3];
+            lay.addresses({0, static_cast<uint16_t>(u),
+                           static_cast<uint16_t>(v)},
+                          a);
+            ASSERT_GE(a[0], first[0]);
+            ASSERT_LT(a[0], first[0] + cb_bytes);
+        }
+    // And the next super-block starts exactly cb_bytes later.
+    Addr next[3];
+    lay.addresses({0, static_cast<uint16_t>(cw), 0}, next);
+    EXPECT_EQ(next[0] - first[0], cb_bytes);
+}
+
+TEST(LayoutFactory, BuildsEveryKind)
+{
+    for (LayoutKind k :
+         {LayoutKind::Williams, LayoutKind::Nonblocked,
+          LayoutKind::Blocked, LayoutKind::PaddedBlocked,
+          LayoutKind::Blocked6D}) {
+        AddressSpace space;
+        LayoutParams p;
+        p.kind = k;
+        auto lay = makeLayout(p, pyramid(32, 32), space);
+        ASSERT_NE(lay, nullptr);
+        EXPECT_GT(lay->footprint(), 0u);
+        EXPECT_FALSE(lay->name().empty());
+    }
+}
+
+TEST(LayoutCosts, BlockedFamilyAddsTheStatedAdders)
+{
+    // Section 5.3.1: blocked costs two extra adds over nonblocked;
+    // section 6.2: padding adds one more, 6-D blocking two more.
+    AddressSpace s;
+    NonblockedLayout base(pyramid(8, 8), s);
+    BlockedLayout blocked(pyramid(8, 8), s, 4, 4);
+    PaddedBlockedLayout padded(pyramid(8, 8), s, 4, 4, 4);
+    Blocked6DLayout six(pyramid(8, 8), s, 4, 4, 32 * 1024);
+    EXPECT_EQ(blocked.cost().adds, base.cost().adds + 2);
+    EXPECT_EQ(padded.cost().adds, blocked.cost().adds + 1);
+    EXPECT_EQ(six.cost().adds, blocked.cost().adds + 2);
+}
+
+/**
+ * Property test: every layout maps distinct texel coordinates to
+ * distinct primary addresses (bijectivity), across the whole pyramid,
+ * including levels smaller than the block dimensions.
+ */
+class LayoutBijectivity
+    : public ::testing::TestWithParam<std::tuple<LayoutKind, unsigned,
+                                                 unsigned>>
+{};
+
+TEST_P(LayoutBijectivity, DistinctTexelsDistinctAddresses)
+{
+    auto [kind, w, h] = GetParam();
+    if (kind == LayoutKind::Williams && w != h)
+        GTEST_SKIP() << "Williams requires square textures";
+    AddressSpace space;
+    LayoutParams p;
+    p.kind = kind;
+    p.blockW = 4;
+    p.blockH = 4;
+    p.padBlocks = 2;
+    p.coarseBytes = 4 * 1024;
+    auto lay = makeLayout(p, pyramid(w, h), space);
+
+    std::set<Addr> seen;
+    uint64_t texels = 0;
+    for (unsigned l = 0; l < lay->numLevels(); ++l) {
+        LevelDims d = lay->dims(l);
+        for (unsigned v = 0; v < d.h; ++v)
+            for (unsigned u = 0; u < d.w; ++u) {
+                Addr a[3];
+                unsigned n = lay->addresses(
+                    {static_cast<uint16_t>(l),
+                     static_cast<uint16_t>(u),
+                     static_cast<uint16_t>(v)},
+                    a);
+                // Primary address unique across the texture. (For
+                // Williams all three component addresses must be
+                // globally unique.)
+                for (unsigned i = 0; i < n; ++i)
+                    ASSERT_TRUE(seen.insert(a[i]).second)
+                        << lay->name() << " level " << l << " (" << u
+                        << "," << v << ")";
+                ++texels;
+            }
+    }
+    EXPECT_GT(texels, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayoutsAndShapes, LayoutBijectivity,
+    ::testing::Combine(
+        ::testing::Values(LayoutKind::Williams, LayoutKind::Nonblocked,
+                          LayoutKind::Blocked, LayoutKind::PaddedBlocked,
+                          LayoutKind::Blocked6D),
+        ::testing::Values(8u, 32u, 64u), ::testing::Values(8u, 32u)));
+
+/** Addresses always fall inside the texture's allocated footprint. */
+class LayoutContainment : public ::testing::TestWithParam<LayoutKind>
+{};
+
+TEST_P(LayoutContainment, AddressesWithinFootprint)
+{
+    AddressSpace space;
+    LayoutParams p;
+    p.kind = GetParam();
+    auto lay = makeLayout(p, pyramid(32, 32), space);
+    uint64_t hi = space.used();
+    for (unsigned l = 0; l < lay->numLevels(); ++l) {
+        LevelDims d = lay->dims(l);
+        for (unsigned v = 0; v < d.h; ++v)
+            for (unsigned u = 0; u < d.w; ++u) {
+                Addr a[3];
+                unsigned n = lay->addresses(
+                    {static_cast<uint16_t>(l),
+                     static_cast<uint16_t>(u),
+                     static_cast<uint16_t>(v)},
+                    a);
+                for (unsigned i = 0; i < n; ++i)
+                    ASSERT_LT(a[i], hi);
+            }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, LayoutContainment,
+    ::testing::Values(LayoutKind::Williams, LayoutKind::Nonblocked,
+                      LayoutKind::Blocked, LayoutKind::PaddedBlocked,
+                      LayoutKind::Blocked6D));

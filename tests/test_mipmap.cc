@@ -1,0 +1,78 @@
+/** @file Unit tests for the mip-map pyramid builder. */
+
+#include <gtest/gtest.h>
+
+#include "img/procedural.hh"
+#include "texture/mipmap.hh"
+
+using namespace texcache;
+
+TEST(MipMap, LevelCountAndDims)
+{
+    MipMap m(Image(64, 64));
+    EXPECT_EQ(m.numLevels(), 7u); // 64,32,16,8,4,2,1
+    EXPECT_EQ(m.width(0), 64u);
+    EXPECT_EQ(m.width(6), 1u);
+    EXPECT_EQ(m.height(3), 8u);
+}
+
+TEST(MipMap, NonSquareClampsAtOne)
+{
+    MipMap m(Image(16, 4));
+    // 16x4, 8x2, 4x1, 2x1, 1x1 -> 5 levels.
+    EXPECT_EQ(m.numLevels(), 5u);
+    EXPECT_EQ(m.width(2), 4u);
+    EXPECT_EQ(m.height(2), 1u);
+    EXPECT_EQ(m.width(4), 1u);
+    EXPECT_EQ(m.height(4), 1u);
+}
+
+TEST(MipMap, RejectsNonPowerOfTwo)
+{
+    EXPECT_EXIT(MipMap(Image(48, 64)), ::testing::ExitedWithCode(1),
+                "not powers of two");
+}
+
+TEST(MipMap, ConstantImageStaysConstant)
+{
+    MipMap m(Image(32, 32, Rgba8{100, 150, 200, 255}));
+    for (unsigned l = 0; l < m.numLevels(); ++l) {
+        const Image &img = m.level(l);
+        for (unsigned y = 0; y < img.height(); ++y)
+            for (unsigned x = 0; x < img.width(); ++x)
+                ASSERT_EQ(img.texel(x, y),
+                          (Rgba8{100, 150, 200, 255}));
+    }
+}
+
+TEST(MipMap, BoxFilterAverages2x2)
+{
+    Image base(2, 2);
+    base.at(0, 0) = {0, 0, 0, 255};
+    base.at(1, 0) = {40, 0, 0, 255};
+    base.at(0, 1) = {80, 0, 0, 255};
+    base.at(1, 1) = {120, 0, 0, 255};
+    MipMap m(std::move(base));
+    ASSERT_EQ(m.numLevels(), 2u);
+    EXPECT_EQ(m.level(1).at(0, 0).r, 60); // (0+40+80+120+2)/4 = 60
+}
+
+TEST(MipMap, CheckerCollapsesToGray)
+{
+    MipMap m(makeChecker(16, 16, Rgba8{0, 0, 0, 255},
+                         Rgba8{255, 255, 255, 255}));
+    // One checker cell per pixel; the first filtered level averages
+    // one black and one white texel pair -> mid gray everywhere.
+    const Image &l1 = m.level(1);
+    for (unsigned y = 0; y < l1.height(); ++y)
+        for (unsigned x = 0; x < l1.width(); ++x)
+            ASSERT_NEAR(l1.texel(x, y).r, 128, 1);
+}
+
+TEST(MipMap, StorageBytesIsFourThirds)
+{
+    MipMap m(Image(256, 256));
+    uint64_t base = 256ull * 256 * kBytesPerTexel;
+    EXPECT_GT(m.storageBytes(), base);
+    EXPECT_LT(m.storageBytes(), base * 4 / 3 + 64);
+}

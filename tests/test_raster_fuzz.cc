@@ -1,0 +1,165 @@
+/** @file
+ * Randomized property tests for triangle setup and rasterization:
+ * seeded fuzz over triangle shapes, checking coverage invariants that
+ * must hold for *any* input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+#include "raster/rasterizer.hh"
+
+using namespace texcache;
+
+namespace {
+
+ScreenVertex
+randomVertex(Rng &rng, float span)
+{
+    ScreenVertex v;
+    v.x = rng.uniform(-span * 0.2f, span * 1.2f);
+    v.y = rng.uniform(-span * 0.2f, span * 1.2f);
+    v.z = rng.uniform();
+    v.invW = 1.0f / rng.uniform(0.5f, 8.0f);
+    v.uOverW = rng.uniform() * v.invW;
+    v.vOverW = rng.uniform() * v.invW;
+    v.shade = rng.uniform();
+    return v;
+}
+
+} // namespace
+
+class RasterFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RasterFuzz, FragmentsAreInBoundsAndFinite)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 200; ++t) {
+        TriangleSetup tri(randomVertex(rng, 64), randomVertex(rng, 64),
+                          randomVertex(rng, 64));
+        rasterizeTriangle(tri, 64, 64, RasterOrder::horizontal(),
+                          [&](const Fragment &f) {
+                              ASSERT_GE(f.x, 0);
+                              ASSERT_LT(f.x, 64);
+                              ASSERT_GE(f.y, 0);
+                              ASSERT_LT(f.y, 64);
+                              ASSERT_TRUE(std::isfinite(f.u));
+                              ASSERT_TRUE(std::isfinite(f.v));
+                              ASSERT_TRUE(std::isfinite(f.dudx));
+                              ASSERT_TRUE(std::isfinite(f.dvdy));
+                          });
+    }
+}
+
+TEST_P(RasterFuzz, AllTraversalOrdersAgreeOnCoverage)
+{
+    Rng rng(GetParam() + 1000);
+    for (int t = 0; t < 50; ++t) {
+        TriangleSetup tri(randomVertex(rng, 48), randomVertex(rng, 48),
+                          randomVertex(rng, 48));
+        std::set<std::pair<int, int>> ref;
+        rasterizeTriangle(tri, 48, 48, RasterOrder::horizontal(),
+                          [&](const Fragment &f) {
+                              ref.insert({f.x, f.y});
+                          });
+        for (RasterOrder o :
+             {RasterOrder::vertical(), RasterOrder::tiledOrder(8, 8),
+              RasterOrder::tiledOrder(4, 16,
+                                      ScanDirection::Vertical),
+              RasterOrder::hilbertOrder()}) {
+            std::set<std::pair<int, int>> got;
+            size_t visits = 0;
+            rasterizeTriangle(tri, 48, 48, o, [&](const Fragment &f) {
+                got.insert({f.x, f.y});
+                ++visits;
+            });
+            ASSERT_EQ(got, ref) << o.str() << " triangle " << t;
+            ASSERT_EQ(visits, got.size()) << "duplicate fragments";
+        }
+    }
+}
+
+TEST_P(RasterFuzz, MeshPartitionCoversEachPixelOnce)
+{
+    // Split the screen rectangle at a random interior point into 4
+    // triangles; every interior pixel must be covered exactly once
+    // (the fill-rule watertightness property that keeps fragment
+    // counts exact in the renderer).
+    Rng rng(GetParam() + 77);
+    for (int t = 0; t < 40; ++t) {
+        float cx = rng.uniform(8.0f, 40.0f);
+        float cy = rng.uniform(8.0f, 40.0f);
+        ScreenVertex c;
+        c.x = cx;
+        c.y = cy;
+        c.invW = 1.0f;
+        auto corner = [](float x, float y) {
+            ScreenVertex v;
+            v.x = x;
+            v.y = y;
+            v.invW = 1.0f;
+            return v;
+        };
+        ScreenVertex p0 = corner(2, 2), p1 = corner(46, 2),
+                     p2 = corner(46, 46), p3 = corner(2, 46);
+        TriangleSetup tris[4] = {{c, p0, p1},
+                                 {c, p1, p2},
+                                 {c, p2, p3},
+                                 {c, p3, p0}};
+        Fragment f;
+        for (int y = 3; y < 45; ++y) {
+            for (int x = 3; x < 45; ++x) {
+                int hits = 0;
+                for (auto &tr : tris)
+                    hits += tr.shade(x, y, f);
+                ASSERT_EQ(hits, 1)
+                    << "(" << x << "," << y << ") center (" << cx
+                    << "," << cy << ")";
+            }
+        }
+    }
+}
+
+TEST_P(RasterFuzz, CoverageMatchesSignedArea)
+{
+    // Over many random triangles, total covered pixels approximate
+    // total geometric area (within a perimeter-proportional error).
+    Rng rng(GetParam() + 31);
+    double total_area = 0.0;
+    uint64_t total_covered = 0;
+    double total_perimeter = 0.0;
+    for (int t = 0; t < 100; ++t) {
+        ScreenVertex a = randomVertex(rng, 96);
+        ScreenVertex b = randomVertex(rng, 96);
+        ScreenVertex c = randomVertex(rng, 96);
+        // Keep fully on screen to make the area bookkeeping exact.
+        auto clampv = [](ScreenVertex &v) {
+            v.x = std::min(std::max(v.x, 1.0f), 95.0f);
+            v.y = std::min(std::max(v.y, 1.0f), 95.0f);
+        };
+        clampv(a);
+        clampv(b);
+        clampv(c);
+        TriangleSetup tri(a, b, c);
+        if (!tri.valid())
+            continue;
+        total_area += tri.area2() / 2.0;
+        auto dist = [](const ScreenVertex &p, const ScreenVertex &q) {
+            return std::sqrt((p.x - q.x) * (p.x - q.x) +
+                             (p.y - q.y) * (p.y - q.y));
+        };
+        total_perimeter += dist(a, b) + dist(b, c) + dist(c, a);
+        rasterizeTriangle(tri, 96, 96, RasterOrder::horizontal(),
+                          [&](const Fragment &) { ++total_covered; });
+    }
+    EXPECT_NEAR(static_cast<double>(total_covered), total_area,
+                total_perimeter + 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RasterFuzz,
+                         ::testing::Values(1ull, 2ull, 3ull, 17ull,
+                                           2024ull));

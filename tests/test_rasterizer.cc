@@ -1,0 +1,158 @@
+/** @file Tests for pixel traversal orders and triangle rasterization. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "raster/rasterizer.hh"
+
+using namespace texcache;
+
+namespace {
+
+std::vector<std::pair<int, int>>
+visitOrder(const PixelRect &r, const RasterOrder &o)
+{
+    std::vector<std::pair<int, int>> seq;
+    traverseRect(r, o, [&](int x, int y) { seq.emplace_back(x, y); });
+    return seq;
+}
+
+ScreenVertex
+sv(float x, float y)
+{
+    ScreenVertex r;
+    r.x = x;
+    r.y = y;
+    r.invW = 1.0f;
+    return r;
+}
+
+} // namespace
+
+TEST(Traversal, HorizontalIsRowMajor)
+{
+    auto seq = visitOrder({0, 0, 2, 1}, RasterOrder::horizontal());
+    std::vector<std::pair<int, int>> expect = {{0, 0}, {1, 0}, {2, 0},
+                                               {0, 1}, {1, 1}, {2, 1}};
+    EXPECT_EQ(seq, expect);
+}
+
+TEST(Traversal, VerticalIsColumnMajor)
+{
+    auto seq = visitOrder({0, 0, 1, 2}, RasterOrder::vertical());
+    std::vector<std::pair<int, int>> expect = {{0, 0}, {0, 1}, {0, 2},
+                                               {1, 0}, {1, 1}, {1, 2}};
+    EXPECT_EQ(seq, expect);
+}
+
+TEST(Traversal, EmptyRectVisitsNothing)
+{
+    auto seq = visitOrder(PixelRect{}, RasterOrder::horizontal());
+    EXPECT_TRUE(seq.empty());
+}
+
+TEST(Traversal, AllOrdersVisitTheSamePixelSet)
+{
+    PixelRect r{3, 5, 20, 17};
+    std::set<std::pair<int, int>> ref;
+    for (auto &p : visitOrder(r, RasterOrder::horizontal()))
+        ref.insert(p);
+    for (RasterOrder o : {RasterOrder::vertical(),
+                          RasterOrder::tiledOrder(8, 8),
+                          RasterOrder::tiledOrder(4, 4,
+                                                  ScanDirection::Vertical),
+                          RasterOrder::tiledOrder(16, 2)}) {
+        auto seq = visitOrder(r, o);
+        std::set<std::pair<int, int>> got(seq.begin(), seq.end());
+        EXPECT_EQ(got, ref) << o.str();
+        EXPECT_EQ(seq.size(), ref.size()) << o.str(); // no duplicates
+    }
+}
+
+TEST(Traversal, TiledVisitsWholeTileBeforeNext)
+{
+    // Tiles aligned to the screen origin: rect {0,0,15,15} with 8x8
+    // tiles -> 4 tiles of 64 pixels each, visited contiguously.
+    auto seq = visitOrder({0, 0, 15, 15}, RasterOrder::tiledOrder(8, 8));
+    ASSERT_EQ(seq.size(), 256u);
+    auto tile_of = [](std::pair<int, int> p) {
+        return std::make_pair(p.first / 8, p.second / 8);
+    };
+    for (size_t i = 0; i < seq.size(); ++i) {
+        size_t tile_index = i / 64;
+        std::pair<int, int> expect_tile = {
+            static_cast<int>(tile_index % 2),
+            static_cast<int>(tile_index / 2)};
+        ASSERT_EQ(tile_of(seq[i]), expect_tile) << "i=" << i;
+    }
+}
+
+TEST(Traversal, TiledVerticalOrdersTilesByColumn)
+{
+    auto seq = visitOrder({0, 0, 15, 15},
+                          RasterOrder::tiledOrder(
+                              8, 8, ScanDirection::Vertical));
+    // First 128 pixels come from tile column 0 (x < 8).
+    for (size_t i = 0; i < 128; ++i)
+        ASSERT_LT(seq[i].first, 8);
+    for (size_t i = 128; i < 256; ++i)
+        ASSERT_GE(seq[i].first, 8);
+}
+
+TEST(Traversal, TilesAreScreenAlignedForOffsetRects)
+{
+    // A rect straddling a tile boundary: the partial tile is visited
+    // first, exactly as a full-screen tiled pass would reach it.
+    auto seq = visitOrder({6, 0, 9, 1}, RasterOrder::tiledOrder(8, 8));
+    std::vector<std::pair<int, int>> expect = {
+        {6, 0}, {7, 0}, {6, 1}, {7, 1}, // tile 0 part
+        {8, 0}, {9, 0}, {8, 1}, {9, 1}, // tile 1 part
+    };
+    EXPECT_EQ(seq, expect);
+}
+
+TEST(Rasterize, OrdersProduceSameFragmentSet)
+{
+    TriangleSetup t(sv(2, 3), sv(40, 7), sv(11, 37));
+    std::set<std::pair<int, int>> ref;
+    rasterizeTriangle(t, 64, 64, RasterOrder::horizontal(),
+                      [&](const Fragment &f) {
+                          ref.insert({f.x, f.y});
+                      });
+    ASSERT_FALSE(ref.empty());
+    for (RasterOrder o : {RasterOrder::vertical(),
+                          RasterOrder::tiledOrder(8, 8)}) {
+        std::set<std::pair<int, int>> got;
+        rasterizeTriangle(t, 64, 64, o, [&](const Fragment &f) {
+            got.insert({f.x, f.y});
+        });
+        EXPECT_EQ(got, ref) << o.str();
+    }
+}
+
+TEST(Rasterize, ClipsToScreen)
+{
+    TriangleSetup t(sv(-20, -20), sv(200, -20), sv(-20, 200));
+    unsigned count = 0;
+    rasterizeTriangle(t, 32, 32, RasterOrder::horizontal(),
+                      [&](const Fragment &f) {
+                          EXPECT_GE(f.x, 0);
+                          EXPECT_GE(f.y, 0);
+                          EXPECT_LT(f.x, 32);
+                          EXPECT_LT(f.y, 32);
+                          ++count;
+                      });
+    EXPECT_EQ(count, 32u * 32u); // triangle covers the whole screen
+}
+
+TEST(RasterOrder, StringNames)
+{
+    EXPECT_EQ(RasterOrder::horizontal().str(), "horizontal");
+    EXPECT_EQ(RasterOrder::vertical().str(), "vertical");
+    EXPECT_EQ(RasterOrder::tiledOrder(8, 8).str(), "tiled-8x8-horizontal");
+    EXPECT_EQ(RasterOrder::tiledOrder(4, 2, ScanDirection::Vertical).str(),
+              "tiled-4x2-vertical");
+}

@@ -1,0 +1,101 @@
+/** @file
+ * Renderer tests for geometry that crosses the near plane, plus the
+ * animated Flight camera used by the inter-frame study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/renderer.hh"
+#include "scene/benchmarks.hh"
+
+using namespace texcache;
+
+namespace {
+
+/** A ground plane running from in front of the camera to behind it. */
+Scene
+throughCameraScene()
+{
+    Scene s;
+    s.name = "through";
+    s.screenW = s.screenH = 64;
+    s.textures.emplace_back(Image(64, 64, Rgba8{200, 100, 50, 255}));
+    // Camera at origin looking down -z; quad spans z = -10 .. +5,
+    // so two of its vertices are behind the eye.
+    SceneVertex v0{{-5, -1, 5}, {0, 0}, 1.0f};
+    SceneVertex v1{{5, -1, 5}, {1, 0}, 1.0f};
+    SceneVertex v2{{5, -1, -10}, {1, 1}, 1.0f};
+    SceneVertex v3{{-5, -1, -10}, {0, 1}, 1.0f};
+    s.triangles.push_back({{v0, v1, v2}, 0});
+    s.triangles.push_back({{v0, v2, v3}, 0});
+    s.view = Mat4::identity();
+    s.proj = Mat4::perspective(1.2f, 1.0f, 0.5f, 100.0f);
+    return s;
+}
+
+} // namespace
+
+TEST(RendererClip, NearCrossingTrianglesStillRender)
+{
+    RenderOutput out =
+        render(throughCameraScene(), RasterOrder::horizontal());
+    // The visible part of the plane must produce fragments; nothing
+    // behind the eye may rasterize (no NaN/huge coordinates).
+    EXPECT_GT(out.stats.fragments, 100u);
+    EXPECT_LT(out.stats.fragments, 64u * 64u + 1);
+    EXPECT_EQ(out.stats.trianglesculled, 0u);
+    // Clipping splits the crossing triangles into more screen
+    // triangles than were submitted.
+    EXPECT_GE(out.stats.trianglesRasterized, 2u);
+}
+
+TEST(RendererClip, FullyBehindGeometryIsCulled)
+{
+    Scene s = throughCameraScene();
+    // Move everything behind the camera.
+    for (SceneTriangle &t : s.triangles)
+        for (SceneVertex &v : t.v)
+            v.pos.z = 10.0f + v.pos.z * 0.01f;
+    RenderOutput out = render(s, RasterOrder::horizontal());
+    EXPECT_EQ(out.stats.fragments, 0u);
+    EXPECT_EQ(out.stats.trianglesculled, 2u);
+}
+
+TEST(RendererClip, FragmentsStayOnScreen)
+{
+    RenderOptions opts;
+    opts.onFragment = [](const Fragment &f, const SampleResult &,
+                         uint16_t) {
+        ASSERT_GE(f.x, 0);
+        ASSERT_LT(f.x, 64);
+        ASSERT_GE(f.y, 0);
+        ASSERT_LT(f.y, 64);
+        ASSERT_TRUE(std::isfinite(f.u));
+        ASSERT_TRUE(std::isfinite(f.v));
+    };
+    render(throughCameraScene(), RasterOrder::horizontal(), opts);
+}
+
+TEST(FlightAnimation, FrameZeroMatchesDefaultScene)
+{
+    Scene a = makeFlightScene();
+    Scene b = makeFlightSceneAt(0.0f);
+    ASSERT_EQ(a.triangles.size(), b.triangles.size());
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(a.view.m[r][c], b.view.m[r][c]);
+}
+
+TEST(FlightAnimation, LaterFramesMoveTheCamera)
+{
+    Scene a = makeFlightSceneAt(0.0f);
+    Scene b = makeFlightSceneAt(2.0f);
+    bool differs = false;
+    for (int r = 0; r < 4 && !differs; ++r)
+        for (int c = 0; c < 4 && !differs; ++c)
+            differs = a.view.m[r][c] != b.view.m[r][c];
+    EXPECT_TRUE(differs);
+    // Geometry and textures are the frame-invariant part.
+    EXPECT_EQ(a.triangles.size(), b.triangles.size());
+    EXPECT_EQ(a.textures.size(), b.textures.size());
+}

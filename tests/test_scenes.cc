@@ -1,0 +1,168 @@
+/** @file
+ * Tests that the generated benchmark scenes match the paper's Table 4.1
+ * characteristics (within the tolerance bands DESIGN.md commits to).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/renderer.hh"
+#include "scene/benchmarks.hh"
+#include "scene/mesh_util.hh"
+
+using namespace texcache;
+
+namespace {
+
+double
+mb(uint64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+} // namespace
+
+TEST(Scenes, FlightMatchesTable41)
+{
+    Scene s = makeFlightScene();
+    EXPECT_EQ(s.screenW, 1280u);
+    EXPECT_EQ(s.screenH, 1024u);
+    EXPECT_NEAR(s.triangles.size(), 9152.0, 9152.0 * 0.05);
+    EXPECT_EQ(s.textures.size(), 15u);
+    EXPECT_NEAR(mb(s.textureStorageBytes()), 56.0, 56.0 * 0.25);
+}
+
+TEST(Scenes, TownMatchesTable41)
+{
+    Scene s = makeTownScene();
+    EXPECT_EQ(s.screenW, 1280u);
+    EXPECT_NEAR(s.triangles.size(), 5317.0, 5317.0 * 0.05);
+    EXPECT_EQ(s.textures.size(), 51u);
+    EXPECT_NEAR(mb(s.textureStorageBytes()), 4.7, 4.7 * 0.25);
+}
+
+TEST(Scenes, GuitarMatchesTable41)
+{
+    Scene s = makeGuitarScene();
+    EXPECT_EQ(s.screenW, 800u);
+    EXPECT_NEAR(s.triangles.size(), 719.0, 719.0 * 0.05);
+    EXPECT_EQ(s.textures.size(), 8u);
+    EXPECT_NEAR(mb(s.textureStorageBytes()), 4.9, 4.9 * 0.25);
+}
+
+TEST(Scenes, GobletMatchesTable41)
+{
+    Scene s = makeGobletScene();
+    EXPECT_EQ(s.screenW, 800u);
+    EXPECT_EQ(s.triangles.size(), 7200u); // exactly 60 x 60 x 2
+    EXPECT_EQ(s.textures.size(), 1u);
+    EXPECT_NEAR(mb(s.textureStorageBytes()), 1.4, 1.4 * 0.25);
+}
+
+TEST(Scenes, AllTrianglesReferenceValidTextures)
+{
+    for (BenchScene b : allBenchScenes()) {
+        Scene s = makeScene(b);
+        for (const SceneTriangle &t : s.triangles)
+            ASSERT_LT(t.texture, s.textures.size()) << s.name;
+    }
+}
+
+TEST(Scenes, AllTexturesArePowerOfTwoMipped)
+{
+    for (BenchScene b : allBenchScenes()) {
+        Scene s = makeScene(b);
+        for (const MipMap &m : s.textures) {
+            ASSERT_GE(m.numLevels(), 1u);
+            ASSERT_EQ(m.width(m.numLevels() - 1), 1u);
+            ASSERT_EQ(m.height(m.numLevels() - 1), 1u);
+        }
+    }
+}
+
+TEST(Scenes, PaperScanDirections)
+{
+    EXPECT_EQ(paperScanDirection(BenchScene::Town),
+              ScanDirection::Vertical);
+    EXPECT_EQ(paperScanDirection(BenchScene::Flight),
+              ScanDirection::Horizontal);
+    EXPECT_EQ(paperScanDirection(BenchScene::Guitar),
+              ScanDirection::Horizontal);
+    EXPECT_EQ(paperScanDirection(BenchScene::Goblet),
+              ScanDirection::Horizontal);
+}
+
+TEST(Scenes, NamesAreStable)
+{
+    EXPECT_STREQ(benchSceneName(BenchScene::Flight), "Flight");
+    EXPECT_STREQ(benchSceneName(BenchScene::Town), "Town");
+    EXPECT_STREQ(benchSceneName(BenchScene::Guitar), "Guitar");
+    EXPECT_STREQ(benchSceneName(BenchScene::Goblet), "Goblet");
+}
+
+TEST(MeshUtil, QuadPatchTriangleCount)
+{
+    Scene s;
+    s.textures.emplace_back(Image(4, 4));
+    unsigned n = addQuadPatch(s, 0, {0, 0, 0}, {1, 0, 0}, {1, 1, 0},
+                              {0, 1, 0}, {0, 0}, {1, 1}, 3, 5,
+                              {0, 0, -1});
+    EXPECT_EQ(n, 30u);
+    EXPECT_EQ(s.triangles.size(), 30u);
+}
+
+TEST(MeshUtil, QuadPatchUvSpansRequestedRange)
+{
+    Scene s;
+    s.textures.emplace_back(Image(4, 4));
+    addQuadPatch(s, 0, {0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+                 {0, 0}, {3, 2}, 2, 2, {0, 0, -1});
+    float umax = 0, vmax = 0;
+    for (const SceneTriangle &t : s.triangles)
+        for (const SceneVertex &v : t.v) {
+            umax = std::max(umax, v.uv.x);
+            vmax = std::max(vmax, v.uv.y);
+        }
+    EXPECT_FLOAT_EQ(umax, 3.0f);
+    EXPECT_FLOAT_EQ(vmax, 2.0f);
+}
+
+TEST(MeshUtil, LambertShadeBounds)
+{
+    EXPECT_NEAR(lambertShade({0, 1, 0}, {0, -1, 0}), 1.0f, 1e-5f);
+    EXPECT_NEAR(lambertShade({0, 1, 0}, {0, 1, 0}), 0.35f, 1e-5f);
+    float s = lambertShade({1, 1, 0}, {0, -1, 0});
+    EXPECT_GT(s, 0.35f);
+    EXPECT_LT(s, 1.0f);
+}
+
+TEST(WorstCaseScene, FillsTheScreenAtUnitTexelRatio)
+{
+    Scene s = makeWorstCaseScene(256, 128, 0.0f);
+    RenderOptions opts;
+    opts.writeFramebuffer = false;
+    RenderOutput out = render(s, RasterOrder::horizontal(), opts);
+    // The quad covers the viewport exactly once.
+    EXPECT_EQ(out.stats.fragments, 128u * 128u);
+    // ~1 texel/pixel: LOD straddles 0, so fragments are bilinear or
+    // low-level trilinear, never deep in the pyramid.
+    out.trace.forEach([&](const TexelRecord &r) {
+        ASSERT_LE(r.level, 2);
+    });
+}
+
+TEST(WorstCaseScene, RotationChangesTheAccessPattern)
+{
+    Scene a = makeWorstCaseScene(128, 128, 0.0f);
+    Scene b = makeWorstCaseScene(128, 128, 0.7f);
+    RenderOptions opts;
+    opts.writeFramebuffer = false;
+    RenderOutput oa = render(a, RasterOrder::horizontal(), opts);
+    RenderOutput ob = render(b, RasterOrder::horizontal(), opts);
+    EXPECT_EQ(oa.stats.fragments, ob.stats.fragments);
+    // Different orientations touch different texel sequences.
+    bool differs = false;
+    size_t n = std::min(oa.trace.size(), ob.trace.size());
+    for (size_t i = 0; i < n && !differs; i += 1009)
+        differs = oa.trace[i].pack() != ob.trace[i].pack();
+    EXPECT_TRUE(differs);
+}

@@ -1,0 +1,153 @@
+/** @file
+ * Differential tests: the span rasterizer must produce bit-identical
+ * fragment sets (and attributes) to the bounding-box edge-function
+ * rasterizer, for any triangle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.hh"
+#include "raster/span_rasterizer.hh"
+
+using namespace texcache;
+
+namespace {
+
+ScreenVertex
+sv(float x, float y, float w = 1.0f, float u = 0.0f, float v = 0.0f)
+{
+    ScreenVertex r;
+    r.x = x;
+    r.y = y;
+    r.z = 0.5f;
+    r.invW = 1.0f / w;
+    r.uOverW = u / w;
+    r.vOverW = v / w;
+    return r;
+}
+
+ScreenVertex
+randomVertex(Rng &rng, float span)
+{
+    ScreenVertex v;
+    v.x = rng.uniform(-span * 0.3f, span * 1.3f);
+    v.y = rng.uniform(-span * 0.3f, span * 1.3f);
+    v.z = rng.uniform();
+    v.invW = 1.0f / rng.uniform(0.5f, 6.0f);
+    v.uOverW = rng.uniform() * v.invW;
+    v.vOverW = rng.uniform() * v.invW;
+    v.shade = rng.uniform();
+    return v;
+}
+
+using FragMap = std::map<std::pair<int, int>, Fragment>;
+
+FragMap
+collectBbox(const TriangleSetup &tri, unsigned w, unsigned h)
+{
+    FragMap m;
+    rasterizeTriangle(tri, w, h, RasterOrder::horizontal(),
+                      [&](const Fragment &f) {
+                          m[{f.x, f.y}] = f;
+                      });
+    return m;
+}
+
+FragMap
+collectSpans(const TriangleSetup &tri, unsigned w, unsigned h,
+             ScanDirection dir)
+{
+    FragMap m;
+    rasterizeTriangleSpans(tri, w, h, dir, [&](const Fragment &f) {
+        auto [it, fresh] = m.insert({{f.x, f.y}, f});
+        EXPECT_TRUE(fresh) << "duplicate fragment (" << f.x << ","
+                           << f.y << ")";
+    });
+    return m;
+}
+
+} // namespace
+
+TEST(SpanRasterizer, SimpleTriangleMatches)
+{
+    TriangleSetup tri(sv(2, 3), sv(40, 7), sv(11, 37));
+    FragMap a = collectBbox(tri, 64, 64);
+    FragMap b = collectSpans(tri, 64, 64, ScanDirection::Horizontal);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a.size(), b.size());
+    for (const auto &[k, f] : a)
+        ASSERT_TRUE(b.count(k)) << k.first << "," << k.second;
+}
+
+TEST(SpanRasterizer, AttributesMatchExactly)
+{
+    TriangleSetup tri(sv(0, 0, 1, 0, 0), sv(60, 4, 3, 1, 0),
+                      sv(8, 60, 2, 0, 1));
+    FragMap a = collectBbox(tri, 64, 64);
+    FragMap b = collectSpans(tri, 64, 64, ScanDirection::Horizontal);
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto &[k, fa] : a) {
+        const Fragment &fb = b.at(k);
+        // Same formulas evaluated at the same pixel: bit-identical.
+        EXPECT_EQ(fa.u, fb.u);
+        EXPECT_EQ(fa.v, fb.v);
+        EXPECT_EQ(fa.depth, fb.depth);
+        EXPECT_EQ(fa.dudx, fb.dudx);
+    }
+}
+
+TEST(SpanRasterizer, SpanOnScanlineExposesInterval)
+{
+    TriangleSetup tri(sv(10, 10), sv(50, 10), sv(10, 50));
+    int lo = 0, hi = 63;
+    ASSERT_TRUE(spanOnScanline(tri, 12, lo, hi));
+    EXPECT_GE(lo, 10);
+    EXPECT_LE(hi, 50);
+    // Each end is covered; one beyond each end is not.
+    Fragment f;
+    EXPECT_TRUE(tri.shade(lo, 12, f));
+    EXPECT_TRUE(tri.shade(hi, 12, f));
+    EXPECT_FALSE(tri.shade(lo - 1, 12, f));
+    EXPECT_FALSE(tri.shade(hi + 1, 12, f));
+
+    lo = 0;
+    hi = 63;
+    EXPECT_FALSE(spanOnScanline(tri, 60, lo, hi)); // below the triangle
+}
+
+TEST(SpanRasterizer, DegenerateEmitsNothing)
+{
+    TriangleSetup tri(sv(0, 0), sv(10, 10), sv(20, 20));
+    unsigned n = 0;
+    rasterizeTriangleSpans(tri, 64, 64, ScanDirection::Horizontal,
+                           [&](const Fragment &) { ++n; });
+    EXPECT_EQ(n, 0u);
+}
+
+class SpanFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SpanFuzz, MatchesBboxRasterizerOnRandomTriangles)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 300; ++t) {
+        TriangleSetup tri(randomVertex(rng, 80), randomVertex(rng, 80),
+                          randomVertex(rng, 80));
+        FragMap a = collectBbox(tri, 80, 80);
+        FragMap b =
+            collectSpans(tri, 80, 80, ScanDirection::Horizontal);
+        ASSERT_EQ(a.size(), b.size()) << "triangle " << t;
+        for (const auto &[k, f] : a)
+            ASSERT_TRUE(b.count(k))
+                << "triangle " << t << " pixel " << k.first << ","
+                << k.second;
+        FragMap c = collectSpans(tri, 80, 80, ScanDirection::Vertical);
+        ASSERT_EQ(a.size(), c.size()) << "vertical, triangle " << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanFuzz,
+                         ::testing::Values(11ull, 22ull, 33ull));

@@ -1,0 +1,121 @@
+/** @file Tests for the Mattson stack-distance profiler. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_sim.hh"
+#include "cache/stack_dist.hh"
+#include "common/rng.hh"
+
+using namespace texcache;
+
+TEST(StackDist, ColdMissesAreFirstTouches)
+{
+    StackDistProfiler p(32);
+    p.access(0);
+    p.access(32);
+    p.access(64);
+    EXPECT_EQ(p.coldMisses(), 3u);
+    EXPECT_EQ(p.accesses(), 3u);
+    // All accesses cold -> every size misses all three.
+    EXPECT_EQ(p.misses(1 << 20), 3u);
+}
+
+TEST(StackDist, ImmediateReuseHasDistanceOne)
+{
+    StackDistProfiler p(32);
+    p.access(0);
+    p.access(0);
+    ASSERT_GT(p.histogram().size(), 1u);
+    EXPECT_EQ(p.histogram()[1], 1u);
+    // A 1-line cache (32 B) captures the reuse.
+    EXPECT_EQ(p.misses(32), 1u);
+}
+
+TEST(StackDist, DistanceCountsDistinctIntermediates)
+{
+    StackDistProfiler p(32);
+    p.access(0);
+    p.access(32);
+    p.access(32); // duplicate must not inflate the next distance
+    p.access(64);
+    p.access(0); // distance 3: lines {0, 32, 64}
+    const auto &h = p.histogram();
+    ASSERT_GT(h.size(), 3u);
+    EXPECT_EQ(h[3], 1u);
+    // 2-line cache misses the distance-3 reuse; 3-line cache hits it.
+    EXPECT_EQ(p.misses(2 * 32), 3u + 1u);
+    EXPECT_EQ(p.misses(3 * 32), 3u);
+}
+
+TEST(StackDist, MissesAreMonotonicInSize)
+{
+    StackDistProfiler p(32);
+    Rng rng(5);
+    uint64_t cur = 0;
+    for (int i = 0; i < 50000; ++i) {
+        cur = (cur + rng.below(512)) & 0x3ffff;
+        p.access(cur);
+    }
+    uint64_t prev = ~0ULL;
+    for (uint64_t size = 32; size <= (1 << 20); size <<= 1) {
+        uint64_t m = p.misses(size);
+        EXPECT_LE(m, prev);
+        prev = m;
+    }
+    EXPECT_EQ(p.misses(1 << 30), p.coldMisses());
+}
+
+/**
+ * Property: the profiler's miss count at size S equals an explicit
+ * fully associative LRU simulation at size S (Mattson's theorem made
+ * executable). This also exercises the Fenwick compaction paths.
+ */
+class StackDistEquivalence
+    : public ::testing::TestWithParam<std::pair<uint64_t, unsigned>>
+{};
+
+TEST_P(StackDistEquivalence, MatchesExplicitLru)
+{
+    auto [seed, line] = GetParam();
+    StackDistProfiler prof(line);
+    Rng rng(seed);
+    std::vector<uint64_t> trace;
+    uint64_t cur = 0;
+    for (int i = 0; i < 30000; ++i) {
+        if (rng.below(100) < 3)
+            cur = rng.below(1 << 18);
+        else
+            cur = (cur + rng.below(300)) & 0x3ffff;
+        trace.push_back(cur);
+        prof.access(cur);
+    }
+    for (uint64_t size : {1024u, 4096u, 32768u, 262144u}) {
+        FullyAssocLru lru(size, line);
+        for (uint64_t a : trace)
+            lru.access(a);
+        EXPECT_EQ(prof.misses(size), lru.stats().misses)
+            << "size " << size;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLines, StackDistEquivalence,
+    ::testing::Values(std::make_pair(1ull, 32u),
+                      std::make_pair(2ull, 32u),
+                      std::make_pair(3ull, 64u),
+                      std::make_pair(4ull, 128u),
+                      std::make_pair(99ull, 16u)));
+
+TEST(StackDist, SurvivesManyDistinctLines)
+{
+    // Force repeated tree growth/compaction: 200k distinct lines, then
+    // re-touch an early one.
+    StackDistProfiler p(32);
+    for (uint64_t i = 0; i < 200000; ++i)
+        p.access(i * 32);
+    p.access(0);
+    EXPECT_EQ(p.coldMisses(), 200000u);
+    // The reuse distance of the final access is 200000.
+    EXPECT_EQ(p.misses(200000ull * 32), 200000u);
+    EXPECT_EQ(p.misses(199999ull * 32), 200001u);
+}

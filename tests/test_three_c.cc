@@ -1,0 +1,79 @@
+/** @file Tests for 3-C miss classification (cold/capacity/conflict). */
+
+#include <gtest/gtest.h>
+
+#include "cache/three_c.hh"
+#include "common/rng.hh"
+
+using namespace texcache;
+
+TEST(ThreeC, PureColdTrace)
+{
+    MissClassifier c({1024, 32, 1});
+    for (int i = 0; i < 10; ++i)
+        c.access(i * 32);
+    MissBreakdown b = c.breakdown();
+    EXPECT_EQ(b.misses, 10u);
+    EXPECT_EQ(b.cold, 10u);
+    EXPECT_EQ(b.capacity, 0u);
+    EXPECT_EQ(b.conflict, 0u);
+}
+
+TEST(ThreeC, ConflictOnlyTrace)
+{
+    // Two lines, same set in a direct-mapped cache, cache far from
+    // full: all non-cold misses are conflicts.
+    MissClassifier c({1024, 32, 1});
+    for (int i = 0; i < 10; ++i) {
+        c.access(0);
+        c.access(1024);
+    }
+    MissBreakdown b = c.breakdown();
+    EXPECT_EQ(b.cold, 2u);
+    EXPECT_EQ(b.capacity, 0u);
+    EXPECT_EQ(b.conflict, b.misses - 2u);
+    EXPECT_GT(b.conflict, 10u);
+}
+
+TEST(ThreeC, CapacityOnlyTrace)
+{
+    // Cyclic sweep over 8 lines through a 4-line fully-associative-
+    // equivalent pattern: use a 2-way cache large enough that set
+    // conflicts do not occur beyond what capacity explains... simplest:
+    // the set-associative cache is fully associative too.
+    MissClassifier c({128, 32, CacheConfig::kFullyAssoc});
+    for (int rep = 0; rep < 5; ++rep)
+        for (int i = 0; i < 8; ++i)
+            c.access(i * 32); // 8 lines > 4-line capacity
+    MissBreakdown b = c.breakdown();
+    EXPECT_EQ(b.cold, 8u);
+    EXPECT_EQ(b.conflict, 0u);
+    EXPECT_EQ(b.capacity, b.misses - 8u);
+    EXPECT_GT(b.capacity, 0u);
+}
+
+TEST(ThreeC, IdentityHoldsOnRandomTraces)
+{
+    for (uint64_t seed : {1u, 7u, 23u}) {
+        MissClassifier c({4096, 64, 2});
+        Rng rng(seed);
+        uint64_t cur = 0;
+        for (int i = 0; i < 20000; ++i) {
+            cur = (cur + rng.below(1024)) & 0xfffff;
+            c.access(cur);
+        }
+        MissBreakdown b = c.breakdown();
+        EXPECT_EQ(b.cold + b.capacity + b.conflict, b.misses);
+        EXPECT_EQ(b.accesses, 20000u);
+        EXPECT_GT(b.missRate(), 0.0);
+    }
+}
+
+TEST(ThreeC, MissRateMatchesSetAssocStats)
+{
+    MissClassifier c({1024, 32, 1});
+    for (int i = 0; i < 100; ++i)
+        c.access((i * 7919) & 0xffff);
+    EXPECT_EQ(c.breakdown().misses, c.setAssocStats().misses);
+    EXPECT_EQ(c.breakdown().accesses, c.setAssocStats().accesses);
+}

@@ -1,0 +1,104 @@
+/** @file Tests for the prefetch-FIFO timing model (section 7.1.1). */
+
+#include <gtest/gtest.h>
+
+#include "core/scene_layout.hh"
+#include "pipeline/renderer.hh"
+#include "scene/benchmarks.hh"
+#include "timing/prefetch_model.hh"
+
+using namespace texcache;
+
+namespace {
+
+struct Fixture
+{
+    Scene scene = makeQuadTestScene(256, 128);
+    RenderOutput out = render(scene, RasterOrder::horizontal());
+    LayoutParams params = [] {
+        LayoutParams p;
+        p.kind = LayoutKind::Blocked;
+        p.blockW = p.blockH = 4;
+        return p;
+    }();
+    SceneLayout layout{scene, params};
+};
+
+Fixture &
+fix()
+{
+    static Fixture f;
+    return f;
+}
+
+} // namespace
+
+TEST(Timing, CyclesAtLeastPipelineMinimum)
+{
+    TimingConfig t;
+    TimingResult r = simulateTiming(fix().out.trace, fix().layout,
+                                    {32 * 1024, 64, 2}, t);
+    EXPECT_GT(r.fragments, 0u);
+    EXPECT_GE(r.cycles, r.fragments * t.cyclesPerFragment);
+    EXPECT_EQ(r.cycles,
+              r.fragments * t.cyclesPerFragment + r.stallCycles);
+}
+
+TEST(Timing, NoMissesMeansNoStalls)
+{
+    // A cache big enough to never miss after warmup still takes cold
+    // misses; use a second pass by replaying the trace twice through a
+    // persistent cache... simpler: huge line+cache so misses are rare,
+    // then assert stalls ~ misses bounded.
+    TimingConfig t;
+    t.fifoDepth = 0;
+    TimingResult r = simulateTiming(fix().out.trace, fix().layout,
+                                    {1 << 20, 128, 2}, t);
+    // Every stall is caused by a miss, each at most latency cycles.
+    EXPECT_LE(r.stallCycles,
+              r.misses * static_cast<uint64_t>(t.memLatencyCycles));
+}
+
+TEST(Timing, PrefetchHidesLatency)
+{
+    TimingConfig no_pf;
+    no_pf.fifoDepth = 0;
+    TimingConfig pf;
+    pf.fifoDepth = 128;
+    CacheConfig cache{8 * 1024, 64, 2};
+    TimingResult a =
+        simulateTiming(fix().out.trace, fix().layout, cache, no_pf);
+    TimingResult b =
+        simulateTiming(fix().out.trace, fix().layout, cache, pf);
+    EXPECT_EQ(a.fragments, b.fragments);
+    EXPECT_EQ(a.misses, b.misses); // same cache behavior
+    EXPECT_LT(b.stallCycles, a.stallCycles);
+    EXPECT_GT(b.efficiency(pf.cyclesPerFragment),
+              a.efficiency(no_pf.cyclesPerFragment));
+}
+
+TEST(Timing, DeeperFifoNeverHurts)
+{
+    CacheConfig cache{4 * 1024, 32, 2};
+    uint64_t prev = ~0ULL;
+    for (unsigned depth : {0u, 4u, 16u, 64u, 256u}) {
+        TimingConfig t;
+        t.fifoDepth = depth;
+        TimingResult r =
+            simulateTiming(fix().out.trace, fix().layout, cache, t);
+        EXPECT_LE(r.cycles, prev) << "depth " << depth;
+        prev = r.cycles;
+    }
+}
+
+TEST(Timing, EfficiencyIsAFraction)
+{
+    TimingConfig t;
+    TimingResult r = simulateTiming(fix().out.trace, fix().layout,
+                                    {16 * 1024, 64, 2}, t);
+    EXPECT_GT(r.efficiency(t.cyclesPerFragment), 0.0);
+    EXPECT_LE(r.efficiency(t.cyclesPerFragment), 1.0);
+    EXPECT_GT(r.fragmentsPerSecond(t.clockHz), 0.0);
+    EXPECT_LE(r.fragmentsPerSecond(t.clockHz),
+              t.clockHz / t.cyclesPerFragment + 1.0);
+}

@@ -1,0 +1,95 @@
+/** @file Tests for binary trace file round-tripping. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/trace_io.hh"
+
+using namespace texcache;
+
+namespace {
+
+TexelTrace
+sampleTrace(size_t n)
+{
+    TexelTrace t;
+    for (size_t i = 0; i < n; ++i) {
+        TexelRecord r;
+        r.texture = static_cast<uint16_t>(i % 51);
+        r.level = static_cast<uint16_t>(i % 11);
+        r.u = static_cast<uint16_t>((i * 37) & 0x3ff);
+        r.v = static_cast<uint16_t>((i * 101) & 0x3ff);
+        r.kind = static_cast<TouchKind>(i % 4);
+        t.append(r);
+    }
+    return t;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+} // namespace
+
+TEST(TraceIo, RoundTripsExactly)
+{
+    TexelTrace t = sampleTrace(100000);
+    std::string path = tempPath("roundtrip.trc");
+    writeTrace(t, path);
+    TexelTrace back = readTrace(path);
+    ASSERT_EQ(back.size(), t.size());
+    for (size_t i = 0; i < t.size(); i += 53)
+        ASSERT_EQ(back[i].pack(), t[i].pack()) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    TexelTrace t;
+    std::string path = tempPath("empty.trc");
+    writeTrace(t, path);
+    TexelTrace back = readTrace(path);
+    EXPECT_EQ(back.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readTrace(tempPath("does_not_exist.trc")),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIo, BadMagicIsFatal)
+{
+    std::string path = tempPath("bad_magic.trc");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "NOTATRACE_FILE_AT_ALL";
+    }
+    EXPECT_EXIT(readTrace(path), ::testing::ExitedWithCode(1),
+                "not a texcache trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedPayloadIsFatal)
+{
+    TexelTrace t = sampleTrace(1000);
+    std::string path = tempPath("truncated.trc");
+    writeTrace(t, path);
+    // Chop the file short.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string all((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(all.data(),
+                  static_cast<std::streamsize>(all.size() / 2));
+    }
+    EXPECT_EXIT(readTrace(path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}

@@ -1,0 +1,177 @@
+/** @file Tests for triangle setup, coverage and interpolation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "raster/triangle.hh"
+
+using namespace texcache;
+
+namespace {
+
+ScreenVertex
+sv(float x, float y, float w = 1.0f, float u = 0.0f, float v = 0.0f)
+{
+    ScreenVertex r;
+    r.x = x;
+    r.y = y;
+    r.z = 0.5f;
+    r.invW = 1.0f / w;
+    r.uOverW = u / w;
+    r.vOverW = v / w;
+    r.shade = 1.0f;
+    return r;
+}
+
+unsigned
+countCovered(const TriangleSetup &t, unsigned w, unsigned h)
+{
+    unsigned n = 0;
+    Fragment f;
+    for (unsigned y = 0; y < h; ++y)
+        for (unsigned x = 0; x < w; ++x)
+            n += t.shade(static_cast<int>(x), static_cast<int>(y), f);
+    return n;
+}
+
+} // namespace
+
+TEST(Triangle, DegenerateIsInvalid)
+{
+    TriangleSetup t(sv(0, 0), sv(10, 10), sv(20, 20));
+    EXPECT_FALSE(t.valid());
+    Fragment f;
+    EXPECT_FALSE(t.shade(5, 5, f));
+}
+
+TEST(Triangle, WindingOrderIsNormalized)
+{
+    TriangleSetup ccw(sv(0, 0), sv(8, 0), sv(0, 8));
+    TriangleSetup cw(sv(0, 0), sv(0, 8), sv(8, 0));
+    EXPECT_TRUE(ccw.valid());
+    EXPECT_TRUE(cw.valid());
+    EXPECT_EQ(countCovered(ccw, 16, 16), countCovered(cw, 16, 16));
+}
+
+TEST(Triangle, CoverageApproximatesArea)
+{
+    // Right triangle with legs 32: area 512 pixels.
+    TriangleSetup t(sv(0, 0), sv(32, 0), sv(0, 32));
+    unsigned covered = countCovered(t, 64, 64);
+    EXPECT_NEAR(static_cast<double>(covered), 512.0, 32.0);
+}
+
+TEST(Triangle, SharedEdgeCoversEachPixelExactlyOnce)
+{
+    // A square split into two triangles along the diagonal: every
+    // pixel inside must be covered exactly once (top-left fill rule).
+    TriangleSetup a(sv(4, 4), sv(60, 4), sv(60, 60));
+    TriangleSetup b(sv(4, 4), sv(60, 60), sv(4, 60));
+    Fragment f;
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            int hits = a.shade(x, y, f) + b.shade(x, y, f);
+            float px = x + 0.5f, py = y + 0.5f;
+            bool inside = px > 4 && px < 60 && py > 4 && py < 60;
+            if (inside)
+                ASSERT_EQ(hits, 1) << "(" << x << "," << y << ")";
+            else
+                ASSERT_LE(hits, 1);
+        }
+    }
+}
+
+TEST(Triangle, AbuttingTrianglesTileWithoutGapsOrOverlap)
+{
+    // A fan of 4 triangles around a center: interior pixels covered
+    // exactly once.
+    float cx = 32, cy = 32;
+    ScreenVertex c = sv(cx, cy);
+    ScreenVertex p0 = sv(4, 4), p1 = sv(60, 4), p2 = sv(60, 60),
+                 p3 = sv(4, 60);
+    TriangleSetup tris[4] = {{c, p0, p1}, {c, p1, p2}, {c, p2, p3},
+                             {c, p3, p0}};
+    Fragment f;
+    for (int y = 6; y < 58; ++y) {
+        for (int x = 6; x < 58; ++x) {
+            int hits = 0;
+            for (auto &t : tris)
+                hits += t.shade(x, y, f);
+            ASSERT_EQ(hits, 1) << "(" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST(Triangle, BoundsClipToScreen)
+{
+    TriangleSetup t(sv(-10, -10), sv(100, -10), sv(-10, 100));
+    PixelRect r = t.bounds(64, 64);
+    EXPECT_EQ(r.x0, 0);
+    EXPECT_EQ(r.y0, 0);
+    EXPECT_EQ(r.x1, 63);
+    EXPECT_EQ(r.y1, 63);
+}
+
+TEST(Triangle, AffineInterpolationIsExact)
+{
+    // With w = 1 everywhere, u interpolates affinely: u = x/64 at
+    // (x, y) for this parameterization.
+    TriangleSetup t(sv(0, 0, 1, 0, 0), sv(64, 0, 1, 1, 0),
+                    sv(0, 64, 1, 0, 1));
+    Fragment f;
+    ASSERT_TRUE(t.shade(16, 8, f));
+    EXPECT_NEAR(f.u, 16.5f / 64.0f, 1e-5f);
+    EXPECT_NEAR(f.v, 8.5f / 64.0f, 1e-5f);
+}
+
+TEST(Triangle, PerspectiveCorrectInterpolation)
+{
+    // Vertices at w=1 and w=4 with u proportional to w-distance: the
+    // perspective-correct midpoint differs from the affine midpoint.
+    // Reference: u(x) = (u0/w0 + s*(u1/w1 - u0/w0)) /
+    //                   (1/w0 + s*(1/w1 - 1/w0)), s in [0,1].
+    TriangleSetup t(sv(0, 0, 1, 0, 0), sv(64, 0, 4, 1, 0),
+                    sv(0, 64, 1, 0, 1));
+    Fragment f;
+    ASSERT_TRUE(t.shade(32, 0, f));
+    float s = 32.5f / 64.0f;
+    float num = 0.0f + s * (1.0f / 4.0f - 0.0f);
+    float den = 1.0f + s * (1.0f / 4.0f - 1.0f);
+    EXPECT_NEAR(f.u, num / den, 1e-4f);
+    // The affine value (s) would be very different.
+    EXPECT_GT(std::abs(f.u - s), 0.1f);
+}
+
+TEST(Triangle, DerivativesMatchFiniteDifferences)
+{
+    TriangleSetup t(sv(0, 0, 1, 0, 0), sv(64, 0, 3, 2, 0),
+                    sv(0, 64, 2, 0, 2));
+    Fragment f00, f10, f01;
+    ASSERT_TRUE(t.shade(20, 20, f00));
+    ASSERT_TRUE(t.shade(21, 20, f10));
+    ASSERT_TRUE(t.shade(20, 21, f01));
+    // Analytic derivative at the pixel vs central-ish difference; the
+    // function is smooth so one-sided differences agree to ~1e-2.
+    EXPECT_NEAR(f00.dudx, f10.u - f00.u, 5e-3f);
+    EXPECT_NEAR(f00.dudy, f01.u - f00.u, 5e-3f);
+    EXPECT_NEAR(f00.dvdx, f10.v - f00.v, 5e-3f);
+    EXPECT_NEAR(f00.dvdy, f01.v - f00.v, 5e-3f);
+}
+
+TEST(Triangle, DepthAndShadeInterpolate)
+{
+    ScreenVertex a = sv(0, 0), b = sv(64, 0), c = sv(0, 64);
+    a.z = 0.0f;
+    b.z = 1.0f;
+    c.z = 0.0f;
+    a.shade = 0.0f;
+    b.shade = 0.0f;
+    c.shade = 1.0f;
+    TriangleSetup t(a, b, c);
+    Fragment f;
+    ASSERT_TRUE(t.shade(31, 0, f));
+    EXPECT_NEAR(f.depth, 31.5f / 64.0f, 1e-4f);
+    ASSERT_TRUE(t.shade(0, 31, f));
+    EXPECT_NEAR(f.shade, 31.5f / 64.0f, 1e-4f);
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate every figure/table of the reproduction into results/.
+# Usage: tools/run_all.sh [build_dir] [out_dir]
+# Set TEXCACHE_CSV=1 for machine-readable output.
+set -e
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+for b in "$BUILD"/bench/*; do
+    [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "== $name"
+    "$b" > "$OUT/$name.txt" 2> /dev/null
+done
+echo "wrote $(ls "$OUT" | wc -l) result files to $OUT/"
