@@ -25,6 +25,8 @@ TwoLevelCache::access(unsigned l1_index, Addr addr)
     // L1 miss: the fill request goes to the shared level.
     if (l2_.access(addr))
         return HierarchyHit::L2;
+    if (backend_)
+        backend_(addr);
     return HierarchyHit::Memory;
 }
 

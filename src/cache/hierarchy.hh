@@ -19,6 +19,7 @@
 #ifndef TEXCACHE_CACHE_HIERARCHY_HH
 #define TEXCACHE_CACHE_HIERARCHY_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -64,6 +65,19 @@ class TwoLevelCache
     /** Total accesses across all L1s. */
     uint64_t totalAccesses() const;
 
+    /**
+     * Install an optional memory-side backend invoked with the address
+     * of every fill that misses both levels. This is how a paged
+     * texture memory (src/vt/) sits behind the hierarchy: the L1/L2
+     * filter the texel stream and only true fills probe page
+     * residency. Unset = the paper's fully-resident DRAM.
+     */
+    void
+    setMemoryBackend(std::function<void(Addr)> backend)
+    {
+        backend_ = std::move(backend);
+    }
+
     /** Fills from memory (the shared DRAM's read traffic, in lines). */
     uint64_t
     memoryFills() const
@@ -81,6 +95,7 @@ class TwoLevelCache
   private:
     std::vector<CacheSim> l1s_;
     CacheSim l2_;
+    std::function<void(Addr)> backend_;
 };
 
 } // namespace texcache

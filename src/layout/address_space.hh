@@ -43,6 +43,9 @@ class AddressSpace
     {
         panic_if(bytes == 0, "zero-byte allocation");
         Addr base = (next_ + align_ - 1) & ~(align_ - 1);
+        fatal_if(base < next_ || base + bytes < base,
+                 "address space overflow: ", bytes,
+                 " bytes do not fit above ", next_);
         next_ = base + bytes;
         return base;
     }

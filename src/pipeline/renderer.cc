@@ -109,8 +109,20 @@ render(const Scene &scene, const RasterOrder &order,
                         frag.dudx * tex_w, frag.dvdx * tex_h,
                         frag.dudy * tex_w, frag.dvdy * tex_h);
 
-                    SampleResult s = sampleMipMapMode(
-                        mip, frag.u, frag.v, lambda, opts.filterMode);
+                    SampleResult s;
+                    if (opts.vtResolve) {
+                        VtDecision vt = opts.vtResolve(
+                            tri.texture, frag.u, frag.v, lambda);
+                        s = vt.degraded
+                                ? sampleLevelBilinear(mip, vt.level,
+                                                      frag.u, frag.v)
+                                : sampleMipMapMode(mip, frag.u, frag.v,
+                                                   lambda,
+                                                   opts.filterMode);
+                    } else {
+                        s = sampleMipMapMode(mip, frag.u, frag.v,
+                                             lambda, opts.filterMode);
+                    }
                     out.stats.texelAccesses += s.numTouches;
                     if (s.kind == FilterKind::Bilinear)
                         ++out.stats.bilinearFragments;

@@ -67,6 +67,19 @@ struct RenderOutput
     RenderStats stats;
 };
 
+/**
+ * Virtual-texturing decision for one fragment (produced by the
+ * src/vt/ subsystem's resolver, consumed by the renderer). When
+ * degraded, the fragment samples @p level bilinearly - the finest
+ * fully-resident ancestor of its desired mip level - instead of
+ * filtering at the requested level of detail.
+ */
+struct VtDecision
+{
+    bool degraded = false;
+    uint16_t level = 0; ///< resident ancestor level when degraded
+};
+
 /** Options controlling what the render captures and how it filters. */
 struct RenderOptions
 {
@@ -85,6 +98,16 @@ struct RenderOptions
     std::function<void(const Fragment &, const SampleResult &,
                        uint16_t texture)>
         onFragment;
+    /**
+     * Optional virtual-texturing residency hook, consulted per
+     * fragment with the texture, its (u, v) and its computed LOD
+     * before sampling. Drives page fetches as a side effect and
+     * returns the graceful-degradation decision (VtSampler::hook()).
+     * Unset = every texture fully resident (the paper's assumption).
+     */
+    std::function<VtDecision(uint16_t texture, float u, float v,
+                             float lambda)>
+        vtResolve;
 };
 
 /**

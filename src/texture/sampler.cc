@@ -141,6 +141,19 @@ sampleMipMap(const MipMap &mip, float u, float v, float lambda,
 }
 
 SampleResult
+sampleLevelBilinear(const MipMap &mip, unsigned level, float u, float v,
+                    WrapMode wrap)
+{
+    panic_if(level >= mip.numLevels(), "level ", level, " of ",
+             mip.numLevels());
+    SampleResult res;
+    res.kind = FilterKind::Bilinear;
+    res.numTouches = 4;
+    res.color = sampleBilinearLevel(mip, level, u, v, res.touches, wrap);
+    return res;
+}
+
+SampleResult
 sampleMipMapMode(const MipMap &mip, float u, float v, float lambda,
                  FilterMode mode, WrapMode wrap)
 {

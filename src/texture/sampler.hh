@@ -104,6 +104,16 @@ Vec4 sampleBilinearLevel(const MipMap &mip, unsigned level, float u,
                          WrapMode wrap = WrapMode::Repeat);
 
 /**
+ * Bilinear sample pinned to one explicit pyramid level, regardless of
+ * LOD - the virtual-texturing degradation path (src/vt/): when the
+ * desired level's pages are not resident, the fragment falls back to
+ * the finest fully-resident ancestor level and filters within it.
+ */
+SampleResult sampleLevelBilinear(const MipMap &mip, unsigned level,
+                                 float u, float v,
+                                 WrapMode wrap = WrapMode::Repeat);
+
+/**
  * Sample with an explicit minification filter mode. Trilinear matches
  * sampleMipMap exactly; the nearest-mip modes select the level nearest
  * to lambda (round-to-nearest, per the GL spec's 0.5 threshold) and

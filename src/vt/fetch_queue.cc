@@ -1,0 +1,48 @@
+#include "vt/fetch_queue.hh"
+
+namespace texcache {
+
+FetchQueue::FetchQueue(const FetchQueueConfig &config,
+                       const DramConfig &dram, unsigned page_bytes)
+    : config_(config), dram_(dram), pageBytes_(page_bytes)
+{
+    fatal_if(config.maxInFlight == 0,
+             "fetch queue needs at least one outstanding request");
+    fatal_if(!isPowerOfTwo(page_bytes), "page size ", page_bytes,
+             " is not a power of two");
+}
+
+FetchResult
+FetchQueue::request(PageId page, Addr page_base, uint64_t now)
+{
+    ++stats_.requests;
+    stats_.depthSum += queue_.size();
+
+    if (inFlight_.count(page)) {
+        ++stats_.dedupHits;
+        return FetchResult::Merged;
+    }
+    if (queue_.size() >= config_.maxInFlight) {
+        ++stats_.drops;
+        return FetchResult::Dropped;
+    }
+
+    // The page transfer serializes on the shared DRAM bus behind any
+    // burst still in progress; data arrives a fixed request latency
+    // after the burst completes.
+    uint64_t start = now > busFree_ ? now : busFree_;
+    uint64_t burst = dram_.fill(page_base, pageBytes_);
+    busFree_ = start + burst;
+    uint64_t ready = busFree_ + config_.baseLatency;
+    panic_if(!queue_.empty() && ready < queue_.back().ready,
+             "fetch completion times must be monotone");
+
+    queue_.push_back({page, ready});
+    inFlight_.insert(page);
+    ++stats_.issued;
+    if (queue_.size() > stats_.maxDepth)
+        stats_.maxDepth = queue_.size();
+    return FetchResult::Issued;
+}
+
+} // namespace texcache

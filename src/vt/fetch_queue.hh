@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Asynchronous page fetch queue with MSHR-style deduplication.
+ *
+ * A page miss does not stall the pipeline (the sampler degrades
+ * instead, vt_sampler.hh); it enqueues an asynchronous fetch. The
+ * queue mirrors a hardware miss-status holding register file:
+ *
+ *  - a request for a page already in flight merges into the existing
+ *    entry (a dedup hit) - the same page is never issued twice while
+ *    outstanding;
+ *  - at most maxInFlight fetches are outstanding; requests beyond
+ *    that are dropped and must be re-requested by a later access
+ *    (the degradation path keeps rendering meanwhile);
+ *  - each issued fetch is charged real transfer time on the shared
+ *    DRAM bus via timing/dram_model, plus a fixed request latency, so
+ *    completion times reflect burst setup, row locality and bus
+ *    serialization.
+ *
+ * Time is the vt subsystem's access tick (one tick per page-granular
+ * touch, see vt_memory.hh); DRAM bus cycles are taken 1:1 as ticks.
+ */
+
+#ifndef TEXCACHE_VT_FETCH_QUEUE_HH
+#define TEXCACHE_VT_FETCH_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "timing/dram_model.hh"
+#include "vt/page_pool.hh"
+
+namespace texcache {
+
+/** Fetch queue parameters. */
+struct FetchQueueConfig
+{
+    unsigned maxInFlight = 16;  ///< outstanding-request (MSHR) limit
+    uint64_t baseLatency = 64;  ///< fixed ticks from issue to first data
+};
+
+/** Queue behavior counters accumulated over a run. */
+struct FetchQueueStats
+{
+    uint64_t requests = 0;  ///< all request() calls
+    uint64_t issued = 0;    ///< fetches actually sent to memory
+    uint64_t dedupHits = 0; ///< merged into an in-flight fetch
+    uint64_t drops = 0;     ///< rejected: outstanding limit reached
+    uint64_t completed = 0;
+    uint64_t maxDepth = 0;  ///< deepest observed queue
+    uint64_t depthSum = 0;  ///< summed at each request, for the mean
+
+    double
+    avgDepth() const
+    {
+        return requests ? static_cast<double>(depthSum) / requests : 0.0;
+    }
+};
+
+/** Outcome of one fetch request. */
+enum class FetchResult : uint8_t
+{
+    Issued, ///< new fetch sent to memory
+    Merged, ///< dedup hit on an in-flight fetch
+    Dropped ///< outstanding-request limit reached
+};
+
+/** Bounded in-flight fetch tracker charged against a DRAM model. */
+class FetchQueue
+{
+  public:
+    FetchQueue(const FetchQueueConfig &config, const DramConfig &dram,
+               unsigned page_bytes);
+
+    /**
+     * Request @p page (whose first byte is @p page_base) at time
+     * @p now. Never issues a page that is already in flight.
+     */
+    FetchResult request(PageId page, Addr page_base, uint64_t now);
+
+    /**
+     * Retire every fetch whose data has arrived by @p now, invoking
+     * @p sink(page) for each in completion order.
+     */
+    template <typename Fn>
+    void
+    drain(uint64_t now, Fn &&sink)
+    {
+        while (!queue_.empty() && queue_.front().ready <= now) {
+            PageId p = queue_.front().page;
+            queue_.pop_front();
+            inFlight_.erase(p);
+            ++stats_.completed;
+            sink(p);
+        }
+    }
+
+    /** Retire everything regardless of time (end-of-frame settle). */
+    template <typename Fn>
+    void
+    drainAll(Fn &&sink)
+    {
+        drain(~0ULL, sink);
+    }
+
+    bool inFlight(PageId p) const { return inFlight_.count(p) != 0; }
+    unsigned depth() const
+    {
+        return static_cast<unsigned>(queue_.size());
+    }
+
+    const FetchQueueStats &stats() const { return stats_; }
+    const DramStats &dramStats() const { return dram_.stats(); }
+    const FetchQueueConfig &config() const { return config_; }
+
+  private:
+    struct Pending
+    {
+        PageId page;
+        uint64_t ready; ///< tick the data arrives
+    };
+
+    FetchQueueConfig config_;
+    DramModel dram_;
+    unsigned pageBytes_;
+    /// Completion times are monotone in issue order (one shared bus),
+    /// so a FIFO holds the in-flight set sorted by readiness.
+    std::deque<Pending> queue_;
+    std::unordered_set<PageId> inFlight_;
+    uint64_t busFree_ = 0;
+    FetchQueueStats stats_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_VT_FETCH_QUEUE_HH

@@ -1,0 +1,81 @@
+#include "vt/page_pool.hh"
+
+namespace texcache {
+
+PagePool::PagePool(const PagePoolConfig &config) : config_(config)
+{
+    fatal_if(!isPowerOfTwo(config.pageBytes), "page size ",
+             config.pageBytes, " is not a power of two");
+    fatal_if(config.poolPages == 0, "page pool with zero pages");
+    pageShift_ = log2Exact(config.pageBytes);
+}
+
+bool
+PagePool::touch(PageId p)
+{
+    ++stats_.lookups;
+    auto it = entries_.find(p);
+    if (it == entries_.end())
+        return false;
+    ++stats_.hits;
+    if (!it->second.pinned && it->second.it != lru_.begin())
+        lru_.splice(lru_.begin(), lru_, it->second.it);
+    return true;
+}
+
+void
+PagePool::makeRoom()
+{
+    if (entries_.size() < config_.poolPages)
+        return;
+    // Pinned pages never appear on the LRU list, so the victim is
+    // always evictable; an empty list means the pool is all pins.
+    fatal_if(lru_.empty(), "page pool of ", config_.poolPages,
+             " pages is entirely pinned; enlarge the pool");
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+}
+
+void
+PagePool::insert(PageId p)
+{
+    auto it = entries_.find(p);
+    if (it != entries_.end()) {
+        if (!it->second.pinned && it->second.it != lru_.begin())
+            lru_.splice(lru_.begin(), lru_, it->second.it);
+        return;
+    }
+    makeRoom();
+    lru_.push_front(p);
+    entries_[p] = Entry{lru_.begin(), false};
+    ++stats_.insertions;
+    if (entries_.size() > stats_.residentHighWater)
+        stats_.residentHighWater = entries_.size();
+}
+
+void
+PagePool::pin(PageId p)
+{
+    auto it = entries_.find(p);
+    if (it != entries_.end()) {
+        if (it->second.pinned)
+            return;
+        lru_.erase(it->second.it);
+        it->second.pinned = true;
+        ++pinned_;
+        return;
+    }
+    fatal_if(pinned_ + 1 > config_.poolPages,
+             "pinning page ", p, " exceeds the pool (", config_.poolPages,
+             " pages, all pinned); enlarge the pool");
+    makeRoom();
+    entries_[p] = Entry{lru_.end(), true};
+    ++pinned_;
+    ++stats_.insertions;
+    if (entries_.size() > stats_.residentHighWater)
+        stats_.residentHighWater = entries_.size();
+}
+
+} // namespace texcache

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bounded physical page pool with LRU eviction and pinning.
+ *
+ * The paper assumes every texture is fully resident in DRAM; virtual
+ * texturing (Neu 2010, PAPERS.md) drops that assumption. The simulated
+ * texture address space is divided into fixed-size virtual pages, of
+ * which only a bounded number - the physical pool - are resident at a
+ * time. Residency is the memory-side backing of the whole vt/
+ * subsystem: the cache hierarchy's fills hit or miss the pool, and the
+ * sampler degrades to a coarser mip level while a missing page is in
+ * flight (vt_sampler.hh).
+ *
+ * Pages a fallback must always find - each texture's coarsest mip
+ * level - are pinned: resident from the start and never evicted.
+ */
+
+#ifndef TEXCACHE_VT_PAGE_POOL_HH
+#define TEXCACHE_VT_PAGE_POOL_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/bits.hh"
+#include "layout/address_space.hh"
+
+namespace texcache {
+
+/** Virtual page number: an Addr right-shifted by the page size. */
+using PageId = uint64_t;
+
+/** Geometry of the paged texture memory. */
+struct PagePoolConfig
+{
+    unsigned pageBytes = 64 * 1024; ///< virtual page size (power of two)
+    uint64_t poolPages = 64;        ///< physical pool capacity in pages
+};
+
+/** Residency counters accumulated over a run. */
+struct PagePoolStats
+{
+    uint64_t lookups = 0;    ///< touch() calls
+    uint64_t hits = 0;       ///< touches that found the page resident
+    uint64_t insertions = 0; ///< pages made resident (fills + pins)
+    uint64_t evictions = 0;  ///< LRU victims dropped for a new page
+    uint64_t residentHighWater = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) / lookups : 0.0;
+    }
+};
+
+/**
+ * The physical page pool: an LRU-ordered set of resident virtual
+ * pages, capped at poolPages, with pinned pages exempt from eviction.
+ */
+class PagePool
+{
+  public:
+    explicit PagePool(const PagePoolConfig &config);
+
+    PageId pageOf(Addr a) const { return a >> pageShift_; }
+    Addr baseOf(PageId p) const { return p << pageShift_; }
+    unsigned pageShift() const { return pageShift_; }
+
+    /** Residency query; no statistics or recency side effects. */
+    bool resident(PageId p) const { return entries_.count(p) != 0; }
+
+    /**
+     * Counted access. A resident page moves to the LRU front and the
+     * touch counts as a hit; a non-resident page counts as a miss (the
+     * caller decides whether to fetch it).
+     */
+    bool touch(PageId p);
+
+    /**
+     * Make @p p resident (a completed fetch or a warm-start prefault),
+     * evicting the LRU unpinned page when the pool is full. Inserting
+     * an already-resident page only refreshes its recency.
+     */
+    void insert(PageId p);
+
+    /** Make @p p resident and exempt from eviction forever. */
+    void pin(PageId p);
+
+    uint64_t residentPages() const { return entries_.size(); }
+    uint64_t pinnedPages() const { return pinned_; }
+    const PagePoolStats &stats() const { return stats_; }
+    const PagePoolConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        std::list<PageId>::iterator it; ///< valid only when !pinned
+        bool pinned = false;
+    };
+
+    void makeRoom();
+
+    PagePoolConfig config_;
+    unsigned pageShift_;
+    std::list<PageId> lru_; ///< unpinned resident pages, MRU first
+    std::unordered_map<PageId, Entry> entries_;
+    uint64_t pinned_ = 0;
+    PagePoolStats stats_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_VT_PAGE_POOL_HH

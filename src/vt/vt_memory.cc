@@ -1,0 +1,64 @@
+#include "vt/vt_memory.hh"
+
+namespace texcache {
+
+VirtualTextureMemory::VirtualTextureMemory(const VtConfig &config)
+    : config_(config),
+      pool_(PagePoolConfig{config.pageBytes, config.poolPages}),
+      fetch_(FetchQueueConfig{config.maxInFlight, config.fetchLatency},
+             config.dram, config.pageBytes)
+{
+    fatal_if(config.sampleInterval == 0, "zero residency sample interval");
+}
+
+void
+VirtualTextureMemory::advance(uint64_t ticks)
+{
+    // Tick-at-a-time so no sampleInterval boundary is skipped.
+    while (ticks--) {
+        ++now_;
+        if (now_ % config_.sampleInterval == 0)
+            residencySamples_.push_back(pool_.residentPages());
+    }
+    fetch_.drain(now_, [this](PageId p) { pool_.insert(p); });
+}
+
+VtAccess
+VirtualTextureMemory::touch(Addr addr)
+{
+    advance(1);
+    PageId page = pool_.pageOf(addr);
+    touched_.insert(page);
+    if (pool_.touch(page))
+        return VtAccess::Hit;
+    fetch_.request(page, pool_.baseOf(page), now_);
+    return VtAccess::Miss;
+}
+
+void
+VirtualTextureMemory::pinRange(Addr base, uint64_t bytes)
+{
+    panic_if(bytes == 0, "pinning an empty range");
+    PageId first = pool_.pageOf(base);
+    PageId last = pool_.pageOf(base + bytes - 1);
+    for (PageId p = first; p <= last; ++p)
+        pool_.pin(p);
+}
+
+void
+VirtualTextureMemory::prefaultRange(Addr base, uint64_t bytes)
+{
+    panic_if(bytes == 0, "prefaulting an empty range");
+    PageId first = pool_.pageOf(base);
+    PageId last = pool_.pageOf(base + bytes - 1);
+    for (PageId p = first; p <= last; ++p)
+        pool_.insert(p);
+}
+
+void
+VirtualTextureMemory::settle()
+{
+    fetch_.drainAll([this](PageId p) { pool_.insert(p); });
+}
+
+} // namespace texcache

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Virtual texture memory: paged residency over the simulated address
+ * space.
+ *
+ * Combines the physical page pool (page_pool.hh) and the asynchronous
+ * fetch queue (fetch_queue.hh) behind one page-granular access point.
+ * Every touch advances the subsystem clock by one tick, first retiring
+ * any fetches whose data has arrived (their pages become resident),
+ * then probing the pool:
+ *
+ *   touch hit  -> the page was resident; recency is refreshed.
+ *   touch miss -> an asynchronous fetch is enqueued (deduplicated
+ *                 against in-flight fetches) and the caller proceeds
+ *                 without the page - the sampler degrades, the cache
+ *                 hierarchy counts a pool miss.
+ *
+ * It also records the residency feedback a frame scheduler would use:
+ * unique pages touched and the resident-set size sampled over time.
+ */
+
+#ifndef TEXCACHE_VT_VT_MEMORY_HH
+#define TEXCACHE_VT_VT_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "vt/fetch_queue.hh"
+#include "vt/page_pool.hh"
+
+namespace texcache {
+
+/** Full parameter set of the virtual texturing backend. */
+struct VtConfig
+{
+    unsigned pageBytes = 64 * 1024; ///< virtual page size (power of two)
+    uint64_t poolPages = 64;        ///< physical pool capacity
+    unsigned maxInFlight = 16;      ///< outstanding fetch limit
+    uint64_t fetchLatency = 64;     ///< fixed ticks from issue to data
+    DramConfig dram;                ///< bus the page bursts are charged to
+    uint64_t sampleInterval = 4096; ///< ticks between resident-set samples
+
+    uint64_t poolBytes() const { return poolPages * pageBytes; }
+};
+
+/** Residency of a page at the moment it was touched. */
+enum class VtAccess : uint8_t
+{
+    Hit,  ///< resident
+    Miss, ///< not resident; fetch requested (or merged/dropped)
+};
+
+/** Paged texture memory with asynchronous miss handling. */
+class VirtualTextureMemory
+{
+  public:
+    explicit VirtualTextureMemory(const VtConfig &config);
+
+    PageId pageOf(Addr a) const { return pool_.pageOf(a); }
+
+    /** Page-granular access; advances the clock by one tick. */
+    VtAccess touch(Addr addr);
+
+    /**
+     * Advance the clock by @p ticks without an access, retiring any
+     * fetches whose data has arrived. Lets traffic the pool never
+     * sees - e.g. texel accesses filtered by the cache hierarchy in
+     * front of it - still move time forward.
+     */
+    void advance(uint64_t ticks = 1);
+
+    /** Residency query; no clock, statistics or recency effects. */
+    bool resident(Addr addr) const
+    {
+        return pool_.resident(pool_.pageOf(addr));
+    }
+
+    /** Pin every page overlapping [base, base+bytes): never evicted. */
+    void pinRange(Addr base, uint64_t bytes);
+
+    /**
+     * Warm start: make every page overlapping [base, base+bytes)
+     * resident immediately, with no fetch traffic.
+     */
+    void prefaultRange(Addr base, uint64_t bytes);
+
+    /** Retire all in-flight fetches (end-of-frame settle). */
+    void settle();
+
+    uint64_t now() const { return now_; }
+    uint64_t pagesTouched() const { return touched_.size(); }
+    const PagePool &pool() const { return pool_; }
+    const FetchQueue &fetchQueue() const { return fetch_; }
+    const VtConfig &config() const { return config_; }
+
+    /** Resident-set size sampled every config().sampleInterval ticks. */
+    const std::vector<uint64_t> &residencySamples() const
+    {
+        return residencySamples_;
+    }
+
+  private:
+    VtConfig config_;
+    PagePool pool_;
+    FetchQueue fetch_;
+    uint64_t now_ = 0;
+    std::unordered_set<PageId> touched_;
+    std::vector<uint64_t> residencySamples_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_VT_VT_MEMORY_HH

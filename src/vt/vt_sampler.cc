@@ -1,0 +1,199 @@
+#include "vt/vt_sampler.hh"
+
+#include <cmath>
+
+namespace texcache {
+
+namespace {
+
+/// A 2x2 bilinear footprint touches at most 4 texels of at most 3
+/// addresses each (Williams), so at most 12 distinct pages.
+constexpr unsigned kMaxFootprintPages = 12;
+
+/** The trilinear lower level for @p lambda (mirrors sampleMipMap). */
+unsigned
+trilinearLower(float lambda, unsigned max_level)
+{
+    float clamped = std::min(lambda, static_cast<float>(max_level));
+    unsigned lower = static_cast<unsigned>(clamped);
+    if (lower > max_level - (max_level ? 1 : 0) && max_level > 0)
+        lower = max_level - 1;
+    if (max_level == 0)
+        lower = 0;
+    return lower;
+}
+
+} // namespace
+
+double
+DegradationStats::avgDelta() const
+{
+    if (!degraded)
+        return 0.0;
+    uint64_t sum = 0;
+    for (size_t d = 0; d < histogram.size(); ++d)
+        sum += d * histogram[d];
+    return static_cast<double>(sum) / degraded;
+}
+
+unsigned
+DegradationStats::maxDelta() const
+{
+    for (size_t d = histogram.size(); d > 0; --d)
+        if (histogram[d - 1])
+            return static_cast<unsigned>(d - 1);
+    return 0;
+}
+
+void
+DegradationStats::clear()
+{
+    fragments = 0;
+    degraded = 0;
+    histogram.clear();
+}
+
+VtSampler::VtSampler(const SceneLayout &layout,
+                     VirtualTextureMemory &mem)
+    : layout_(layout), mem_(mem)
+{
+    // Pin every texture's coarsest (1x1) level so a fallback level
+    // always exists and sampling can never stall.
+    for (unsigned t = 0; t < layout_.numTextures(); ++t) {
+        const TextureLayout &lay = layout_.layout(t);
+        uint16_t coarsest =
+            static_cast<uint16_t>(lay.numLevels() - 1);
+        Addr addrs[3];
+        unsigned n = lay.addresses({coarsest, 0, 0}, addrs);
+        for (unsigned i = 0; i < n; ++i)
+            mem_.pinRange(addrs[i], kBytesPerTexel);
+    }
+}
+
+void
+VtSampler::prefaultAll()
+{
+    mem_.prefaultRange(0, layout_.totalFootprint());
+}
+
+unsigned
+VtSampler::footprintPages(uint16_t tex, unsigned level, float u,
+                          float v, PageId out[]) const
+{
+    const TextureLayout &lay = layout_.layout(tex);
+    LevelDims d = lay.dims(level);
+
+    // Mirror the GL texel addressing of sampleBilinearLevel with
+    // GL_REPEAT wrap (the mode every benchmark scene uses).
+    float su = u * static_cast<float>(d.w) - 0.5f;
+    float sv = v * static_cast<float>(d.h) - 0.5f;
+    int i0 = static_cast<int>(std::floor(su));
+    int j0 = static_cast<int>(std::floor(sv));
+    uint16_t u0 = static_cast<uint16_t>(
+        static_cast<unsigned>(i0) & (d.w - 1));
+    uint16_t u1 = static_cast<uint16_t>(
+        static_cast<unsigned>(i0 + 1) & (d.w - 1));
+    uint16_t v0 = static_cast<uint16_t>(
+        static_cast<unsigned>(j0) & (d.h - 1));
+    uint16_t v1 = static_cast<uint16_t>(
+        static_cast<unsigned>(j0 + 1) & (d.h - 1));
+
+    uint16_t lvl = static_cast<uint16_t>(level);
+    const TexelTouch touches[4] = {
+        {lvl, u0, v0}, {lvl, u1, v0}, {lvl, u0, v1}, {lvl, u1, v1}};
+
+    unsigned count = 0;
+    Addr addrs[3];
+    for (const TexelTouch &t : touches) {
+        unsigned n = lay.addresses(t, addrs);
+        for (unsigned i = 0; i < n; ++i) {
+            PageId p = mem_.pageOf(addrs[i]);
+            bool seen = false;
+            for (unsigned k = 0; k < count; ++k)
+                seen = seen || out[k] == p;
+            if (!seen)
+                out[count++] = p;
+        }
+    }
+    return count;
+}
+
+bool
+VtSampler::levelResident(uint16_t tex, unsigned level, float u,
+                         float v) const
+{
+    PageId pages[kMaxFootprintPages];
+    unsigned n = footprintPages(tex, level, u, v, pages);
+    for (unsigned i = 0; i < n; ++i)
+        if (!mem_.pool().resident(pages[i]))
+            return false;
+    return true;
+}
+
+bool
+VtSampler::touchLevel(uint16_t tex, unsigned level, float u, float v)
+{
+    PageId pages[kMaxFootprintPages];
+    unsigned n = footprintPages(tex, level, u, v, pages);
+    bool all_resident = true;
+    for (unsigned i = 0; i < n; ++i) {
+        VtAccess a = mem_.touch(mem_.pool().baseOf(pages[i]));
+        all_resident = all_resident && a == VtAccess::Hit;
+    }
+    return all_resident;
+}
+
+void
+VtSampler::recordDegradation(unsigned delta)
+{
+    ++frame_.degraded;
+    if (frame_.histogram.size() <= delta)
+        frame_.histogram.resize(delta + 1, 0);
+    ++frame_.histogram[delta];
+}
+
+VtDecision
+VtSampler::resolve(uint16_t tex, float u, float v, float lambda)
+{
+    ++frame_.fragments;
+    const TextureLayout &lay = layout_.layout(tex);
+    unsigned max_level = lay.numLevels() - 1;
+
+    // Which level(s) does the filter want? Mirrors sampleMipMap.
+    unsigned desired;
+    bool all_resident;
+    if (lambda <= 0.0f) {
+        // Magnification: bilinear from level 0.
+        desired = 0;
+        all_resident = touchLevel(tex, 0, u, v);
+    } else {
+        // Minification: trilinear between lower and upper. Touch both
+        // levels unconditionally so both fetch when missing.
+        unsigned lower = trilinearLower(lambda, max_level);
+        unsigned upper = std::min(lower + 1, max_level);
+        bool lo = touchLevel(tex, lower, u, v);
+        bool hi = upper == lower || touchLevel(tex, upper, u, v);
+        desired = lower;
+        all_resident = lo && hi;
+    }
+    if (all_resident)
+        return VtDecision{};
+
+    // Fall back to the finest fully-resident ancestor, bilinearly.
+    // For a broken trilinear pair that can be the desired level itself
+    // (delta 0: filter-only degradation); magnification starts one
+    // level coarser. The fallback search is residency-query only; the
+    // level actually sampled is then touched (all hits).
+    unsigned first = lambda <= 0.0f ? 1 : desired;
+    for (unsigned level = first; level <= max_level; ++level) {
+        if (!levelResident(tex, level, u, v))
+            continue;
+        touchLevel(tex, level, u, v);
+        recordDegradation(level - desired);
+        return VtDecision{true, static_cast<uint16_t>(level)};
+    }
+    panic("no resident fallback level for texture ", tex,
+          "; the coarsest level must be pinned");
+}
+
+} // namespace texcache

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Graceful-degradation sampling over partially resident textures.
+ *
+ * The resolver sits between LOD computation and filtering (the
+ * RenderOptions::vtResolve hook). For each fragment it derives the mip
+ * level(s) the filter wants, touches the pages their footprint lives
+ * on (driving fetches for the missing ones), and decides:
+ *
+ *  - every desired page resident -> sample normally, bit-identical to
+ *    the fully-resident pipeline;
+ *  - otherwise -> deterministically fall back to the finest ancestor
+ *    level whose footprint is fully resident and sample it bilinearly,
+ *    recording the level delta in the per-frame degradation histogram.
+ *
+ * Each texture's coarsest (1x1) level is pinned at construction, so a
+ * resident ancestor always exists and rendering never stalls. The
+ * fallback search only queries residency; only the level actually
+ * sampled counts as pool accesses, and only the desired level fetches.
+ */
+
+#ifndef TEXCACHE_VT_VT_SAMPLER_HH
+#define TEXCACHE_VT_VT_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/scene_layout.hh"
+#include "pipeline/renderer.hh"
+#include "vt/vt_memory.hh"
+
+namespace texcache {
+
+/** Per-frame record of how often and how far sampling degraded. */
+struct DegradationStats
+{
+    uint64_t fragments = 0; ///< fragments resolved this frame
+    uint64_t degraded = 0;  ///< fragments that fell back
+    /** histogram[d] = fragments that fell back d levels coarser than
+     *  the desired level (d >= 1). */
+    std::vector<uint64_t> histogram;
+
+    double
+    degradedFraction() const
+    {
+        return fragments ? static_cast<double>(degraded) / fragments
+                         : 0.0;
+    }
+
+    double avgDelta() const;
+    unsigned maxDelta() const;
+    void clear();
+};
+
+/** Resolves fragments against page residency for one scene layout. */
+class VtSampler
+{
+  public:
+    /**
+     * @param layout byte addresses of every texture (shared with the
+     *               cache replay so pages line up).
+     * @param mem    the paged memory behind the textures.
+     */
+    VtSampler(const SceneLayout &layout, VirtualTextureMemory &mem);
+
+    /** Resolve one fragment; drives fetches, records degradation. */
+    VtDecision resolve(uint16_t tex, float u, float v, float lambda);
+
+    /** Adapter for RenderOptions::vtResolve. */
+    std::function<VtDecision(uint16_t, float, float, float)>
+    hook()
+    {
+        return [this](uint16_t tex, float u, float v, float lambda) {
+            return resolve(tex, u, v, lambda);
+        };
+    }
+
+    /** Warm start: prefault the whole texture address space. */
+    void prefaultAll();
+
+    /** Reset the per-frame degradation record. */
+    void startFrame() { frame_.clear(); }
+
+    const DegradationStats &degradation() const { return frame_; }
+    VirtualTextureMemory &memory() { return mem_; }
+
+  private:
+    /** Distinct pages under one level's 2x2 filter footprint. */
+    unsigned footprintPages(uint16_t tex, unsigned level, float u,
+                            float v, PageId out[]) const;
+
+    bool levelResident(uint16_t tex, unsigned level, float u,
+                       float v) const;
+
+    /** Touch (and on miss, fetch) one level's footprint pages.
+     *  @return true iff all of them were already resident. */
+    bool touchLevel(uint16_t tex, unsigned level, float u, float v);
+
+    void recordDegradation(unsigned delta);
+
+    const SceneLayout &layout_;
+    VirtualTextureMemory &mem_;
+    DegradationStats frame_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_VT_VT_SAMPLER_HH

@@ -1,0 +1,78 @@
+#include "vt/vt_stats.hh"
+
+namespace texcache {
+
+double
+vtAvgResidentPages(const VirtualTextureMemory &mem)
+{
+    const std::vector<uint64_t> &samples = mem.residencySamples();
+    if (samples.empty())
+        return 0.0;
+    uint64_t sum = 0;
+    for (uint64_t s : samples)
+        sum += s;
+    return static_cast<double>(sum) / samples.size();
+}
+
+TextTable
+vtSummaryTable(const std::string &title,
+               const VirtualTextureMemory &mem,
+               const DegradationStats *deg)
+{
+    const VtConfig &cfg = mem.config();
+    const PagePoolStats &pool = mem.pool().stats();
+    const FetchQueueStats &fq = mem.fetchQueue().stats();
+    const DramStats &dram = mem.fetchQueue().dramStats();
+
+    TextTable t(title);
+    t.header({"Metric", "Value"});
+    t.row({"Page size", fmtBytes(cfg.pageBytes)});
+    t.row({"Pool", fmtBytes(cfg.poolBytes()) + " (" +
+                       std::to_string(cfg.poolPages) + " pages)"});
+    t.row({"Pages touched", std::to_string(mem.pagesTouched())});
+    t.row({"Resident high water",
+           std::to_string(pool.residentHighWater)});
+    t.row({"Resident avg (sampled)",
+           fmtFixed(vtAvgResidentPages(mem), 1)});
+    t.row({"Pool lookups", std::to_string(pool.lookups)});
+    t.row({"Pool hit rate", fmtPercent(pool.hitRate())});
+    t.row({"Evictions", std::to_string(pool.evictions)});
+    t.row({"Fetches issued", std::to_string(fq.issued)});
+    t.row({"Fetch dedup hits", std::to_string(fq.dedupHits)});
+    t.row({"Fetch drops (queue full)", std::to_string(fq.drops)});
+    t.row({"Fetch queue depth avg/max",
+           fmtFixed(fq.avgDepth(), 2) + "/" +
+               std::to_string(fq.maxDepth)});
+    t.row({"DRAM row hit rate", fmtPercent(dram.rowHitRate())});
+    t.row({"DRAM bus cycles", std::to_string(dram.cycles)});
+    if (deg) {
+        t.row({"Fragments", std::to_string(deg->fragments)});
+        t.row({"Degraded fragments",
+               std::to_string(deg->degraded) + " (" +
+                   fmtPercent(deg->degradedFraction()) + ")"});
+        t.row({"Degradation avg/max delta",
+               fmtFixed(deg->avgDelta(), 2) + "/" +
+                   std::to_string(deg->maxDelta())});
+    }
+    return t;
+}
+
+TextTable
+vtDegradationTable(const std::string &title,
+                   const DegradationStats &deg)
+{
+    TextTable t(title);
+    t.header({"LevelsCoarser", "Fragments", "OfDegraded"});
+    for (size_t d = 0; d < deg.histogram.size(); ++d) {
+        if (!deg.histogram[d])
+            continue;
+        t.row({std::to_string(d), std::to_string(deg.histogram[d]),
+               fmtPercent(deg.degraded
+                              ? static_cast<double>(deg.histogram[d]) /
+                                    deg.degraded
+                              : 0.0)});
+    }
+    return t;
+}
+
+} // namespace texcache

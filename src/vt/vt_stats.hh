@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Residency feedback reporting for the virtual texturing subsystem.
+ *
+ * Turns one VT run's counters - pages touched, resident-set size over
+ * time, fetch-queue behavior, degradation histogram - into the
+ * common/table form every other reproduction binary reports with, so
+ * VT results print (and export as CSV via TEXCACHE_CSV) like the
+ * paper's figures do.
+ */
+
+#ifndef TEXCACHE_VT_VT_STATS_HH
+#define TEXCACHE_VT_VT_STATS_HH
+
+#include <string>
+
+#include "common/table.hh"
+#include "vt/vt_memory.hh"
+#include "vt/vt_sampler.hh"
+
+namespace texcache {
+
+/**
+ * Metric/value summary of one VT run: pool residency, fetch queue,
+ * DRAM bus and (when @p deg is given) sampler degradation.
+ */
+TextTable vtSummaryTable(const std::string &title,
+                         const VirtualTextureMemory &mem,
+                         const DegradationStats *deg = nullptr);
+
+/** The per-frame degradation histogram as delta/count rows. */
+TextTable vtDegradationTable(const std::string &title,
+                             const DegradationStats &deg);
+
+/** Mean of the sampled resident-set sizes (pages), 0 if unsampled. */
+double vtAvgResidentPages(const VirtualTextureMemory &mem);
+
+} // namespace texcache
+
+#endif // TEXCACHE_VT_VT_STATS_HH

@@ -1,0 +1,60 @@
+/** @file Tests for the simulated texture address space allocator. */
+
+#include <gtest/gtest.h>
+
+#include "layout/address_space.hh"
+
+using namespace texcache;
+
+TEST(AddressSpace, AllocationsAreAligned)
+{
+    AddressSpace space(256);
+    for (uint64_t bytes : {1ull, 100ull, 255ull, 256ull, 1000ull}) {
+        Addr a = space.allocate(bytes);
+        EXPECT_EQ(a % 256, 0u) << "allocation of " << bytes;
+    }
+}
+
+TEST(AddressSpace, DefaultAlignmentIsPageSized)
+{
+    AddressSpace space;
+    space.allocate(1);
+    Addr second = space.allocate(1);
+    EXPECT_EQ(second, 4096u);
+}
+
+TEST(AddressSpace, AllocationsAreMonotonicAndDisjoint)
+{
+    AddressSpace space(64);
+    Addr prev_end = 0;
+    for (uint64_t bytes : {7ull, 4096ull, 63ull, 64ull, 129ull, 1ull}) {
+        Addr base = space.allocate(bytes);
+        EXPECT_GE(base, prev_end) << "regions overlap";
+        prev_end = base + bytes;
+        EXPECT_EQ(space.used(), prev_end);
+    }
+}
+
+TEST(AddressSpace, RejectsNonPowerOfTwoAlignment)
+{
+    EXPECT_EXIT(AddressSpace(3000), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(AddressSpace, OverflowOfTheRegionEndIsFatal)
+{
+    AddressSpace space;
+    space.allocate(~0ULL - 8192); // fills almost the whole space
+    // The next aligned base fits, but base + bytes would wrap.
+    EXPECT_EXIT(space.allocate(8192), ::testing::ExitedWithCode(1),
+                "overflow");
+}
+
+TEST(AddressSpace, OverflowOfTheAlignedBaseIsFatal)
+{
+    AddressSpace space;
+    space.allocate(~0ULL); // high-water mark at the very top
+    // Aligning the next base wraps past zero.
+    EXPECT_EXIT(space.allocate(1), ::testing::ExitedWithCode(1),
+                "overflow");
+}

@@ -1,0 +1,351 @@
+/** @file Tests for the virtual texturing subsystem (src/vt/). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "core/experiment.hh"
+#include "pipeline/renderer.hh"
+#include "scene/benchmarks.hh"
+#include "vt/vt_memory.hh"
+#include "vt/vt_sampler.hh"
+#include "vt/vt_stats.hh"
+
+using namespace texcache;
+
+namespace {
+
+LayoutParams
+testLayoutParams()
+{
+    LayoutParams p;
+    p.kind = LayoutKind::Blocked;
+    p.blockW = 4;
+    p.blockH = 4;
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- pool
+
+TEST(PagePool, LruEvictsLeastRecentlyTouched)
+{
+    PagePool pool(PagePoolConfig{4096, 3});
+    pool.insert(1);
+    pool.insert(2);
+    pool.insert(3);
+    EXPECT_TRUE(pool.touch(1)); // 1 most recent; 2 now LRU
+    pool.insert(4);             // evicts 2
+    EXPECT_TRUE(pool.resident(1));
+    EXPECT_FALSE(pool.resident(2));
+    EXPECT_TRUE(pool.resident(3));
+    EXPECT_TRUE(pool.resident(4));
+    EXPECT_EQ(pool.stats().evictions, 1u);
+    EXPECT_EQ(pool.residentPages(), 3u);
+}
+
+TEST(PagePool, TouchCountsHitsAndMisses)
+{
+    PagePool pool(PagePoolConfig{4096, 2});
+    EXPECT_FALSE(pool.touch(9));
+    pool.insert(9);
+    EXPECT_TRUE(pool.touch(9));
+    EXPECT_EQ(pool.stats().lookups, 2u);
+    EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(PagePool, PinnedPagesSurviveAnyPressure)
+{
+    PagePool pool(PagePoolConfig{4096, 4});
+    pool.pin(1000);
+    for (PageId p = 0; p < 100; ++p)
+        pool.insert(p);
+    EXPECT_TRUE(pool.resident(1000));
+    EXPECT_LE(pool.residentPages(), 4u);
+    EXPECT_EQ(pool.pinnedPages(), 1u);
+}
+
+TEST(PagePool, FullyPinnedPoolIsFatal)
+{
+    PagePool pool(PagePoolConfig{4096, 1});
+    pool.pin(1);
+    EXPECT_EXIT(pool.pin(2), ::testing::ExitedWithCode(1), "pinned");
+    EXPECT_EXIT(pool.insert(3), ::testing::ExitedWithCode(1),
+                "pinned");
+}
+
+// --------------------------------------------------------- fetch queue
+
+TEST(FetchQueue, DedupNeverReissuesAnInFlightPage)
+{
+    FetchQueue q(FetchQueueConfig{4, 10}, DramConfig{}, 4096);
+    EXPECT_EQ(q.request(5, 5 * 4096, 1), FetchResult::Issued);
+    for (uint64_t now = 2; now < 12; ++now)
+        EXPECT_EQ(q.request(5, 5 * 4096, now), FetchResult::Merged);
+    EXPECT_EQ(q.stats().issued, 1u);
+    EXPECT_EQ(q.stats().dedupHits, 10u);
+    EXPECT_TRUE(q.inFlight(5));
+
+    std::vector<PageId> done;
+    q.drainAll([&](PageId p) { done.push_back(p); });
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], 5u);
+    EXPECT_FALSE(q.inFlight(5));
+
+    // Once retired, the page may be fetched again (e.g. re-evicted).
+    EXPECT_EQ(q.request(5, 5 * 4096, 100000), FetchResult::Issued);
+}
+
+TEST(FetchQueue, DropsBeyondOutstandingLimit)
+{
+    FetchQueue q(FetchQueueConfig{2, 10}, DramConfig{}, 4096);
+    EXPECT_EQ(q.request(1, 1 * 4096, 0), FetchResult::Issued);
+    EXPECT_EQ(q.request(2, 2 * 4096, 0), FetchResult::Issued);
+    EXPECT_EQ(q.request(3, 3 * 4096, 0), FetchResult::Dropped);
+    EXPECT_EQ(q.stats().drops, 1u);
+    EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(FetchQueue, DataArrivesAfterLatencyNotBefore)
+{
+    FetchQueue q(FetchQueueConfig{4, 10}, DramConfig{}, 4096);
+    q.request(1, 4096, 0);
+    unsigned completed = 0;
+    q.drain(1, [&](PageId) { ++completed; });
+    EXPECT_EQ(completed, 0u); // still in flight one tick later
+    q.drain(~0ULL - 1, [&](PageId) { ++completed; });
+    EXPECT_EQ(completed, 1u);
+    EXPECT_EQ(q.stats().completed, 1u);
+}
+
+TEST(FetchQueue, RandomizedMshrInvariant)
+{
+    // Property: against a mirror model, the queue never issues a page
+    // already in flight, merges exactly when it is, and drops exactly
+    // when the outstanding limit is reached.
+    const unsigned kMax = 4;
+    FetchQueue q(FetchQueueConfig{kMax, 16}, DramConfig{}, 4096);
+    std::unordered_set<PageId> mirror;
+    Rng rng(7);
+    uint64_t now = 0;
+    for (int i = 0; i < 20000; ++i) {
+        now += rng.below(4);
+        q.drain(now, [&](PageId p) { mirror.erase(p); });
+        PageId page = rng.below(32);
+        FetchResult r = q.request(page, page * 4096, now);
+        if (mirror.count(page)) {
+            EXPECT_EQ(r, FetchResult::Merged);
+        } else if (mirror.size() >= kMax) {
+            EXPECT_EQ(r, FetchResult::Dropped);
+        } else {
+            EXPECT_EQ(r, FetchResult::Issued);
+            mirror.insert(page);
+        }
+    }
+    EXPECT_EQ(q.stats().issued,
+              q.stats().requests - q.stats().dedupHits -
+                  q.stats().drops);
+}
+
+// ------------------------------------------------------------ vt memory
+
+TEST(VtMemory, MissBecomesHitOnceTheFetchLands)
+{
+    VtConfig cfg;
+    cfg.pageBytes = 4096;
+    cfg.poolPages = 8;
+    VirtualTextureMemory mem(cfg);
+    EXPECT_EQ(mem.touch(0), VtAccess::Miss);
+    EXPECT_EQ(mem.touch(8), VtAccess::Miss); // same page, still away
+    EXPECT_EQ(mem.fetchQueue().stats().issued, 1u);
+    EXPECT_EQ(mem.fetchQueue().stats().dedupHits, 1u);
+    mem.settle();
+    EXPECT_EQ(mem.touch(16), VtAccess::Hit);
+    EXPECT_EQ(mem.pagesTouched(), 1u);
+}
+
+TEST(VtMemory, PrefaultIsResidencyWithoutTraffic)
+{
+    VtConfig cfg;
+    cfg.pageBytes = 4096;
+    cfg.poolPages = 16;
+    VirtualTextureMemory mem(cfg);
+    mem.prefaultRange(0, 16 * 4096);
+    EXPECT_EQ(mem.fetchQueue().stats().issued, 0u);
+    for (Addr a = 0; a < 16 * 4096; a += 4096)
+        EXPECT_EQ(mem.touch(a), VtAccess::Hit);
+}
+
+TEST(VtMemory, PinRangeCoversPartialPages)
+{
+    VtConfig cfg;
+    cfg.pageBytes = 4096;
+    cfg.poolPages = 8;
+    VirtualTextureMemory mem(cfg);
+    mem.pinRange(4000, 200); // straddles pages 0 and 1
+    EXPECT_TRUE(mem.resident(0));
+    EXPECT_TRUE(mem.resident(4200));
+    EXPECT_EQ(mem.pool().pinnedPages(), 2u);
+}
+
+// ----------------------------------------------- render-coupled checks
+
+TEST(VtRender, WarmPoolIsBitIdenticalToFullyResidentBaseline)
+{
+    Scene scene = makeQuadTestScene(256, 96);
+    RenderOutput base = render(scene, RasterOrder::horizontal());
+
+    SceneLayout layout(scene, testLayoutParams());
+    VtConfig cfg;
+    cfg.pageBytes = 16 * 1024;
+    cfg.poolPages = layout.totalFootprint() / cfg.pageBytes + 2;
+    VirtualTextureMemory mem(cfg);
+    VtSampler vt(layout, mem);
+    vt.prefaultAll();
+
+    RenderOptions opts;
+    opts.vtResolve = vt.hook();
+    RenderOutput out = render(scene, RasterOrder::horizontal(), opts);
+
+    // No page ever missed, so nothing degraded...
+    EXPECT_EQ(vt.degradation().degraded, 0u);
+    EXPECT_EQ(mem.fetchQueue().stats().issued, 0u);
+    EXPECT_GT(mem.pool().stats().hits, 0u);
+
+    // ...the frame is bit-identical...
+    ASSERT_EQ(out.framebuffer.width(), base.framebuffer.width());
+    ASSERT_EQ(out.framebuffer.height(), base.framebuffer.height());
+    for (unsigned y = 0; y < base.framebuffer.height(); ++y) {
+        for (unsigned x = 0; x < base.framebuffer.width(); ++x) {
+            Rgba8 a = base.framebuffer.texel(x, y);
+            Rgba8 b = out.framebuffer.texel(x, y);
+            ASSERT_TRUE(a.r == b.r && a.g == b.g && a.b == b.b &&
+                        a.a == b.a)
+                << "pixel (" << x << "," << y << ") diverged";
+        }
+    }
+
+    // ...and so is the texel trace, hence any cache's miss counts.
+    ASSERT_EQ(out.trace.size(), base.trace.size());
+    for (size_t i = 0; i < base.trace.size(); ++i)
+        ASSERT_EQ(out.trace[i].pack(), base.trace[i].pack());
+    CacheStats a = runCache(base.trace, layout, CacheConfig{});
+    CacheStats b = runCache(out.trace, layout, CacheConfig{});
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.coldMisses, b.coldMisses);
+}
+
+TEST(VtRender, ConstrainedPoolDegradesDeterministically)
+{
+    Scene scene = makeQuadTestScene(512, 64); // heavy minification
+
+    auto run = [&](DegradationStats &deg, FetchQueueStats &fq,
+                   PagePoolStats &pool) {
+        SceneLayout layout(scene, testLayoutParams());
+        VtConfig cfg;
+        cfg.pageBytes = 4096;
+        cfg.poolPages = 16;
+        cfg.maxInFlight = 8;
+        VirtualTextureMemory mem(cfg);
+        VtSampler vt(layout, mem);
+        RenderOptions opts;
+        opts.captureTrace = false;
+        opts.vtResolve = vt.hook();
+        render(scene, RasterOrder::horizontal(), opts);
+        deg = vt.degradation();
+        fq = mem.fetchQueue().stats();
+        pool = mem.pool().stats();
+    };
+
+    DegradationStats d1, d2;
+    FetchQueueStats f1, f2;
+    PagePoolStats p1, p2;
+    run(d1, f1, p1);
+    run(d2, f2, p2);
+
+    // The pool is far too small: the histogram must be populated.
+    EXPECT_GT(d1.degraded, 0u);
+    EXPECT_FALSE(d1.histogram.empty());
+    EXPECT_GT(d1.fragments, d1.degraded); // but not everything degrades
+
+    // Deterministic across runs: identical histogram and counters.
+    EXPECT_EQ(d1.fragments, d2.fragments);
+    EXPECT_EQ(d1.degraded, d2.degraded);
+    ASSERT_EQ(d1.histogram.size(), d2.histogram.size());
+    for (size_t i = 0; i < d1.histogram.size(); ++i)
+        EXPECT_EQ(d1.histogram[i], d2.histogram[i]);
+    EXPECT_EQ(f1.issued, f2.issued);
+    EXPECT_EQ(f1.dedupHits, f2.dedupHits);
+    EXPECT_EQ(f1.drops, f2.drops);
+    EXPECT_EQ(p1.evictions, p2.evictions);
+
+    // MSHR accounting: every request either issued, merged or dropped.
+    EXPECT_EQ(f1.issued + f1.dedupHits + f1.drops, f1.requests);
+    EXPECT_GT(f1.dedupHits, 0u);
+}
+
+TEST(VtRender, CoarsestLevelsArePinnedPerTexture)
+{
+    Scene scene = makeQuadTestScene(64, 32);
+    SceneLayout layout(scene, testLayoutParams());
+    VtConfig cfg;
+    cfg.pageBytes = 4096;
+    cfg.poolPages = 4;
+    VirtualTextureMemory mem(cfg);
+    VtSampler vt(layout, mem);
+    EXPECT_GE(mem.pool().pinnedPages(), scene.textures.size());
+}
+
+TEST(VtRender, StatsTablesCoverTheRun)
+{
+    Scene scene = makeQuadTestScene(256, 48);
+    SceneLayout layout(scene, testLayoutParams());
+    VtConfig cfg;
+    cfg.pageBytes = 4096;
+    cfg.poolPages = 8;
+    cfg.sampleInterval = 64;
+    VirtualTextureMemory mem(cfg);
+    VtSampler vt(layout, mem);
+    RenderOptions opts;
+    opts.captureTrace = false;
+    opts.vtResolve = vt.hook();
+    render(scene, RasterOrder::horizontal(), opts);
+
+    EXPECT_FALSE(mem.residencySamples().empty());
+    EXPECT_GT(vtAvgResidentPages(mem), 0.0);
+    // The tables render without dying and carry the headline rows.
+    std::ostringstream os;
+    vtSummaryTable("t", mem, &vt.degradation()).print(os);
+    vtDegradationTable("h", vt.degradation()).print(os);
+    EXPECT_NE(os.str().find("Pool hit rate"), std::string::npos);
+}
+
+// --------------------------------------------------- cache integration
+
+TEST(VtHierarchy, BackendSeesExactlyTheMemoryFills)
+{
+    VtConfig cfg;
+    cfg.pageBytes = 4096;
+    cfg.poolPages = 64;
+    VirtualTextureMemory mem(cfg);
+
+    TwoLevelCache h(1, CacheConfig{1024, 32, 2},
+                    CacheConfig{8 * 1024, 32, 4});
+    h.setMemoryBackend([&](Addr a) { mem.touch(a); });
+
+    Rng rng(11);
+    uint64_t cursor = 0;
+    for (int i = 0; i < 50000; ++i) {
+        cursor = (cursor + rng.below(512)) & 0xfffff;
+        h.access(0, cursor);
+    }
+    EXPECT_EQ(mem.pool().stats().lookups, h.memoryFills());
+    EXPECT_GT(mem.pool().stats().lookups, 0u);
+    // The pool filtered the fills further: some were already resident.
+    EXPECT_GT(mem.pool().stats().hits, 0u);
+}

@@ -2,14 +2,28 @@
 # Regenerate every figure/table of the reproduction into results/.
 # Usage: tools/run_all.sh [build_dir] [out_dir]
 # Set TEXCACHE_CSV=1 for machine-readable output.
-set -e
+#
+# Each bench writes stdout to $OUT/<name>.txt and stderr to
+# $OUT/<name>.err. A failing bench does not stop the run; the script
+# exits nonzero at the end listing every failure.
+set -u
 BUILD="${1:-build}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
+failed=""
 for b in "$BUILD"/bench/*; do
-    [ -x "$b" ] || continue
+    [ -f "$b" ] && [ -x "$b" ] || continue
     name=$(basename "$b")
     echo "== $name"
-    "$b" > "$OUT/$name.txt" 2> /dev/null
+    if "$b" > "$OUT/$name.txt" 2> "$OUT/$name.err"; then
+        :
+    else
+        echo "== $name FAILED (exit $?); stderr in $OUT/$name.err" >&2
+        failed="$failed $name"
+    fi
 done
 echo "wrote $(ls "$OUT" | wc -l) result files to $OUT/"
+if [ -n "$failed" ]; then
+    echo "FAILED benches:$failed" >&2
+    exit 1
+fi
