@@ -14,6 +14,11 @@
  * The second table puts the paper's cache hierarchy in front of the
  * pool: an L1/L2 filters the baseline texel stream and only true
  * memory fills probe page residency.
+ *
+ * Every sweep point owns its full VT stack (pool, fetch queue,
+ * sampler) and re-renders from the prebuilt read-only scene, so the
+ * 28 cold/warm points and the 4 front-cache replays all execute on
+ * the sweep thread pool; rows print in deterministic point order.
  */
 
 #include "bench/bench_util.hh"
@@ -42,12 +47,11 @@ vtConfig(const Scene &scene, unsigned page_bytes, uint64_t pool_bytes)
     return cfg;
 }
 
-/** One cold- or warm-started VT render of @p scene. */
-void
-runVt(const Scene &scene, const RasterOrder &order, const VtConfig &cfg,
-      bool warm, TextTable &table)
+/** One cold- or warm-started VT render of @p scene; returns the row. */
+std::vector<std::string>
+runVt(const Scene &scene, const SceneLayout &layout,
+      const RasterOrder &order, const VtConfig &cfg, bool warm)
 {
-    SceneLayout layout(scene, blockedForLine(64));
     VirtualTextureMemory mem(cfg);
     VtSampler vt(layout, mem);
     if (warm)
@@ -63,16 +67,16 @@ runVt(const Scene &scene, const RasterOrder &order, const VtConfig &cfg,
     const DegradationStats &deg = vt.degradation();
     const FetchQueueStats &fq = mem.fetchQueue().stats();
     const PagePoolStats &pool = mem.pool().stats();
-    table.row({scene.name, fmtBytes(cfg.pageBytes),
-               warm ? "warm" : fmtBytes(cfg.poolBytes()),
-               fmtPercent(deg.degradedFraction()),
-               fmtFixed(deg.avgDelta(), 2),
-               std::to_string(deg.maxDelta()),
-               std::to_string(fq.issued), std::to_string(fq.dedupHits),
-               std::to_string(fq.drops),
-               std::to_string(pool.evictions),
-               fmtPercent(pool.hitRate()),
-               std::to_string(pool.residentHighWater)});
+    return {scene.name, fmtBytes(cfg.pageBytes),
+            warm ? "warm" : fmtBytes(cfg.poolBytes()),
+            fmtPercent(deg.degradedFraction()),
+            fmtFixed(deg.avgDelta(), 2),
+            std::to_string(deg.maxDelta()),
+            std::to_string(fq.issued), std::to_string(fq.dedupHits),
+            std::to_string(fq.drops),
+            std::to_string(pool.evictions),
+            fmtPercent(pool.hitRate()),
+            std::to_string(pool.residentHighWater)};
 }
 
 } // namespace
@@ -90,20 +94,38 @@ main()
     const unsigned page_sizes[] = {16 * 1024, 64 * 1024};
     const uint64_t pool_budgets[] = {1 << 20, 4 << 20, 16 << 20};
 
+    // Serial phase: build scenes and one shared read-only layout per
+    // scene, then enumerate every (scene, page, budget) render as an
+    // independent sweep point (warm rows included, in row order).
+    struct Point
+    {
+        const Scene *scene;
+        std::shared_ptr<SceneLayout> layout;
+        RasterOrder order;
+        VtConfig cfg;
+        bool warm;
+    };
+    std::vector<Point> points;
     for (BenchScene s : allBenchScenes()) {
         const Scene &scene = store().scene(s);
+        auto layout =
+            std::make_shared<SceneLayout>(scene, blockedForLine(64));
         RasterOrder order = sceneOrder(s);
         for (unsigned page : page_sizes)
             for (uint64_t budget : pool_budgets)
-                runVt(scene, order, vtConfig(scene, page, budget),
-                      false, sweep);
+                points.push_back({&scene, layout, order,
+                                  vtConfig(scene, page, budget), false});
         // Warm start sized to the whole footprint: must not degrade.
-        SceneLayout layout(scene, blockedForLine(64));
         VtConfig cfg = vtConfig(scene, 64 * 1024, 0);
-        cfg.poolPages =
-            layout.totalFootprint() / cfg.pageBytes + 2;
-        runVt(scene, order, cfg, true, sweep);
+        cfg.poolPages = layout->totalFootprint() / cfg.pageBytes + 2;
+        points.push_back({&scene, layout, order, cfg, true});
     }
+
+    auto rows = Sweep::run(points, [](const Point &p) {
+        return runVt(*p.scene, *p.layout, p.order, p.cfg, p.warm);
+    });
+    for (const auto &r : rows)
+        sweep.row(r.value);
     sweep.print(std::cout);
     std::cout << "\n";
 
@@ -115,29 +137,45 @@ main()
         "pages, 4MB pool)");
     front.header({"Scene", "Accesses", "MemFills", "PoolLookups",
                   "PoolHit", "Fetches"});
+
+    struct FrontPoint
+    {
+        const Scene *scene;
+        std::shared_ptr<SceneLayout> layout;
+        const TexelTrace *trace;
+    };
+    std::vector<FrontPoint> fronts;
     for (BenchScene s : allBenchScenes()) {
         const Scene &scene = store().scene(s);
-        SceneLayout layout(scene, blockedForLine(64));
+        fronts.push_back({&scene,
+                          std::make_shared<SceneLayout>(
+                              scene, blockedForLine(64)),
+                          &store().trace(s, sceneOrder(s))});
+    }
+
+    auto frontRows = Sweep::run(fronts, [&](const FrontPoint &p) {
         VirtualTextureMemory mem(
-            vtConfig(scene, 64 * 1024, 4 << 20));
+            vtConfig(*p.scene, 64 * 1024, 4 << 20));
         TwoLevelCache h(1, CacheConfig{16 * 1024, 64, 2},
                         CacheConfig{128 * 1024, 64, 4});
         h.setMemoryBackend([&](Addr a) { mem.touch(a); });
         // Cache hits never reach the pool, but they still take time:
         // advance the VT clock once per texel access so in-flight
         // fetches retire while the hierarchy absorbs the traffic.
-        layout.forEachAddress(store().trace(s, sceneOrder(s)),
-                              [&](Addr a) {
-                                  mem.advance(1);
-                                  h.access(0, a);
-                              });
+        p.layout->forEachAddress(*p.trace, [&](Addr a) {
+            mem.advance(1);
+            h.access(0, a);
+        });
         const PagePoolStats &pool = mem.pool().stats();
-        front.row({scene.name, std::to_string(h.totalAccesses()),
-                   std::to_string(h.memoryFills()),
-                   std::to_string(pool.lookups),
-                   fmtPercent(pool.hitRate()),
-                   std::to_string(mem.fetchQueue().stats().issued)});
-    }
+        return std::vector<std::string>{
+            p.scene->name, std::to_string(h.totalAccesses()),
+            std::to_string(h.memoryFills()),
+            std::to_string(pool.lookups),
+            fmtPercent(pool.hitRate()),
+            std::to_string(mem.fetchQueue().stats().issued)};
+    });
+    for (const auto &r : frontRows)
+        front.row(r.value);
     front.print(std::cout);
     return 0;
 }

@@ -10,6 +10,11 @@
  *  - the Town scene degrading badly under vertical rasterization
  *    because its textures appear upright on screen (the base
  *    representation's orientation sensitivity).
+ *
+ * Every (scene, direction) cell of the sweep is one single-pass
+ * FA capacity sweep (runFaSweep); the eight passes run in parallel
+ * on the sweep pool after the traces are rendered (or loaded from
+ * the trace cache) up front.
  */
 
 #include "bench/bench_util.hh"
@@ -19,30 +24,40 @@ using namespace texcache::benchutil;
 
 namespace {
 
+struct Point
+{
+    BenchScene scene;
+    ScanDirection dir;
+    const TexelTrace *trace;
+    std::shared_ptr<SceneLayout> layout;
+};
+
+struct Curve
+{
+    std::vector<double> rates;
+    uint64_t workingSet = 0;
+};
+
 void
-panel(const char *title, ScanDirection dir)
+panel(const char *title, ScanDirection dir,
+      const std::vector<uint64_t> &sizes,
+      const std::vector<SweepResult<Curve>> &curves, size_t offset)
 {
     TextTable table(title);
-    std::vector<uint64_t> sizes = cacheSizeSweep(1 << 10, 512 << 10);
     std::vector<std::string> header = {"Scene"};
     for (uint64_t s : sizes)
         header.push_back(fmtBytes(s));
     header.push_back("WorkingSet");
     table.header(header);
 
+    size_t i = offset;
     for (BenchScene s : allBenchScenes()) {
-        RasterOrder order;
-        order.dir = dir;
-        const RenderOutput &out = store().output(s, order);
-        LayoutParams params;
-        params.kind = LayoutKind::Nonblocked;
-        SceneLayout layout(store().scene(s), params);
-        StackDistProfiler prof = profileTrace(out.trace, layout, 32);
-
+        (void)dir;
+        const Curve &c = curves[i++].value;
         std::vector<std::string> row = {benchSceneName(s)};
-        for (uint64_t size : sizes)
-            row.push_back(fmtPercent(prof.missRate(size)));
-        row.push_back(fmtBytes(firstWorkingSet(prof, sizes)));
+        for (double r : c.rates)
+            row.push_back(fmtPercent(r));
+        row.push_back(fmtBytes(c.workingSet));
         table.row(row);
     }
     table.print(std::cout);
@@ -54,12 +69,42 @@ panel(const char *title, ScanDirection dir)
 int
 main()
 {
+    std::vector<uint64_t> sizes = cacheSizeSweep(1 << 10, 512 << 10);
+
+    // Render (or load) traces and build layouts serially, then
+    // simulate in parallel: both are read-only inside the sweep.
+    LayoutParams params;
+    params.kind = LayoutKind::Nonblocked;
+    std::vector<Point> points;
+    for (ScanDirection dir :
+         {ScanDirection::Horizontal, ScanDirection::Vertical}) {
+        for (BenchScene s : allBenchScenes()) {
+            RasterOrder order;
+            order.dir = dir;
+            points.push_back(
+                {s, dir, &store().trace(s, order),
+                 std::make_shared<SceneLayout>(store().scene(s),
+                                               params)});
+        }
+    }
+
+    auto curves = Sweep::run(points, [&](const Point &p) {
+        std::vector<CacheStats> stats =
+            runFaSweep(*p.trace, *p.layout, 32, sizes);
+        Curve c;
+        for (const CacheStats &s : stats)
+            c.rates.push_back(s.missRate());
+        c.workingSet = firstWorkingSet(c.rates, sizes);
+        return c;
+    });
+
     panel("Figure 5.2(a): base representation, horizontal "
           "rasterization, FA, 32B lines",
-          ScanDirection::Horizontal);
+          ScanDirection::Horizontal, sizes, curves, 0);
     panel("Figure 5.2(b): base representation, vertical rasterization, "
           "FA, 32B lines",
-          ScanDirection::Vertical);
+          ScanDirection::Vertical, sizes, curves,
+          allBenchScenes().size());
     std::cout << "Paper reference: working sets Flight 4KB, Town 8KB "
                  "(16KB vertical), Guitar 16KB, Goblet 16KB; Town's "
                  "small-cache miss rates rise sharply under vertical "

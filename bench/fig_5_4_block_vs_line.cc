@@ -9,6 +9,10 @@
  * much larger or smaller than the line inflate the working set and
  * cause capacity misses. Increasing the line size *without* blocking
  * (the 1-wide "nonblocked" row) makes things worse.
+ *
+ * Each (scene, block) row shares one layout; its five line sizes are
+ * independent FA passes, so all rows x lines fan out as one parallel
+ * sweep (Sweep::run) after the two traces are rendered up front.
  */
 
 #include "bench/bench_util.hh"
@@ -37,48 +41,67 @@ const BlockChoice kBlocks[] = {
 
 const unsigned kLines[] = {16, 32, 64, 128, 256};
 
-void
-panel(const char *title, BenchScene s)
+struct Point
 {
-    TextTable table(title);
-    std::vector<std::string> header = {"Block \\ Line"};
-    for (unsigned l : kLines)
-        header.push_back(fmtBytes(l));
-    table.header(header);
-
-    const RenderOutput &out = store().output(s, sceneOrder(s));
-    for (const BlockChoice &b : kBlocks) {
-        LayoutParams params;
-        params.kind = b.kind;
-        if (b.kind == LayoutKind::Blocked) {
-            params.blockW = b.w;
-            params.blockH = b.h;
-        }
-        SceneLayout layout(store().scene(s), params);
-        std::vector<std::string> row = {b.label};
-        for (unsigned line : kLines) {
-            CacheStats stats =
-                runCache(out.trace, layout,
-                         {kCacheSize, line, CacheConfig::kFullyAssoc});
-            row.push_back(fmtPercent(stats.missRate()));
-        }
-        table.row(row);
-    }
-    table.print(std::cout);
-    std::cout << "\n";
-}
+    const TexelTrace *trace;
+    std::shared_ptr<SceneLayout> layout;
+    unsigned line;
+};
 
 } // namespace
 
 int
 main()
 {
-    panel("Figure 5.4(a): Town-vertical, FA 32KB, miss rate by block "
-          "and line size",
-          BenchScene::Town);
-    panel("Figure 5.4(b): Guitar-horizontal, FA 32KB, miss rate by "
-          "block and line size",
-          BenchScene::Guitar);
+    const BenchScene scenes[] = {BenchScene::Town, BenchScene::Guitar};
+
+    // Serial phase: render traces, build every row's layout.
+    std::vector<Point> points;
+    for (BenchScene s : scenes) {
+        const TexelTrace &trace = store().trace(s, sceneOrder(s));
+        for (const BlockChoice &b : kBlocks) {
+            LayoutParams params;
+            params.kind = b.kind;
+            if (b.kind == LayoutKind::Blocked) {
+                params.blockW = b.w;
+                params.blockH = b.h;
+            }
+            auto layout = std::make_shared<SceneLayout>(
+                store().scene(s), params);
+            for (unsigned line : kLines)
+                points.push_back({&trace, layout, line});
+        }
+    }
+
+    auto results = Sweep::run(points, [](const Point &p) {
+        return runCache(*p.trace, *p.layout,
+                        {kCacheSize, p.line, CacheConfig::kFullyAssoc})
+            .missRate();
+    });
+
+    size_t i = 0;
+    for (BenchScene s : scenes) {
+        TextTable table(
+            s == BenchScene::Town
+                ? "Figure 5.4(a): Town-vertical, FA 32KB, miss rate by "
+                  "block and line size"
+                : "Figure 5.4(b): Guitar-horizontal, FA 32KB, miss "
+                  "rate by block and line size");
+        std::vector<std::string> header = {"Block \\ Line"};
+        for (unsigned l : kLines)
+            header.push_back(fmtBytes(l));
+        table.header(header);
+        for (const BlockChoice &b : kBlocks) {
+            std::vector<std::string> row = {b.label};
+            for (unsigned l : kLines) {
+                (void)l;
+                row.push_back(fmtPercent(results[i++].value));
+            }
+            table.row(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
     std::cout << "Paper reference: minima on the diagonal where block "
                  "storage == line size (e.g. 4x4 = 64B); large lines "
                  "without blocking degrade.\n";

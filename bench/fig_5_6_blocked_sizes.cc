@@ -8,6 +8,9 @@
  * large matched lines cuts capacity misses dramatically, whereas the
  * nonblocked representation with a large line is worse than with a
  * small line.
+ *
+ * Each series is one single-pass FA capacity sweep; the six series run
+ * in parallel.
  */
 
 #include "bench/bench_util.hh"
@@ -39,6 +42,30 @@ main()
     }
 
     std::vector<uint64_t> sizes = cacheSizeSweep(1 << 10, 128 << 10);
+
+    const TexelTrace &trace =
+        store().trace(BenchScene::Guitar, sceneOrder(BenchScene::Guitar));
+
+    struct Point
+    {
+        const Series *series;
+        std::shared_ptr<SceneLayout> layout;
+    };
+    std::vector<Point> points;
+    for (const Series &ser : series)
+        points.push_back({&ser,
+                          std::make_shared<SceneLayout>(
+                              store().scene(BenchScene::Guitar),
+                              ser.params)});
+
+    auto results = Sweep::run(points, [&](const Point &p) {
+        std::vector<double> rates;
+        for (const CacheStats &s :
+             runFaSweep(trace, *p.layout, p.series->line, sizes))
+            rates.push_back(s.missRate());
+        return rates;
+    });
+
     TextTable table("Figure 5.6: Guitar-horizontal, FA, miss rate vs "
                     "cache size per (line, block)");
     std::vector<std::string> header = {"Series"};
@@ -46,16 +73,10 @@ main()
         header.push_back(fmtBytes(s));
     table.header(header);
 
-    const RenderOutput &out =
-        store().output(BenchScene::Guitar, sceneOrder(BenchScene::Guitar));
-    for (const Series &ser : series) {
-        SceneLayout layout(store().scene(BenchScene::Guitar),
-                           ser.params);
-        StackDistProfiler prof =
-            profileTrace(out.trace, layout, ser.line);
-        std::vector<std::string> row = {ser.label};
-        for (uint64_t size : sizes)
-            row.push_back(fmtPercent(prof.missRate(size)));
+    for (size_t i = 0; i < series.size(); ++i) {
+        std::vector<std::string> row = {series[i].label};
+        for (double r : results[i].value)
+            row.push_back(fmtPercent(r));
         table.row(row);
     }
     table.print(std::cout);

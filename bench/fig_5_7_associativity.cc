@@ -15,6 +15,12 @@
  * A supplementary panel shows the nonblocked representation on Goblet,
  * where the paper notes ~8-way would be needed to match fully
  * associative at small sizes.
+ *
+ * Each panel hands its full associativity x size grid to
+ * runCacheSweep, which collapses the fully associative row into ONE
+ * stack-distance pass, groups the set-associative configs per cache
+ * size into shared replay passes, and runs the passes on the sweep
+ * thread pool - 9 trace passes instead of 40 replays per panel.
  */
 
 #include "bench/bench_util.hh"
@@ -35,7 +41,7 @@ panel(const char *title, BenchScene s, const LayoutParams &params,
         header.push_back(fmtBytes(sz));
     table.header(header);
 
-    const RenderOutput &out = store().output(s, sceneOrder(s));
+    const TexelTrace &trace = store().trace(s, sceneOrder(s));
     SceneLayout layout(store().scene(s), params);
 
     struct AssocChoice
@@ -49,20 +55,32 @@ panel(const char *title, BenchScene s, const LayoutParams &params,
         {"full", CacheConfig::kFullyAssoc},
     };
 
+    // Gather the valid grid cells, sweep them in the fewest passes,
+    // then scatter the stats back into rows.
+    std::vector<CacheConfig> configs;
+    std::vector<std::pair<size_t, size_t>> cells; // (choice, size idx)
+    for (size_t c = 0; c < std::size(choices); ++c) {
+        for (size_t i = 0; i < sizes.size(); ++i) {
+            if (choices[c].assoc != CacheConfig::kFullyAssoc &&
+                sizes[i] / line < choices[c].assoc)
+                continue;
+            configs.push_back({sizes[i], line, choices[c].assoc});
+            cells.emplace_back(c, i);
+        }
+    }
+    std::vector<CacheStats> stats = runCacheSweep(trace, layout, configs);
+
+    std::vector<std::vector<std::string>> rows;
     for (const AssocChoice &c : choices) {
         std::vector<std::string> row = {c.label};
-        for (uint64_t size : sizes) {
-            if (c.assoc != CacheConfig::kFullyAssoc &&
-                size / line < c.assoc) {
-                row.push_back("-");
-                continue;
-            }
-            CacheStats stats =
-                runCache(out.trace, layout, {size, line, c.assoc});
-            row.push_back(fmtPercent(stats.missRate()));
-        }
-        table.row(row);
+        row.insert(row.end(), sizes.size(), "-");
+        rows.push_back(row);
     }
+    for (size_t k = 0; k < cells.size(); ++k)
+        rows[cells[k].first][cells[k].second + 1] =
+            fmtPercent(stats[k].missRate());
+    for (auto &row : rows)
+        table.row(row);
     table.print(std::cout);
     std::cout << "\n";
 }

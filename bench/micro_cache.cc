@@ -1,15 +1,28 @@
 /**
  * @file
- * Google-benchmark microbenchmark for the cache simulator components:
- * set-associative CacheSim, O(1) FullyAssocLru, and the Mattson
- * stack-distance profiler. These bound the wall-clock cost of the
- * figure sweeps (tens of millions of accesses each).
+ * Google-benchmark microbenchmark for the cache simulator components
+ * (set-associative CacheSim, O(1) FullyAssocLru, Mattson profiler,
+ * the flat LineSet), followed by a fig_5_2-shaped sweep workload that
+ * measures the sweep engine end to end: brute-force one-replay-per-
+ * config (the pre-sweep-engine execution model) versus single-pass
+ * capacity collapapse + parallel passes. The comparison is written to
+ * BENCH_cache_sim.json (accesses/sec before/after) so the perf
+ * trajectory is tracked across PRs; EXPERIMENTS.md records the
+ * measured history.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
 #include "cache/cache_sim.hh"
+#include "cache/line_table.hh"
 #include "cache/stack_dist.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/sweep.hh"
 
 using namespace texcache;
 
@@ -61,10 +74,143 @@ stackDistProfiler(benchmark::State &state)
     benchmark::DoNotOptimize(prof.coldMisses());
 }
 
+void
+lineSetInsert(benchmark::State &state)
+{
+    LineSet set;
+    uint32_t x = 7;
+    uint64_t cursor = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(set.insert(nextAddr(x, cursor) >> 6));
+    state.SetItemsProcessed(state.iterations());
+}
+
+/**
+ * The fig_5_2 sweep workload: a rendered texel trace replayed through
+ * the nonblocked layout at every cache size of the figure's sweep,
+ * for two line sizes. "Before" executes it the way the seed benches
+ * did - one full serial replay per configuration; "after" uses the
+ * sweep engine - one stack-distance pass per line size, passes run
+ * via Sweep::run. Both simulate the same logical accesses; the JSON
+ * reports accesses/sec for each.
+ */
+void
+sweepWorkload()
+{
+    Scene scene = makeQuadTestScene(256, 512, 4.0f);
+    RenderOptions opts;
+    opts.writeFramebuffer = false;
+    RenderOutput out = render(scene, RasterOrder::horizontal(), opts);
+    LayoutParams params;
+    params.kind = LayoutKind::Nonblocked;
+    SceneLayout layout(scene, params);
+
+    std::vector<uint64_t> sizes = cacheSizeSweep(1 << 10, 512 << 10);
+    const unsigned kLineSizes[] = {32, 64};
+
+    // Before: one replay per (line, size) config, serially, exactly
+    // as the seed benches ran (runCache is still that brute path).
+    struct ConfigPerf
+    {
+        CacheConfig config;
+        uint64_t accesses = 0;
+        uint64_t misses = 0;
+        double millis = 0.0;
+    };
+    std::vector<ConfigPerf> perConfig;
+    uint64_t logicalAccesses = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned line : kLineSizes) {
+        for (uint64_t size : sizes) {
+            CacheConfig cfg{size, line, CacheConfig::kFullyAssoc};
+            auto c0 = std::chrono::steady_clock::now();
+            CacheStats stats = runCache(out.trace, layout, cfg);
+            double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - c0)
+                            .count();
+            perConfig.push_back({cfg, stats.accesses, stats.misses, ms});
+            logicalAccesses += stats.accesses;
+        }
+    }
+    double beforeMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+    // After: the full sweep collapses into one pass per line size;
+    // the passes run on the sweep thread pool.
+    std::vector<unsigned> lines(kLineSizes,
+                                kLineSizes + std::size(kLineSizes));
+    auto t1 = std::chrono::steady_clock::now();
+    auto after = Sweep::run(lines, [&](unsigned line) {
+        return runFaSweep(out.trace, layout, line, sizes);
+    });
+    double afterMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t1)
+                         .count();
+
+    // The collapsed passes must reproduce the brute-force numbers.
+    size_t k = 0;
+    for (size_t l = 0; l < lines.size(); ++l) {
+        for (size_t s = 0; s < sizes.size(); ++s, ++k) {
+            const CacheStats &fast = after[l].value[s];
+            panic_if(fast.misses != perConfig[k].misses ||
+                         fast.accesses != perConfig[k].accesses,
+                     "sweep engine diverged from brute force at ",
+                     perConfig[k].config.str());
+        }
+    }
+
+    double beforeAps = logicalAccesses / (beforeMs / 1e3);
+    double afterAps = logicalAccesses / (afterMs / 1e3);
+
+    TextTable table("fig_5_2 sweep workload: per-config brute-force "
+                    "replay (texels/s = accesses/s here: 1 address "
+                    "per texel in the nonblocked layout)");
+    table.header({"Config", "Accesses", "Wall(ms)", "Accesses/s"});
+    for (const ConfigPerf &c : perConfig)
+        table.row({c.config.str(), std::to_string(c.accesses),
+                   fmtFixed(c.millis, 2),
+                   fmtFixed(c.accesses / (c.millis / 1e3) / 1e6, 1) +
+                       "M"});
+    table.print(std::cout);
+
+    std::cout << "\nsweep engine (" << lines.size()
+              << " single-pass sweeps via Sweep::run, "
+              << Sweep::threadCount() << " threads): "
+              << fmtFixed(afterMs, 1) << " ms vs "
+              << fmtFixed(beforeMs, 1) << " ms brute force -> "
+              << fmtFixed(beforeMs / afterMs, 2) << "x ("
+              << fmtFixed(afterAps / 1e6, 1) << "M vs "
+              << fmtFixed(beforeAps / 1e6, 1) << "M accesses/s)\n";
+
+    std::ofstream json("BENCH_cache_sim.json");
+    json << "{\n"
+         << "  \"workload\": \"fig_5_2_sweep\",\n"
+         << "  \"configs\": " << perConfig.size() << ",\n"
+         << "  \"logical_accesses\": " << logicalAccesses << ",\n"
+         << "  \"threads\": " << Sweep::threadCount() << ",\n"
+         << "  \"before_wall_ms\": " << beforeMs << ",\n"
+         << "  \"after_wall_ms\": " << afterMs << ",\n"
+         << "  \"before_accesses_per_sec\": " << beforeAps << ",\n"
+         << "  \"after_accesses_per_sec\": " << afterAps << ",\n"
+         << "  \"speedup\": " << (beforeMs / afterMs) << "\n"
+         << "}\n";
+    std::cout << "wrote BENCH_cache_sim.json\n";
+}
+
 } // namespace
 
 BENCHMARK(cacheSimSetAssoc)->Arg(1)->Arg(2)->Arg(8);
 BENCHMARK(fullyAssocLru);
 BENCHMARK(stackDistProfiler);
+BENCHMARK(lineSetInsert);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    sweepWorkload();
+    return 0;
+}

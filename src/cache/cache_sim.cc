@@ -25,6 +25,15 @@ CacheSim::CacheSim(const CacheConfig &config) : config_(config)
     lineShift_ = log2Exact(config.lineBytes);
     uint64_t lines = config.numLines();
     if (config.assoc == CacheConfig::kFullyAssoc) {
+        if (lines > 64) {
+            // The O(ways) scan is hopeless at this size; the hash-map
+            // LRU is exact for any fully associative LRU cache.
+            fa_ = std::make_unique<FullyAssocLru>(config.sizeBytes,
+                                                  config.lineBytes);
+            ways_ = 0;
+            setMask_ = 0;
+            return;
+        }
         ways_ = static_cast<unsigned>(lines);
         setMask_ = 0;
     } else {
@@ -40,9 +49,21 @@ CacheSim::CacheSim(const CacheConfig &config) : config_(config)
     table_.assign(config.numSets() * ways_, Way{});
 }
 
+CacheSim::~CacheSim() = default;
+CacheSim::CacheSim(CacheSim &&) noexcept = default;
+CacheSim &CacheSim::operator=(CacheSim &&) noexcept = default;
+
+const CacheStats &
+CacheSim::stats() const
+{
+    return fa_ ? fa_->stats() : stats_;
+}
+
 bool
 CacheSim::access(Addr addr)
 {
+    if (fa_)
+        return fa_->access(addr);
     uint64_t line = addr >> lineShift_;
     uint64_t set = line & setMask_;
     Way *ways = &table_[set * ways_];
@@ -64,7 +85,7 @@ CacheSim::access(Addr addr)
     }
 
     ++stats_.misses;
-    if (touched_.insert(line).second)
+    if (touched_.insert(line))
         ++stats_.coldMisses;
     ways[victim].tag = line;
     ways[victim].lastUse = tick_;
@@ -74,6 +95,10 @@ CacheSim::access(Addr addr)
 void
 CacheSim::flush()
 {
+    if (fa_) {
+        fa_->flush();
+        return;
+    }
     table_.assign(table_.size(), Way{});
     tick_ = 0;
 }
@@ -81,6 +106,10 @@ CacheSim::flush()
 void
 CacheSim::reset()
 {
+    if (fa_) {
+        fa_->reset();
+        return;
+    }
     table_.assign(table_.size(), Way{});
     touched_.clear();
     tick_ = 0;
@@ -141,7 +170,7 @@ FullyAssocLru::access(Addr addr)
     }
 
     ++stats_.misses;
-    if (touched_.insert(line).second)
+    if (touched_.insert(line))
         ++stats_.coldMisses;
 
     uint32_t n;

@@ -15,11 +15,12 @@
 #define TEXCACHE_CACHE_CACHE_SIM_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "cache/line_table.hh"
 #include "common/bits.hh"
 #include "layout/address_space.hh"
 
@@ -70,15 +71,22 @@ struct CacheStats
     }
 };
 
+class FullyAssocLru;
+
 /**
- * Set-associative LRU cache. Fully associative configurations are
- * supported but O(ways) per access; prefer FullyAssocLru for large
- * fully associative caches.
+ * Set-associative LRU cache. Fully associative configurations with
+ * more than 64 lines delegate internally to the O(1) FullyAssocLru
+ * path, so callers can pass kFullyAssoc without picking the class by
+ * hand; smaller ones use the O(ways) scan, which beats the hash map
+ * at that scale.
  */
 class CacheSim
 {
   public:
     explicit CacheSim(const CacheConfig &config);
+    ~CacheSim();
+    CacheSim(CacheSim &&) noexcept;
+    CacheSim &operator=(CacheSim &&) noexcept;
 
     /** Simulate one byte access; returns true on hit. */
     bool access(Addr addr);
@@ -94,7 +102,7 @@ class CacheSim
      */
     void flush();
 
-    const CacheStats &stats() const { return stats_; }
+    const CacheStats &stats() const;
     const CacheConfig &config() const { return config_; }
 
   private:
@@ -110,9 +118,11 @@ class CacheSim
     uint64_t setMask_;
     unsigned ways_;
     std::vector<Way> table_; ///< numSets * ways_, row-major by set
-    std::unordered_set<uint64_t> touched_; ///< line addrs ever seen
+    LineSet touched_;        ///< line addrs ever seen
     uint64_t tick_ = 0;
     CacheStats stats_;
+    /** Large fully associative configs delegate here (O(1) LRU). */
+    std::unique_ptr<FullyAssocLru> fa_;
 };
 
 /** Fully associative LRU cache with O(1) accesses (hash map + list). */
@@ -149,7 +159,7 @@ class FullyAssocLru
     std::vector<Node> pool_;
     std::vector<uint32_t> freeList_;
     std::unordered_map<uint64_t, uint32_t> map_;
-    std::unordered_set<uint64_t> touched_;
+    LineSet touched_;
     uint32_t head_ = kNil;
     uint32_t tail_ = kNil;
     CacheStats stats_;

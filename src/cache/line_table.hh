@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Open-addressing hash containers for line addresses.
+ *
+ * The cache simulators and the stack-distance profiler spend most of
+ * their per-access time in hash lookups keyed by a line address
+ * (first-touch tracking, LRU node lookup, last-access timestamps).
+ * std::unordered_{set,map} pay a heap allocation per node and a pointer
+ * chase per probe; these flat tables keep everything in one array with
+ * linear probing, which is the single biggest lever on simulator
+ * throughput (DESIGN.md section 8).
+ *
+ * Keys are line addresses (byte address >> lineShift), so the all-ones
+ * value can never occur in practice and serves as the empty sentinel.
+ * Capacity is a power of two and grows at ~70% load.
+ */
+
+#ifndef TEXCACHE_CACHE_LINE_TABLE_HH
+#define TEXCACHE_CACHE_LINE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+
+namespace texcache {
+
+namespace detail {
+
+/** Mixes line-address bits; adjacent lines land in distinct slots. */
+inline uint64_t
+lineHash(uint64_t k)
+{
+    // splitmix64 finalizer - cheap and well distributed.
+    k += 0x9e3779b97f4a7c15ULL;
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+    return k ^ (k >> 31);
+}
+
+} // namespace detail
+
+/** Flat linear-probing set of line addresses. */
+class LineSet
+{
+  public:
+    static constexpr uint64_t kEmpty = ~0ULL;
+
+    LineSet() { slots_.assign(kMinCapacity, kEmpty); }
+
+    /** Insert @p line; returns true iff it was not present before. */
+    bool
+    insert(uint64_t line)
+    {
+        if ((size_ + 1) * 10 >= slots_.size() * 7)
+            grow();
+        size_t i = detail::lineHash(line) & mask();
+        while (slots_[i] != kEmpty) {
+            if (slots_[i] == line)
+                return false;
+            i = (i + 1) & mask();
+        }
+        slots_[i] = line;
+        ++size_;
+        return true;
+    }
+
+    bool
+    contains(uint64_t line) const
+    {
+        size_t i = detail::lineHash(line) & mask();
+        while (slots_[i] != kEmpty) {
+            if (slots_[i] == line)
+                return true;
+            i = (i + 1) & mask();
+        }
+        return false;
+    }
+
+    uint64_t size() const { return size_; }
+
+    void
+    clear()
+    {
+        slots_.assign(kMinCapacity, kEmpty);
+        size_ = 0;
+    }
+
+  private:
+    static constexpr size_t kMinCapacity = 64;
+
+    size_t mask() const { return slots_.size() - 1; }
+
+    void
+    grow()
+    {
+        std::vector<uint64_t> old = std::move(slots_);
+        slots_.assign(old.size() * 2, kEmpty);
+        for (uint64_t line : old) {
+            if (line == kEmpty)
+                continue;
+            size_t i = detail::lineHash(line) & mask();
+            while (slots_[i] != kEmpty)
+                i = (i + 1) & mask();
+            slots_[i] = line;
+        }
+    }
+
+    std::vector<uint64_t> slots_;
+    uint64_t size_ = 0;
+};
+
+/**
+ * Flat linear-probing map from line address to a 64-bit value.
+ * Supports insert-or-assign and lookup only - the stack-distance
+ * profiler never erases (lines stay live once seen).
+ */
+class LineMap
+{
+  public:
+    static constexpr uint64_t kEmpty = ~0ULL;
+
+    LineMap() { keys_.assign(kMinCapacity, kEmpty); vals_.resize(kMinCapacity); }
+
+    /**
+     * Find the slot for @p line. Returns a pointer to its value, or
+     * nullptr when absent.
+     */
+    uint64_t *
+    find(uint64_t line)
+    {
+        size_t i = detail::lineHash(line) & mask();
+        while (keys_[i] != kEmpty) {
+            if (keys_[i] == line)
+                return &vals_[i];
+            i = (i + 1) & mask();
+        }
+        return nullptr;
+    }
+
+    const uint64_t *
+    find(uint64_t line) const
+    {
+        return const_cast<LineMap *>(this)->find(line);
+    }
+
+    /** Insert @p line -> @p val; the line must not be present. */
+    void
+    insert(uint64_t line, uint64_t val)
+    {
+        if ((size_ + 1) * 10 >= keys_.size() * 7)
+            grow();
+        size_t i = detail::lineHash(line) & mask();
+        while (keys_[i] != kEmpty)
+            i = (i + 1) & mask();
+        keys_[i] = line;
+        vals_[i] = val;
+        ++size_;
+    }
+
+    uint64_t size() const { return size_; }
+
+    void
+    clear()
+    {
+        keys_.assign(kMinCapacity, kEmpty);
+        size_ = 0;
+    }
+
+    /** Visit every (line, value) pair in unspecified order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t i = 0; i < keys_.size(); ++i)
+            if (keys_[i] != kEmpty)
+                fn(keys_[i], vals_[i]);
+    }
+
+  private:
+    static constexpr size_t kMinCapacity = 64;
+
+    size_t mask() const { return keys_.size() - 1; }
+
+    void
+    grow()
+    {
+        std::vector<uint64_t> old_keys = std::move(keys_);
+        std::vector<uint64_t> old_vals = std::move(vals_);
+        keys_.assign(old_keys.size() * 2, kEmpty);
+        vals_.resize(old_keys.size() * 2);
+        for (size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] == kEmpty)
+                continue;
+            size_t j = detail::lineHash(old_keys[i]) & mask();
+            while (keys_[j] != kEmpty)
+                j = (j + 1) & mask();
+            keys_[j] = old_keys[i];
+            vals_[j] = old_vals[i];
+        }
+    }
+
+    std::vector<uint64_t> keys_;
+    std::vector<uint64_t> vals_;
+    uint64_t size_ = 0;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_CACHE_LINE_TABLE_HH

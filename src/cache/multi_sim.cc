@@ -1,0 +1,45 @@
+#include "cache/multi_sim.hh"
+
+namespace texcache {
+
+FaCapacitySweep::FaCapacitySweep(unsigned line_bytes,
+                                 std::vector<uint64_t> sizes)
+    : sizes_(std::move(sizes)), prof_(line_bytes)
+{
+    fatal_if(sizes_.empty(), "capacity sweep with no sizes");
+}
+
+std::vector<CacheStats>
+FaCapacitySweep::stats() const
+{
+    std::vector<CacheStats> out;
+    out.reserve(sizes_.size());
+    for (uint64_t size : sizes_) {
+        CacheStats s;
+        s.accesses = prof_.accesses();
+        s.misses = prof_.misses(size);
+        s.coldMisses = prof_.coldMisses();
+        out.push_back(s);
+    }
+    return out;
+}
+
+GroupSim::GroupSim(const std::vector<CacheConfig> &configs)
+{
+    fatal_if(configs.empty(), "group simulation with no configs");
+    sims_.reserve(configs.size());
+    for (const CacheConfig &c : configs)
+        sims_.emplace_back(c);
+}
+
+std::vector<CacheStats>
+GroupSim::stats() const
+{
+    std::vector<CacheStats> out;
+    out.reserve(sims_.size());
+    for (const CacheSim &sim : sims_)
+        out.push_back(sim.stats());
+    return out;
+}
+
+} // namespace texcache

@@ -11,6 +11,7 @@ StackDistProfiler::StackDistProfiler(unsigned line_bytes)
     fatal_if(!isPowerOfTwo(line_bytes), "line size ", line_bytes,
              " not a power of two");
     lineShift_ = log2Exact(line_bytes);
+    hist_.resize(kTopK + 1, 0); // fast-path distances need no resize
 }
 
 void
@@ -38,22 +39,30 @@ StackDistProfiler::fenwickSuffix(size_t pos) const
 void
 StackDistProfiler::compact()
 {
+    // The map entries of top-array lines are allowed to be stale; make
+    // them truthful before renumbering, and refresh the array after.
+    for (size_t i = 0; i < topSize_; ++i)
+        *lastTime_.find(top_[i].line) = top_[i].time;
+
     // Renumber live timestamps densely, preserving order.
     std::vector<std::pair<uint64_t, uint64_t>> live; // (old time, line)
     live.reserve(lastTime_.size());
-    for (const auto &[line, t] : lastTime_)
-        live.emplace_back(t, line);
+    lastTime_.forEach(
+        [&](uint64_t line, uint64_t t) { live.emplace_back(t, line); });
     std::sort(live.begin(), live.end());
 
     present_.assign(live.size() * 2 + 64, false);
     tree_.assign(present_.size(), 0);
     now_ = 0;
     for (const auto &[t, line] : live) {
-        lastTime_[line] = now_;
+        *lastTime_.find(line) = now_;
         present_[now_] = true;
         fenwickAdd(now_, 1);
         ++now_;
     }
+
+    for (size_t i = 0; i < topSize_; ++i)
+        top_[i].time = *lastTime_.find(top_[i].line);
 }
 
 void
@@ -61,6 +70,20 @@ StackDistProfiler::access(Addr addr)
 {
     uint64_t line = addr >> lineShift_;
     ++accesses_;
+
+    // Fast path: a hit in the top-of-stack array is a pure rotation.
+    // Position i owns the (i+1)-th newest timestamp, so moving the line
+    // to the front while the timestamps stay put realises the LRU
+    // reordering without touching the Fenwick tree or the map.
+    for (size_t j = 0; j < topSize_; ++j) {
+        if (top_[j].line == line) {
+            ++hist_[j + 1];
+            for (size_t i = j; i > 0; --i)
+                top_[i].line = top_[i - 1].line;
+            top_[0].line = line;
+            return;
+        }
+    }
 
     if (now_ >= tree_.size()) {
         if (lastTime_.size() * 2 + 64 < tree_.size()) {
@@ -80,23 +103,36 @@ StackDistProfiler::access(Addr addr)
         }
     }
 
-    auto it = lastTime_.find(line);
-    if (it == lastTime_.end()) {
+    uint64_t *slot = lastTime_.find(line);
+    if (!slot) {
         ++cold_;
+        lastTime_.insert(line, now_);
     } else {
-        uint64_t prev = it->second;
+        uint64_t prev = *slot;
         // Distance = live timestamps after prev, plus this line itself.
+        // The top-array lines own exactly the newest live timestamps,
+        // so the suffix count includes them without consulting the
+        // array's internal order.
         uint64_t dist = fenwickSuffix(prev) + 1;
         if (hist_.size() <= dist)
             hist_.resize(dist + 1, 0);
         ++hist_[dist];
         present_[prev] = false;
         fenwickAdd(prev, -1);
+        *slot = now_;
     }
-
-    lastTime_[line] = now_;
     present_[now_] = true;
     fenwickAdd(now_, 1);
+
+    // Push the line onto the top-of-stack array; the demoted line gets
+    // its true (smallest-of-the-array) timestamp written back.
+    if (topSize_ == kTopK)
+        *lastTime_.find(top_[kTopK - 1].line) = top_[kTopK - 1].time;
+    else
+        ++topSize_;
+    for (size_t i = topSize_ - 1; i > 0; --i)
+        top_[i] = top_[i - 1];
+    top_[0] = {line, now_};
     ++now_;
 }
 

@@ -21,9 +21,9 @@
 #define TEXCACHE_CACHE_STACK_DIST_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "cache/line_table.hh"
 #include "layout/address_space.hh"
 
 namespace texcache {
@@ -72,7 +72,27 @@ class StackDistProfiler
     uint64_t cold_ = 0;
     std::vector<uint64_t> hist_;
 
-    std::unordered_map<uint64_t, uint64_t> lastTime_; ///< line -> time
+    /**
+     * The top of the LRU stack, held exactly as a tiny array in true
+     * recency order (front = MRU). Position i permanently owns the
+     * (i+1)-th newest live timestamp, so re-accessing one of these
+     * lines is a pure rotation of the line fields - the timestamp
+     * multiset the Fenwick tree indexes never changes. A line's map
+     * entry is allowed to go stale while it sits here; the true
+     * timestamp is written back when the line is demoted off the end.
+     * Texel streams (bilinear/trilinear fragments re-touch 2-4 lines)
+     * resolve almost entirely inside this array.
+     */
+    struct TopEntry
+    {
+        uint64_t line;
+        uint64_t time;
+    };
+    static constexpr size_t kTopK = 8;
+    TopEntry top_[kTopK];
+    size_t topSize_ = 0;
+
+    LineMap lastTime_; ///< line -> last access timestamp
     std::vector<uint64_t> tree_; ///< Fenwick over timestamps
     std::vector<bool> present_;  ///< timestamp still live
     uint64_t now_ = 0;           ///< next timestamp

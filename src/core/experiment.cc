@@ -1,6 +1,68 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include "trace/trace_io.hh"
+
 namespace texcache {
+
+namespace {
+
+/**
+ * Trace-cache key material. The schema constant must be bumped
+ * whenever the packed record format changes; the build stamp rotates
+ * whenever this translation unit (or any header it includes -
+ * renderer, scenes, sampler) is recompiled, which invalidates cached
+ * traces across builds. A stale cache is still possible after an
+ * incremental rebuild that does not touch this TU; the cache is
+ * opt-in via TEXCACHE_TRACE_CACHE_DIR for exactly that reason.
+ */
+constexpr uint64_t kTraceSchema = 1;
+
+uint64_t
+fnv1a(const std::string &s, uint64_t h = 1469598103934665603ULL)
+{
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Cache file path for (scene, order) under @p dir, or "" if disabled. */
+std::string
+traceCachePath(BenchScene s, const RasterOrder &order)
+{
+    const char *dir = std::getenv("TEXCACHE_TRACE_CACHE_DIR");
+    if (!dir || !*dir)
+        return "";
+    uint64_t h = fnv1a(__DATE__ " " __TIME__,
+                       fnv1a(std::to_string(kTraceSchema)));
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(dir) + "/" + benchSceneName(s) + "-" +
+           order.str() + "-" + hex + ".trace";
+}
+
+/** Write @p trace to @p path via a temp file so readers never see a
+ *  torn file (benches may share one cache directory). */
+void
+writeTraceCache(const TexelTrace &trace, const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    std::string tmp = path + ".tmp";
+    writeTrace(trace, tmp);
+    std::rename(tmp.c_str(), path.c_str());
+}
+
+} // namespace
 
 const Scene &
 TraceStore::scene(BenchScene s)
@@ -25,8 +87,28 @@ TraceStore::output(BenchScene s, const RasterOrder &order)
         RenderOptions opts;
         opts.writeFramebuffer = false; // figures need traces only
         it = outputs_.emplace(key, render(sc, order, opts)).first;
+        std::string path = traceCachePath(s, order);
+        if (!path.empty() && !std::filesystem::exists(path))
+            writeTraceCache(it->second.trace, path);
     }
     return it->second;
+}
+
+const TexelTrace &
+TraceStore::trace(BenchScene s, const RasterOrder &order)
+{
+    auto key = std::make_pair(static_cast<int>(s), order.str());
+    if (auto it = outputs_.find(key); it != outputs_.end())
+        return it->second.trace;
+    if (auto it = diskTraces_.find(key); it != diskTraces_.end())
+        return it->second;
+    std::string path = traceCachePath(s, order);
+    if (!path.empty() && std::filesystem::exists(path)) {
+        inform("trace cache hit: ", path);
+        auto it = diskTraces_.emplace(key, readTrace(path)).first;
+        return it->second;
+    }
+    return output(s, order).trace;
 }
 
 StackDistProfiler
@@ -34,7 +116,13 @@ profileTrace(const TexelTrace &trace, const SceneLayout &layout,
              unsigned line_bytes)
 {
     StackDistProfiler prof(line_bytes);
-    layout.forEachAddress(trace, [&](Addr a) { prof.access(a); });
+    std::vector<Addr> buf;
+    for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
+        size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);
+        layout.mapRange(trace, i, end, buf);
+        for (Addr a : buf)
+            prof.access(a);
+    }
     return prof;
 }
 
@@ -42,13 +130,16 @@ CacheStats
 runCache(const TexelTrace &trace, const SceneLayout &layout,
          const CacheConfig &config)
 {
-    if (config.assoc == CacheConfig::kFullyAssoc) {
-        FullyAssocLru cache(config.sizeBytes, config.lineBytes);
-        layout.forEachAddress(trace, [&](Addr a) { cache.access(a); });
-        return cache.stats();
-    }
+    // CacheSim internally takes the O(1) fully associative path for
+    // large kFullyAssoc configs, so one code path serves both.
     CacheSim cache(config);
-    layout.forEachAddress(trace, [&](Addr a) { cache.access(a); });
+    std::vector<Addr> buf;
+    for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
+        size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);
+        layout.mapRange(trace, i, end, buf);
+        for (Addr a : buf)
+            cache.access(a);
+    }
     return cache.stats();
 }
 
@@ -57,8 +148,97 @@ classifyCache(const TexelTrace &trace, const SceneLayout &layout,
               const CacheConfig &config)
 {
     MissClassifier cls(config);
-    layout.forEachAddress(trace, [&](Addr a) { cls.access(a); });
+    std::vector<Addr> buf;
+    for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
+        size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);
+        layout.mapRange(trace, i, end, buf);
+        for (Addr a : buf)
+            cls.access(a);
+    }
     return cls.breakdown();
+}
+
+std::vector<CacheStats>
+runFaSweep(const TexelTrace &trace, const SceneLayout &layout,
+           unsigned line_bytes, const std::vector<uint64_t> &sizes)
+{
+    FaCapacitySweep sweep(line_bytes, sizes);
+    std::vector<Addr> buf;
+    for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
+        size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);
+        layout.mapRange(trace, i, end, buf);
+        sweep.accessRange(buf.data(), buf.size());
+    }
+    return sweep.stats();
+}
+
+std::vector<CacheStats>
+runCacheGroup(const TexelTrace &trace, const SceneLayout &layout,
+              const std::vector<CacheConfig> &configs)
+{
+    GroupSim group(configs);
+    std::vector<Addr> buf;
+    for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
+        size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);
+        layout.mapRange(trace, i, end, buf);
+        group.accessRange(buf.data(), buf.size());
+    }
+    return group.stats();
+}
+
+std::vector<CacheStats>
+runCacheSweep(const TexelTrace &trace, const SceneLayout &layout,
+              const std::vector<CacheConfig> &configs)
+{
+    // Partition the configs into single-pass tasks: one stack-distance
+    // pass per distinct fully-associative line size, one grouped
+    // replay per set-associative (size, line) family.
+    struct Task
+    {
+        bool fa = false;
+        unsigned line = 0;
+        std::vector<uint64_t> sizes;     ///< FA capacities
+        std::vector<CacheConfig> cfgs;   ///< set-associative members
+        std::vector<size_t> indices;     ///< positions in `configs`
+    };
+    std::map<unsigned, size_t> fa_tasks; // line -> task index
+    std::map<std::pair<uint64_t, unsigned>, size_t> sa_tasks;
+    std::vector<Task> tasks;
+
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const CacheConfig &c = configs[i];
+        if (c.assoc == CacheConfig::kFullyAssoc) {
+            auto [it, fresh] =
+                fa_tasks.try_emplace(c.lineBytes, tasks.size());
+            if (fresh) {
+                tasks.emplace_back();
+                tasks.back().fa = true;
+                tasks.back().line = c.lineBytes;
+            }
+            Task &t = tasks[it->second];
+            t.sizes.push_back(c.sizeBytes);
+            t.indices.push_back(i);
+        } else {
+            auto [it, fresh] = sa_tasks.try_emplace(
+                std::make_pair(c.sizeBytes, c.lineBytes), tasks.size());
+            if (fresh)
+                tasks.emplace_back();
+            Task &t = tasks[it->second];
+            t.cfgs.push_back(c);
+            t.indices.push_back(i);
+        }
+    }
+
+    auto results = Sweep::run(tasks, [&](const Task &t) {
+        return t.fa ? runFaSweep(trace, layout, t.line, t.sizes)
+                    : runCacheGroup(trace, layout, t.cfgs);
+    });
+
+    std::vector<CacheStats> out(configs.size());
+    for (size_t t = 0; t < tasks.size(); ++t)
+        for (size_t k = 0; k < tasks[t].indices.size(); ++k)
+            out[tasks[t].indices[k]] = results[t].value[k];
+    return out;
 }
 
 std::vector<uint64_t>
@@ -71,22 +251,35 @@ cacheSizeSweep(uint64_t lo, uint64_t hi)
 }
 
 uint64_t
-firstWorkingSet(const StackDistProfiler &prof,
+firstWorkingSet(const std::vector<double> &rates,
                 const std::vector<uint64_t> &sizes, double capture)
 {
     panic_if(sizes.empty(), "empty size sweep");
+    panic_if(rates.size() != sizes.size(),
+             "working-set scan needs one rate per size");
     // The first significant working set is where the steep part of the
     // miss-rate curve ends: the smallest size capturing at least
     // `capture` of the achievable miss-rate reduction between the
     // smallest and largest swept caches (section 5.2.3).
-    double top = prof.missRate(sizes.front());
-    double floor_rate = prof.missRate(sizes.back());
+    double top = rates.front();
+    double floor_rate = rates.back();
     double threshold = top - capture * (top - floor_rate);
-    for (uint64_t s : sizes) {
-        if (prof.missRate(s) <= threshold)
-            return s;
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        if (rates[i] <= threshold)
+            return sizes[i];
     }
     return sizes.back();
+}
+
+uint64_t
+firstWorkingSet(const StackDistProfiler &prof,
+                const std::vector<uint64_t> &sizes, double capture)
+{
+    std::vector<double> rates;
+    rates.reserve(sizes.size());
+    for (uint64_t s : sizes)
+        rates.push_back(prof.missRate(s));
+    return firstWorkingSet(rates, sizes, capture);
 }
 
 } // namespace texcache

@@ -17,15 +17,28 @@
 #include <vector>
 
 #include "cache/cache_sim.hh"
+#include "cache/multi_sim.hh"
 #include "cache/stack_dist.hh"
 #include "cache/three_c.hh"
 #include "core/scene_layout.hh"
+#include "core/sweep.hh"
 #include "pipeline/renderer.hh"
 #include "scene/benchmarks.hh"
 
 namespace texcache {
 
-/** Memoizes built scenes and rendered traces for one process. */
+/**
+ * Memoizes built scenes and rendered traces for one process.
+ *
+ * When TEXCACHE_TRACE_CACHE_DIR is set, rendered texel traces are
+ * additionally persisted there (via trace_io) keyed by scene, raster
+ * order and a build stamp, so repeated bench invocations from the
+ * same build skip the expensive re-render. Consumers that need only
+ * the trace should call trace(), which serves disk hits without
+ * rendering; output() always renders (and still populates the disk
+ * cache) because the framebuffer and pipeline statistics cannot be
+ * reconstructed from a trace file.
+ */
 class TraceStore
 {
   public:
@@ -35,16 +48,13 @@ class TraceStore
     /** The (memoized) render output for a scene and raster order. */
     const RenderOutput &output(BenchScene s, const RasterOrder &order);
 
-    /** Shorthand for output(...).trace. */
-    const TexelTrace &
-    trace(BenchScene s, const RasterOrder &order)
-    {
-        return output(s, order).trace;
-    }
+    /** The texel trace only - served from the disk cache if possible. */
+    const TexelTrace &trace(BenchScene s, const RasterOrder &order);
 
   private:
     std::map<int, Scene> scenes_;
     std::map<std::pair<int, std::string>, RenderOutput> outputs_;
+    std::map<std::pair<int, std::string>, TexelTrace> diskTraces_;
 };
 
 /** Replay a trace through a layout into a stack-distance profiler. */
@@ -61,6 +71,38 @@ MissBreakdown classifyCache(const TexelTrace &trace,
                             const SceneLayout &layout,
                             const CacheConfig &config);
 
+/**
+ * Exact fully-associative LRU stats for every capacity in @p sizes
+ * from ONE pass over the trace (Mattson inclusion; see
+ * cache/multi_sim.hh). Equivalent to |sizes| runCache calls at
+ * kFullyAssoc but paying the replay once.
+ */
+std::vector<CacheStats> runFaSweep(const TexelTrace &trace,
+                                   const SceneLayout &layout,
+                                   unsigned line_bytes,
+                                   const std::vector<uint64_t> &sizes);
+
+/**
+ * One shared replay pass driving every configuration in @p configs
+ * (typically the associativities of one (size, line) family). Results
+ * align with the config list.
+ */
+std::vector<CacheStats>
+runCacheGroup(const TexelTrace &trace, const SceneLayout &layout,
+              const std::vector<CacheConfig> &configs);
+
+/**
+ * Exact stats for an arbitrary config list using the fewest possible
+ * trace passes: fully associative configs collapse into one
+ * stack-distance pass per distinct line size, set-associative ones
+ * group by (size, line) family; the resulting passes execute on the
+ * sweep thread pool (core/sweep.hh). Results align with @p configs
+ * and are bit-identical to per-config runCache replays.
+ */
+std::vector<CacheStats>
+runCacheSweep(const TexelTrace &trace, const SceneLayout &layout,
+              const std::vector<CacheConfig> &configs);
+
 /** Power-of-two cache sizes from @p lo to @p hi inclusive (bytes). */
 std::vector<uint64_t> cacheSizeSweep(uint64_t lo = 1 << 10,
                                      uint64_t hi = 512 << 10);
@@ -72,6 +114,11 @@ std::vector<uint64_t> cacheSizeSweep(uint64_t lo = 1 << 10,
  * end of the steep part of the miss-rate-versus-size curve.
  */
 uint64_t firstWorkingSet(const StackDistProfiler &prof,
+                         const std::vector<uint64_t> &sizes,
+                         double capture = 0.85);
+
+/** firstWorkingSet over precomputed miss rates (aligned with sizes). */
+uint64_t firstWorkingSet(const std::vector<double> &rates,
                          const std::vector<uint64_t> &sizes,
                          double capture = 0.85);
 

@@ -64,6 +64,32 @@ class SceneLayout
         });
     }
 
+    /**
+     * Translate records [@p begin, @p end) of @p trace into @p out
+     * (replacing its contents, reusing its storage). Mapping a span
+     * once and replaying the flat buffer through one or more
+     * simulators is the sweep engine's fast path: the trace decode and
+     * the layout address computation are paid once per span instead of
+     * once per (access x configuration).
+     */
+    void
+    mapRange(const TexelTrace &trace, size_t begin, size_t end,
+             std::vector<Addr> &out) const
+    {
+        out.clear();
+        Addr a[3];
+        for (size_t i = begin; i < end; ++i) {
+            TexelRecord r = trace[i];
+            const TextureLayout &lay = *layouts_[r.texture];
+            unsigned n = lay.addresses({r.level, r.u, r.v}, a);
+            for (unsigned k = 0; k < n; ++k)
+                out.push_back(a[k]);
+        }
+    }
+
+    /** Span length (in records) the chunked replay loops use. */
+    static constexpr size_t kMapChunk = 1 << 16;
+
   private:
     LayoutParams params_;
     AddressSpace space_;

@@ -1,0 +1,163 @@
+#include "core/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace texcache {
+
+namespace {
+
+/**
+ * A worker's remaining index range, packed (begin << 32 | end) into
+ * one atomic word so the owner's pop and a thief's steal are both
+ * single CAS operations.
+ */
+class StealRange
+{
+  public:
+    void
+    set(uint32_t begin, uint32_t end)
+    {
+        r_.store(pack(begin, end), std::memory_order_release);
+    }
+
+    /** Owner side: take the front index. */
+    bool
+    pop(uint32_t &idx)
+    {
+        uint64_t cur = r_.load(std::memory_order_acquire);
+        for (;;) {
+            uint32_t b = begin(cur), e = end(cur);
+            if (b >= e)
+                return false;
+            if (r_.compare_exchange_weak(cur, pack(b + 1, e),
+                                         std::memory_order_acq_rel)) {
+                idx = b;
+                return true;
+            }
+        }
+    }
+
+    /** Thief side: take the back half of the remaining range. */
+    bool
+    stealHalf(uint32_t &sb, uint32_t &se)
+    {
+        uint64_t cur = r_.load(std::memory_order_acquire);
+        for (;;) {
+            uint32_t b = begin(cur), e = end(cur);
+            if (b >= e)
+                return false;
+            uint32_t mid = b + (e - b + 1) / 2;
+            if (r_.compare_exchange_weak(cur, pack(b, mid),
+                                         std::memory_order_acq_rel)) {
+                sb = mid;
+                se = e;
+                return true;
+            }
+        }
+    }
+
+  private:
+    static uint64_t
+    pack(uint32_t b, uint32_t e)
+    {
+        return (static_cast<uint64_t>(b) << 32) | e;
+    }
+    static uint32_t begin(uint64_t r) { return static_cast<uint32_t>(r >> 32); }
+    static uint32_t end(uint64_t r) { return static_cast<uint32_t>(r); }
+
+    std::atomic<uint64_t> r_{0};
+};
+
+} // namespace
+
+unsigned
+Sweep::threadCount()
+{
+    if (const char *env = std::getenv("TEXCACHE_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        inform("ignoring invalid TEXCACHE_THREADS='", env, "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+Sweep::runIndexed(size_t n, const std::function<void(size_t)> &work)
+{
+    panic_if(n > ~0u, "sweep of ", n, " points exceeds 32-bit indices");
+    unsigned threads = threadCount();
+    if (threads > n)
+        threads = static_cast<unsigned>(n);
+    if (threads <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            work(i);
+        return;
+    }
+
+    std::vector<StealRange> queues(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        queues[t].set(static_cast<uint32_t>(n * t / threads),
+                      static_cast<uint32_t>(n * (t + 1) / threads));
+
+    std::atomic<uint64_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    auto worker = [&](unsigned self) {
+        StealRange &own = queues[self];
+        for (;;) {
+            uint32_t i;
+            if (own.pop(i)) {
+                try {
+                    work(i);
+                } catch (...) {
+                    {
+                        std::lock_guard<std::mutex> g(error_mu);
+                        if (!error)
+                            error = std::current_exception();
+                    }
+                    failed.store(true);
+                }
+                done.fetch_add(1, std::memory_order_acq_rel);
+                continue;
+            }
+            if (failed.load())
+                return;
+            bool got = false;
+            for (unsigned k = 1; k < threads && !got; ++k) {
+                uint32_t b, e;
+                if (queues[(self + k) % threads].stealHalf(b, e)) {
+                    own.set(b, e);
+                    got = true;
+                }
+            }
+            if (!got) {
+                if (done.load(std::memory_order_acquire) >= n)
+                    return;
+                std::this_thread::yield();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        pool.emplace_back(worker, t);
+    worker(0);
+    for (std::thread &th : pool)
+        th.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace texcache

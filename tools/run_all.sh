@@ -6,23 +6,36 @@
 # Each bench writes stdout to $OUT/<name>.txt and stderr to
 # $OUT/<name>.err. A failing bench does not stop the run; the script
 # exits nonzero at the end listing every failure.
+#
+# Rendered texel traces are cached under $OUT/trace-cache (see
+# DESIGN.md section 8), so re-runs skip the expensive renders; delete
+# that directory to force re-rendering. Per-bench and cumulative
+# wall-clock are printed as each bench finishes.
 set -u
 BUILD="${1:-build}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
+TEXCACHE_TRACE_CACHE_DIR="${TEXCACHE_TRACE_CACHE_DIR:-$OUT/trace-cache}"
+export TEXCACHE_TRACE_CACHE_DIR
 failed=""
+total=0
 for b in "$BUILD"/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     name=$(basename "$b")
-    echo "== $name"
+    start=$(date +%s)
     if "$b" > "$OUT/$name.txt" 2> "$OUT/$name.err"; then
-        :
+        status=ok
     else
         echo "== $name FAILED (exit $?); stderr in $OUT/$name.err" >&2
         failed="$failed $name"
+        status=FAILED
     fi
+    end=$(date +%s)
+    elapsed=$((end - start))
+    total=$((total + elapsed))
+    echo "== $name ${elapsed}s (cumulative ${total}s) $status"
 done
-echo "wrote $(ls "$OUT" | wc -l) result files to $OUT/"
+echo "wrote $(ls "$OUT" | wc -l) result files to $OUT/ in ${total}s"
 if [ -n "$failed" ]; then
     echo "FAILED benches:$failed" >&2
     exit 1
