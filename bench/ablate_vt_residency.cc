@@ -23,6 +23,7 @@
 
 #include "bench/bench_util.hh"
 #include "cache/hierarchy.hh"
+#include "cache/stats_export.hh"
 #include "vt/vt_memory.hh"
 #include "vt/vt_sampler.hh"
 #include "vt/vt_stats.hh"
@@ -177,5 +178,45 @@ main()
     for (const auto &r : frontRows)
         front.row(r.value);
     front.print(std::cout);
+
+    // One canonical cold point re-run with its stacks kept alive in
+    // this scope, so the run manifest can dump the *full* VT and cache
+    // hierarchy stats trees that the table rows above only summarize.
+    BenchScene repScene = allBenchScenes().front();
+    const FrontPoint &rep = fronts.front();
+    VirtualTextureMemory repMem(vtConfig(*rep.scene, 64 * 1024,
+                                         4 << 20));
+    VtSampler repVt(*rep.layout, repMem);
+    {
+        RenderOptions opts;
+        opts.captureTrace = false;
+        opts.writeFramebuffer = false;
+        opts.countRepetition = false;
+        opts.vtResolve = repVt.hook();
+        render(*rep.scene, sceneOrder(repScene), opts);
+    }
+    TwoLevelCache repHier(1, CacheConfig{16 * 1024, 64, 2},
+                          CacheConfig{128 * 1024, 64, 4});
+    rep.layout->forEachAddress(*rep.trace,
+                               [&](Addr a) { repHier.access(0, a); });
+
+    dumpStats("ablate_vt_residency", [&](RunManifest &m,
+                                         stats::Group &root) {
+        m.setScene("all");
+        m.config("rep_scene", std::string(benchSceneName(repScene)));
+        m.config("rep_page_bytes", uint64_t(64 * 1024));
+        m.config("rep_pool_bytes", uint64_t(4) << 20);
+        exportPointTimes(*root.findGroup("sweep"), rows);
+        exportVtStats(root.group("vt"), repMem, &repVt.degradation());
+        exportHierarchyStats(root.group("cache"), repHier);
+        // The VT stack is cycle-driven and single-threaded per point:
+        // everything below is deterministic, so pin it exactly.
+        m.metric("rep_degraded_fraction",
+                 repVt.degradation().degradedFraction(), "exact");
+        m.metric("rep_pool_hit_rate", repMem.pool().stats().hitRate(),
+                 "exact");
+        m.metric("rep_l1_miss_rate", root.value("cache.l1.miss_rate"),
+                 "exact");
+    });
     return 0;
 }

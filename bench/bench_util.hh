@@ -14,10 +14,15 @@
 #define TEXCACHE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <functional>
 #include <iostream>
+#include <string>
 
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "core/run_manifest.hh"
+#include "core/sweep.hh"
+#include "stats/stats.hh"
 
 namespace texcache {
 namespace benchutil {
@@ -79,6 +84,53 @@ store()
 {
     static TraceStore s;
     return s;
+}
+
+/** Register the most recent top-level Sweep::run's engine counters. */
+inline void
+exportSweepStats(stats::Group &g)
+{
+    SweepRunStats s = Sweep::lastRunStats();
+    g.constant("points", s.points, "sweep points executed");
+    g.constant("threads", s.threads, "worker threads used");
+    g.constant("steals", s.steals, "successful work-steal operations");
+    g.real("wall_ms", s.wallMillis, "whole-run wall-clock");
+    g.real("busy_ms", s.busyMillis,
+           "point execution time summed over workers");
+    g.real("utilization", s.utilization(),
+           "busy time / (threads * wall-clock)");
+}
+
+/** Histogram the per-point wall-clocks of a Sweep::run result set. */
+template <typename T>
+inline void
+exportPointTimes(stats::Group &g, const std::vector<SweepResult<T>> &rs)
+{
+    stats::Distribution &d = g.distribution(
+        "point_us", "per-point wall-clock in microseconds");
+    for (const SweepResult<T> &r : rs)
+        d.sample(static_cast<uint64_t>(r.millis * 1e3));
+}
+
+/**
+ * Write the bench's BENCH_<bench>.json run manifest plus stats tree.
+ * The sweep engine's counters for the last top-level Sweep::run are
+ * always included under "sweep"; @p fill adds the bench's config rows,
+ * gated metrics and subsystem stats. The path is reported via inform()
+ * (stderr) only, so bench stdout - the reproduced tables - stays
+ * byte-identical whether or not anyone reads the manifest.
+ */
+inline void
+dumpStats(const std::string &bench,
+          const std::function<void(RunManifest &, stats::Group &)>
+              &fill = {})
+{
+    RunManifest manifest(bench);
+    stats::Group root;
+    exportSweepStats(root.group("sweep"));
+    if (fill)
+        fill(manifest, root);
+    manifest.writeFile(&root);
 }
 
 } // namespace benchutil

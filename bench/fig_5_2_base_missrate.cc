@@ -109,5 +109,33 @@ main()
                  "(16KB vertical), Guitar 16KB, Goblet 16KB; Town's "
                  "small-cache miss rates rise sharply under vertical "
                  "rasterization.\n";
+
+    dumpStats("fig_5_2", [&](RunManifest &m, stats::Group &root) {
+        m.setScene("all");
+        m.config("layout", "nonblocked");
+        m.config("line_bytes", uint64_t(32));
+        m.config("assoc", "full");
+        m.config("sizes", std::to_string(sizes.front()) + ".." +
+                              std::to_string(sizes.back()));
+        exportPointTimes(*root.findGroup("sweep"), curves);
+        for (size_t i = 0; i < points.size(); ++i) {
+            const Point &p = points[i];
+            const Curve &c = curves[i].value;
+            std::string tag =
+                std::string(benchSceneName(p.scene)) + "_" +
+                (p.dir == ScanDirection::Horizontal ? "h" : "v");
+            stats::Group &g = root.group(tag);
+            g.constant("working_set_bytes", c.workingSet,
+                       "first size whose miss rate nears the floor");
+            g.real("miss_rate_min", c.rates.back(),
+                   "miss rate at the largest swept size");
+            g.real("miss_rate_max", c.rates.front(),
+                   "miss rate at the smallest swept size");
+            // The simulation is deterministic: pin each curve's working
+            // set exactly so any simulator change shows up in CI.
+            m.metric("working_set_" + tag,
+                     static_cast<double>(c.workingSet), "exact");
+        }
+    });
     return 0;
 }

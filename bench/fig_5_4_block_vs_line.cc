@@ -105,5 +105,30 @@ main()
     std::cout << "Paper reference: minima on the diagonal where block "
                  "storage == line size (e.g. 4x4 = 64B); large lines "
                  "without blocking degrade.\n";
+
+    dumpStats("fig_5_4", [&](RunManifest &m, stats::Group &root) {
+        m.setScene("Town,Guitar");
+        m.config("cache_bytes", kCacheSize);
+        m.config("assoc", "full");
+        exportPointTimes(*root.findGroup("sweep"), results);
+        size_t k = 0;
+        double sum = 0.0;
+        for (BenchScene s : scenes) {
+            stats::Group &sg = root.group(benchSceneName(s));
+            for (const BlockChoice &b : kBlocks) {
+                stats::Group &bg = sg.group(b.label);
+                for (unsigned l : kLines) {
+                    double r = results[k++].value;
+                    bg.real("line_" + std::to_string(l), r,
+                            "miss rate");
+                    sum += r;
+                }
+            }
+        }
+        // Deterministic simulation: one exact pin over the whole grid
+        // catches any simulator or layout change in CI.
+        m.metric("mean_miss_rate", sum / static_cast<double>(k),
+                 "exact");
+    });
     return 0;
 }

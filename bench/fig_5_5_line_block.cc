@@ -71,5 +71,25 @@ main()
     std::cout << "\nPaper reference @32B->128B: Flight 2.8%->0.87%, "
                  "Goblet 1.5%->0.41%, Guitar 1.2%->0.36%, Town "
                  "0.8%->0.21%.\n";
+
+    dumpStats("fig_5_5", [&](RunManifest &m, stats::Group &root) {
+        m.setScene("all");
+        m.config("cache_bytes", kCacheSize);
+        m.config("assoc", "full");
+        exportPointTimes(*root.findGroup("sweep"), results);
+        size_t k = 0;
+        double sum = 0.0;
+        for (BenchScene s : allBenchScenes()) {
+            stats::Group &sg = root.group(benchSceneName(s));
+            for (unsigned l : lines) {
+                double r = results[k++].value;
+                sg.real("line_" + std::to_string(l), r,
+                        "miss rate at the matched line/block size");
+                sum += r;
+            }
+        }
+        m.metric("mean_miss_rate", sum / static_cast<double>(k),
+                 "exact");
+    });
     return 0;
 }

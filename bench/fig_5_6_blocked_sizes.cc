@@ -83,5 +83,28 @@ main()
     std::cout << "\nPaper reference: blocking + large lines reduces "
                  "capacity misses below the working-set size; large "
                  "lines without blocking increase them.\n";
+
+    dumpStats("fig_5_6", [&](RunManifest &m, stats::Group &root) {
+        m.setScene("Guitar");
+        m.config("assoc", "full");
+        m.config("sizes", std::to_string(sizes.front()) + ".." +
+                              std::to_string(sizes.back()));
+        exportPointTimes(*root.findGroup("sweep"), results);
+        double sum = 0.0;
+        size_t k = 0;
+        for (size_t i = 0; i < series.size(); ++i) {
+            // Series labels carry spaces; legal stat names, and the
+            // JSON keys read exactly like the printed table rows.
+            stats::Group &sg = root.group(series[i].label);
+            for (size_t j = 0; j < sizes.size(); ++j) {
+                double r = results[i].value[j];
+                sg.real(fmtBytes(sizes[j]), r, "miss rate");
+                sum += r;
+                ++k;
+            }
+        }
+        m.metric("mean_miss_rate", sum / static_cast<double>(k),
+                 "exact");
+    });
     return 0;
 }

@@ -30,7 +30,9 @@ using namespace texcache::benchutil;
 
 namespace {
 
-void
+/** Prints one panel; returns its mean miss rate over the valid cells
+ *  (an exact determinism pin for the run manifest). */
+double
 panel(const char *title, BenchScene s, const LayoutParams &params,
       unsigned line)
 {
@@ -83,6 +85,11 @@ panel(const char *title, BenchScene s, const LayoutParams &params,
         table.row(row);
     table.print(std::cout);
     std::cout << "\n";
+
+    double sum = 0.0;
+    for (const CacheStats &st : stats)
+        sum += st.missRate();
+    return stats.empty() ? 0.0 : sum / static_cast<double>(stats.size());
 }
 
 } // namespace
@@ -94,19 +101,37 @@ main()
     blocked.blockW = 8;
     blocked.blockH = 8;
 
-    panel("Figure 5.7(a): Goblet-horizontal, 8x8 blocks, 128B lines",
-          BenchScene::Goblet, blocked, 128);
-    panel("Figure 5.7(b): Town-vertical, 8x8 blocks, 128B lines",
-          BenchScene::Town, blocked, 128);
+    double mean_a =
+        panel("Figure 5.7(a): Goblet-horizontal, 8x8 blocks, 128B lines",
+              BenchScene::Goblet, blocked, 128);
+    double mean_b =
+        panel("Figure 5.7(b): Town-vertical, 8x8 blocks, 128B lines",
+              BenchScene::Town, blocked, 128);
 
     LayoutParams nonblocked;
     nonblocked.kind = LayoutKind::Nonblocked;
-    panel("Supplement (section 5.3.3): Goblet-horizontal, nonblocked, "
-          "128B lines",
-          BenchScene::Goblet, nonblocked, 128);
+    double mean_c =
+        panel("Supplement (section 5.3.3): Goblet-horizontal, "
+              "nonblocked, 128B lines",
+              BenchScene::Goblet, nonblocked, 128);
 
     std::cout << "Paper reference: (a) 2-way == full for Goblet; (b) "
                  "a 2-way-vs-full gap persists for Town; nonblocked "
                  "Goblet needs ~8-way at small sizes.\n";
+
+    dumpStats("fig_5_7", [&](RunManifest &m, stats::Group &root) {
+        m.setScene("Goblet,Town");
+        m.config("line_bytes", uint64_t(128));
+        m.config("block", "8x8");
+        root.real("panel_a_mean_miss_rate", mean_a,
+                  "Goblet-horizontal blocked, mean over the grid");
+        root.real("panel_b_mean_miss_rate", mean_b,
+                  "Town-vertical blocked, mean over the grid");
+        root.real("panel_c_mean_miss_rate", mean_c,
+                  "Goblet-horizontal nonblocked, mean over the grid");
+        m.metric("panel_a_mean_miss_rate", mean_a, "exact");
+        m.metric("panel_b_mean_miss_rate", mean_b, "exact");
+        m.metric("panel_c_mean_miss_rate", mean_c, "exact");
+    });
     return 0;
 }

@@ -14,9 +14,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <fstream>
 #include <iostream>
 
+#include "bench/bench_util.hh"
 #include "cache/cache_sim.hh"
 #include "cache/line_table.hh"
 #include "cache/stack_dist.hh"
@@ -91,8 +91,9 @@ lineSetInsert(benchmark::State &state)
  * for two line sizes. "Before" executes it the way the seed benches
  * did - one full serial replay per configuration; "after" uses the
  * sweep engine - one stack-distance pass per line size, passes run
- * via Sweep::run. Both simulate the same logical accesses; the JSON
- * reports accesses/sec for each.
+ * via Sweep::run. Both simulate the same logical accesses; the
+ * manifest reports accesses/sec for each, and tools/check_bench.py
+ * gates CI on the committed baseline.
  */
 void
 sweepWorkload()
@@ -183,19 +184,31 @@ sweepWorkload()
               << fmtFixed(afterAps / 1e6, 1) << "M vs "
               << fmtFixed(beforeAps / 1e6, 1) << "M accesses/s)\n";
 
-    std::ofstream json("BENCH_cache_sim.json");
-    json << "{\n"
-         << "  \"workload\": \"fig_5_2_sweep\",\n"
-         << "  \"configs\": " << perConfig.size() << ",\n"
-         << "  \"logical_accesses\": " << logicalAccesses << ",\n"
-         << "  \"threads\": " << Sweep::threadCount() << ",\n"
-         << "  \"before_wall_ms\": " << beforeMs << ",\n"
-         << "  \"after_wall_ms\": " << afterMs << ",\n"
-         << "  \"before_accesses_per_sec\": " << beforeAps << ",\n"
-         << "  \"after_accesses_per_sec\": " << afterAps << ",\n"
-         << "  \"speedup\": " << (beforeMs / afterMs) << "\n"
-         << "}\n";
-    std::cout << "wrote BENCH_cache_sim.json\n";
+    benchutil::dumpStats("cache_sim", [&](RunManifest &m,
+                                          stats::Group &root) {
+        m.config("workload", "fig_5_2_sweep");
+        m.config("threads", uint64_t(Sweep::threadCount()));
+        m.config("configs", uint64_t(perConfig.size()));
+
+        // Determinism pins: any simulator change that alters what the
+        // workload simulates fails the gate exactly.
+        m.metric("configs", double(perConfig.size()), "exact");
+        m.metric("logical_accesses", double(logicalAccesses), "exact");
+        // Throughput gates: machine-dependent, so the wide tolerance
+        // only catches real collapses (CI overrides it when injecting
+        // a synthetic regression to prove the gate trips).
+        m.metric("before_accesses_per_sec", beforeAps, "higher", 0.5);
+        m.metric("after_accesses_per_sec", afterAps, "higher", 0.5);
+        m.metric("speedup", beforeMs / afterMs, "report");
+        m.metric("before_wall_ms", beforeMs, "report");
+        m.metric("after_wall_ms", afterMs, "report");
+
+        stats::Distribution &d = root.distribution(
+            "config_us", "per-config brute-force replay wall-clock "
+                         "in microseconds");
+        for (const ConfigPerf &c : perConfig)
+            d.sample(static_cast<uint64_t>(c.millis * 1e3));
+    });
 }
 
 } // namespace

@@ -87,6 +87,8 @@ CacheSim::access(Addr addr)
     ++stats_.misses;
     if (touched_.insert(line))
         ++stats_.coldMisses;
+    if (ways[victim].tag != kInvalid)
+        ++stats_.evictions;
     ways[victim].tag = line;
     ways[victim].lastUse = tick_;
     return false;
@@ -176,6 +178,7 @@ FullyAssocLru::access(Addr addr)
     uint32_t n;
     if (map_.size() >= capacity_) {
         // Evict the least recently used line and reuse its node.
+        ++stats_.evictions;
         n = tail_;
         map_.erase(pool_[n].line);
         unlink(n);

@@ -56,6 +56,9 @@ struct CacheStats
     uint64_t accesses = 0;
     uint64_t misses = 0;
     uint64_t coldMisses = 0;
+    /** Valid lines displaced by fills (single-cache replays only;
+     *  the collapsed multi-config passes leave this zero). */
+    uint64_t evictions = 0;
 
     double
     missRate() const

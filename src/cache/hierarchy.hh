@@ -62,6 +62,9 @@ class TwoLevelCache
         return static_cast<unsigned>(l1s_.size());
     }
 
+    const CacheConfig &l1Config() const { return l1s_.front().config(); }
+    const CacheConfig &l2Config() const { return l2_.config(); }
+
     /** Total accesses across all L1s. */
     uint64_t totalAccesses() const;
 

@@ -1,0 +1,183 @@
+#include "common/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace texcache {
+
+void
+JsonWriter::preValue(bool is_key)
+{
+    if (keyPending_) {
+        // A key was just written; this is its value on the same line.
+        panic_if(is_key, "JSON key written while another key awaits "
+                         "its value");
+        keyPending_ = false;
+        return;
+    }
+    panic_if(!is_key && !frames_.empty() &&
+                 frames_.back() == Frame::Object,
+             "JSON value inside an object needs a key first");
+    if (frames_.empty())
+        return;
+    if (!firstInFrame_.back())
+        os_ << (pretty_ ? ",\n" : ",");
+    else if (pretty_)
+        os_ << "\n";
+    firstInFrame_.back() = false;
+    if (pretty_)
+        for (size_t i = 0; i < frames_.size(); ++i)
+            os_ << "  ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue(false);
+    os_ << "{";
+    frames_.push_back(Frame::Object);
+    firstInFrame_.push_back(true);
+}
+
+void
+JsonWriter::endObject()
+{
+    panic_if(frames_.empty() || frames_.back() != Frame::Object ||
+                 keyPending_,
+             "unbalanced JSON endObject");
+    bool empty = firstInFrame_.back();
+    frames_.pop_back();
+    firstInFrame_.pop_back();
+    if (pretty_ && !empty) {
+        os_ << "\n";
+        for (size_t i = 0; i < frames_.size(); ++i)
+            os_ << "  ";
+    }
+    os_ << "}";
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue(false);
+    os_ << "[";
+    frames_.push_back(Frame::Array);
+    firstInFrame_.push_back(true);
+}
+
+void
+JsonWriter::endArray()
+{
+    panic_if(frames_.empty() || frames_.back() != Frame::Array,
+             "unbalanced JSON endArray");
+    bool empty = firstInFrame_.back();
+    frames_.pop_back();
+    firstInFrame_.pop_back();
+    if (pretty_ && !empty) {
+        os_ << "\n";
+        for (size_t i = 0; i < frames_.size(); ++i)
+            os_ << "  ";
+    }
+    os_ << "]";
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    panic_if(frames_.empty() || frames_.back() != Frame::Object,
+             "JSON key '", std::string(k), "' outside an object");
+    preValue(true);
+    writeEscaped(k);
+    os_ << (pretty_ ? ": " : ":");
+    keyPending_ = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    preValue(false);
+    writeEscaped(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue(false);
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    preValue(false);
+    os_ << v;
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    preValue(false);
+    os_ << v;
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue(false);
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        os_ << "null";
+        return;
+    }
+    // Shortest representation that round-trips to the same double.
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os_.write(buf, res.ptr - buf);
+}
+
+void
+JsonWriter::rawValue(std::string_view v)
+{
+    preValue(false);
+    os_ << v;
+}
+
+void
+JsonWriter::writeEscaped(std::string_view s)
+{
+    os_ << '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            os_ << "\\\"";
+            break;
+          case '\\':
+            os_ << "\\\\";
+            break;
+          case '\n':
+            os_ << "\\n";
+            break;
+          case '\t':
+            os_ << "\\t";
+            break;
+          case '\r':
+            os_ << "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os_ << buf;
+            } else {
+                os_ << static_cast<char>(c);
+            }
+        }
+    }
+    os_ << '"';
+}
+
+} // namespace texcache

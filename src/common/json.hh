@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Backs every machine-readable artifact the harness emits - the stats
+ * tree (stats/stats.hh), bench run manifests (core/run_manifest.hh) -
+ * so they all share one escaping/formatting implementation. The writer
+ * is strictly streaming: begin/end calls must nest correctly (panics
+ * otherwise), commas and indentation are inserted automatically, and
+ * doubles are printed with the shortest round-trippable representation.
+ */
+
+#ifndef TEXCACHE_COMMON_JSON_HH
+#define TEXCACHE_COMMON_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace texcache {
+
+/** Streaming JSON emitter with automatic commas and 2-space indent. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true)
+        : os_(os), pretty_(pretty)
+    {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Member key; must be inside an object, and precede its value. */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(bool v);
+    void value(double v);
+    void value(uint64_t v);
+    void value(int64_t v);
+    void value(int v) { value(static_cast<int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<uint64_t>(v)); }
+
+    /** Pre-rendered JSON token (e.g. a number), emitted verbatim. */
+    void rawValue(std::string_view v);
+
+    /** key(k) followed by value(v). */
+    template <typename T>
+    void
+    kv(std::string_view k, T &&v)
+    {
+        key(k);
+        value(std::forward<T>(v));
+    }
+
+    /** All containers closed? (sanity check before destruction). */
+    bool done() const { return frames_.empty(); }
+
+  private:
+    enum class Frame : uint8_t { Object, Array };
+
+    /** Comma/newline/indent bookkeeping before a key or bare value. */
+    void preValue(bool is_key);
+    void writeEscaped(std::string_view s);
+
+    std::ostream &os_;
+    bool pretty_;
+    std::vector<Frame> frames_;
+    std::vector<bool> firstInFrame_;
+    bool keyPending_ = false;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_COMMON_JSON_HH

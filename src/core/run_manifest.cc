@@ -1,0 +1,152 @@
+#include "core/run_manifest.hh"
+
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "core/version.hh"
+
+extern char **environ;
+
+namespace texcache {
+
+namespace {
+
+/** Process wall-clock origin (static init ~= process start). */
+const auto processStart = std::chrono::steady_clock::now();
+
+std::string
+renderDouble(double v)
+{
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+} // namespace
+
+void
+RunManifest::config(std::string key, std::string value)
+{
+    configs_.push_back({std::move(key), std::move(value), true});
+}
+
+void
+RunManifest::config(std::string key, uint64_t value)
+{
+    configs_.push_back({std::move(key), std::to_string(value), false});
+}
+
+void
+RunManifest::config(std::string key, double value)
+{
+    configs_.push_back({std::move(key), renderDouble(value), false});
+}
+
+void
+RunManifest::metric(std::string name, double value,
+                    std::string direction, double tolerance)
+{
+    metrics_.push_back({std::move(name), value, std::move(direction),
+                        tolerance});
+}
+
+void
+RunManifest::write(std::ostream &os, const stats::Group *root) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "texcache-bench-1");
+    w.kv("bench", bench_);
+    if (!scene_.empty())
+        w.kv("scene", scene_);
+
+    w.key("build");
+    w.beginObject();
+    w.kv("git_sha", TEXCACHE_GIT_SHA);
+    w.kv("build_type", TEXCACHE_BUILD_TYPE);
+    w.kv("compiler", TEXCACHE_COMPILER);
+    w.kv("compiled", __DATE__ " " __TIME__);
+    w.endObject();
+
+    // Every TEXCACHE_* override in effect; thread count and trace
+    // cache placement change what a run measures.
+    w.key("env");
+    w.beginObject();
+    for (char **e = environ; e && *e; ++e) {
+        if (std::strncmp(*e, "TEXCACHE_", 9) != 0)
+            continue;
+        const char *eq = std::strchr(*e, '=');
+        if (!eq)
+            continue;
+        w.kv(std::string_view(*e, eq - *e), std::string_view(eq + 1));
+    }
+    w.endObject();
+
+    if (!configs_.empty()) {
+        w.key("config");
+        w.beginObject();
+        for (const ConfigRow &c : configs_) {
+            w.key(c.key);
+            if (c.quoted)
+                w.value(c.text);
+            else
+                w.rawValue(c.text);
+        }
+        w.endObject();
+    }
+
+    w.kv("wall_ms",
+         std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - processStart)
+             .count());
+
+    w.key("metrics");
+    w.beginObject();
+    for (const Metric &m : metrics_) {
+        w.key(m.name);
+        w.beginObject();
+        w.kv("value", m.value);
+        w.kv("direction", m.direction);
+        if (m.direction == "higher" || m.direction == "lower")
+            w.kv("tolerance", m.tolerance);
+        w.endObject();
+    }
+    w.endObject();
+
+    if (root) {
+        w.key("stats");
+        root->writeJson(w);
+    }
+    w.endObject();
+    os << "\n";
+}
+
+std::string
+RunManifest::defaultPath() const
+{
+    std::string name = "BENCH_" + bench_ + ".json";
+    const char *dir = std::getenv("TEXCACHE_STATS_DIR");
+    if (dir && *dir)
+        return std::string(dir) + "/" + name;
+    return name;
+}
+
+void
+RunManifest::writeFile(const stats::Group *root) const
+{
+    std::string path = defaultPath();
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write run manifest to ", path);
+        return;
+    }
+    write(os, root);
+    inform("wrote run manifest ", path);
+}
+
+} // namespace texcache

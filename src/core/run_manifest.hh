@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Uniform JSON run manifests for bench binaries.
+ *
+ * Every bench dumps one schema ("texcache-bench-1"): build identity
+ * (git SHA, build type, compiler, compile stamp), the TEXCACHE_* env
+ * overrides in effect, free-form config rows, cumulative process
+ * wall-clock, a set of gated metrics, and the run's stats tree
+ * (stats/stats.hh). tools/check_bench.py compares the metrics block
+ * of a fresh manifest against a committed baseline with per-metric
+ * tolerances - the perf-regression gate CI runs.
+ *
+ * Manifests write to BENCH_<bench>.json in the current directory, or
+ * under TEXCACHE_STATS_DIR when set. Writing reports the path via
+ * inform() (stderr) so bench stdout stays byte-identical.
+ */
+
+#ifndef TEXCACHE_CORE_RUN_MANIFEST_HH
+#define TEXCACHE_CORE_RUN_MANIFEST_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace texcache {
+
+/** One bench run's metadata, metrics and stats tree. */
+class RunManifest
+{
+  public:
+    explicit RunManifest(std::string bench)
+        : bench_(std::move(bench))
+    {}
+
+    /** Scene(s) the run rendered, free-form ("all", "guitar", ...). */
+    void setScene(std::string scene) { scene_ = std::move(scene); }
+
+    /** Free-form configuration row (swept sizes, layout kind, ...). */
+    void config(std::string key, std::string value);
+    void config(std::string key, uint64_t value);
+    void config(std::string key, double value);
+
+    /**
+     * Gated metric. @p direction tells tools/check_bench.py how to
+     * compare a fresh value against the baseline's:
+     *   "higher" - regression when fresh < base * (1 - tolerance);
+     *   "lower"  - regression when fresh > base * (1 + tolerance);
+     *   "exact"  - any difference fails (determinism pins);
+     *   "report" - printed, never compared (machine-dependent).
+     */
+    void metric(std::string name, double value,
+                std::string direction = "report",
+                double tolerance = 0.0);
+
+    /** Render the manifest; @p root (may be null) is the stats tree. */
+    void write(std::ostream &os, const stats::Group *root) const;
+
+    /** BENCH_<bench>.json under TEXCACHE_STATS_DIR (default: cwd). */
+    std::string defaultPath() const;
+
+    /** write() to defaultPath(), reporting the path via inform(). */
+    void writeFile(const stats::Group *root = nullptr) const;
+
+  private:
+    struct ConfigRow
+    {
+        std::string key;
+        std::string text;  ///< string form (numbers rendered raw)
+        bool quoted;       ///< emit as JSON string vs raw number
+    };
+    struct Metric
+    {
+        std::string name;
+        double value;
+        std::string direction;
+        double tolerance;
+    };
+
+    std::string bench_;
+    std::string scene_;
+    std::vector<ConfigRow> configs_;
+    std::vector<Metric> metrics_;
+};
+
+} // namespace texcache
+
+#endif // TEXCACHE_CORE_RUN_MANIFEST_HH

@@ -16,8 +16,16 @@
  * scheduling; tests/test_sweep.cc asserts bit-identical output.
  * Per-point wall-clock is captured for the perf harness.
  *
- * Thread count: TEXCACHE_THREADS overrides, else hardware concurrency.
- * With one thread (or one point) the pool is bypassed entirely.
+ * Thread count: TEXCACHE_THREADS overrides, else hardware concurrency;
+ * zero, negative or non-numeric values are a fatal() configuration
+ * error. With one thread (or one point) the pool is bypassed entirely.
+ *
+ * Observability: every top-level run records a SweepRunStats (steal
+ * count, thread utilization, wall-clock) retrievable via
+ * Sweep::lastRunStats() until the next run; benches export it into
+ * their stats tree (bench/bench_util.hh). Setting TEXCACHE_PROGRESS=1
+ * makes long runs inform() completed/total points and an ETA every
+ * few seconds; it is off by default so bench stderr stays quiet.
  */
 
 #ifndef TEXCACHE_CORE_SWEEP_HH
@@ -38,11 +46,38 @@ struct SweepResult
     double millis = 0.0;
 };
 
+/** Aggregate behavior of one Sweep::run (the perf-harness view). */
+struct SweepRunStats
+{
+    uint64_t points = 0;
+    unsigned threads = 0;
+    uint64_t steals = 0;     ///< successful steal operations
+    double wallMillis = 0.0; ///< whole-run wall-clock
+    double busyMillis = 0.0; ///< point execution time summed over workers
+
+    /** Fraction of thread-time spent executing points (0..1). */
+    double
+    utilization() const
+    {
+        return threads && wallMillis > 0.0
+                   ? busyMillis / (threads * wallMillis)
+                   : 0.0;
+    }
+};
+
 class Sweep
 {
   public:
     /** Threads the next run will use (TEXCACHE_THREADS or hardware). */
     static unsigned threadCount();
+
+    /**
+     * Behavior of the most recent *top-level* run (nested runs - a
+     * point that itself sweeps - fold into their enclosing run's
+     * busy time and do not overwrite this). Read it right after the
+     * run(...) call whose behavior you want.
+     */
+    static SweepRunStats lastRunStats();
 
     /**
      * Evaluate @p fn over every point, in parallel, returning results

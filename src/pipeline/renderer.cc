@@ -124,6 +124,7 @@ render(const Scene &scene, const RasterOrder &order,
                                              lambda, opts.filterMode);
                     }
                     out.stats.texelAccesses += s.numTouches;
+                    out.stats.lodLevels.sample(s.touches[0].level);
                     if (s.kind == FilterKind::Bilinear)
                         ++out.stats.bilinearFragments;
                     else if (s.kind == FilterKind::Nearest)
@@ -181,6 +182,27 @@ render(const Scene &scene, const RasterOrder &order,
     }
 
     return out;
+}
+
+void
+exportRenderStats(stats::Group &g, const RenderStats &s)
+{
+    g.formula("triangles_in", "scene triangles submitted",
+              [&s] { return double(s.trianglesIn); });
+    g.formula("triangles_rasterized", "post-clip screen triangles",
+              [&s] { return double(s.trianglesRasterized); });
+    g.formula("fragments", "textured pixels (with overdraw)",
+              [&s] { return double(s.fragments); });
+    g.formula("texel_accesses", "texels touched by the filters",
+              [&s] { return double(s.texelAccesses); });
+    g.formula("bilinear_fragments", "single-level bilinear fragments",
+              [&s] { return double(s.bilinearFragments); });
+    g.formula("trilinear_fragments", "two-level trilinear fragments",
+              [&s] { return double(s.trilinearFragments); });
+    g.formula("nearest_fragments", "nearest-filter fragments",
+              [&s] { return double(s.nearestFragments); });
+    g.distribution("lod_levels", "base mip level sampled per fragment",
+                   s.lodLevels);
 }
 
 } // namespace texcache

@@ -22,6 +22,7 @@
 #include "img/image.hh"
 #include "pipeline/scene_types.hh"
 #include "raster/rasterizer.hh"
+#include "stats/stats.hh"
 #include "trace/texel_trace.hh"
 #include "trace/trace_stats.hh"
 
@@ -38,6 +39,9 @@ struct RenderStats
     uint64_t bilinearFragments = 0;   ///< single-level bilinear
     uint64_t trilinearFragments = 0;
     uint64_t nearestFragments = 0;    ///< nearest-filter (extension)
+    /** Base mip level each fragment sampled (log2 buckets; levels are
+     *  small, so bucket k>=1 covers levels [2^(k-1), 2^k)). */
+    stats::Distribution lodLevels;
 
     double sumCoveredArea = 0.0; ///< covered pixels per *input* triangle
     double sumBoxWidth = 0.0;    ///< screen bbox dims of drawn triangles
@@ -115,6 +119,13 @@ struct RenderOptions
  */
 RenderOutput render(const Scene &scene, const RasterOrder &order,
                     const RenderOptions &opts = RenderOptions{});
+
+/**
+ * Register a frame's pipeline statistics (triangles, fragments, texel
+ * fetches by filter kind, the sampled-LOD distribution) under @p g as
+ * dump-time views; @p s must outlive every dump (stats/stats.hh).
+ */
+void exportRenderStats(stats::Group &g, const RenderStats &s);
 
 } // namespace texcache
 

@@ -1,0 +1,247 @@
+#include "stats/stats.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace texcache {
+namespace stats {
+
+Scalar::Scalar(Group &parent, std::string name, std::string desc)
+{
+    parent.add(*this, std::move(name), std::move(desc));
+}
+
+void
+Scalar::writeJson(JsonWriter &w) const
+{
+    w.value(value_);
+}
+
+Distribution::Distribution(Group &parent, std::string name,
+                           std::string desc)
+{
+    parent.add(*this, std::move(name), std::move(desc));
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_) {
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution();
+}
+
+void
+Distribution::writeJson(JsonWriter &w) const
+{
+    // Trim the bucket array at the last non-empty bucket; the log2
+    // rule reconstructs each bucket's range from its index.
+    unsigned top = 0;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        if (buckets_[i])
+            top = i + 1;
+    w.beginObject();
+    w.kv("count", count_);
+    w.kv("sum", sum_);
+    w.kv("min", min());
+    w.kv("max", max_);
+    w.kv("mean", mean());
+    w.kv("bucketing", "log2");
+    w.key("buckets");
+    w.beginArray();
+    for (unsigned i = 0; i < top; ++i)
+        w.value(buckets_[i]);
+    w.endArray();
+    w.endObject();
+}
+
+Formula::Formula(Group &parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : fn_(std::move(fn))
+{
+    parent.add(*this, std::move(name), std::move(desc));
+}
+
+void
+Formula::writeJson(JsonWriter &w) const
+{
+    w.value(total());
+}
+
+Group::Group(std::string name) : name_(std::move(name)) {}
+
+Group::Group(Group &parent, std::string name)
+{
+    parent.checkName(name);
+    name_ = std::move(name);
+    parent.childOrder_.push_back(this);
+}
+
+void
+Group::checkName(const std::string &name) const
+{
+    panic_if(name.empty(), "stats: empty name in group '", name_, "'");
+    panic_if(name.find('.') != std::string::npos,
+             "stats: name '", name, "' contains the path separator '.'");
+    for (const StatBase *s : statsOrder_)
+        panic_if(s->name() == name, "stats: duplicate name '", name,
+                 "' in group '", name_, "'");
+    for (const Group *g : childOrder_)
+        panic_if(g->name() == name, "stats: duplicate name '", name,
+                 "' in group '", name_, "'");
+}
+
+void
+Group::add(StatBase &stat, std::string name, std::string desc)
+{
+    checkName(name);
+    stat.name_ = std::move(name);
+    stat.desc_ = std::move(desc);
+    statsOrder_.push_back(&stat);
+}
+
+Group &
+Group::group(std::string name)
+{
+    auto child = std::make_unique<Group>(*this, std::move(name));
+    Group &ref = *child;
+    ownedChildren_.push_back(std::move(child));
+    return ref;
+}
+
+Scalar &
+Group::scalar(std::string name, std::string desc)
+{
+    auto stat = std::make_unique<Scalar>();
+    Scalar &ref = *stat;
+    add(ref, std::move(name), std::move(desc));
+    ownedStats_.push_back(std::move(stat));
+    return ref;
+}
+
+Scalar &
+Group::constant(std::string name, uint64_t value, std::string desc)
+{
+    Scalar &s = scalar(std::move(name), std::move(desc));
+    s.set(value);
+    return s;
+}
+
+Formula &
+Group::real(std::string name, double value, std::string desc)
+{
+    return formula(std::move(name), std::move(desc),
+                   [value] { return value; });
+}
+
+Formula &
+Group::formula(std::string name, std::string desc,
+               std::function<double()> fn)
+{
+    auto stat = std::make_unique<Formula>();
+    stat->bind(std::move(fn));
+    Formula &ref = *stat;
+    add(ref, std::move(name), std::move(desc));
+    ownedStats_.push_back(std::move(stat));
+    return ref;
+}
+
+Distribution &
+Group::distribution(std::string name, std::string desc)
+{
+    auto stat = std::make_unique<Distribution>();
+    Distribution &ref = *stat;
+    add(ref, std::move(name), std::move(desc));
+    ownedStats_.push_back(std::move(stat));
+    return ref;
+}
+
+Distribution &
+Group::distribution(std::string name, std::string desc,
+                    const Distribution &src)
+{
+    Distribution &d = distribution(std::move(name), std::move(desc));
+    d.merge(src);
+    return d;
+}
+
+const StatBase *
+Group::find(std::string_view path) const
+{
+    size_t dot = path.find('.');
+    if (dot == std::string_view::npos) {
+        for (const StatBase *s : statsOrder_)
+            if (s->name() == path)
+                return s;
+        return nullptr;
+    }
+    for (const Group *g : childOrder_)
+        if (g->name() == path.substr(0, dot))
+            return g->find(path.substr(dot + 1));
+    return nullptr;
+}
+
+const Group *
+Group::findGroup(std::string_view path) const
+{
+    size_t dot = path.find('.');
+    std::string_view head = path.substr(0, dot);
+    for (const Group *g : childOrder_) {
+        if (g->name() == head) {
+            return dot == std::string_view::npos
+                       ? g
+                       : g->findGroup(path.substr(dot + 1));
+        }
+    }
+    return nullptr;
+}
+
+double
+Group::value(std::string_view path) const
+{
+    const StatBase *s = find(path);
+    panic_if(!s, "stats: no stat at path '", std::string(path),
+             "' under group '", name_, "'");
+    return s->total();
+}
+
+void
+Group::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const StatBase *s : statsOrder_) {
+        w.key(s->name());
+        s->writeJson(w);
+    }
+    for (const Group *g : childOrder_) {
+        w.key(g->name());
+        g->writeJson(w);
+    }
+    w.endObject();
+}
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    writeJson(w);
+    os << "\n";
+}
+
+} // namespace stats
+} // namespace texcache

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Hierarchical statistics registry in the gem5 idiom.
+ *
+ * Every number the harness reports flows through one tree of named
+ * groups (stats::Group) holding three statistic kinds:
+ *
+ *  - Scalar       a plain uint64_t counter behind the handle; the hot
+ *                 path pays one memory increment, nothing else;
+ *  - Distribution a log2-bucketed histogram (bucket 0 holds value 0,
+ *                 bucket k holds [2^(k-1), 2^k)) with count/sum/min/
+ *                 max, for quantities like queue depths and latencies;
+ *  - Formula      a derived value (ratios, rates) evaluated only at
+ *                 dump time, so hot paths never divide.
+ *
+ * Names register at construction and nest through groups, giving
+ * dotted paths like "l1.misses" or "vt.pool.evictions"; duplicate
+ * names within a group panic immediately. Groups do not own
+ * externally-registered stats (the registering object must outlive
+ * the group dump), but provide owned creation helpers for dump-time
+ * views over a subsystem's live legacy counters - the pattern the
+ * export functions in cache/, vt/ and pipeline/ use, mirroring gem5's
+ * regStats().
+ *
+ * Dumping renders the subtree as one nested JSON object (leaves are
+ * numbers; distributions are objects), the format the bench run
+ * manifests embed (core/run_manifest.hh) and tools/check_bench.py
+ * consumes.
+ */
+
+#ifndef TEXCACHE_STATS_STATS_HH
+#define TEXCACHE_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace texcache {
+
+class JsonWriter;
+
+namespace stats {
+
+class Group;
+
+/** Base of every named statistic in a group tree. */
+class StatBase
+{
+  public:
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Primary scalar reading: a counter's count, a formula's value. */
+    virtual double total() const = 0;
+
+    /** Emit the dump-time JSON value. */
+    virtual void writeJson(JsonWriter &w) const = 0;
+
+  private:
+    friend class Group;
+    std::string name_;
+    std::string desc_;
+};
+
+/**
+ * Monotonic event counter. The increment is one add on a plain
+ * uint64_t member - safe for the hottest paths. Default-constructed
+ * Scalars are detached and can be registered later via Group::add
+ * (the pattern for counters embedded in hot statistics structs).
+ */
+class Scalar : public StatBase
+{
+  public:
+    Scalar() = default;
+    Scalar(Group &parent, std::string name, std::string desc = "");
+
+    Scalar &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Scalar &
+    operator+=(uint64_t v)
+    {
+        value_ += v;
+        return *this;
+    }
+
+    void set(uint64_t v) { value_ = v; }
+    uint64_t value() const { return value_; }
+
+    double total() const override
+    {
+        return static_cast<double>(value_);
+    }
+    void writeJson(JsonWriter &w) const override;
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * Log2-bucketed histogram. sample(v) costs a handful of instructions:
+ * one bit scan for the bucket plus four updates. Bucket 0 counts
+ * zero-valued samples; bucket k >= 1 counts samples in [2^(k-1), 2^k).
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution() = default;
+    Distribution(Group &parent, std::string name, std::string desc = "");
+
+    void
+    sample(uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /** Bucket index a value falls into (0 for 0, else log2Floor+1). */
+    static unsigned
+    bucketOf(uint64_t v)
+    {
+        return v ? 64 - __builtin_clzll(v) : 0;
+    }
+
+    static constexpr unsigned kBuckets = 65;
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    uint64_t bucket(unsigned i) const { return buckets_[i]; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    /** Fold another histogram into this one (per-thread merges). */
+    void merge(const Distribution &other);
+
+    void reset();
+
+    double total() const override
+    {
+        return static_cast<double>(count_);
+    }
+    void writeJson(JsonWriter &w) const override;
+
+  private:
+    uint64_t buckets_[kBuckets] = {};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = ~0ULL;
+    uint64_t max_ = 0;
+};
+
+/** Derived value evaluated only when the tree is dumped or queried. */
+class Formula : public StatBase
+{
+  public:
+    Formula() = default;
+    Formula(Group &parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    void bind(std::function<double()> fn) { fn_ = std::move(fn); }
+
+    double total() const override { return fn_ ? fn_() : 0.0; }
+    void writeJson(JsonWriter &w) const override;
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named node of the stats tree. Holds child groups and statistics
+ * in registration order; names are unique within a group and must not
+ * contain '.' (the path separator used by find()).
+ */
+class Group
+{
+  public:
+    /** A detached root (typically one per bench run). */
+    explicit Group(std::string name = "");
+
+    /** A child registered under @p parent at construction. */
+    Group(Group &parent, std::string name);
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Register an externally-owned stat under @p name. The stat must
+     * outlive every dump of this group.
+     */
+    void add(StatBase &stat, std::string name, std::string desc = "");
+
+    /** Create an owned child group. */
+    Group &group(std::string name);
+
+    /** Create an owned counter. */
+    Scalar &scalar(std::string name, std::string desc = "");
+
+    /** Create an owned counter preloaded with @p value (snapshots). */
+    Scalar &constant(std::string name, uint64_t value,
+                     std::string desc = "");
+
+    /** Create an owned snapshot of an already-computed real value. */
+    Formula &real(std::string name, double value, std::string desc = "");
+
+    /** Create an owned dump-time formula. */
+    Formula &formula(std::string name, std::string desc,
+                     std::function<double()> fn);
+
+    /** Create an owned distribution. */
+    Distribution &distribution(std::string name, std::string desc = "");
+
+    /** Create an owned snapshot copy of @p src. */
+    Distribution &distribution(std::string name, std::string desc,
+                               const Distribution &src);
+
+    /** Stat at a dotted path ("l1.misses"); nullptr if absent. */
+    const StatBase *find(std::string_view path) const;
+
+    /** Child group at a dotted path; nullptr if absent. */
+    const Group *findGroup(std::string_view path) const;
+
+    Group *
+    findGroup(std::string_view path)
+    {
+        return const_cast<Group *>(
+            static_cast<const Group *>(this)->findGroup(path));
+    }
+
+    /** find(path)->total(); panics when the path is missing. */
+    double value(std::string_view path) const;
+
+    /** Render this subtree as one JSON object value. */
+    void writeJson(JsonWriter &w) const;
+
+    /** Render as a standalone pretty-printed JSON document. */
+    void dumpJson(std::ostream &os) const;
+
+    const std::vector<StatBase *> &statsInOrder() const
+    {
+        return statsOrder_;
+    }
+    const std::vector<Group *> &groupsInOrder() const
+    {
+        return childOrder_;
+    }
+
+  private:
+    /** Panic unless @p name is legal and unused in this group. */
+    void checkName(const std::string &name) const;
+
+    std::string name_;
+    std::vector<StatBase *> statsOrder_;
+    std::vector<Group *> childOrder_;
+    std::vector<std::unique_ptr<StatBase>> ownedStats_;
+    std::vector<std::unique_ptr<Group>> ownedChildren_;
+};
+
+} // namespace stats
+} // namespace texcache
+
+#endif // TEXCACHE_STATS_STATS_HH

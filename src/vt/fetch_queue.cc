@@ -16,7 +16,7 @@ FetchResult
 FetchQueue::request(PageId page, Addr page_base, uint64_t now)
 {
     ++stats_.requests;
-    stats_.depthSum += queue_.size();
+    stats_.depth.sample(queue_.size());
 
     if (inFlight_.count(page)) {
         ++stats_.dedupHits;
@@ -40,8 +40,6 @@ FetchQueue::request(PageId page, Addr page_base, uint64_t now)
     queue_.push_back({page, ready});
     inFlight_.insert(page);
     ++stats_.issued;
-    if (queue_.size() > stats_.maxDepth)
-        stats_.maxDepth = queue_.size();
     return FetchResult::Issued;
 }
 

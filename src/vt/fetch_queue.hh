@@ -28,6 +28,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "stats/stats.hh"
 #include "timing/dram_model.hh"
 #include "vt/page_pool.hh"
 
@@ -48,14 +49,12 @@ struct FetchQueueStats
     uint64_t dedupHits = 0; ///< merged into an in-flight fetch
     uint64_t drops = 0;     ///< rejected: outstanding limit reached
     uint64_t completed = 0;
-    uint64_t maxDepth = 0;  ///< deepest observed queue
-    uint64_t depthSum = 0;  ///< summed at each request, for the mean
+    /** Queue depth observed at each request (log2 buckets; its count
+     *  equals requests, its max the deepest observed queue). */
+    stats::Distribution depth;
 
-    double
-    avgDepth() const
-    {
-        return requests ? static_cast<double>(depthSum) / requests : 0.0;
-    }
+    double avgDepth() const { return depth.mean(); }
+    uint64_t maxDepth() const { return depth.max(); }
 };
 
 /** Outcome of one fetch request. */

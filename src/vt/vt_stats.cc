@@ -42,7 +42,7 @@ vtSummaryTable(const std::string &title,
     t.row({"Fetch drops (queue full)", std::to_string(fq.drops)});
     t.row({"Fetch queue depth avg/max",
            fmtFixed(fq.avgDepth(), 2) + "/" +
-               std::to_string(fq.maxDepth)});
+               std::to_string(fq.maxDepth())});
     t.row({"DRAM row hit rate", fmtPercent(dram.rowHitRate())});
     t.row({"DRAM bus cycles", std::to_string(dram.cycles)});
     if (deg) {
@@ -55,6 +55,72 @@ vtSummaryTable(const std::string &title,
                    std::to_string(deg->maxDelta())});
     }
     return t;
+}
+
+void
+exportVtStats(stats::Group &g, const VirtualTextureMemory &mem,
+              const DegradationStats *deg)
+{
+    const PagePoolStats &pool = mem.pool().stats();
+    const FetchQueueStats &fq = mem.fetchQueue().stats();
+    const DramStats &dram = mem.fetchQueue().dramStats();
+
+    g.formula("pages_touched", "unique pages accessed",
+              [&mem] { return double(mem.pagesTouched()); });
+    g.formula("resident_avg", "mean sampled resident-set size (pages)",
+              [&mem] { return vtAvgResidentPages(mem); });
+
+    stats::Group &pg = g.group("pool");
+    pg.formula("lookups", "page-granular touches",
+               [&pool] { return double(pool.lookups); });
+    pg.formula("hits", "touches that found the page resident",
+               [&pool] { return double(pool.hits); });
+    pg.formula("hit_rate", "hits / lookups",
+               [&pool] { return pool.hitRate(); });
+    pg.formula("insertions", "pages made resident",
+               [&pool] { return double(pool.insertions); });
+    pg.formula("evictions", "LRU victims dropped for a new page",
+               [&pool] { return double(pool.evictions); });
+    pg.formula("resident_high_water", "peak resident pages",
+               [&pool] { return double(pool.residentHighWater); });
+
+    stats::Group &fg = g.group("fetch");
+    fg.formula("requests", "all fetch requests",
+               [&fq] { return double(fq.requests); });
+    fg.formula("issued", "fetches sent to memory",
+               [&fq] { return double(fq.issued); });
+    fg.formula("dedup_hits", "merged into an in-flight fetch",
+               [&fq] { return double(fq.dedupHits); });
+    fg.formula("drops", "rejected at the outstanding limit",
+               [&fq] { return double(fq.drops); });
+    fg.formula("completed", "fetches retired",
+               [&fq] { return double(fq.completed); });
+    fg.distribution("depth", "queue depth observed at each request",
+                    fq.depth);
+
+    stats::Group &dg = g.group("dram");
+    dg.formula("fills", "page bursts served",
+               [&dram] { return double(dram.fills); });
+    dg.formula("bytes", "bytes moved on the bus",
+               [&dram] { return double(dram.bytes); });
+    dg.formula("cycles", "bus-occupied cycles",
+               [&dram] { return double(dram.cycles); });
+    dg.formula("row_hit_rate", "row-buffer hit rate",
+               [&dram] { return dram.rowHitRate(); });
+
+    if (deg) {
+        stats::Group &sg = g.group("degradation");
+        sg.formula("fragments", "fragments resolved",
+                   [deg] { return double(deg->fragments); });
+        sg.formula("degraded", "fragments that fell back",
+                   [deg] { return double(deg->degraded); });
+        sg.formula("degraded_fraction", "degraded / fragments",
+                   [deg] { return deg->degradedFraction(); });
+        sg.formula("avg_delta", "mean fallback distance (levels)",
+                   [deg] { return deg->avgDelta(); });
+        sg.formula("max_delta", "deepest fallback (levels)",
+                   [deg] { return double(deg->maxDelta()); });
+    }
 }
 
 TextTable

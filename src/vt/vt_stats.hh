@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/table.hh"
+#include "stats/stats.hh"
 #include "vt/vt_memory.hh"
 #include "vt/vt_sampler.hh"
 
@@ -34,6 +35,16 @@ TextTable vtDegradationTable(const std::string &title,
 
 /** Mean of the sampled resident-set sizes (pages), 0 if unsampled. */
 double vtAvgResidentPages(const VirtualTextureMemory &mem);
+
+/**
+ * Register the whole VT subsystem under @p g: "pool" (residency),
+ * "fetch" (queue behavior incl. the depth distribution), "dram" (bus),
+ * and - when @p deg is given - "degradation" (fallback histogram).
+ * Dump-time views over live counters: @p mem / @p deg must outlive
+ * every dump of the group (stats/stats.hh).
+ */
+void exportVtStats(stats::Group &g, const VirtualTextureMemory &mem,
+                   const DegradationStats *deg = nullptr);
 
 } // namespace texcache
 

@@ -1,0 +1,229 @@
+/** @file
+ * The stats layer's contract (stats/stats.hh): names register once and
+ * panic on duplicates, distributions bucket by powers of two exactly
+ * at the edges, formulas evaluate lazily against live counters, the
+ * JSON dump is stable, and the cache export views (cache/stats_export)
+ * read identical numbers to the legacy CacheStats counters they wrap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cache/cache_sim.hh"
+#include "cache/stats_export.hh"
+#include "common/json.hh"
+#include "stats/stats.hh"
+
+using namespace texcache;
+
+TEST(StatsScalar, RegistersAndCounts)
+{
+    stats::Group root;
+    stats::Scalar &hits = root.scalar("hits", "demo counter");
+    ++hits;
+    hits += 4;
+    EXPECT_EQ(hits.value(), 5u);
+    EXPECT_EQ(root.value("hits"), 5.0);
+    EXPECT_EQ(root.find("hits")->desc(), "demo counter");
+}
+
+TEST(StatsScalar, DetachedThenAdded)
+{
+    stats::Scalar counter;
+    ++counter; // hot-path increments before registration are kept
+    stats::Group root;
+    root.add(counter, "late");
+    ++counter;
+    EXPECT_EQ(root.value("late"), 2.0);
+}
+
+TEST(StatsGroup, DottedPathsResolveThroughNesting)
+{
+    stats::Group root;
+    stats::Group &l1 = root.group("l1");
+    stats::Group &bank = l1.group("bank0");
+    bank.constant("misses", 7);
+    EXPECT_EQ(root.value("l1.bank0.misses"), 7.0);
+    EXPECT_NE(root.findGroup("l1.bank0"), nullptr);
+    EXPECT_EQ(root.find("l1.bank0.nope"), nullptr);
+    EXPECT_EQ(root.findGroup("l2"), nullptr);
+}
+
+TEST(StatsGroupDeathTest, DuplicateAndIllegalNamesPanic)
+{
+    stats::Group root;
+    root.scalar("x");
+    EXPECT_DEATH(root.scalar("x"), "duplicate name");
+    EXPECT_DEATH(root.group("x"), "duplicate name");
+    EXPECT_DEATH(root.scalar("a.b"), "path separator");
+    EXPECT_DEATH(root.scalar(""), "empty name");
+    EXPECT_DEATH(root.value("missing"), "no stat at path");
+}
+
+TEST(StatsDistribution, BucketsAtPowerOfTwoEdges)
+{
+    // Bucket 0 holds value 0; bucket k >= 1 holds [2^(k-1), 2^k).
+    EXPECT_EQ(stats::Distribution::bucketOf(0), 0u);
+    EXPECT_EQ(stats::Distribution::bucketOf(1), 1u);
+    EXPECT_EQ(stats::Distribution::bucketOf(2), 2u);
+    EXPECT_EQ(stats::Distribution::bucketOf(3), 2u);
+    EXPECT_EQ(stats::Distribution::bucketOf(4), 3u);
+    EXPECT_EQ(stats::Distribution::bucketOf(7), 3u);
+    EXPECT_EQ(stats::Distribution::bucketOf(8), 4u);
+    EXPECT_EQ(stats::Distribution::bucketOf((1ull << 32) - 1), 32u);
+    EXPECT_EQ(stats::Distribution::bucketOf(1ull << 32), 33u);
+    EXPECT_EQ(stats::Distribution::bucketOf(~0ull), 64u);
+
+    stats::Distribution d;
+    for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 1024ull})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 6u);
+    EXPECT_EQ(d.sum(), 1034u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 1024u);
+    EXPECT_DOUBLE_EQ(d.mean(), 1034.0 / 6.0);
+    EXPECT_EQ(d.bucket(0), 1u); // 0
+    EXPECT_EQ(d.bucket(1), 1u); // 1
+    EXPECT_EQ(d.bucket(2), 2u); // 2, 3
+    EXPECT_EQ(d.bucket(3), 1u); // 4
+    EXPECT_EQ(d.bucket(11), 1u); // 1024
+}
+
+TEST(StatsDistribution, MergeAndSnapshot)
+{
+    stats::Distribution a, b;
+    a.sample(1);
+    a.sample(100);
+    b.sample(50);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 100u);
+
+    stats::Group root;
+    stats::Distribution &snap =
+        root.distribution("depth", "snapshot", a);
+    a.sample(7); // the snapshot must not follow the source
+    EXPECT_EQ(snap.count(), 3u);
+    EXPECT_EQ(root.value("depth"), 3.0);
+
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.min(), 0u);
+}
+
+TEST(StatsFormula, EvaluatesLazilyAgainstLiveCounters)
+{
+    uint64_t hits = 0, accesses = 0;
+    stats::Group root;
+    root.formula("hit_rate", "hits / accesses", [&] {
+        return accesses ? double(hits) / double(accesses) : 0.0;
+    });
+    EXPECT_EQ(root.value("hit_rate"), 0.0);
+    hits = 3;
+    accesses = 4;
+    // No re-registration: the formula reads the counters at call time.
+    EXPECT_DOUBLE_EQ(root.value("hit_rate"), 0.75);
+}
+
+TEST(StatsJson, DumpMatchesTheDocumentedShape)
+{
+    stats::Group root;
+    root.constant("n", 2);
+    root.real("rate", 0.5);
+    stats::Group &sub = root.group("sub");
+    stats::Distribution &d = sub.distribution("lat", "");
+    d.sample(0);
+    d.sample(3);
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    EXPECT_EQ(os.str(),
+              "{\n"
+              "  \"n\": 2,\n"
+              "  \"rate\": 0.5,\n"
+              "  \"sub\": {\n"
+              "    \"lat\": {\n"
+              "      \"count\": 2,\n"
+              "      \"sum\": 3,\n"
+              "      \"min\": 0,\n"
+              "      \"max\": 3,\n"
+              "      \"mean\": 1.5,\n"
+              "      \"bucketing\": \"log2\",\n"
+              "      \"buckets\": [\n"
+              "        1,\n"
+              "        0,\n"
+              "        1\n"
+              "      ]\n"
+              "    }\n"
+              "  }\n"
+              "}\n");
+}
+
+TEST(StatsJson, WriterEscapesAndPanicsOnMisuse)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*pretty=*/false);
+        w.beginObject();
+        w.kv("a\"b\n", "x\ty");
+        w.endObject();
+        EXPECT_TRUE(w.done());
+    }
+    EXPECT_EQ(os.str(), "{\"a\\\"b\\n\":\"x\\ty\"}");
+}
+
+TEST(StatsJsonDeathTest, UnbalancedNestingPanics)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    EXPECT_DEATH(w.endObject(), "unbalanced");
+    w.beginObject();
+    EXPECT_DEATH(w.value(1), "needs a key");
+    w.key("k");
+    EXPECT_DEATH(w.key("k2"), "awaits");
+}
+
+TEST(StatsExport, CacheViewMatchesLegacyCounters)
+{
+    // Tiny direct-mapped cache over a deterministic stream: the
+    // export formulas must read exactly the legacy CacheStats fields.
+    CacheSim sim({1024, 64, 1});
+    uint32_t x = 9;
+    for (int i = 0; i < 20000; ++i) {
+        x = x * 1664525u + 1013904223u;
+        sim.access((x >> 8) & 0xffff8);
+    }
+    const CacheStats &s = sim.stats();
+    ASSERT_GT(s.misses, 0u);
+    ASSERT_GT(s.evictions, 0u);
+
+    stats::Group root;
+    exportCacheStats(root.group("l1"), s, 64);
+    EXPECT_EQ(root.value("l1.accesses"), double(s.accesses));
+    EXPECT_EQ(root.value("l1.misses"), double(s.misses));
+    EXPECT_EQ(root.value("l1.hits"), double(s.accesses - s.misses));
+    EXPECT_EQ(root.value("l1.cold_misses"), double(s.coldMisses));
+    EXPECT_EQ(root.value("l1.evictions"), double(s.evictions));
+    EXPECT_DOUBLE_EQ(root.value("l1.miss_rate"), s.missRate());
+    EXPECT_EQ(root.value("l1.bytes_fetched"),
+              double(s.misses) * 64.0);
+
+    // Evictions lag misses by at most the cache's line count, and a
+    // cache this small over this stream must have recycled lines.
+    EXPECT_LE(s.evictions, s.misses);
+    EXPECT_GE(s.evictions, s.misses - 1024 / 64);
+}
+
+TEST(StatsExport, LiveViewFollowsTheCounter)
+{
+    CacheSim sim({1024, 64, 1});
+    stats::Group root;
+    exportCacheStats(root.group("l1"), sim.stats(), 64);
+    EXPECT_EQ(root.value("l1.accesses"), 0.0);
+    sim.access(0);
+    sim.access(64);
+    EXPECT_EQ(root.value("l1.accesses"), 2.0);
+    EXPECT_EQ(root.value("l1.misses"), 2.0);
+}

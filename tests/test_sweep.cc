@@ -83,6 +83,33 @@ TEST(Sweep, ThreadCountHonorsEnvOverride)
     }
 }
 
+TEST(SweepDeathTest, RejectsInvalidThreadCounts)
+{
+    // TEXCACHE_THREADS is user configuration: zero, negative or
+    // non-numeric values are a fatal() error, not a silent fallback.
+    for (const char *bad : {"0", "-2", "abc", "", "3x"}) {
+        ThreadEnv env(bad);
+        EXPECT_EXIT(Sweep::threadCount(),
+                    testing::ExitedWithCode(1), "TEXCACHE_THREADS")
+            << "value '" << bad << "'";
+    }
+}
+
+TEST(Sweep, RecordsRunStats)
+{
+    ThreadEnv env("2");
+    std::vector<size_t> points(64);
+    std::iota(points.begin(), points.end(), 0);
+    Sweep::run(points, skewedWork);
+    SweepRunStats s = Sweep::lastRunStats();
+    EXPECT_EQ(s.points, 64u);
+    EXPECT_EQ(s.threads, 2u);
+    EXPECT_GT(s.wallMillis, 0.0);
+    EXPECT_GT(s.busyMillis, 0.0);
+    EXPECT_GT(s.utilization(), 0.0);
+    EXPECT_LE(s.utilization(), 1.0);
+}
+
 TEST(Sweep, ParallelBitIdenticalAndIdenticallyOrderedToSerial)
 {
     std::vector<size_t> points(512);

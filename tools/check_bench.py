@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over texcache bench run manifests.
+
+Compares the "metrics" block of a fresh BENCH_*.json run manifest
+(schema "texcache-bench-1", written by core/run_manifest.cc) against a
+committed baseline manifest, metric by metric:
+
+  direction "higher"  regression when fresh < base * (1 - tolerance)
+  direction "lower"   regression when fresh > base * (1 + tolerance)
+  direction "exact"   any difference fails (determinism pins)
+  direction "report"  printed, never compared (machine-dependent)
+
+Tolerance precedence per metric: --metric NAME=TOL on the command line,
+else --tolerance, else the baseline metric's own "tolerance" field,
+else 0.15. Direction and the metric set are always taken from the
+baseline: a metric the baseline gates on must exist in the fresh run.
+
+Exit status: 0 when every gated metric passes, 1 on any regression or
+missing metric, 2 on malformed input.
+
+Usage:
+  tools/check_bench.py BASELINE FRESH [--tolerance T]
+                       [--metric NAME=TOL]... [--quiet]
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.15
+SCHEMA = "texcache-bench-1"
+
+
+def die(msg):
+    print(f"check_bench: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_manifest(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        die(f"{path}: schema {doc.get('schema')!r} is not {SCHEMA!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        die(f"{path}: no metrics block")
+    return doc
+
+
+def pick_tolerance(name, base_metric, args):
+    if name in args.metric_tol:
+        return args.metric_tol[name], "command line"
+    if args.tolerance is not None:
+        return args.tolerance, "command line (global)"
+    if "tolerance" in base_metric:
+        return float(base_metric["tolerance"]), "baseline"
+    return DEFAULT_TOLERANCE, "default"
+
+
+def check_metric(name, base_metric, fresh_metric, args):
+    """Returns (ok, message)."""
+    direction = base_metric.get("direction", "report")
+    base = float(base_metric["value"])
+    if fresh_metric is None:
+        if direction == "report":
+            return True, f"  {name}: report-only, absent in fresh run"
+        return False, (f"  {name}: gated ({direction}) in the baseline "
+                       f"but missing from the fresh run")
+    fresh = float(fresh_metric["value"])
+    if base:
+        delta = (fresh - base) / base
+    else:
+        delta = 0.0 if fresh == base else float("inf")
+
+    if direction == "report":
+        return True, (f"  {name}: {base:g} -> {fresh:g} "
+                      f"({delta:+.1%}) [report only]")
+    if direction == "exact":
+        if fresh == base:
+            return True, f"  {name}: {base:g} [exact, unchanged]"
+        return False, (f"  {name}: EXACT MISMATCH {base:g} -> {fresh:g} "
+                       f"({delta:+.1%}); the simulation is expected to "
+                       f"be deterministic")
+
+    tol, src = pick_tolerance(name, base_metric, args)
+    if direction == "higher":
+        limit = base * (1.0 - tol)
+        ok = fresh >= limit
+        side = "below"
+    elif direction == "lower":
+        limit = base * (1.0 + tol)
+        ok = fresh <= limit
+        side = "above"
+    else:
+        return False, (f"  {name}: unknown direction "
+                       f"{direction!r} in baseline")
+    verdict = "ok" if ok else f"REGRESSION: {side} limit {limit:g}"
+    return ok, (f"  {name}: {base:g} -> {fresh:g} ({delta:+.1%}), "
+                f"tolerance {tol:g} ({src}) [{verdict}]")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compare a fresh bench run manifest against a "
+                    "committed baseline.")
+    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
+    ap.add_argument("fresh", help="freshly produced BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="override every higher/lower metric's "
+                         "tolerance (exact pins are unaffected)")
+    ap.add_argument("--metric", action="append", default=[],
+                    metavar="NAME=TOL",
+                    help="override one metric's tolerance; repeatable")
+    ap.add_argument("--quiet", action="store_true",
+                    help="print failing metrics only")
+    args = ap.parse_args()
+
+    args.metric_tol = {}
+    for spec in args.metric:
+        name, sep, tol = spec.partition("=")
+        if not sep:
+            ap.error(f"--metric {spec!r} is not NAME=TOL")
+        try:
+            args.metric_tol[name] = float(tol)
+        except ValueError:
+            ap.error(f"--metric {spec!r}: {tol!r} is not a number")
+
+    base_doc = load_manifest(args.baseline)
+    fresh_doc = load_manifest(args.fresh)
+    if base_doc.get("bench") != fresh_doc.get("bench"):
+        die(f"bench mismatch: baseline is {base_doc.get('bench')!r}, "
+            f"fresh is {fresh_doc.get('bench')!r}")
+
+    print(f"check_bench: {base_doc['bench']}: "
+          f"baseline {args.baseline} (git "
+          f"{base_doc.get('build', {}).get('git_sha', '?')}) vs "
+          f"fresh {args.fresh} (git "
+          f"{fresh_doc.get('build', {}).get('git_sha', '?')})")
+
+    failures = 0
+    fresh_metrics = fresh_doc["metrics"]
+    for name, base_metric in base_doc["metrics"].items():
+        ok, msg = check_metric(name, base_metric,
+                               fresh_metrics.get(name), args)
+        if not ok:
+            failures += 1
+        if not ok or not args.quiet:
+            print(msg)
+    for name in fresh_metrics:
+        if name not in base_doc["metrics"] and not args.quiet:
+            print(f"  {name}: new metric, not in baseline (ignored)")
+
+    if failures:
+        print(f"check_bench: FAIL ({failures} metric"
+              f"{'s' if failures != 1 else ''} regressed)")
+        return 1
+    print("check_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,30 +11,58 @@
 # DESIGN.md section 8), so re-runs skip the expensive renders; delete
 # that directory to force re-rendering. Per-bench and cumulative
 # wall-clock are printed as each bench finishes.
+#
+# Besides the per-bench BENCH_*.json run manifests the benches write
+# into $OUT themselves (TEXCACHE_STATS_DIR), the whole run is
+# summarized in $OUT/run_manifest.json: per-bench pass/fail and
+# wall-clock plus the totals.
 set -u
 BUILD="${1:-build}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
 TEXCACHE_TRACE_CACHE_DIR="${TEXCACHE_TRACE_CACHE_DIR:-$OUT/trace-cache}"
 export TEXCACHE_TRACE_CACHE_DIR
+TEXCACHE_STATS_DIR="${TEXCACHE_STATS_DIR:-$OUT}"
+export TEXCACHE_STATS_DIR
 failed=""
 total=0
+npass=0
+nfail=0
+rows=""
 for b in "$BUILD"/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     name=$(basename "$b")
     start=$(date +%s)
     if "$b" > "$OUT/$name.txt" 2> "$OUT/$name.err"; then
         status=ok
+        npass=$((npass + 1))
     else
         echo "== $name FAILED (exit $?); stderr in $OUT/$name.err" >&2
         failed="$failed $name"
         status=FAILED
+        nfail=$((nfail + 1))
     fi
     end=$(date +%s)
     elapsed=$((end - start))
     total=$((total + elapsed))
     echo "== $name ${elapsed}s (cumulative ${total}s) $status"
+    row="    {\"bench\": \"$name\", \"status\": \"$status\", \"seconds\": $elapsed}"
+    if [ -n "$rows" ]; then
+        rows="$rows,
+$row"
+    else
+        rows="$row"
+    fi
 done
+{
+    printf '{\n'
+    printf '  "schema": "texcache-runall-1",\n'
+    printf '  "passed": %s,\n' "$npass"
+    printf '  "failed": %s,\n' "$nfail"
+    printf '  "total_seconds": %s,\n' "$total"
+    printf '  "benches": [\n%s\n  ]\n' "$rows"
+    printf '}\n'
+} > "$OUT/run_manifest.json"
 echo "wrote $(ls "$OUT" | wc -l) result files to $OUT/ in ${total}s"
 if [ -n "$failed" ]; then
     echo "FAILED benches:$failed" >&2
