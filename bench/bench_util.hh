@@ -23,6 +23,7 @@
 #include "core/run_manifest.hh"
 #include "core/sweep.hh"
 #include "stats/stats.hh"
+#include "tracing/tracing.hh"
 
 namespace texcache {
 namespace benchutil {
@@ -130,6 +131,14 @@ dumpStats(const std::string &bench,
     exportSweepStats(root.group("sweep"));
     if (fill)
         fill(manifest, root);
+    // When TEXCACHE_TRACE is on, flush the buffered events next to
+    // the manifest and record the paths + drop/sample accounting in
+    // it; with tracing off this is one branch.
+    if (tracing::active()) {
+        tracing::DumpInfo t = tracing::dumpToFiles(bench);
+        manifest.setTrace({t.chromePath, t.eventsPath, t.recorded,
+                           t.dropped, t.sampleN});
+    }
     manifest.writeFile(&root);
 }
 

@@ -1,6 +1,7 @@
 #include "cache/cache_sim.hh"
 
 #include "common/table.hh"
+#include "tracing/tracing.hh"
 
 namespace texcache {
 
@@ -59,6 +60,14 @@ CacheSim::stats() const
     return fa_ ? fa_->stats() : stats_;
 }
 
+void
+CacheSim::setTraceTag(uint16_t tag)
+{
+    traceTag_ = tag;
+    if (fa_)
+        fa_->setTraceTag(tag);
+}
+
 bool
 CacheSim::access(Addr addr)
 {
@@ -76,6 +85,8 @@ CacheSim::access(Addr addr)
     for (unsigned w = 0; w < ways_; ++w) {
         if (ways[w].tag == line) {
             ways[w].lastUse = tick_;
+            if (tracing::enabled(tracing::kTexels)) [[unlikely]]
+                tracing::cacheHit(addr, traceTag_);
             return true;
         }
         if (ways[w].lastUse < oldest) {
@@ -85,8 +96,15 @@ CacheSim::access(Addr addr)
     }
 
     ++stats_.misses;
-    if (touched_.insert(line))
+    bool cold = touched_.insert(line);
+    if (cold)
         ++stats_.coldMisses;
+    if (tracing::enabled(tracing::kMisses | tracing::kTexels))
+        [[unlikely]]
+        tracing::cacheMiss(addr,
+                           cold ? tracing::MissClass::Cold
+                                : tracing::MissClass::Other,
+                           traceTag_);
     if (ways[victim].tag != kInvalid)
         ++stats_.evictions;
     ways[victim].tag = line;
@@ -168,12 +186,21 @@ FullyAssocLru::access(Addr addr)
             unlink(n);
             pushFront(n);
         }
+        if (tracing::enabled(tracing::kTexels)) [[unlikely]]
+            tracing::cacheHit(addr, traceTag_);
         return true;
     }
 
     ++stats_.misses;
-    if (touched_.insert(line))
+    bool cold = touched_.insert(line);
+    if (cold)
         ++stats_.coldMisses;
+    if (tracing::enabled(tracing::kMisses | tracing::kTexels))
+        [[unlikely]]
+        tracing::cacheMiss(addr,
+                           cold ? tracing::MissClass::Cold
+                                : tracing::MissClass::Other,
+                           traceTag_);
 
     uint32_t n;
     if (map_.size() >= capacity_) {

@@ -108,6 +108,13 @@ class CacheSim
     const CacheStats &stats() const;
     const CacheConfig &config() const { return config_; }
 
+    /**
+     * Tag this simulator's trace events (tracing/trace_format.hh:
+     * kTagStandalone/kTagL1/kTagL2; kTagSilent suppresses them).
+     * Purely observational - simulation results are unaffected.
+     */
+    void setTraceTag(uint16_t tag);
+
   private:
     struct Way
     {
@@ -123,6 +130,7 @@ class CacheSim
     std::vector<Way> table_; ///< numSets * ways_, row-major by set
     LineSet touched_;        ///< line addrs ever seen
     uint64_t tick_ = 0;
+    uint16_t traceTag_ = 0;  ///< source tag on emitted trace events
     CacheStats stats_;
     /** Large fully associative configs delegate here (O(1) LRU). */
     std::unique_ptr<FullyAssocLru> fa_;
@@ -143,6 +151,9 @@ class FullyAssocLru
     void flush();
 
     const CacheStats &stats() const { return stats_; }
+
+    /** Tag emitted trace events (see CacheSim::setTraceTag). */
+    void setTraceTag(uint16_t tag) { traceTag_ = tag; }
 
   private:
     // Intrusive doubly linked list over a node pool, most recent first.
@@ -165,6 +176,7 @@ class FullyAssocLru
     LineSet touched_;
     uint32_t head_ = kNil;
     uint32_t tail_ = kNil;
+    uint16_t traceTag_ = 0;
     CacheStats stats_;
 };
 

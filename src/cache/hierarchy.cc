@@ -1,5 +1,7 @@
 #include "cache/hierarchy.hh"
 
+#include "tracing/tracing.hh"
+
 namespace texcache {
 
 TwoLevelCache::TwoLevelCache(unsigned num_l1, const CacheConfig &l1,
@@ -11,8 +13,13 @@ TwoLevelCache::TwoLevelCache(unsigned num_l1, const CacheConfig &l1,
              "L2 line (", l2.lineBytes, "B) smaller than L1 line (",
              l1.lineBytes, "B)");
     l1s_.reserve(num_l1);
-    for (unsigned i = 0; i < num_l1; ++i)
+    for (unsigned i = 0; i < num_l1; ++i) {
         l1s_.emplace_back(l1);
+        l1s_.back().setTraceTag(tracing::kTagL1);
+    }
+    // Trace events from the levels are distinguished by tag, so a
+    // miss burst can be attributed to a private L1 vs the shared L2.
+    l2_.setTraceTag(tracing::kTagL2);
 }
 
 HierarchyHit

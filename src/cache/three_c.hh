@@ -18,6 +18,7 @@
 #include <algorithm>
 
 #include "cache/cache_sim.hh"
+#include "tracing/tracing.hh"
 
 namespace texcache {
 
@@ -43,13 +44,31 @@ class MissClassifier
   public:
     explicit MissClassifier(const CacheConfig &config)
         : sa_(config), fa_(config.sizeBytes, config.lineBytes)
-    {}
+    {
+        // The twins stay silent; this classifier emits one refined
+        // event per set-associative miss with the exact 3C class the
+        // FA twin resolves (the aggregate breakdown() cannot see).
+        sa_.setTraceTag(tracing::kTagSilent);
+        fa_.setTraceTag(tracing::kTagSilent);
+    }
 
     void
     access(Addr addr)
     {
-        sa_.access(addr);
-        fa_.access(addr);
+        uint64_t cold_before = sa_.stats().coldMisses;
+        bool sa_hit = sa_.access(addr);
+        bool fa_hit = fa_.access(addr);
+        if (!sa_hit &&
+            tracing::enabled(tracing::kMisses | tracing::kTexels)) {
+            tracing::MissClass cls;
+            if (sa_.stats().coldMisses != cold_before)
+                cls = tracing::MissClass::Cold;
+            else if (fa_hit)
+                cls = tracing::MissClass::Conflict;
+            else
+                cls = tracing::MissClass::Capacity;
+            tracing::cacheMiss(addr, cls, tracing::kTagClassified);
+        }
     }
 
     /** Final classification (call after the stream is done). */

@@ -105,6 +105,19 @@ RunManifest::write(std::ostream &os, const stats::Group *root) const
              std::chrono::steady_clock::now() - processStart)
              .count());
 
+    if (!trace_.chromePath.empty() || !trace_.eventsPath.empty()) {
+        w.key("trace");
+        w.beginObject();
+        if (!trace_.chromePath.empty())
+            w.kv("chrome", trace_.chromePath);
+        if (!trace_.eventsPath.empty())
+            w.kv("events", trace_.eventsPath);
+        w.kv("recorded_events", trace_.recorded);
+        w.kv("dropped_events", trace_.dropped);
+        w.kv("sample_n", trace_.sampleN);
+        w.endObject();
+    }
+
     w.key("metrics");
     w.beginObject();
     for (const Metric &m : metrics_) {

@@ -56,6 +56,20 @@ class RunManifest
                 std::string direction = "report",
                 double tolerance = 0.0);
 
+    /** Trace artifacts of the run (tracing::DumpInfo shape). */
+    struct TraceInfo
+    {
+        std::string chromePath; ///< Chrome trace-event JSON
+        std::string eventsPath; ///< binary event log
+        uint64_t recorded = 0;  ///< events kept in the buffers
+        uint64_t dropped = 0;   ///< events lost to full rings
+        uint64_t sampleN = 1;   ///< TEXCACHE_TRACE_SAMPLE divisor
+    };
+
+    /** Record where the run's trace dump landed (emitted as a
+     *  "trace" block so tooling can find the files). */
+    void setTrace(TraceInfo info) { trace_ = std::move(info); }
+
     /** Render the manifest; @p root (may be null) is the stats tree. */
     void write(std::ostream &os, const stats::Group *root) const;
 
@@ -84,6 +98,7 @@ class RunManifest
     std::string scene_;
     std::vector<ConfigRow> configs_;
     std::vector<Metric> metrics_;
+    TraceInfo trace_; ///< empty paths = no trace block emitted
 };
 
 } // namespace texcache

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "tracing/tracing.hh"
 
 namespace texcache {
 
@@ -141,6 +142,9 @@ void
 Sweep::runIndexed(size_t n, const std::function<void(size_t)> &work)
 {
     panic_if(n > ~0u, "sweep of ", n, " points exceeds 32-bit indices");
+    static const uint16_t kRunSpan = tracing::nameId("sweep.run");
+    static const uint16_t kPointSpan = tracing::nameId("sweep.point");
+    tracing::ScopedSpan run_span(kRunSpan, n);
     unsigned threads = threadCount();
     if (threads > n)
         threads = static_cast<unsigned>(n);
@@ -171,7 +175,10 @@ Sweep::runIndexed(size_t n, const std::function<void(size_t)> &work)
     if (threads <= 1) {
         auto next_beat = run_start + kHeartbeat;
         for (size_t i = 0; i < n; ++i) {
-            work(i);
+            {
+                tracing::ScopedSpan point_span(kPointSpan, i);
+                work(i);
+            }
             if (progress && Clock::now() >= next_beat) {
                 informProgress(i + 1, n, millisSince(run_start));
                 next_beat = Clock::now() + kHeartbeat;
@@ -201,6 +208,7 @@ Sweep::runIndexed(size_t n, const std::function<void(size_t)> &work)
             if (own.pop(i)) {
                 auto t0 = Clock::now();
                 try {
+                    tracing::ScopedSpan point_span(kPointSpan, i);
                     work(i);
                 } catch (...) {
                     {

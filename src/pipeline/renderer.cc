@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "pipeline/clip.hh"
+#include "tracing/tracing.hh"
 
 namespace texcache {
 
@@ -40,6 +41,10 @@ RenderOutput
 render(const Scene &scene, const RasterOrder &order,
        const RenderOptions &opts)
 {
+    static const uint16_t kRenderSpan =
+        tracing::nameId("render.frame");
+    tracing::ScopedSpan span(kRenderSpan, scene.triangles.size());
+
     RenderOutput out;
     if (opts.writeFramebuffer)
         out.framebuffer = Image(scene.screenW, scene.screenH,

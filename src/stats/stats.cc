@@ -1,5 +1,6 @@
 #include "stats/stats.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/json.hh"
@@ -46,6 +47,36 @@ Distribution::reset()
     *this = Distribution();
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (!count_)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 1.0);
+    // Rank of the target sample, 1-based; p=0 -> first, p=1 -> last.
+    double rank = 1.0 + p * static_cast<double>(count_ - 1);
+    uint64_t below = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (!buckets_[i])
+            continue;
+        if (rank > static_cast<double>(below + buckets_[i])) {
+            below += buckets_[i];
+            continue;
+        }
+        // Bucket i covers [2^(i-1), 2^i) for i >= 1 and {0} for i = 0;
+        // spread its samples uniformly across that range.
+        double lo = i ? static_cast<double>(1ULL << (i - 1)) : 0.0;
+        double hi = i ? static_cast<double>(lo * 2.0) : 1.0;
+        double frac = (rank - static_cast<double>(below)) /
+                      static_cast<double>(buckets_[i]);
+        double v = lo + frac * (hi - lo);
+        v = std::min(v, static_cast<double>(max_));
+        v = std::max(v, static_cast<double>(min()));
+        return v;
+    }
+    return static_cast<double>(max_);
+}
+
 void
 Distribution::writeJson(JsonWriter &w) const
 {
@@ -61,6 +92,9 @@ Distribution::writeJson(JsonWriter &w) const
     w.kv("min", min());
     w.kv("max", max_);
     w.kv("mean", mean());
+    w.kv("p50", percentile(0.50));
+    w.kv("p95", percentile(0.95));
+    w.kv("p99", percentile(0.99));
     w.kv("bucketing", "log2");
     w.key("buckets");
     w.beginArray();

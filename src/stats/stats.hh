@@ -150,6 +150,15 @@ class Distribution : public StatBase
         return count_ ? static_cast<double>(sum_) / count_ : 0.0;
     }
 
+    /**
+     * Estimate the @p p quantile (p in [0, 1]) from the log2 buckets:
+     * locate the bucket holding the p-th sample and interpolate
+     * linearly across its value range, clamped to the observed
+     * [min, max]. Exact for the bucket, approximate within it - the
+     * resolution any log2 histogram has.
+     */
+    double percentile(double p) const;
+
     /** Fold another histogram into this one (per-thread merges). */
     void merge(const Distribution &other);
 

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Internal bridge between the tracer's ring registry (tracing.cc)
+ * and the dump sinks (trace_sink.cc). Not installed, not public.
+ */
+
+#ifndef TEXCACHE_TRACING_SINK_INTERNAL_HH
+#define TEXCACHE_TRACING_SINK_INTERNAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tracing/trace_format.hh"
+
+namespace texcache {
+namespace tracing {
+namespace detail {
+
+/**
+ * Invoke @p fn once per registered ring (registration order) under
+ * the registry lock, and copy out the name table and sample divisor.
+ */
+void visitRings(
+    const std::function<void(uint32_t tid, uint64_t dropped,
+                             const std::vector<Event> &)> &fn,
+    std::vector<std::string> &names, uint64_t &sample_n);
+
+} // namespace detail
+} // namespace tracing
+} // namespace texcache
+
+#endif // TEXCACHE_TRACING_SINK_INTERNAL_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * On-disk and in-memory formats of the event-tracing layer.
+ *
+ * One trace event is a fixed 32-byte POD so per-thread ring buffers
+ * are flat arrays and the binary event log is a straight memory dump.
+ * Two time domains coexist: wall-domain events (spans, cache misses)
+ * carry nanoseconds since the tracer's epoch; sim-domain events (vt
+ * fetch queue) carry the virtual-texturing subsystem's tick counter.
+ * The Chrome trace writer keeps them apart as two trace "processes".
+ *
+ * The binary event log ("TXEV" container) holds the span-name string
+ * table followed by one section per thread ring; tools/texcache-report
+ * and tests/test_tracing.cc parse it with readEventLog().
+ */
+
+#ifndef TEXCACHE_TRACING_TRACE_FORMAT_HH
+#define TEXCACHE_TRACING_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace texcache {
+namespace tracing {
+
+/** Event categories, enabled via TEXCACHE_TRACE (comma list). */
+enum Category : uint32_t
+{
+    kSpans = 1u << 0,   ///< "spans": begin/end timeline spans
+    kMisses = 1u << 1,  ///< "misses": sampled cache-miss events
+    kTexels = 1u << 2,  ///< "texels": sampled access events (hit+miss)
+    kFetches = 1u << 3, ///< "fetches": vt fetch-queue events
+    kAll = kSpans | kMisses | kTexels | kFetches,
+};
+
+/** What one event records (Event::kind). */
+enum class EventKind : uint8_t
+{
+    SpanBegin = 0,     ///< wall domain; a = span name id, c = detail
+    SpanEnd = 1,       ///< wall domain; a = span name id
+    CacheMiss = 2,     ///< wall domain; addr + 3C class + texel context
+    CacheAccess = 3,   ///< wall domain; addr + hit/miss + texel context
+    FetchIssue = 4,    ///< sim domain; addr = page, b = queue depth
+    FetchMerge = 5,    ///< sim domain; merged into an in-flight fetch
+    FetchDrop = 6,     ///< sim domain; outstanding limit reached
+    FetchComplete = 7, ///< sim domain; b = issue-to-data latency ticks
+    PageEvict = 8,     ///< sim domain; addr = victim page, b = resident
+};
+
+/** 3-C classification carried by CacheMiss events (Event::cls). */
+enum class MissClass : uint8_t
+{
+    Cold = 0,     ///< first touch of the line anywhere in the run
+    Capacity = 1, ///< non-cold miss the FA twin also missed
+    Conflict = 2, ///< non-cold miss the FA twin hit (MissClassifier)
+    Other = 3,    ///< non-cold; no FA twin running to refine it
+};
+
+/** Which simulator an event came from (Event::tag). */
+enum : uint16_t
+{
+    kTagStandalone = 0, ///< a lone CacheSim / FullyAssocLru
+    kTagL1 = 1,         ///< private L1 inside a TwoLevelCache
+    kTagL2 = 2,         ///< shared L2 inside a TwoLevelCache
+    kTagClassified = 3, ///< refined events from a MissClassifier
+    kTagSilent = 0xffff ///< suppress this simulator's events
+};
+
+/**
+ * One trace event. Wall-domain events timestamp with nanoseconds
+ * since the tracer epoch; sim-domain events with the subsystem tick.
+ * Field use by kind is documented on EventKind.
+ */
+struct Event
+{
+    uint64_t ts;   ///< nanoseconds since epoch, or sim tick
+    uint64_t addr; ///< byte address / page id / 0
+    uint32_t a;    ///< span name id, or screen (x << 16 | y)
+    uint32_t b;    ///< (texture << 16 | level), or depth/latency
+    uint32_t c;    ///< (u << 16 | v) texel coords, or span detail
+    uint8_t kind;  ///< EventKind
+    uint8_t cls;   ///< MissClass / hit flag / FetchResult
+    uint16_t tag;  ///< source tag (kTag*)
+};
+
+static_assert(sizeof(Event) == 32, "trace events must stay 32 bytes");
+
+/** Sentinel for "no texel context": the replay driver never set one. */
+constexpr uint32_t kNoContext = 0xffffffffu;
+
+/** Binary event log container version ("TXEV" magic). */
+constexpr uint32_t kLogVersion = 1;
+constexpr char kLogMagic[8] = {'T', 'X', 'E', 'V', '1', 0, 0, 0};
+
+/** One thread ring's parsed section of an event log. */
+struct RingData
+{
+    uint32_t tid = 0;
+    uint64_t dropped = 0;
+    std::vector<Event> events;
+};
+
+/** A parsed binary event log. */
+struct EventLog
+{
+    uint64_t sampleN = 1;
+    uint64_t dropped = 0; ///< total across rings
+    std::vector<std::string> names;
+    std::vector<RingData> rings;
+
+    /** All events of all rings; within one ring the order is the
+     *  emission order. */
+    uint64_t
+    eventCount() const
+    {
+        uint64_t n = 0;
+        for (const RingData &r : rings)
+            n += r.events.size();
+        return n;
+    }
+
+    const std::string &
+    name(uint32_t id) const
+    {
+        static const std::string unknown = "?";
+        return id < names.size() ? names[id] : unknown;
+    }
+};
+
+/**
+ * Parse a binary event log. Returns false (with @p err set) on a
+ * malformed stream; never throws.
+ */
+bool readEventLog(std::istream &is, EventLog &out, std::string &err);
+
+} // namespace tracing
+} // namespace texcache
+
+#endif // TEXCACHE_TRACING_TRACE_FORMAT_HH

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Dump sinks for the tracer: Chrome trace-event JSON and the binary
+ * event log, plus the log reader the report tool and tests share.
+ *
+ * Chrome trace layout: pid 1 ("texcache wall-clock") holds one track
+ * per thread ring with the B/E spans; pid 2 ("texcache sim-ticks")
+ * holds vt fetch-queue activity, completions as X duration events
+ * spanning issue tick to data-arrival tick. Cache miss/texel events
+ * are deliberately NOT emitted into the JSON (they would swamp the
+ * timeline); they live in the binary log for texcache-report.
+ */
+
+#include <istream>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "tracing/sink_internal.hh"
+#include "tracing/tracing.hh"
+
+namespace texcache {
+namespace tracing {
+
+namespace {
+
+/** Emit one trace-event object's shared fields. */
+void
+eventHeader(JsonWriter &w, const char *ph, double ts_us, int pid,
+            uint32_t tid)
+{
+    w.kv("ph", ph);
+    w.kv("ts", ts_us);
+    w.kv("pid", pid);
+    w.kv("tid", static_cast<uint64_t>(tid));
+}
+
+void
+processName(JsonWriter &w, int pid, const char *name)
+{
+    w.beginObject();
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("name", "process_name");
+    w.key("args");
+    w.beginObject();
+    w.kv("name", name);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    std::vector<std::string> names;
+    uint64_t sample_n = 1;
+
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    processName(w, 1, "texcache wall-clock");
+    processName(w, 2, "texcache sim-ticks");
+
+    detail::visitRings(
+        [&](uint32_t tid, uint64_t, const std::vector<Event> &events) {
+            for (const Event &ev : events) {
+                switch (static_cast<EventKind>(ev.kind)) {
+                  case EventKind::SpanBegin:
+                    w.beginObject();
+                    w.kv("name", ev.a < names.size()
+                                     ? std::string_view(names[ev.a])
+                                     : std::string_view("?"));
+                    eventHeader(w, "B", ev.ts / 1e3, 1, tid);
+                    if (ev.addr) {
+                        w.key("args");
+                        w.beginObject();
+                        w.kv("detail", ev.addr);
+                        w.endObject();
+                    }
+                    w.endObject();
+                    break;
+                  case EventKind::SpanEnd:
+                    w.beginObject();
+                    w.kv("name", ev.a < names.size()
+                                     ? std::string_view(names[ev.a])
+                                     : std::string_view("?"));
+                    eventHeader(w, "E", ev.ts / 1e3, 1, tid);
+                    w.endObject();
+                    break;
+                  case EventKind::FetchComplete:
+                    // Span the fetch from issue to data arrival in
+                    // the sim-tick domain (1 tick = 1 "us" in the
+                    // viewer; only relative durations matter).
+                    w.beginObject();
+                    w.kv("name", "fetch");
+                    eventHeader(w, "X",
+                                static_cast<double>(ev.ts - ev.b), 2,
+                                tid);
+                    w.kv("dur", static_cast<double>(ev.b));
+                    w.key("args");
+                    w.beginObject();
+                    w.kv("page", ev.addr);
+                    w.endObject();
+                    w.endObject();
+                    break;
+                  case EventKind::FetchDrop:
+                  case EventKind::FetchMerge:
+                  case EventKind::PageEvict:
+                    w.beginObject();
+                    w.kv("name",
+                         static_cast<EventKind>(ev.kind) ==
+                                 EventKind::FetchDrop
+                             ? "fetch-drop"
+                             : static_cast<EventKind>(ev.kind) ==
+                                       EventKind::FetchMerge
+                                   ? "fetch-merge"
+                                   : "page-evict");
+                    eventHeader(w, "i", static_cast<double>(ev.ts), 2,
+                                tid);
+                    w.kv("s", "t");
+                    w.endObject();
+                    break;
+                  default:
+                    break; // misses/texels: binary log only
+                }
+            }
+        },
+        names, sample_n);
+
+    w.endArray();
+    w.kv("displayTimeUnit", "ms");
+    w.key("otherData");
+    w.beginObject();
+    w.kv("tool", "texcache");
+    w.kv("sample_n", sample_n);
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+namespace {
+
+template <typename T>
+void
+put(std::ostream &os, T v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+bool
+get(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return bool(is);
+}
+
+} // namespace
+
+void
+writeEventLog(std::ostream &os)
+{
+    std::vector<std::string> names;
+    uint64_t sample_n = 1;
+
+    // First pass to count rings (visitRings copies under the lock,
+    // so buffering sections locally keeps the format single-pass).
+    struct Section
+    {
+        uint32_t tid;
+        uint64_t dropped;
+        std::vector<Event> events;
+    };
+    std::vector<Section> sections;
+    uint64_t dropped_total = 0;
+    detail::visitRings(
+        [&](uint32_t tid, uint64_t dropped,
+            const std::vector<Event> &events) {
+            sections.push_back({tid, dropped, events});
+            dropped_total += dropped;
+        },
+        names, sample_n);
+
+    os.write(kLogMagic, sizeof(kLogMagic));
+    put(os, kLogVersion);
+    put(os, static_cast<uint32_t>(sections.size()));
+    put(os, sample_n);
+    put(os, dropped_total);
+    put(os, static_cast<uint32_t>(names.size()));
+    for (const std::string &n : names) {
+        put(os, static_cast<uint16_t>(n.size()));
+        os.write(n.data(), static_cast<std::streamsize>(n.size()));
+    }
+    for (const Section &s : sections) {
+        put(os, s.tid);
+        put(os, uint32_t(0)); // reserved
+        put(os, static_cast<uint64_t>(s.events.size()));
+        put(os, s.dropped);
+        os.write(reinterpret_cast<const char *>(s.events.data()),
+                 static_cast<std::streamsize>(s.events.size() *
+                                              sizeof(Event)));
+    }
+}
+
+bool
+readEventLog(std::istream &is, EventLog &out, std::string &err)
+{
+    out = EventLog{};
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::char_traits<char>::compare(magic, kLogMagic, 8)) {
+        err = "bad magic (not a texcache event log)";
+        return false;
+    }
+    uint32_t version = 0, ring_count = 0, name_count = 0;
+    if (!get(is, version) || version != kLogVersion) {
+        err = "unsupported event log version";
+        return false;
+    }
+    if (!get(is, ring_count) || !get(is, out.sampleN) ||
+        !get(is, out.dropped) || !get(is, name_count)) {
+        err = "truncated header";
+        return false;
+    }
+    for (uint32_t i = 0; i < name_count; ++i) {
+        uint16_t len = 0;
+        if (!get(is, len)) {
+            err = "truncated name table";
+            return false;
+        }
+        std::string n(len, '\0');
+        is.read(n.data(), len);
+        if (!is) {
+            err = "truncated name table";
+            return false;
+        }
+        out.names.push_back(std::move(n));
+    }
+    for (uint32_t r = 0; r < ring_count; ++r) {
+        RingData ring;
+        uint32_t reserved = 0;
+        uint64_t count = 0;
+        if (!get(is, ring.tid) || !get(is, reserved) ||
+            !get(is, count) || !get(is, ring.dropped)) {
+            err = "truncated ring header";
+            return false;
+        }
+        ring.events.resize(count);
+        is.read(reinterpret_cast<char *>(ring.events.data()),
+                static_cast<std::streamsize>(count * sizeof(Event)));
+        if (!is) {
+            err = "truncated ring events";
+            return false;
+        }
+        out.rings.push_back(std::move(ring));
+    }
+    return true;
+}
+
+} // namespace tracing
+} // namespace texcache

@@ -1,0 +1,393 @@
+#include "tracing/tracing.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "tracing/sink_internal.hh"
+
+namespace texcache {
+namespace tracing {
+
+uint32_t gMask = 0;
+thread_local TexelContext tlsContext;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One thread's event buffer. Owned by the registry so it survives
+ *  the thread; the owning thread writes, dumps read after joins. */
+struct Ring
+{
+    std::vector<Event> buf;
+    uint64_t dropped = 0;
+    uint64_t sampleTick = 0; ///< deterministic per-thread decimation
+    uint32_t tid = 0;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<Ring>> rings;
+    std::vector<std::string> names;
+    uint64_t generation = 1; ///< bumped by configure() to detach TLS
+    uint64_t sampleN = 1;
+    uint64_t capacity = 1ull << 20;
+    Clock::time_point epoch = Clock::now();
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+thread_local Ring *tlsRing = nullptr;
+thread_local uint64_t tlsGeneration = 0;
+
+Ring &
+ring()
+{
+    Registry &reg = registry();
+    if (tlsGeneration != reg.generation) {
+        std::lock_guard<std::mutex> g(reg.mu);
+        auto owned = std::make_unique<Ring>();
+        owned->tid = static_cast<uint32_t>(reg.rings.size());
+        owned->buf.reserve(
+            std::min<uint64_t>(reg.capacity, 1ull << 16));
+        tlsRing = owned.get();
+        tlsGeneration = reg.generation;
+        reg.rings.push_back(std::move(owned));
+    }
+    return *tlsRing;
+}
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - registry().epoch)
+            .count());
+}
+
+/** Append @p ev to this thread's ring, honoring the capacity bound. */
+void
+record(const Event &ev)
+{
+    Ring &r = ring();
+    if (r.buf.size() >= registry().capacity) {
+        ++r.dropped;
+        return;
+    }
+    r.buf.push_back(ev);
+}
+
+/** Sampled record for the high-frequency categories: keeps every
+ *  Nth emission per thread, deterministically. */
+bool
+sampledOut(Ring &r)
+{
+    uint64_t n = registry().sampleN;
+    return n > 1 && (r.sampleTick++ % n) != 0;
+}
+
+/** Parse "spans,misses,..." into a category mask. */
+uint32_t
+parseCategories(const char *env)
+{
+    uint32_t mask = 0;
+    std::string_view rest(env);
+    while (!rest.empty()) {
+        size_t comma = rest.find(',');
+        std::string_view tok = rest.substr(0, comma);
+        rest = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : rest.substr(comma + 1);
+        if (tok.empty())
+            continue;
+        if (tok == "spans")
+            mask |= kSpans;
+        else if (tok == "misses")
+            mask |= kMisses;
+        else if (tok == "texels")
+            mask |= kTexels;
+        else if (tok == "fetches")
+            mask |= kFetches;
+        else if (tok == "all")
+            mask |= kAll;
+        else
+            fatal("TEXCACHE_TRACE: unknown category '",
+                  std::string(tok),
+                  "' (want spans,misses,texels,fetches,all)");
+    }
+    return mask;
+}
+
+/** Parse "1/N" (or plain "N") into a sampling divisor. */
+uint64_t
+parseSample(const char *env)
+{
+    std::string_view s(env);
+    if (s.substr(0, 2) == "1/")
+        s = s.substr(2);
+    uint64_t n = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            fatal("TEXCACHE_TRACE_SAMPLE='", env,
+                  "' is not 1/N or N");
+        n = n * 10 + static_cast<uint64_t>(c - '0');
+    }
+    fatal_if(n == 0, "TEXCACHE_TRACE_SAMPLE='", env,
+             "' must be at least 1");
+    return n;
+}
+
+uint64_t
+parseCapacity(const char *env)
+{
+    char *end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    fatal_if(end == env || *end != '\0' || v < 1,
+             "TEXCACHE_TRACE_BUF='", env,
+             "' is not a positive event count");
+    return static_cast<uint64_t>(v);
+}
+
+/** One-time environment initialization, before main(). */
+struct EnvInit
+{
+    EnvInit()
+    {
+        Registry &reg = registry();
+        if (const char *env = std::getenv("TEXCACHE_TRACE"))
+            gMask = parseCategories(env);
+        if (const char *env = std::getenv("TEXCACHE_TRACE_SAMPLE"))
+            reg.sampleN = parseSample(env);
+        if (const char *env = std::getenv("TEXCACHE_TRACE_BUF"))
+            reg.capacity = parseCapacity(env);
+    }
+} envInit;
+
+} // namespace
+
+uint16_t
+nameId(std::string_view name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    for (size_t i = 0; i < reg.names.size(); ++i)
+        if (reg.names[i] == name)
+            return static_cast<uint16_t>(i);
+    panic_if(reg.names.size() >= 0xffff,
+             "tracing: span name table overflow");
+    reg.names.emplace_back(name);
+    return static_cast<uint16_t>(reg.names.size() - 1);
+}
+
+void
+spanBegin(uint16_t name, uint64_t detail)
+{
+    if (!enabled(kSpans))
+        return;
+    Event ev{};
+    ev.ts = nowNs();
+    ev.addr = detail;
+    ev.a = name;
+    ev.c = static_cast<uint32_t>(detail);
+    ev.kind = static_cast<uint8_t>(EventKind::SpanBegin);
+    record(ev);
+}
+
+void
+spanEnd(uint16_t name)
+{
+    if (!enabled(kSpans))
+        return;
+    Event ev{};
+    ev.ts = nowNs();
+    ev.a = name;
+    ev.kind = static_cast<uint8_t>(EventKind::SpanEnd);
+    record(ev);
+}
+
+void
+cacheMiss(uint64_t addr, MissClass cls, uint16_t tag)
+{
+    if (tag == kTagSilent)
+        return;
+    Ring &r = ring();
+    if (sampledOut(r))
+        return;
+    Event ev{};
+    ev.ts = nowNs();
+    ev.addr = addr;
+    ev.a = tlsContext.screen;
+    ev.b = tlsContext.texLevel;
+    ev.c = tlsContext.uv;
+    ev.cls = static_cast<uint8_t>(cls);
+    ev.tag = tag;
+    if (enabled(kMisses)) {
+        ev.kind = static_cast<uint8_t>(EventKind::CacheMiss);
+        record(ev);
+    }
+    if (enabled(kTexels)) {
+        ev.kind = static_cast<uint8_t>(EventKind::CacheAccess);
+        ev.cls = 0; // not a hit
+        record(ev);
+    }
+}
+
+void
+cacheHit(uint64_t addr, uint16_t tag)
+{
+    if (tag == kTagSilent || !enabled(kTexels))
+        return;
+    Ring &r = ring();
+    if (sampledOut(r))
+        return;
+    Event ev{};
+    ev.ts = nowNs();
+    ev.addr = addr;
+    ev.a = tlsContext.screen;
+    ev.b = tlsContext.texLevel;
+    ev.c = tlsContext.uv;
+    ev.kind = static_cast<uint8_t>(EventKind::CacheAccess);
+    ev.cls = 1; // hit
+    ev.tag = tag;
+    record(ev);
+}
+
+void
+fetchEvent(EventKind kind, uint64_t page, uint64_t tick,
+           uint32_t payload)
+{
+    if (!enabled(kFetches))
+        return;
+    Event ev{};
+    ev.ts = tick;
+    ev.addr = page;
+    ev.b = payload;
+    ev.kind = static_cast<uint8_t>(kind);
+    record(ev);
+}
+
+void
+configure(const TraceConfig &config)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    reg.rings.clear();
+    // The name table is deliberately kept: span sites intern their
+    // ids once per process (function-local statics), so ids must
+    // stay valid across re-configuration.
+    ++reg.generation; // detaches every thread's cached ring pointer
+    reg.sampleN = config.sampleN ? config.sampleN : 1;
+    reg.capacity = config.capacity ? config.capacity : 1;
+    reg.epoch = Clock::now();
+    gMask = config.mask;
+}
+
+TraceConfig
+currentConfig()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    return {gMask, reg.sampleN, reg.capacity};
+}
+
+uint64_t
+recordedCount()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    uint64_t n = 0;
+    for (const auto &r : reg.rings)
+        n += r->buf.size();
+    return n;
+}
+
+uint64_t
+droppedCount()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    uint64_t n = 0;
+    for (const auto &r : reg.rings)
+        n += r->dropped;
+    return n;
+}
+
+std::vector<Event>
+snapshotEvents()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    std::vector<Event> out;
+    for (const auto &r : reg.rings)
+        out.insert(out.end(), r->buf.begin(), r->buf.end());
+    return out;
+}
+
+namespace detail {
+
+/** Sink-side view over the registry (trace_sink.cc). */
+void
+visitRings(const std::function<void(uint32_t tid, uint64_t dropped,
+                                    const std::vector<Event> &)> &fn,
+           std::vector<std::string> &names, uint64_t &sample_n)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    names = reg.names;
+    sample_n = reg.sampleN;
+    for (const auto &r : reg.rings)
+        fn(r->tid, r->dropped, r->buf);
+}
+
+} // namespace detail
+
+DumpInfo
+dumpToFiles(const std::string &name)
+{
+    DumpInfo info;
+    info.recorded = recordedCount();
+    info.dropped = droppedCount();
+    info.sampleN = currentConfig().sampleN;
+
+    std::string dir;
+    if (const char *env = std::getenv("TEXCACHE_STATS_DIR"))
+        if (*env)
+            dir = std::string(env) + "/";
+    info.chromePath = dir + "TRACE_" + name + ".chrome.json";
+    info.eventsPath = dir + "TRACE_" + name + ".events.bin";
+
+    std::ofstream chrome(info.chromePath);
+    if (!chrome) {
+        warn("cannot write trace ", info.chromePath);
+        info.chromePath.clear();
+    } else {
+        writeChromeTrace(chrome);
+        inform("wrote chrome trace ", info.chromePath, " (",
+               info.recorded, " events, ", info.dropped, " dropped)");
+    }
+
+    std::ofstream events(info.eventsPath, std::ios::binary);
+    if (!events) {
+        warn("cannot write trace ", info.eventsPath);
+        info.eventsPath.clear();
+    } else {
+        writeEventLog(events);
+        inform("wrote event log ", info.eventsPath);
+    }
+    return info;
+}
+
+} // namespace tracing
+} // namespace texcache

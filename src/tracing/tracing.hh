@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Low-overhead event tracing: per-thread ring buffers of typed events.
+ *
+ * The tracer is process-global and off by default. TEXCACHE_TRACE
+ * enables categories ("spans,misses,texels,fetches" or "all"),
+ * TEXCACHE_TRACE_SAMPLE=1/N samples the high-frequency categories
+ * (misses, texels) deterministically - every Nth emitted event per
+ * thread is kept - and TEXCACHE_TRACE_BUF bounds each thread's ring
+ * (default 1M events); events beyond the bound are dropped and
+ * counted, never silently lost.
+ *
+ * Hot-path contract: when a category is disabled, the instrumentation
+ * site pays exactly one load-and-test of a plain global mask
+ * (enabled()) and nothing else. Emitters are out of line and only
+ * reached when tracing is on. Bench stdout is never touched: dumps go
+ * to files, paths are inform()ed on stderr, and the run manifest
+ * records the file paths plus drop/sample accounting.
+ *
+ * Dump sinks (trace_sink.cc):
+ *  - Chrome trace-event JSON (chrome://tracing / Perfetto): timeline
+ *    spans per thread in the wall-clock process, vt fetch latencies in
+ *    a separate sim-tick process;
+ *  - the binary event log (trace_format.hh) that tools/texcache-report
+ *    folds into screen/texture-space miss heatmaps and time series.
+ */
+
+#ifndef TEXCACHE_TRACING_TRACING_HH
+#define TEXCACHE_TRACING_TRACING_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tracing/trace_format.hh"
+
+namespace texcache {
+namespace tracing {
+
+/**
+ * Enabled-category mask. Initialized from TEXCACHE_TRACE before
+ * main() and only changed by configure(); hot paths read it with a
+ * plain (non-atomic) load, which is safe because it is stable while
+ * worker threads run.
+ */
+extern uint32_t gMask;
+
+/** The one branch every disabled instrumentation site pays. */
+inline bool
+enabled(uint32_t categories)
+{
+    return (gMask & categories) != 0;
+}
+
+/** Any category at all on? */
+inline bool
+active()
+{
+    return gMask != 0;
+}
+
+/**
+ * Per-thread texel context: the screen pixel and texture coordinates
+ * the addresses now being replayed came from. Replay drivers that
+ * know the fragment (examples/traced_frame) publish it so CacheMiss
+ * events carry spatial coordinates; plain trace replays leave it at
+ * the kNoContext sentinel and their events still carry addresses.
+ */
+struct TexelContext
+{
+    uint32_t screen = kNoContext;   ///< x << 16 | y
+    uint32_t texLevel = kNoContext; ///< texture << 16 | level
+    uint32_t uv = 0;                ///< u << 16 | v (level coords)
+};
+
+extern thread_local TexelContext tlsContext;
+
+/** Publish the current fragment/texel (gate with enabled() first). */
+inline void
+setTexelContext(uint16_t x, uint16_t y, uint16_t tex, uint16_t level,
+                uint16_t u, uint16_t v)
+{
+    tlsContext.screen = (uint32_t(x) << 16) | y;
+    tlsContext.texLevel = (uint32_t(tex) << 16) | level;
+    tlsContext.uv = (uint32_t(u) << 16) | v;
+}
+
+inline void
+clearTexelContext()
+{
+    tlsContext = TexelContext{};
+}
+
+/**
+ * Intern a span name, returning its stable id for this trace run.
+ * Call once per site (function-local static); takes a lock.
+ */
+uint16_t nameId(std::string_view name);
+
+/** Begin/end a wall-domain span on this thread (category kSpans). */
+void spanBegin(uint16_t name, uint64_t detail = 0);
+void spanEnd(uint16_t name);
+
+/** RAII span; no-op (one branch) when spans are disabled. */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(uint16_t name, uint64_t detail = 0)
+        : name_(name), on_(enabled(kSpans))
+    {
+        if (on_)
+            spanBegin(name_, detail);
+    }
+
+    ~ScopedSpan()
+    {
+        if (on_)
+            spanEnd(name_);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    uint16_t name_;
+    bool on_;
+};
+
+/**
+ * Record a cache miss (and, under kTexels, the matching access
+ * event). Sampled by TEXCACHE_TRACE_SAMPLE. @p tag identifies the
+ * simulator (kTagL1, ...); kTagSilent suppresses emission.
+ */
+void cacheMiss(uint64_t addr, MissClass cls, uint16_t tag);
+
+/** Record a cache hit under kTexels (sampled). */
+void cacheHit(uint64_t addr, uint16_t tag);
+
+/** Record a vt fetch-queue event in the sim-tick domain. */
+void fetchEvent(EventKind kind, uint64_t page, uint64_t tick,
+                uint32_t payload);
+
+/** Tracer configuration (tests and explicit drivers). */
+struct TraceConfig
+{
+    uint32_t mask = 0;
+    uint64_t sampleN = 1;    ///< keep every Nth miss/texel event
+    uint64_t capacity = 1ull << 20; ///< events per thread ring
+};
+
+/**
+ * Re-arm the tracer: drop all buffered events and rings, reset the
+ * epoch and name table, and apply @p config. Must not race with
+ * threads that are emitting; tests and single-threaded drivers only.
+ */
+void configure(const TraceConfig &config);
+
+/** The configuration currently in force (env-derived by default). */
+TraceConfig currentConfig();
+
+/** Events currently buffered across all rings (dump-time view). */
+uint64_t recordedCount();
+
+/** Events dropped to full rings across all threads. */
+uint64_t droppedCount();
+
+/**
+ * Snapshot every buffered event, ring by ring in registration order
+ * (within a ring, emission order). Test/inspection helper.
+ */
+std::vector<Event> snapshotEvents();
+
+/** Write the Chrome trace-event JSON document for the buffered run. */
+void writeChromeTrace(std::ostream &os);
+
+/** Write the binary event log (trace_format.hh container). */
+void writeEventLog(std::ostream &os);
+
+/** Where one dump landed, plus its accounting. */
+struct DumpInfo
+{
+    std::string chromePath;
+    std::string eventsPath;
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+    uint64_t sampleN = 1;
+};
+
+/**
+ * Write TRACE_<name>.chrome.json and TRACE_<name>.events.bin under
+ * TEXCACHE_STATS_DIR (default: cwd), reporting both paths via
+ * inform() on stderr. Call once at process end; buffered events are
+ * kept so a later snapshot still sees them.
+ */
+DumpInfo dumpToFiles(const std::string &name);
+
+} // namespace tracing
+} // namespace texcache
+
+#endif // TEXCACHE_TRACING_TRACING_HH

@@ -20,10 +20,18 @@ FetchQueue::request(PageId page, Addr page_base, uint64_t now)
 
     if (inFlight_.count(page)) {
         ++stats_.dedupHits;
+        if (tracing::enabled(tracing::kFetches))
+            tracing::fetchEvent(tracing::EventKind::FetchMerge, page,
+                                now,
+                                static_cast<uint32_t>(queue_.size()));
         return FetchResult::Merged;
     }
     if (queue_.size() >= config_.maxInFlight) {
         ++stats_.drops;
+        if (tracing::enabled(tracing::kFetches))
+            tracing::fetchEvent(tracing::EventKind::FetchDrop, page,
+                                now,
+                                static_cast<uint32_t>(queue_.size()));
         return FetchResult::Dropped;
     }
 
@@ -37,9 +45,12 @@ FetchQueue::request(PageId page, Addr page_base, uint64_t now)
     panic_if(!queue_.empty() && ready < queue_.back().ready,
              "fetch completion times must be monotone");
 
-    queue_.push_back({page, ready});
+    queue_.push_back({page, ready, now});
     inFlight_.insert(page);
     ++stats_.issued;
+    if (tracing::enabled(tracing::kFetches))
+        tracing::fetchEvent(tracing::EventKind::FetchIssue, page, now,
+                            static_cast<uint32_t>(queue_.size()));
     return FetchResult::Issued;
 }
 

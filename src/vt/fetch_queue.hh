@@ -30,6 +30,7 @@
 
 #include "stats/stats.hh"
 #include "timing/dram_model.hh"
+#include "tracing/tracing.hh"
 #include "vt/page_pool.hh"
 
 namespace texcache {
@@ -87,7 +88,12 @@ class FetchQueue
     drain(uint64_t now, Fn &&sink)
     {
         while (!queue_.empty() && queue_.front().ready <= now) {
-            PageId p = queue_.front().page;
+            const Pending &front = queue_.front();
+            PageId p = front.page;
+            if (tracing::enabled(tracing::kFetches))
+                tracing::fetchEvent(
+                    tracing::EventKind::FetchComplete, p, front.ready,
+                    static_cast<uint32_t>(front.ready - front.issued));
             queue_.pop_front();
             inFlight_.erase(p);
             ++stats_.completed;
@@ -117,7 +123,8 @@ class FetchQueue
     struct Pending
     {
         PageId page;
-        uint64_t ready; ///< tick the data arrives
+        uint64_t ready;  ///< tick the data arrives
+        uint64_t issued; ///< tick the request entered the queue
     };
 
     FetchQueueConfig config_;

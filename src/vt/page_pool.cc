@@ -1,5 +1,7 @@
 #include "vt/page_pool.hh"
 
+#include "tracing/tracing.hh"
+
 namespace texcache {
 
 PagePool::PagePool(const PagePoolConfig &config) : config_(config)
@@ -36,6 +38,12 @@ PagePool::makeRoom()
     lru_.pop_back();
     entries_.erase(victim);
     ++stats_.evictions;
+    // The pool has no external clock; its lookup count is the natural
+    // sim-domain tick for residency churn.
+    if (tracing::enabled(tracing::kFetches)) [[unlikely]]
+        tracing::fetchEvent(
+            tracing::EventKind::PageEvict, victim, stats_.lookups,
+            static_cast<uint32_t>(entries_.size()));
 }
 
 void

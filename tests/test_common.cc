@@ -114,3 +114,75 @@ TEST(Table, CsvEnvSwitchesPrintToCsv)
     t.print(os2);
     EXPECT_NE(os2.str().find("== env =="), std::string::npos);
 }
+
+// --- JsonWriter escaping ---------------------------------------------
+
+#include "common/json.hh"
+
+namespace {
+
+std::string
+jsonString(std::string_view raw)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*pretty=*/false);
+        w.beginObject();
+        w.kv("k", raw);
+        w.endObject();
+    }
+    return os.str();
+}
+
+} // namespace
+
+TEST(JsonWriter, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonString("say \"hi\""),
+              "{\"k\":\"say \\\"hi\\\"\"}");
+    EXPECT_EQ(jsonString("C:\\temp\\x"),
+              "{\"k\":\"C:\\\\temp\\\\x\"}");
+    // A backslash before a quote must escape to four characters, not
+    // collapse into an escaped quote.
+    EXPECT_EQ(jsonString("\\\""), "{\"k\":\"\\\\\\\"\"}");
+}
+
+TEST(JsonWriter, EscapesNamedControlCharacters)
+{
+    EXPECT_EQ(jsonString("a\nb"), "{\"k\":\"a\\nb\"}");
+    EXPECT_EQ(jsonString("a\tb"), "{\"k\":\"a\\tb\"}");
+    EXPECT_EQ(jsonString("a\rb"), "{\"k\":\"a\\rb\"}");
+}
+
+TEST(JsonWriter, EscapesOtherControlCharactersAsUnicode)
+{
+    EXPECT_EQ(jsonString(std::string_view("\x01", 1)),
+              "{\"k\":\"\\u0001\"}");
+    EXPECT_EQ(jsonString(std::string_view("\x1f", 1)),
+              "{\"k\":\"\\u001f\"}");
+    // NUL embedded in a string_view must not truncate the output.
+    EXPECT_EQ(jsonString(std::string_view("a\0b", 3)),
+              "{\"k\":\"a\\u0000b\"}");
+}
+
+TEST(JsonWriter, PassesNonAsciiUtf8Through)
+{
+    // UTF-8 bytes >= 0x80 are valid inside JSON strings and must not
+    // be escaped or mangled (snowman, e-acute, 4-byte emoji).
+    EXPECT_EQ(jsonString("\xe2\x98\x83"), "{\"k\":\"\xe2\x98\x83\"}");
+    EXPECT_EQ(jsonString("caf\xc3\xa9"), "{\"k\":\"caf\xc3\xa9\"}");
+    EXPECT_EQ(jsonString("\xf0\x9f\x8e\xa8"),
+              "{\"k\":\"\xf0\x9f\x8e\xa8\"}");
+}
+
+TEST(JsonWriter, EscapesKeysToo)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*pretty=*/false);
+        w.beginObject();
+        w.kv("we\"ird\nkey", 1u);
+        w.endObject();
+    }
+    EXPECT_EQ(os.str(), "{\"we\\\"ird\\nkey\":1}");
+}

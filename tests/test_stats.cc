@@ -150,6 +150,9 @@ TEST(StatsJson, DumpMatchesTheDocumentedShape)
               "      \"min\": 0,\n"
               "      \"max\": 3,\n"
               "      \"mean\": 1.5,\n"
+              "      \"p50\": 3,\n"
+              "      \"p95\": 3,\n"
+              "      \"p99\": 3,\n"
               "      \"bucketing\": \"log2\",\n"
               "      \"buckets\": [\n"
               "        1,\n"
@@ -226,4 +229,54 @@ TEST(StatsExport, LiveViewFollowsTheCounter)
     sim.access(64);
     EXPECT_EQ(root.value("l1.accesses"), 2.0);
     EXPECT_EQ(root.value("l1.misses"), 2.0);
+}
+
+TEST(StatsDistribution, PercentilesOnEmptyAndSingleSample)
+{
+    stats::Distribution d;
+    EXPECT_EQ(d.percentile(0.5), 0.0);
+    d.sample(42);
+    // One sample: every quantile is that sample (clamped to min/max).
+    EXPECT_EQ(d.percentile(0.0), 42.0);
+    EXPECT_EQ(d.percentile(0.5), 42.0);
+    EXPECT_EQ(d.percentile(1.0), 42.0);
+}
+
+TEST(StatsDistribution, PercentilesTrackTheSampleMass)
+{
+    // 100 samples of 1 and 1 sample of 1000: the median must sit in
+    // the low bucket and p99+ must reach toward the outlier's bucket.
+    stats::Distribution d;
+    for (int i = 0; i < 100; ++i)
+        d.sample(1);
+    d.sample(1000);
+    // All of the mass below p99 sits in bucket [1, 2); interpolation
+    // within the bucket may return any value in it.
+    EXPECT_GE(d.percentile(0.50), 1.0);
+    EXPECT_LT(d.percentile(0.50), 2.0);
+    EXPECT_GE(d.percentile(0.95), 1.0);
+    EXPECT_LT(d.percentile(0.95), 2.0);
+    double p99_5 = d.percentile(0.995);
+    EXPECT_GE(p99_5, 512.0);  // the outlier's bucket is [512, 1024)
+    EXPECT_LE(p99_5, 1000.0); // clamped at the observed max
+}
+
+TEST(StatsDistribution, PercentilesAreMonotoneAndBounded)
+{
+    stats::Distribution d;
+    for (uint64_t v = 1; v <= 1024; ++v)
+        d.sample(v);
+    double prev = 0.0;
+    for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+        double v = d.percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        EXPECT_GE(v, static_cast<double>(d.min()));
+        EXPECT_LE(v, static_cast<double>(d.max()));
+        prev = v;
+    }
+    // The uniform 1..1024 median lands in the right log2 bucket
+    // (exactness is bounded by the histogram's bucket resolution).
+    double p50 = d.percentile(0.5);
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
 }

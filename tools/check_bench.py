@@ -21,6 +21,7 @@ missing metric, 2 on malformed input.
 Usage:
   tools/check_bench.py BASELINE FRESH [--tolerance T]
                        [--metric NAME=TOL]... [--quiet]
+  tools/check_bench.py MANIFEST --list-metrics
 """
 
 import argparse
@@ -60,15 +61,31 @@ def pick_tolerance(name, base_metric, args):
     return DEFAULT_TOLERANCE, "default"
 
 
-def check_metric(name, base_metric, fresh_metric, args):
+def list_metrics(doc):
+    """Print every metric of one manifest: name, value, gating."""
+    print(f"{doc['bench']}: {len(doc['metrics'])} metrics")
+    width = max((len(n) for n in doc["metrics"]), default=0)
+    for name, m in doc["metrics"].items():
+        direction = m.get("direction", "report")
+        gate = direction
+        if direction in ("higher", "lower") and "tolerance" in m:
+            gate += f" (tolerance {m['tolerance']:g})"
+        print(f"  {name:<{width}}  {float(m['value']):g}  [{gate}]")
+
+
+def check_metric(name, base_metric, fresh_metric, fresh_names, args):
     """Returns (ok, message)."""
     direction = base_metric.get("direction", "report")
     base = float(base_metric["value"])
     if fresh_metric is None:
         if direction == "report":
             return True, f"  {name}: report-only, absent in fresh run"
+        available = ", ".join(sorted(fresh_names)) or "(none)"
         return False, (f"  {name}: gated ({direction}) in the baseline "
-                       f"but missing from the fresh run")
+                       f"but missing from the fresh run; the fresh "
+                       f"manifest has: {available}. Did the bench "
+                       f"rename or drop this metric? If intentional, "
+                       f"refresh the committed baseline.")
     fresh = float(fresh_metric["value"])
     if base:
         delta = (fresh - base) / base
@@ -107,7 +124,11 @@ def main():
         description="Compare a fresh bench run manifest against a "
                     "committed baseline.")
     ap.add_argument("baseline", help="committed baseline BENCH_*.json")
-    ap.add_argument("fresh", help="freshly produced BENCH_*.json")
+    ap.add_argument("fresh", nargs="?", default=None,
+                    help="freshly produced BENCH_*.json")
+    ap.add_argument("--list-metrics", action="store_true",
+                    help="list the first manifest's metrics (name, "
+                         "value, direction, tolerance) and exit")
     ap.add_argument("--tolerance", type=float, default=None,
                     help="override every higher/lower metric's "
                          "tolerance (exact pins are unaffected)")
@@ -129,6 +150,12 @@ def main():
             ap.error(f"--metric {spec!r}: {tol!r} is not a number")
 
     base_doc = load_manifest(args.baseline)
+    if args.list_metrics:
+        list_metrics(base_doc)
+        return 0
+    if args.fresh is None:
+        ap.error("a fresh manifest is required unless --list-metrics "
+                 "is given")
     fresh_doc = load_manifest(args.fresh)
     if base_doc.get("bench") != fresh_doc.get("bench"):
         die(f"bench mismatch: baseline is {base_doc.get('bench')!r}, "
@@ -144,7 +171,8 @@ def main():
     fresh_metrics = fresh_doc["metrics"]
     for name, base_metric in base_doc["metrics"].items():
         ok, msg = check_metric(name, base_metric,
-                               fresh_metrics.get(name), args)
+                               fresh_metrics.get(name),
+                               fresh_metrics.keys(), args)
         if not ok:
             failures += 1
         if not ok or not args.quiet:

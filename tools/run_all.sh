@@ -1,11 +1,13 @@
 #!/bin/sh
 # Regenerate every figure/table of the reproduction into results/.
-# Usage: tools/run_all.sh [build_dir] [out_dir]
+# Usage: tools/run_all.sh [--fail-fast] [build_dir] [out_dir]
 # Set TEXCACHE_CSV=1 for machine-readable output.
 #
 # Each bench writes stdout to $OUT/<name>.txt and stderr to
-# $OUT/<name>.err. A failing bench does not stop the run; the script
-# exits nonzero at the end listing every failure.
+# $OUT/<name>.err. By default a failing bench does not stop the run;
+# the script exits nonzero at the end listing every failure. With
+# --fail-fast the run stops at the first failing bench instead (the
+# partial run_manifest.json still covers every bench that ran).
 #
 # Rendered texel traces are cached under $OUT/trace-cache (see
 # DESIGN.md section 8), so re-runs skip the expensive renders; delete
@@ -17,6 +19,17 @@
 # summarized in $OUT/run_manifest.json: per-bench pass/fail and
 # wall-clock plus the totals.
 set -u
+FAIL_FAST=0
+case "${1:-}" in
+    --fail-fast)
+        FAIL_FAST=1
+        shift
+        ;;
+    --*)
+        echo "usage: tools/run_all.sh [--fail-fast] [build_dir] [out_dir]" >&2
+        exit 2
+        ;;
+esac
 BUILD="${1:-build}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
@@ -52,6 +65,10 @@ for b in "$BUILD"/bench/*; do
 $row"
     else
         rows="$row"
+    fi
+    if [ "$FAIL_FAST" = 1 ] && [ "$status" = FAILED ]; then
+        echo "== stopping: --fail-fast and $name failed" >&2
+        break
     fi
 done
 {

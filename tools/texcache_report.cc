@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Offline miss-diagnostics report generator.
+ *
+ * Folds a binary event log (TRACE_<bench>.events.bin, written by the
+ * tracing layer when TEXCACHE_TRACE is set) into the spatial and
+ * temporal views ISSUE/DESIGN call out:
+ *
+ *  - screen_misses.pgm     miss density per screen pixel (log-scaled
+ *                          8-bit grayscale, P5),
+ *  - texture_misses_<t>.ppm  miss density per level-0 texel of each
+ *                          texture, colored by 3-C class (P6:
+ *                          cold=blue, capacity=green, conflict=red,
+ *                          unrefined=gray),
+ *  - reuse_over_time.csv   time-bucketed series: events, misses,
+ *                          re-reference gap of repeated lines, and the
+ *                          cold fraction per bucket,
+ *  - report.json           totals, per-class/per-tag/per-texture
+ *                          breakdowns and the hottest miss lines,
+ *  - a stdout summary table.
+ *
+ * Usage:
+ *   texcache_report <events.bin> [--out DIR] [--buckets N] [--top N]
+ *
+ * The tool only reads event logs; rendering and simulation stay in
+ * the bench/example binaries. tools/texcache_report.py wraps this
+ * binary to produce a self-contained HTML page.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.hh"
+#include "tracing/trace_format.hh"
+
+using namespace texcache;
+using namespace texcache::tracing;
+
+namespace {
+
+struct Options
+{
+    std::string eventsPath;
+    std::string outDir = ".";
+    unsigned buckets = 64;  ///< time buckets in the reuse series
+    unsigned top = 10;      ///< hottest lines listed in report.json
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: texcache_report <events.bin> [--out DIR] "
+                 "[--buckets N] [--top N]\n");
+    std::exit(1);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc)
+            o.outDir = argv[++i];
+        else if (a == "--buckets" && i + 1 < argc)
+            o.buckets = std::atoi(argv[++i]);
+        else if (a == "--top" && i + 1 < argc)
+            o.top = std::atoi(argv[++i]);
+        else if (!a.empty() && a[0] == '-')
+            usage();
+        else if (o.eventsPath.empty())
+            o.eventsPath = a;
+        else
+            usage();
+    }
+    if (o.eventsPath.empty() || o.buckets == 0)
+        usage();
+    return o;
+}
+
+/** A dense 2-D accumulation grid sized on first use. */
+struct Grid
+{
+    unsigned w = 0, h = 0;
+    std::vector<uint32_t> cells; // row-major counts
+
+    void
+    add(unsigned x, unsigned y, unsigned weight = 1)
+    {
+        if (x >= w || y >= h)
+            grow(std::max(w, x + 1), std::max(h, y + 1));
+        cells[static_cast<size_t>(y) * w + x] += weight;
+    }
+
+    uint32_t
+    at(unsigned x, unsigned y) const
+    {
+        return cells[static_cast<size_t>(y) * w + x];
+    }
+
+    uint32_t
+    maxCell() const
+    {
+        uint32_t m = 0;
+        for (uint32_t c : cells)
+            m = std::max(m, c);
+        return m;
+    }
+
+  private:
+    void
+    grow(unsigned nw, unsigned nh)
+    {
+        std::vector<uint32_t> next(static_cast<size_t>(nw) * nh, 0);
+        for (unsigned y = 0; y < h; ++y)
+            std::memcpy(&next[static_cast<size_t>(y) * nw],
+                        &cells[static_cast<size_t>(y) * w],
+                        w * sizeof(uint32_t));
+        cells.swap(next);
+        w = nw;
+        h = nh;
+    }
+};
+
+/** Per-texture miss grids, one per 3-C class, in level-0 texels. */
+struct TextureGrids
+{
+    Grid byClass[4]; // indexed by MissClass
+    uint64_t misses = 0;
+};
+
+/** log-scale a count against the grid maximum into 0..255. */
+uint8_t
+shade(uint32_t count, uint32_t max_count)
+{
+    if (count == 0 || max_count == 0)
+        return 0;
+    // 1 + log(c) / log(max) spread over the byte range; a single-count
+    // cell is still clearly visible.
+    double num = std::log(static_cast<double>(count) + 1.0);
+    double den = std::log(static_cast<double>(max_count) + 1.0);
+    double v = 32.0 + 223.0 * (num / den);
+    return static_cast<uint8_t>(v);
+}
+
+bool
+writePgm(const std::string &path, const Grid &g)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    os << "P5\n" << g.w << " " << g.h << "\n255\n";
+    uint32_t m = g.maxCell();
+    std::vector<uint8_t> row(g.w);
+    for (unsigned y = 0; y < g.h; ++y) {
+        for (unsigned x = 0; x < g.w; ++x)
+            row[x] = shade(g.at(x, y), m);
+        os.write(reinterpret_cast<const char *>(row.data()), g.w);
+    }
+    return static_cast<bool>(os);
+}
+
+/** Compose the per-class grids of one texture into an RGB heatmap. */
+bool
+writeClassPpm(const std::string &path, const TextureGrids &t)
+{
+    unsigned w = 0, h = 0;
+    for (const Grid &g : t.byClass) {
+        w = std::max(w, g.w);
+        h = std::max(h, g.h);
+    }
+    if (w == 0 || h == 0)
+        return false;
+    uint32_t maxc = 0;
+    for (const Grid &g : t.byClass)
+        maxc = std::max(maxc, g.maxCell());
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    os << "P6\n" << w << " " << h << "\n255\n";
+    std::vector<uint8_t> row(static_cast<size_t>(w) * 3);
+    auto cell = [](const Grid &g, unsigned x, unsigned y) -> uint32_t {
+        return x < g.w && y < g.h ? g.at(x, y) : 0;
+    };
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 0; x < w; ++x) {
+            uint8_t cold = shade(
+                cell(t.byClass[unsigned(MissClass::Cold)], x, y), maxc);
+            uint8_t cap = shade(
+                cell(t.byClass[unsigned(MissClass::Capacity)], x, y),
+                maxc);
+            uint8_t conf = shade(
+                cell(t.byClass[unsigned(MissClass::Conflict)], x, y),
+                maxc);
+            uint8_t other = shade(
+                cell(t.byClass[unsigned(MissClass::Other)], x, y),
+                maxc);
+            // conflict->R, capacity->G, cold->B; unrefined as gray.
+            row[3 * x + 0] = std::max(conf, other);
+            row[3 * x + 1] = std::max(cap, other);
+            row[3 * x + 2] = std::max(cold, other);
+        }
+        os.write(reinterpret_cast<const char *>(row.data()),
+                 row.size());
+    }
+    return static_cast<bool>(os);
+}
+
+const char *
+className(uint8_t cls)
+{
+    switch (MissClass(cls)) {
+      case MissClass::Cold:
+        return "cold";
+      case MissClass::Capacity:
+        return "capacity";
+      case MissClass::Conflict:
+        return "conflict";
+      default:
+        return "other";
+    }
+}
+
+const char *
+tagName(uint16_t tag)
+{
+    switch (tag) {
+      case kTagStandalone:
+        return "standalone";
+      case kTagL1:
+        return "l1";
+      case kTagL2:
+        return "l2";
+      case kTagClassified:
+        return "classified";
+      default:
+        return "unknown";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    std::ifstream is(opt.eventsPath, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "texcache_report: cannot open %s\n",
+                     opt.eventsPath.c_str());
+        return 1;
+    }
+    EventLog log;
+    std::string err;
+    if (!readEventLog(is, log, err)) {
+        std::fprintf(stderr, "texcache_report: %s: %s\n",
+                     opt.eventsPath.c_str(), err.c_str());
+        return 1;
+    }
+
+    // Merge the per-thread rings into one time-ordered stream; all
+    // spatial folding below is order-independent, the reuse series is
+    // not.
+    std::vector<Event> events;
+    events.reserve(log.eventCount());
+    for (const RingData &ring : log.rings)
+        events.insert(events.end(), ring.events.begin(),
+                      ring.events.end());
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.ts < b.ts;
+                     });
+
+    Grid screen;
+    std::map<unsigned, TextureGrids> textures;
+    uint64_t byClass[4] = {0, 0, 0, 0};
+    std::map<uint16_t, uint64_t> byTag;
+    std::unordered_map<uint64_t, uint64_t> lineMisses;
+    uint64_t misses = 0, located = 0;
+
+    for (const Event &ev : events) {
+        if (ev.kind != uint8_t(EventKind::CacheMiss))
+            continue;
+        ++misses;
+        ++byClass[ev.cls & 3];
+        ++byTag[ev.tag];
+        ++lineMisses[ev.addr];
+        if (ev.a == kNoContext)
+            continue;
+        ++located;
+        screen.add(ev.a >> 16, ev.a & 0xffff);
+        unsigned tex = ev.b >> 16;
+        unsigned level = ev.b & 0xffff;
+        unsigned u = ev.c >> 16, v = ev.c & 0xffff;
+        TextureGrids &tg = textures[tex];
+        ++tg.misses;
+        // Scale every level's texels to level-0 resolution so one
+        // grid overlays the whole pyramid.
+        tg.byClass[ev.cls & 3].add(u << level, v << level);
+    }
+
+    // --- reuse-over-time series ------------------------------------
+    // Bucket the classified/miss stream by timestamp and, per bucket,
+    // average the re-reference gap (in events) of lines missed before:
+    // rising gaps mean the working set is cycling through the cache.
+    std::string csv_path = opt.outDir + "/reuse_over_time.csv";
+    {
+        std::ofstream csv(csv_path);
+        if (csv) {
+            csv << "bucket,t_start,events,misses,cold,repeat_misses,"
+                   "mean_reuse_gap\n";
+            uint64_t t0 = events.empty() ? 0 : events.front().ts;
+            uint64_t t1 = events.empty() ? 0 : events.back().ts;
+            uint64_t span = t1 > t0 ? t1 - t0 : 1;
+            struct Bucket
+            {
+                uint64_t events = 0, misses = 0, cold = 0;
+                uint64_t repeats = 0;
+                double gapSum = 0.0;
+            };
+            std::vector<Bucket> buckets(opt.buckets);
+            std::unordered_map<uint64_t, uint64_t> lastSeen;
+            uint64_t index = 0;
+            for (const Event &ev : events) {
+                size_t b = static_cast<size_t>(
+                    (ev.ts - t0) * (opt.buckets - 1) / span);
+                Bucket &bk = buckets[b];
+                ++bk.events;
+                if (ev.kind == uint8_t(EventKind::CacheMiss)) {
+                    ++bk.misses;
+                    if (ev.cls == uint8_t(MissClass::Cold))
+                        ++bk.cold;
+                    auto it = lastSeen.find(ev.addr);
+                    if (it != lastSeen.end()) {
+                        ++bk.repeats;
+                        bk.gapSum +=
+                            static_cast<double>(index - it->second);
+                    }
+                    lastSeen[ev.addr] = index;
+                }
+                ++index;
+            }
+            for (unsigned b = 0; b < opt.buckets; ++b) {
+                const Bucket &bk = buckets[b];
+                csv << b << "," << t0 + span * b / opt.buckets << ","
+                    << bk.events << "," << bk.misses << "," << bk.cold
+                    << "," << bk.repeats << ","
+                    << (bk.repeats
+                            ? bk.gapSum / static_cast<double>(bk.repeats)
+                            : 0.0)
+                    << "\n";
+            }
+        } else {
+            std::fprintf(stderr,
+                         "texcache_report: cannot write %s\n",
+                         csv_path.c_str());
+        }
+    }
+
+    // --- heatmaps ---------------------------------------------------
+    std::vector<std::string> written;
+    std::string screen_path = opt.outDir + "/screen_misses.pgm";
+    if (screen.w && writePgm(screen_path, screen))
+        written.push_back(screen_path);
+    for (auto &[tex, tg] : textures) {
+        std::string p = opt.outDir + "/texture_misses_" +
+                        std::to_string(tex) + ".ppm";
+        if (writeClassPpm(p, tg))
+            written.push_back(p);
+    }
+
+    // --- hottest lines ----------------------------------------------
+    std::vector<std::pair<uint64_t, uint64_t>> hot(lineMisses.begin(),
+                                                   lineMisses.end());
+    std::sort(hot.begin(), hot.end(), [](auto &a, auto &b) {
+        return a.second != b.second ? a.second > b.second
+                                    : a.first < b.first;
+    });
+    if (hot.size() > opt.top)
+        hot.resize(opt.top);
+
+    // --- report.json ------------------------------------------------
+    std::string json_path = opt.outDir + "/report.json";
+    {
+        std::ofstream os(json_path);
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("events_file", opt.eventsPath);
+        w.kv("sample_n", log.sampleN);
+        w.kv("recorded_events", log.eventCount());
+        w.kv("dropped_events", log.dropped);
+        w.kv("rings", static_cast<uint64_t>(log.rings.size()));
+        w.kv("misses", misses);
+        w.kv("misses_with_context", located);
+        w.key("by_class");
+        w.beginObject();
+        for (unsigned c = 0; c < 4; ++c)
+            w.kv(className(c), byClass[c]);
+        w.endObject();
+        w.key("by_tag");
+        w.beginObject();
+        for (auto &[tag, n] : byTag)
+            w.kv(tagName(tag), n);
+        w.endObject();
+        w.key("by_texture");
+        w.beginObject();
+        for (auto &[tex, tg] : textures)
+            w.kv(std::to_string(tex), tg.misses);
+        w.endObject();
+        w.key("hot_lines");
+        w.beginArray();
+        for (auto &[addr, n] : hot) {
+            w.beginObject();
+            w.kv("addr", addr);
+            w.kv("misses", n);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("outputs");
+        w.beginArray();
+        w.value(csv_path);
+        for (const std::string &p : written)
+            w.value(p);
+        w.endArray();
+        w.endObject();
+        os << "\n";
+    }
+
+    // --- stdout summary ---------------------------------------------
+    std::printf("event log        %s\n", opt.eventsPath.c_str());
+    std::printf("events           %llu recorded, %llu dropped "
+                "(1/%llu sampling)\n",
+                (unsigned long long)log.eventCount(),
+                (unsigned long long)log.dropped,
+                (unsigned long long)log.sampleN);
+    std::printf("miss events      %llu (%llu with screen context)\n",
+                (unsigned long long)misses,
+                (unsigned long long)located);
+    std::printf("  cold           %llu\n",
+                (unsigned long long)byClass[0]);
+    std::printf("  capacity       %llu\n",
+                (unsigned long long)byClass[1]);
+    std::printf("  conflict       %llu\n",
+                (unsigned long long)byClass[2]);
+    std::printf("  unrefined      %llu\n",
+                (unsigned long long)byClass[3]);
+    std::printf("unique lines     %llu\n",
+                (unsigned long long)lineMisses.size());
+    for (const std::string &p : written)
+        std::printf("wrote            %s\n", p.c_str());
+    std::printf("wrote            %s\n", csv_path.c_str());
+    std::printf("wrote            %s\n", json_path.c_str());
+    return 0;
+}

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""HTML wrapper around the texcache_report binary.
+
+Runs (or reuses the output of) tools/texcache_report on a binary event
+log and folds its artifacts - the screen/texture heatmaps, the
+reuse-over-time series and report.json - into one self-contained HTML
+page with the images inlined as PNG data URIs. Standard library only:
+PGM/PPM parsing is a few lines and PNG encoding is zlib + struct.
+
+Usage:
+  texcache_report.py EVENTS.bin [--out DIR] [--report-bin PATH]
+  texcache_report.py --from-dir DIR          # artifacts already exist
+
+The page lands at DIR/report.html.
+"""
+
+import argparse
+import base64
+import json
+import os
+import struct
+import subprocess
+import sys
+import zlib
+
+
+def read_pnm(path):
+    """Parse a binary PGM (P5) or PPM (P6) into (w, h, channels, bytes)."""
+    with open(path, "rb") as f:
+        data = f.read()
+    fields = []
+    pos = 0
+    while len(fields) < 4 and pos < len(data):
+        # Skip whitespace and '#' comment lines in the header.
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos] != 0x0A:
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(data[start:pos])
+    magic, w, h, maxval = (
+        fields[0],
+        int(fields[1]),
+        int(fields[2]),
+        int(fields[3]),
+    )
+    if magic not in (b"P5", b"P6") or maxval != 255:
+        raise ValueError(f"{path}: unsupported PNM flavor")
+    channels = 1 if magic == b"P5" else 3
+    pixels = data[pos + 1 : pos + 1 + w * h * channels]
+    if len(pixels) != w * h * channels:
+        raise ValueError(f"{path}: truncated pixel data")
+    return w, h, channels, pixels
+
+
+def encode_png(w, h, channels, pixels):
+    """Minimal PNG encoder (gray or RGB, 8-bit, no interlace)."""
+
+    def chunk(tag, payload):
+        return (
+            struct.pack(">I", len(payload))
+            + tag
+            + payload
+            + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+        )
+
+    color_type = 0 if channels == 1 else 2
+    ihdr = struct.pack(">IIBBBBB", w, h, 8, color_type, 0, 0, 0)
+    stride = w * channels
+    raw = b"".join(
+        b"\x00" + pixels[y * stride : (y + 1) * stride]
+        for y in range(h)
+    )
+    return (
+        b"\x89PNG\r\n\x1a\n"
+        + chunk(b"IHDR", ihdr)
+        + chunk(b"IDAT", zlib.compress(raw, 9))
+        + chunk(b"IEND", b"")
+    )
+
+
+def png_data_uri(pnm_path):
+    w, h, channels, pixels = read_pnm(pnm_path)
+    png = encode_png(w, h, channels, pixels)
+    return base64.b64encode(png).decode("ascii"), w, h
+
+
+def svg_sparkline(rows, key, width=640, height=120):
+    """Inline SVG polyline of one reuse_over_time.csv column."""
+    values = [float(r[key]) for r in rows]
+    if not values or max(values) == 0:
+        return "<p>(no data)</p>"
+    peak = max(values)
+    step = width / max(len(values) - 1, 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - v / peak * (height - 4):.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'style="background:#111">'
+        f'<polyline points="{points}" fill="none" '
+        f'stroke="#6cf" stroke-width="1.5"/></svg>'
+    )
+
+
+def build_html(out_dir):
+    report_path = os.path.join(out_dir, "report.json")
+    with open(report_path) as f:
+        report = json.load(f)
+
+    rows = []
+    csv_path = os.path.join(out_dir, "reuse_over_time.csv")
+    if os.path.exists(csv_path):
+        with open(csv_path) as f:
+            header = f.readline().strip().split(",")
+            for line in f:
+                rows.append(dict(zip(header, line.strip().split(","))))
+
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>texcache miss report</title>",
+        "<style>body{font-family:monospace;background:#1a1a1a;"
+        "color:#ddd;margin:2em}h1,h2{color:#fff}table{border-collapse:"
+        "collapse}td,th{border:1px solid #444;padding:4px 10px;"
+        "text-align:right}th{text-align:left}img{image-rendering:"
+        "pixelated;border:1px solid #444}</style></head><body>",
+        "<h1>texcache miss report</h1>",
+        f"<p>source: {report['events_file']}</p>",
+        "<h2>totals</h2><table>",
+    ]
+    for k in (
+        "recorded_events",
+        "dropped_events",
+        "sample_n",
+        "misses",
+        "misses_with_context",
+    ):
+        parts.append(f"<tr><th>{k}</th><td>{report[k]}</td></tr>")
+    for cls, n in report["by_class"].items():
+        parts.append(f"<tr><th>miss class {cls}</th><td>{n}</td></tr>")
+    for tag, n in report.get("by_tag", {}).items():
+        parts.append(f"<tr><th>source {tag}</th><td>{n}</td></tr>")
+    parts.append("</table>")
+
+    screen = os.path.join(out_dir, "screen_misses.pgm")
+    if os.path.exists(screen):
+        b64, w, h = png_data_uri(screen)
+        parts.append(
+            f"<h2>screen-space misses ({w}x{h})</h2>"
+            f'<img src="data:image/png;base64,{b64}" '
+            f'width="{min(w * 2, 1024)}">'
+        )
+
+    for name in sorted(os.listdir(out_dir)):
+        if not (
+            name.startswith("texture_misses_") and name.endswith(".ppm")
+        ):
+            continue
+        b64, w, h = png_data_uri(os.path.join(out_dir, name))
+        tex = name[len("texture_misses_") : -len(".ppm")]
+        parts.append(
+            f"<h2>texture {tex} misses ({w}x{h}, level-0 texels)</h2>"
+            "<p>red = conflict, green = capacity, blue = cold</p>"
+            f'<img src="data:image/png;base64,{b64}" '
+            f'width="{min(w * 2, 1024)}">'
+        )
+
+    if rows:
+        parts.append("<h2>misses over time</h2>")
+        parts.append(svg_sparkline(rows, "misses"))
+        parts.append("<h2>mean reuse gap over time</h2>")
+        parts.append(svg_sparkline(rows, "mean_reuse_gap"))
+
+    if report.get("hot_lines"):
+        parts.append(
+            "<h2>hottest lines</h2><table>"
+            "<tr><th>address</th><td>misses</td></tr>"
+        )
+        for entry in report["hot_lines"]:
+            parts.append(
+                f"<tr><th>0x{entry['addr']:x}</th>"
+                f"<td>{entry['misses']}</td></tr>"
+            )
+        parts.append("</table>")
+
+    parts.append("</body></html>")
+    html_path = os.path.join(out_dir, "report.html")
+    with open(html_path, "w") as f:
+        f.write("\n".join(parts))
+    return html_path
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("events", nargs="?", help="binary event log")
+    ap.add_argument("--out", default=".", help="artifact directory")
+    ap.add_argument(
+        "--report-bin",
+        default=os.environ.get("TEXCACHE_REPORT_BIN", "texcache_report"),
+        help="path to the texcache_report binary",
+    )
+    ap.add_argument(
+        "--from-dir",
+        metavar="DIR",
+        help="skip the binary; build HTML from existing artifacts",
+    )
+    args = ap.parse_args()
+
+    if args.from_dir:
+        out_dir = args.from_dir
+    else:
+        if not args.events:
+            ap.error("an event log (or --from-dir) is required")
+        out_dir = args.out
+        os.makedirs(out_dir, exist_ok=True)
+        subprocess.run(
+            [args.report_bin, args.events, "--out", out_dir],
+            check=True,
+        )
+
+    html = build_html(out_dir)
+    print(f"wrote            {html}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
