@@ -102,6 +102,22 @@ exportSweepStats(stats::Group &g)
            "busy time / (threads * wall-clock)");
 }
 
+/** Trace-generation accounting for @p ts: how much of the bench's
+ *  wall-clock went to rendering traces (as opposed to replaying them
+ *  through the simulators), and whether the on-disk cache helped.
+ *  tools/run_all.sh reads these to print the per-bench split. */
+inline void
+exportTraceGenStats(stats::Group &g, const TraceStore &ts)
+{
+    g.real("render_wall_ms", ts.renderMillis(),
+           "wall-clock spent rendering traces");
+    g.constant("renders", ts.renders(), "fresh scene renders");
+    g.constant("disk_trace_hits", ts.diskHits(),
+               "traces served from the on-disk cache");
+    g.constant("threads", Sweep::threadCount(),
+               "render/sweep worker threads");
+}
+
 /** Histogram the per-point wall-clocks of a Sweep::run result set. */
 template <typename T>
 inline void
@@ -129,6 +145,7 @@ dumpStats(const std::string &bench,
     RunManifest manifest(bench);
     stats::Group root;
     exportSweepStats(root.group("sweep"));
+    exportTraceGenStats(root.group("trace_gen"), store());
     if (fill)
         fill(manifest, root);
     // When TEXCACHE_TRACE is on, flush the buffered events next to

@@ -66,5 +66,9 @@ main()
                    fmtFixed(out.stats.fragments / 1e6, 2)});
     }
     table.print(std::cout);
+    // No gated metrics, but the manifest carries the trace-generation
+    // accounting (render wall-clock, thread count) that run_all.sh
+    // folds into its per-bench split.
+    dumpStats("table_4_1");
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -33,22 +34,6 @@ fnv1a(const std::string &s, uint64_t h = 1469598103934665603ULL)
     return h;
 }
 
-/** Cache file path for (scene, order) under @p dir, or "" if disabled. */
-std::string
-traceCachePath(BenchScene s, const RasterOrder &order)
-{
-    const char *dir = std::getenv("TEXCACHE_TRACE_CACHE_DIR");
-    if (!dir || !*dir)
-        return "";
-    uint64_t h = fnv1a(__DATE__ " " __TIME__,
-                       fnv1a(std::to_string(kTraceSchema)));
-    char hex[17];
-    std::snprintf(hex, sizeof(hex), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return std::string(dir) + "/" + benchSceneName(s) + "-" +
-           order.str() + "-" + hex + ".trace";
-}
-
 /** Write @p trace to @p path via a temp file so readers never see a
  *  torn file (benches may share one cache directory). */
 void
@@ -63,6 +48,28 @@ writeTraceCache(const TexelTrace &trace, const std::string &path)
 }
 
 } // namespace
+
+std::string
+traceCachePath(BenchScene s, const RasterOrder &order,
+               uint64_t revision)
+{
+    const char *dir = std::getenv("TEXCACHE_TRACE_CACHE_DIR");
+    if (!dir || !*dir)
+        return "";
+    // Key material: build stamp, record schema, render-path revision.
+    // The revision keeps traces from an older execution model (e.g.
+    // the serial-only renderer) from masking a trace-generation bug in
+    // a newer one even when the build stamp happens to survive an
+    // incremental rebuild.
+    uint64_t h = fnv1a(__DATE__ " " __TIME__,
+                       fnv1a(std::to_string(kTraceSchema)));
+    h = fnv1a(std::to_string(revision), h);
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(dir) + "/" + benchSceneName(s) + "-" +
+           order.str() + "-" + hex + ".trace";
+}
 
 const Scene &
 TraceStore::scene(BenchScene s)
@@ -86,7 +93,12 @@ TraceStore::output(BenchScene s, const RasterOrder &order)
         inform("rendering ", benchSceneName(s), " (", order.str(), ")");
         RenderOptions opts;
         opts.writeFramebuffer = false; // figures need traces only
+        auto t0 = std::chrono::steady_clock::now();
         it = outputs_.emplace(key, render(sc, order, opts)).first;
+        renderMillis_ += std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        ++renders_;
         std::string path = traceCachePath(s, order);
         if (!path.empty() && !std::filesystem::exists(path))
             writeTraceCache(it->second.trace, path);
@@ -105,6 +117,7 @@ TraceStore::trace(BenchScene s, const RasterOrder &order)
     std::string path = traceCachePath(s, order);
     if (!path.empty() && std::filesystem::exists(path)) {
         inform("trace cache hit: ", path);
+        ++diskHits_;
         auto it = diskTraces_.emplace(key, readTrace(path)).first;
         return it->second;
     }

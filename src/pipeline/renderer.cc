@@ -5,15 +5,14 @@
 #include <vector>
 
 #include "pipeline/clip.hh"
+#include "pipeline/tile_render.hh"
+#include "pipeline/viewport.hh"
 #include "tracing/tracing.hh"
 
 namespace texcache {
 
-namespace {
-
-/** Clip-space -> window-space with perspective-correct interpolants. */
 ScreenVertex
-toScreen(const ClipVertex &cv, unsigned screen_w, unsigned screen_h)
+toScreenVertex(const ClipVertex &cv, unsigned screen_w, unsigned screen_h)
 {
     Vec3 ndc = cv.pos.project();
     ScreenVertex sv;
@@ -26,6 +25,8 @@ toScreen(const ClipVertex &cv, unsigned screen_w, unsigned screen_h)
     sv.shade = cv.shade;
     return sv;
 }
+
+namespace {
 
 inline uint8_t
 modulate(uint8_t c, float s)
@@ -40,6 +41,31 @@ modulate(uint8_t c, float s)
 RenderOutput
 render(const Scene &scene, const RasterOrder &order,
        const RenderOptions &opts)
+{
+    bool hooks = static_cast<bool>(opts.onFragment) ||
+                 static_cast<bool>(opts.vtResolve);
+    switch (opts.parallelTiles) {
+      case ParallelTiles::Serial:
+        return renderReference(scene, order, opts);
+      case ParallelTiles::Force:
+        fatal_if(hooks,
+                 "RenderOptions::parallelTiles == Force is incompatible "
+                 "with the per-fragment hooks (onFragment / vtResolve): "
+                 "they observe fragments in traversal order and may "
+                 "carry state, which tile-parallel execution would "
+                 "reorder; use Auto or Serial");
+        return renderTiled(scene, order, opts);
+      case ParallelTiles::Auto:
+        return hooks ? renderReference(scene, order, opts)
+                     : renderTiled(scene, order, opts);
+    }
+    fatal("invalid RenderOptions::parallelTiles value ",
+          static_cast<int>(opts.parallelTiles));
+}
+
+RenderOutput
+renderReference(const Scene &scene, const RasterOrder &order,
+                const RenderOptions &opts)
 {
     static const uint16_t kRenderSpan =
         tracing::nameId("render.frame");
@@ -86,11 +112,11 @@ render(const Scene &scene, const RasterOrder &order,
 
         // Fan-triangulate the clipped polygon.
         for (unsigned k = 2; k < n; ++k) {
-            ScreenVertex a = toScreen(poly[0], scene.screenW,
+            ScreenVertex a = toScreenVertex(poly[0], scene.screenW,
                                       scene.screenH);
-            ScreenVertex b = toScreen(poly[k - 1], scene.screenW,
+            ScreenVertex b = toScreenVertex(poly[k - 1], scene.screenW,
                                       scene.screenH);
-            ScreenVertex c = toScreen(poly[k], scene.screenW,
+            ScreenVertex c = toScreenVertex(poly[k], scene.screenW,
                                       scene.screenH);
             TriangleSetup setup(a, b, c);
             if (!setup.valid())

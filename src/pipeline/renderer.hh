@@ -84,12 +84,41 @@ struct VtDecision
     uint16_t level = 0; ///< resident ancestor level when degraded
 };
 
+/**
+ * Revision of the render path's *execution model*, keyed into the
+ * on-disk trace cache (core/experiment.cc) so traces produced by an
+ * older pipeline can never satisfy a newer build from disk and mask a
+ * trace-generation regression. Bump whenever the way fragments or
+ * texels are generated changes (revision 1 was the serial-only
+ * renderer; 2 added the tile-parallel engine).
+ */
+inline constexpr uint64_t kRenderPathRevision = 2;
+
+/**
+ * Tile-parallel execution policy of render(). The parallel engine bins
+ * triangles into screen tiles, renders them on the core/sweep pool and
+ * merges the per-tile outputs in canonical traversal order, producing
+ * byte-identical trace/framebuffer/stats to the serial reference at
+ * any thread count (DESIGN.md section 11).
+ */
+enum class ParallelTiles : uint8_t
+{
+    /** Tile engine unless per-fragment hooks (onFragment / vtResolve)
+     *  are set; hooks are order-sensitive and stateful, so they take
+     *  the serial reference path. */
+    Auto,
+    Serial, ///< always the serial reference renderer
+    Force,  ///< always the tile engine; fatal() if hooks are set
+};
+
 /** Options controlling what the render captures and how it filters. */
 struct RenderOptions
 {
     bool captureTrace = true;   ///< record the texel trace
     bool writeFramebuffer = true; ///< produce the color image
     bool countRepetition = true;  ///< feed the RepetitionCounter
+    /** Serial-vs-tile-parallel execution policy (output-invariant). */
+    ParallelTiles parallelTiles = ParallelTiles::Auto;
     /** Minification filter; the paper's studies all use Trilinear. */
     FilterMode filterMode = FilterMode::Trilinear;
     /**
@@ -116,9 +145,23 @@ struct RenderOptions
 
 /**
  * Render one frame of @p scene with the given rasterization order.
+ *
+ * Dispatches between the serial reference renderer and the tile
+ * engine per opts.parallelTiles; both produce byte-identical output
+ * (tests/test_parallel_render.cc), so the choice only affects
+ * wall-clock. TEXCACHE_THREADS governs the engine's worker count.
  */
 RenderOutput render(const Scene &scene, const RasterOrder &order,
                     const RenderOptions &opts = RenderOptions{});
+
+/**
+ * The serial reference renderer: one triangle at a time, the raster
+ * order traversing each triangle's bounding box. This is the
+ * byte-identity specification the tile engine (tile_render.hh) is
+ * tested against, and the only path supporting the per-fragment hooks.
+ */
+RenderOutput renderReference(const Scene &scene, const RasterOrder &order,
+                             const RenderOptions &opts = RenderOptions{});
 
 /**
  * Register a frame's pipeline statistics (triangles, fragments, texel

@@ -1,0 +1,553 @@
+#include "pipeline/tile_render.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/sweep.hh"
+#include "pipeline/clip.hh"
+#include "pipeline/viewport.hh"
+#include "raster/hilbert.hh"
+#include "raster/span_rasterizer.hh"
+#include "tracing/tracing.hh"
+
+namespace texcache {
+
+namespace {
+
+/** Strip thickness for the whole-screen scanline orders: thick enough
+ *  to amortize per-tile overhead, thin enough that 8 workers load-
+ *  balance on an 800-pixel screen. */
+constexpr int kStripSize = 16;
+
+/** Hilbert tile edge. Origin-aligned power-of-two blocks occupy
+ *  contiguous index ranges on the curve, so whole blocks can be
+ *  ordered by the index of any member cell. */
+constexpr int kHilbertBlock = 32;
+
+/** Must match visitHilbert in raster/rasterizer.cc. */
+constexpr unsigned kHilbertOrder = 11;
+
+inline uint8_t
+modulate(uint8_t c, float s)
+{
+    float v = static_cast<float>(c) * s;
+    v = v < 0.0f ? 0.0f : (v > 255.0f ? 255.0f : v);
+    return static_cast<uint8_t>(v + 0.5f);
+}
+
+/** One post-clip screen triangle ready to rasterize. */
+struct RasterTask
+{
+    TriangleSetup setup;
+    PixelRect box;      ///< screen-clipped bounding box (non-empty)
+    uint32_t sceneTri;  ///< index of the *input* scene triangle
+    uint16_t texture;
+    float texW;         ///< level-0 texture dimensions (LOD scaling)
+    float texH;
+
+    RasterTask(const TriangleSetup &s, const PixelRect &b, uint32_t tri,
+               uint16_t tex, float tw, float th)
+        : setup(s), box(b), sceneTri(tri), texture(tex), texW(tw),
+          texH(th)
+    {}
+};
+
+/**
+ * The screen's tile decomposition for one raster order: tile rects in
+ * canonical (serial traversal) order plus the (tx, ty) -> canonical
+ * position map the binning step uses.
+ */
+struct TileGrid
+{
+    int tw = 0;
+    int th = 0;
+    int nx = 0;
+    int ny = 0;
+    bool hilbert = false;
+    std::vector<uint32_t> posOfTile;  ///< ty * nx + tx -> canonical pos
+    std::vector<PixelRect> rects;     ///< canonical pos -> tile rect
+
+    uint32_t
+    pos(int tx, int ty) const
+    {
+        return posOfTile[static_cast<size_t>(ty) * nx + tx];
+    }
+};
+
+TileGrid
+buildGrid(unsigned screen_w, unsigned screen_h, const RasterOrder &order)
+{
+    TileGrid g;
+    int w = static_cast<int>(screen_w);
+    int h = static_cast<int>(screen_h);
+
+    if (order.hilbert) {
+        fatal_if(screen_w > (1u << kHilbertOrder) ||
+                     screen_h > (1u << kHilbertOrder),
+                 "screen ", screen_w, "x", screen_h,
+                 " exceeds the Hilbert curve order (",
+                 1u << kHilbertOrder, ")");
+        g.hilbert = true;
+        g.tw = g.th = kHilbertBlock;
+    } else if (order.tiled) {
+        fatal_if(order.tileW == 0 || order.tileH == 0,
+                 "tiled order with zero tile dimensions");
+        g.tw = static_cast<int>(order.tileW);
+        g.th = static_cast<int>(order.tileH);
+    } else if (order.dir == ScanDirection::Horizontal) {
+        g.tw = w;
+        g.th = kStripSize;
+    } else {
+        g.tw = kStripSize;
+        g.th = h;
+    }
+    g.nx = (w + g.tw - 1) / g.tw;
+    g.ny = (h + g.th - 1) / g.th;
+
+    size_t n = static_cast<size_t>(g.nx) * g.ny;
+    std::vector<uint32_t> tileOfPos(n);
+    if (g.hilbert) {
+        // Canonical block order = curve order. Blocks are disjoint
+        // contiguous index ranges, so comparing the origin cells'
+        // indices orders the ranges themselves.
+        std::vector<std::pair<uint64_t, uint32_t>> blocks;
+        blocks.reserve(n);
+        for (int ty = 0; ty < g.ny; ++ty)
+            for (int tx = 0; tx < g.nx; ++tx)
+                blocks.emplace_back(
+                    hilbertIndex(kHilbertOrder,
+                                 static_cast<uint32_t>(tx * g.tw),
+                                 static_cast<uint32_t>(ty * g.th)),
+                    static_cast<uint32_t>(ty) * g.nx + tx);
+        std::sort(blocks.begin(), blocks.end());
+        for (size_t p = 0; p < n; ++p)
+            tileOfPos[p] = blocks[p].second;
+    } else if (!order.tiled || order.dir == ScanDirection::Horizontal) {
+        // Row strips (nx == 1), column strips (ny == 1) and
+        // horizontally-traversed tiles are all row-major == id order.
+        for (size_t p = 0; p < n; ++p)
+            tileOfPos[p] = static_cast<uint32_t>(p);
+    } else {
+        // Vertically-traversed tiles: column-major between tiles
+        // (Fig 6.4(a)), matching traverseRect.
+        size_t p = 0;
+        for (int tx = 0; tx < g.nx; ++tx)
+            for (int ty = 0; ty < g.ny; ++ty)
+                tileOfPos[p++] = static_cast<uint32_t>(ty) * g.nx + tx;
+    }
+
+    g.posOfTile.resize(n);
+    g.rects.resize(n);
+    for (size_t p = 0; p < n; ++p) {
+        uint32_t tile = tileOfPos[p];
+        int tx = static_cast<int>(tile) % g.nx;
+        int ty = static_cast<int>(tile) / g.nx;
+        g.posOfTile[tile] = static_cast<uint32_t>(p);
+        PixelRect r;
+        r.x0 = tx * g.tw;
+        r.y0 = ty * g.th;
+        r.x1 = std::min(w - 1, r.x0 + g.tw - 1);
+        r.y1 = std::min(h - 1, r.y0 + g.th - 1);
+        g.rects[p] = r;
+    }
+    return g;
+}
+
+/** Everything one tile produces; merged in canonical order. */
+struct TileResult
+{
+    /** Packed texel records, segment per binned task, in task order. */
+    std::vector<uint64_t> records;
+    /** Per binned task (aligned with the tile's bin): end offset into
+     *  records, and the task's fragment count in this tile. */
+    std::vector<uint32_t> segRecEnd;
+    std::vector<uint32_t> segFrags;
+
+    uint64_t texelAccesses = 0;
+    uint64_t bilinearFragments = 0;
+    uint64_t trilinearFragments = 0;
+    uint64_t nearestFragments = 0;
+    stats::Distribution lod;
+    /** Buffered repetition-set keys, bucketed by the counter's shard:
+     *  pushing here is much cheaper than per-tile hash sets, and the
+     *  merge hands each shard's keys to exactly one worker, so the
+     *  total hashing work equals the serial path's but runs in
+     *  parallel (a set union is order-free). */
+    std::array<std::vector<uint64_t>, RepetitionCounter::kShards> uwKeys;
+    std::array<std::vector<uint64_t>, RepetitionCounter::kShards> wrKeys;
+};
+
+inline PixelRect
+intersect(const PixelRect &a, const PixelRect &b)
+{
+    PixelRect r;
+    r.x0 = std::max(a.x0, b.x0);
+    r.y0 = std::max(a.y0, b.y0);
+    r.x1 = std::min(a.x1, b.x1);
+    r.y1 = std::min(a.y1, b.y1);
+    return r;
+}
+
+} // namespace
+
+RenderOutput
+renderTiled(const Scene &scene, const RasterOrder &order,
+            const RenderOptions &opts)
+{
+    static const uint16_t kRenderSpan = tracing::nameId("render.frame");
+    static const uint16_t kTileSpan = tracing::nameId("render.tile");
+    tracing::ScopedSpan span(kRenderSpan, scene.triangles.size());
+
+    RenderOutput out;
+    if (opts.writeFramebuffer)
+        out.framebuffer = Image(scene.screenW, scene.screenH,
+                                Rgba8{16, 16, 32, 255});
+    // The z-buffer only gates framebuffer writes (the paper's machine
+    // model textures before the depth test), so trace-only renders
+    // skip it entirely.
+    std::vector<float> zbuf;
+    if (opts.writeFramebuffer)
+        zbuf.assign(static_cast<size_t>(scene.screenW) * scene.screenH,
+                    1e30f);
+
+    Mat4 mvp = scene.proj * scene.view;
+
+    // ---- Front end: clip, set up and bin triangles (serial) --------
+    // Statistics here replicate renderReference's geometry loop
+    // exactly; the fragment-side statistics come from the tiles.
+    std::vector<RasterTask> tasks;
+    tasks.reserve(scene.triangles.size());
+    for (size_t tri_i = 0; tri_i < scene.triangles.size(); ++tri_i) {
+        const SceneTriangle &tri = scene.triangles[tri_i];
+        ++out.stats.trianglesIn;
+        fatal_if(tri.texture >= scene.textures.size(),
+                 "triangle references texture ", tri.texture, " of ",
+                 scene.textures.size());
+        const MipMap &mip = scene.textures[tri.texture];
+        float tex_w = static_cast<float>(mip.width(0));
+        float tex_h = static_cast<float>(mip.height(0));
+
+        ClipVertex cv[3];
+        for (int i = 0; i < 3; ++i) {
+            cv[i].pos = mvp.transformPoint(tri.v[i].pos);
+            cv[i].uv = tri.v[i].uv;
+            cv[i].shade = tri.v[i].shade;
+        }
+
+        ClipVertex poly[4];
+        unsigned n = clipNear(cv, poly);
+        if (n < 3) {
+            ++out.stats.trianglesculled;
+            continue;
+        }
+
+        for (unsigned k = 2; k < n; ++k) {
+            ScreenVertex a = toScreenVertex(poly[0], scene.screenW,
+                                            scene.screenH);
+            ScreenVertex b = toScreenVertex(poly[k - 1], scene.screenW,
+                                            scene.screenH);
+            ScreenVertex c = toScreenVertex(poly[k], scene.screenW,
+                                            scene.screenH);
+            TriangleSetup setup(a, b, c);
+            if (!setup.valid())
+                continue;
+            ++out.stats.trianglesRasterized;
+
+            PixelRect box = setup.bounds(scene.screenW, scene.screenH);
+            if (!box.empty()) {
+                out.stats.sumBoxWidth += box.x1 - box.x0 + 1;
+                out.stats.sumBoxHeight += box.y1 - box.y0 + 1;
+                ++out.stats.boxSamples;
+                tasks.emplace_back(setup, box,
+                                   static_cast<uint32_t>(tri_i),
+                                   tri.texture, tex_w, tex_h);
+            }
+        }
+    }
+
+    TileGrid grid = buildGrid(scene.screenW, scene.screenH, order);
+    size_t n_tiles = grid.rects.size();
+
+    std::vector<std::vector<uint32_t>> bins(n_tiles);
+    std::vector<std::vector<uint32_t>> tilesOfTask(tasks.size());
+    for (uint32_t t = 0; t < tasks.size(); ++t) {
+        const PixelRect &box = tasks[t].box;
+        int tx0 = box.x0 / grid.tw, tx1 = box.x1 / grid.tw;
+        int ty0 = box.y0 / grid.th, ty1 = box.y1 / grid.th;
+        for (int ty = ty0; ty <= ty1; ++ty)
+            for (int tx = tx0; tx <= tx1; ++tx) {
+                uint32_t pos = grid.pos(tx, ty);
+                bins[pos].push_back(t);
+                tilesOfTask[t].push_back(pos);
+            }
+        // Canonical order for the merge (binning enumerates the grid
+        // row-major, which is not canonical for vertically-traversed
+        // tiles or the Hilbert curve).
+        std::sort(tilesOfTask[t].begin(), tilesOfTask[t].end());
+    }
+
+    std::vector<uint32_t> work; // canonical positions with tasks
+    work.reserve(n_tiles);
+    for (uint32_t pos = 0; pos < n_tiles; ++pos)
+        if (!bins[pos].empty())
+            work.push_back(pos);
+
+    // ---- Tile workers (core/sweep pool; deterministic results) -----
+    const bool touchOnly = !opts.writeFramebuffer;
+    const bool horiz = order.dir == ScanDirection::Horizontal;
+
+    auto renderTile = [&](uint32_t pos) -> TileResult {
+        tracing::ScopedSpan tileSpan(kTileSpan, pos);
+        TileResult res;
+        const PixelRect &trect = grid.rects[pos];
+        res.segRecEnd.reserve(bins[pos].size());
+        res.segFrags.reserve(bins[pos].size());
+
+        // Hilbert tiles: the block's cells in curve order, computed
+        // once per tile and filtered per task (cheaper than the
+        // reference's per-triangle bounding-box sort).
+        std::vector<std::pair<uint64_t, std::pair<int, int>>> cells;
+        if (grid.hilbert) {
+            cells.reserve(static_cast<size_t>(trect.x1 - trect.x0 + 1) *
+                          (trect.y1 - trect.y0 + 1));
+            for (int y = trect.y0; y <= trect.y1; ++y)
+                for (int x = trect.x0; x <= trect.x1; ++x)
+                    cells.emplace_back(
+                        hilbertIndex(kHilbertOrder,
+                                     static_cast<uint32_t>(x),
+                                     static_cast<uint32_t>(y)),
+                        std::make_pair(x, y));
+            std::sort(cells.begin(), cells.end());
+        }
+
+        uint32_t fragCount = 0;
+        const RasterTask *task = nullptr;
+        const MipMap *mip = nullptr;
+
+        auto emitFragment = [&](const Fragment &frag) {
+            ++fragCount;
+            float lambda = computeLod(frag.dudx * task->texW,
+                                      frag.dvdx * task->texH,
+                                      frag.dudy * task->texW,
+                                      frag.dvdy * task->texH);
+            SampleResult s;
+            if (touchOnly)
+                sampleTouchesMipMapMode(*mip, frag.u, frag.v, lambda,
+                                        opts.filterMode, s);
+            else
+                s = sampleMipMapMode(*mip, frag.u, frag.v, lambda,
+                                     opts.filterMode);
+            res.texelAccesses += s.numTouches;
+            res.lod.sample(s.touches[0].level);
+            if (s.kind == FilterKind::Bilinear)
+                ++res.bilinearFragments;
+            else if (s.kind == FilterKind::Nearest)
+                ++res.nearestFragments;
+            else
+                ++res.trilinearFragments;
+
+            if (opts.captureTrace) {
+                // Batched append: all of the fragment's touches in
+                // one bulk insert instead of a push per texel.
+                uint64_t buf[8];
+                unsigned cnt = packSampleRecords(task->texture, s, buf);
+                res.records.insert(res.records.end(), buf, buf + cnt);
+            }
+
+            if (tracing::enabled(tracing::kTexels))
+                tracing::setTexelContext(
+                    static_cast<uint16_t>(frag.x),
+                    static_cast<uint16_t>(frag.y), task->texture,
+                    s.touches[0].level, s.touches[0].u,
+                    s.touches[0].v);
+
+            if (opts.countRepetition) {
+                // Footprint anchor at the filter's first level:
+                // unwrapped vs wrapped integer texel coordinate.
+                unsigned lvl = s.touches[0].level;
+                const Image &li = mip->level(lvl);
+                float su = frag.u * li.width() - 0.5f;
+                float sv = frag.v * li.height() - 0.5f;
+                int32_t iu = static_cast<int32_t>(std::floor(su));
+                int32_t iv = static_cast<int32_t>(std::floor(sv));
+                RepetitionCounter::KeyPair k = RepetitionCounter::keys(
+                    task->texture, static_cast<uint16_t>(lvl), iu, iv,
+                    s.touches[0].u, s.touches[0].v);
+                res.uwKeys[RepetitionCounter::shardOf(k.unwrapped)]
+                    .push_back(k.unwrapped);
+                res.wrKeys[RepetitionCounter::shardOf(k.wrapped)]
+                    .push_back(k.wrapped);
+            }
+
+            if (opts.writeFramebuffer) {
+                // Depth test after texturing (paper Fig 2.1). Tiles
+                // cover disjoint pixels, so the shared z-buffer and
+                // framebuffer need no synchronization.
+                size_t pix = static_cast<size_t>(frag.y) *
+                                 scene.screenW +
+                             frag.x;
+                if (frag.depth < zbuf[pix]) {
+                    zbuf[pix] = frag.depth;
+                    auto toByte = [](float f) {
+                        f = f < 0.0f ? 0.0f : (f > 1.0f ? 1.0f : f);
+                        return static_cast<uint8_t>(f * 255.0f + 0.5f);
+                    };
+                    Rgba8 texel = {toByte(s.color.x), toByte(s.color.y),
+                                   toByte(s.color.z), toByte(s.color.w)};
+                    out.framebuffer.texel(frag.x, frag.y) = {
+                        modulate(texel.r, frag.shade),
+                        modulate(texel.g, frag.shade),
+                        modulate(texel.b, frag.shade), texel.a};
+                }
+            }
+        };
+
+        Fragment frag;
+        for (uint32_t t : bins[pos]) {
+            task = &tasks[t];
+            mip = &scene.textures[task->texture];
+            fragCount = 0;
+            PixelRect r = intersect(task->box, trect);
+
+            if (grid.hilbert) {
+                for (const auto &c : cells) {
+                    int x = c.second.first, y = c.second.second;
+                    if (x < r.x0 || x > r.x1 || y < r.y0 || y > r.y1)
+                        continue;
+                    if (task->setup.shade(x, y, frag))
+                        emitFragment(frag);
+                }
+            } else if (horiz) {
+                for (int y = r.y0; y <= r.y1; ++y) {
+                    int lo = r.x0, hi = r.x1;
+                    if (!spanOnLine(task->setup, true, y, lo, hi))
+                        continue;
+                    for (int x = lo; x <= hi; ++x) {
+                        // Interior pixels need no coverage test:
+                        // coverage along a line is an interval and
+                        // both endpoints were verified.
+                        task->setup.attributesAt(x, y, frag);
+                        emitFragment(frag);
+                    }
+                }
+            } else {
+                for (int x = r.x0; x <= r.x1; ++x) {
+                    int lo = r.y0, hi = r.y1;
+                    if (!spanOnLine(task->setup, false, x, lo, hi))
+                        continue;
+                    for (int y = lo; y <= hi; ++y) {
+                        task->setup.attributesAt(x, y, frag);
+                        emitFragment(frag);
+                    }
+                }
+            }
+            res.segFrags.push_back(fragCount);
+            res.segRecEnd.push_back(
+                static_cast<uint32_t>(res.records.size()));
+        }
+        if (tracing::enabled(tracing::kTexels))
+            tracing::clearTexelContext();
+        return res;
+    };
+
+    std::vector<SweepResult<TileResult>> results;
+    if (!work.empty())
+        results = Sweep::run(work, renderTile);
+
+    // ---- Deterministic merge ---------------------------------------
+    // Order-free statistics first (integer counters, histogram
+    // buckets), folded in canonical tile order.
+    size_t totalRecords = 0;
+    for (const auto &r : results) {
+        const TileResult &tr = r.value;
+        out.stats.texelAccesses += tr.texelAccesses;
+        out.stats.bilinearFragments += tr.bilinearFragments;
+        out.stats.trilinearFragments += tr.trilinearFragments;
+        out.stats.nearestFragments += tr.nearestFragments;
+        out.stats.lodLevels.merge(tr.lod);
+        totalRecords += tr.records.size();
+    }
+
+    // Repetition-set union, one counter shard per sweep point. Each
+    // shard's set is touched by exactly one worker and a union yields
+    // the same set in any insertion order, so this is both race-free
+    // and bit-identical to the serial insert sequence.
+    if (opts.countRepetition && !results.empty()) {
+        std::vector<unsigned> shards(RepetitionCounter::kShards);
+        for (unsigned s = 0; s < RepetitionCounter::kShards; ++s)
+            shards[s] = s;
+        Sweep::run(shards, [&](unsigned s) -> int {
+            for (const auto &r : results) {
+                const TileResult &tr = r.value;
+                out.repetition.insertUnwrapped(s, tr.uwKeys[s].data(),
+                                               tr.uwKeys[s].size());
+                out.repetition.insertWrapped(s, tr.wrKeys[s].data(),
+                                             tr.wrKeys[s].size());
+            }
+            return 0;
+        });
+    }
+
+    // The trace is order-sensitive: the serial renderer is triangle-
+    // major (raster order applies *within* each triangle's box), so
+    // concatenating whole tiles would interleave triangles wrongly.
+    // Instead, every (task, tile) segment lands in (task order,
+    // canonical tile order) - exactly the serial traversal. A cheap
+    // serial pass assigns each segment its destination offset (and
+    // folds the order-sensitive fragment statistics); the segment
+    // copies themselves go to disjoint ranges, so they run on the
+    // pool.
+    std::vector<uint32_t> posToWork(n_tiles, 0);
+    for (uint32_t i = 0; i < work.size(); ++i)
+        posToWork[work[i]] = i;
+    std::vector<uint32_t> cursor(n_tiles, 0);
+    std::vector<uint64_t> triFrags(scene.triangles.size(), 0);
+    std::vector<std::vector<size_t>> segDst(results.size());
+    for (size_t i = 0; i < results.size(); ++i)
+        segDst[i].resize(results[i].value.segRecEnd.size());
+    size_t dst = 0;
+    for (uint32_t t = 0; t < tasks.size(); ++t) {
+        for (uint32_t pos : tilesOfTask[t]) {
+            uint32_t wi = posToWork[pos];
+            const TileResult &tr = results[wi].value;
+            uint32_t seg = cursor[pos]++;
+            uint32_t beg = seg ? tr.segRecEnd[seg - 1] : 0;
+            segDst[wi][seg] = dst;
+            dst += tr.segRecEnd[seg] - beg;
+            uint64_t frags = tr.segFrags[seg];
+            out.stats.fragments += frags;
+            triFrags[tasks[t].sceneTri] += frags;
+        }
+    }
+    if (opts.captureTrace && totalRecords) {
+        out.trace.resizePacked(totalRecords);
+        uint64_t *base = out.trace.mutablePacked();
+        std::vector<uint32_t> copyWork(results.size());
+        for (uint32_t i = 0; i < copyWork.size(); ++i)
+            copyWork[i] = i;
+        Sweep::run(copyWork, [&](uint32_t wi) -> int {
+            const TileResult &tr = results[wi].value;
+            for (size_t seg = 0; seg < segDst[wi].size(); ++seg) {
+                uint32_t beg = seg ? tr.segRecEnd[seg - 1] : 0;
+                uint32_t len = tr.segRecEnd[seg] - beg;
+                if (len)
+                    std::copy_n(tr.records.data() + beg, len,
+                                base + segDst[wi][seg]);
+            }
+            return 0;
+        });
+    }
+    // sumCoveredArea accumulates one exact integer-valued double per
+    // input triangle, in input order - the same additions, in the
+    // same order, as the reference path.
+    for (uint64_t f : triFrags)
+        out.stats.sumCoveredArea += static_cast<double>(f);
+
+    return out;
+}
+
+} // namespace texcache

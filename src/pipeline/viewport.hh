@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The viewport transform shared by both render paths.
+ *
+ * Defined once (in renderer.cc) so the serial reference renderer and
+ * the tile engine run the identical compiled instance - the float
+ * expressions must not be duplicated per path, or compiler expression
+ * rearrangement could break the byte-identity contract between them.
+ */
+
+#ifndef TEXCACHE_PIPELINE_VIEWPORT_HH
+#define TEXCACHE_PIPELINE_VIEWPORT_HH
+
+#include "pipeline/clip.hh"
+#include "raster/raster_types.hh"
+
+namespace texcache {
+
+/** Clip-space -> window-space with perspective-correct interpolants. */
+ScreenVertex toScreenVertex(const ClipVertex &cv, unsigned screen_w,
+                            unsigned screen_h);
+
+} // namespace texcache
+
+#endif // TEXCACHE_PIPELINE_VIEWPORT_HH

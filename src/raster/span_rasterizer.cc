@@ -5,24 +5,8 @@
 
 namespace texcache {
 
-namespace {
-
-/**
- * Conservative pixel interval of one scan row/column from the
- * triangle's half-planes, then refined to exactness with the same
- * per-pixel predicate the bounding-box rasterizer uses. Coverage along
- * a line is an interval (each half-plane condition is monotone in the
- * running coordinate, even under float rounding), so refining only
- * the endpoints is sufficient.
- *
- * @param horizontal true = fixed y, interval in x; false = fixed x,
- *                   interval in y
- * @param fixed      the fixed pixel coordinate
- * @param lo, hi     in: clamp range; out: exact covered interval
- * @return false when the line is empty
- */
 bool
-refineSpan(const TriangleSetup &tri, bool horizontal, int fixed,
+spanOnLine(const TriangleSetup &tri, bool horizontal, int fixed,
            int &lo, int &hi)
 {
     float fixed_center = static_cast<float>(fixed) + 0.5f;
@@ -63,12 +47,10 @@ refineSpan(const TriangleSetup &tri, bool horizontal, int fixed,
     return lo <= hi;
 }
 
-} // namespace
-
 bool
 spanOnScanline(const TriangleSetup &tri, int y, int &x_lo, int &x_hi)
 {
-    return refineSpan(tri, /*horizontal=*/true, y, x_lo, x_hi);
+    return spanOnLine(tri, /*horizontal=*/true, y, x_lo, x_hi);
 }
 
 void
@@ -86,7 +68,7 @@ rasterizeTriangleSpans(const TriangleSetup &tri, unsigned screen_w,
     if (dir == ScanDirection::Horizontal) {
         for (int y = box.y0; y <= box.y1; ++y) {
             int lo = box.x0, hi = box.x1;
-            if (!refineSpan(tri, true, y, lo, hi))
+            if (!spanOnLine(tri, true, y, lo, hi))
                 continue;
             for (int x = lo; x <= hi; ++x) {
                 // Interior pixels need no coverage test: coverage is
@@ -98,7 +80,7 @@ rasterizeTriangleSpans(const TriangleSetup &tri, unsigned screen_w,
     } else {
         for (int x = box.x0; x <= box.x1; ++x) {
             int lo = box.y0, hi = box.y1;
-            if (!refineSpan(tri, false, x, lo, hi))
+            if (!spanOnLine(tri, false, x, lo, hi))
                 continue;
             for (int y = lo; y <= hi; ++y) {
                 tri.attributesAt(x, y, frag);

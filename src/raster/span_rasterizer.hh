@@ -35,6 +35,25 @@ void rasterizeTriangleSpans(const TriangleSetup &tri, unsigned screen_w,
                             const FragmentSink &sink);
 
 /**
+ * The exact covered pixel interval of one scan row or column: a
+ * conservative interval from the triangle's half-planes, refined at
+ * the endpoints with the same per-pixel predicate the bounding-box
+ * rasterizer uses. Coverage along a line is an interval (each
+ * half-plane condition is monotone in the running coordinate, even
+ * under float rounding), so interior pixels need no coverage test -
+ * the property the tile render engine's span stepping relies on.
+ *
+ * @param tri        prepared triangle
+ * @param horizontal true = fixed y, interval in x; false = fixed x,
+ *                   interval in y
+ * @param fixed      the fixed pixel coordinate
+ * @param lo, hi     in: clamp range; out: exact covered interval
+ * @return false when the line is empty
+ */
+bool spanOnLine(const TriangleSetup &tri, bool horizontal, int fixed,
+                int &lo, int &hi);
+
+/**
  * The covered pixel interval of one scanline (exposed for tests).
  *
  * @param tri  prepared triangle

@@ -2,6 +2,36 @@
 
 namespace texcache {
 
+unsigned
+packSampleRecords(uint16_t tex, const SampleResult &s, uint64_t *out)
+{
+    if (s.kind == FilterKind::Nearest) {
+        const TexelTouch &t = s.touches[0];
+        out[0] = TexelRecord{tex, t.level, t.u, t.v,
+                             TouchKind::Nearest}.pack();
+        return 1;
+    }
+    if (s.kind == FilterKind::Bilinear) {
+        for (unsigned i = 0; i < 4; ++i) {
+            const TexelTouch &t = s.touches[i];
+            out[i] = TexelRecord{tex, t.level, t.u, t.v,
+                                 TouchKind::Bilinear}.pack();
+        }
+        return 4;
+    }
+    for (unsigned i = 0; i < 4; ++i) {
+        const TexelTouch &t = s.touches[i];
+        out[i] = TexelRecord{tex, t.level, t.u, t.v,
+                             TouchKind::TrilinearLower}.pack();
+    }
+    for (unsigned i = 4; i < 8; ++i) {
+        const TexelTouch &t = s.touches[i];
+        out[i] = TexelRecord{tex, t.level, t.u, t.v,
+                             TouchKind::TrilinearUpper}.pack();
+    }
+    return 8;
+}
+
 void
 TexelTrace::appendSample(uint16_t tex, const SampleResult &s)
 {

@@ -66,6 +66,15 @@ struct TexelRecord
     }
 };
 
+/**
+ * Pack all touches of one filtered sample into @p out (room for 8)
+ * with the same touch-role mapping as TexelTrace::appendSample.
+ *
+ * @return the number of records written (s.numTouches)
+ */
+unsigned packSampleRecords(uint16_t tex, const SampleResult &s,
+                           uint64_t *out);
+
 /** An in-memory texel trace for one rendered frame. */
 class TexelTrace
 {
@@ -78,6 +87,30 @@ class TexelTrace
 
     /** Append all touches of one filtered sample for texture @p tex. */
     void appendSample(uint16_t tex, const SampleResult &s);
+
+    /** Bulk-append @p n already-packed records (per-span batching and
+     *  the tile render engine's deterministic merge). */
+    void
+    appendPacked(const uint64_t *records, size_t n)
+    {
+        records_.insert(records_.end(), records, records + n);
+    }
+
+    /** Size the record vector so concurrent writers can fill disjoint
+     *  ranges in place through mutablePacked() (the tile render
+     *  engine's merge precomputes every segment's destination offset
+     *  and copies segments in parallel). */
+    void
+    resizePacked(size_t n)
+    {
+        records_.resize(n);
+    }
+
+    /** Mutable base pointer for resizePacked()-style in-place fills. */
+    uint64_t *mutablePacked() { return records_.data(); }
+
+    /** The packed records, in order (bulk copies and comparisons). */
+    const std::vector<uint64_t> &packed() const { return records_; }
 
     size_t size() const { return records_.size(); }
     bool empty() const { return records_.empty(); }

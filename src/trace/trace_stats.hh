@@ -16,6 +16,7 @@
 #ifndef TEXCACHE_TRACE_TRACE_STATS_HH
 #define TEXCACHE_TRACE_TRACE_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_set>
 
@@ -71,10 +72,22 @@ TraceStats analyzeTrace(const TexelTrace &trace);
 class RepetitionCounter
 {
   public:
-    /** Record one fragment's footprint anchor for texture @p tex. */
-    void
-    record(uint16_t tex, uint16_t level, int32_t unwrapped_u,
-           int32_t unwrapped_v, uint16_t wrapped_u, uint16_t wrapped_v)
+    /**
+     * One fragment's pair of set keys. Tile-render workers buffer
+     * these in flat vectors (a push is far cheaper than a hash-set
+     * insert) and the deterministic merge replays them through
+     * insert(), so the total hashing work equals the serial path's.
+     */
+    struct KeyPair
+    {
+        uint64_t unwrapped;
+        uint64_t wrapped;
+    };
+
+    /** The set keys record() would insert for this footprint anchor. */
+    static KeyPair
+    keys(uint16_t tex, uint16_t level, int32_t unwrapped_u,
+         int32_t unwrapped_v, uint16_t wrapped_u, uint16_t wrapped_v)
     {
         uint64_t key_base = (static_cast<uint64_t>(tex) << 48) |
                             (static_cast<uint64_t>(level) << 40);
@@ -88,25 +101,107 @@ class RepetitionCounter
                        << 20);
         uint64_t wr = key_base | wrapped_u |
                       (static_cast<uint64_t>(wrapped_v) << 20);
-        unwrapped_.insert(uw);
-        wrapped_.insert(wr);
+        return {uw, wr};
+    }
+
+    /**
+     * The sets are sharded by key hash so the tile render engine's
+     * merge can insert different shards from different workers
+     * concurrently (each shard is owned by exactly one worker, and a
+     * set union is order-free). Serial users never notice: record()
+     * and insert() route keys themselves.
+     */
+    static constexpr unsigned kShards = 16;
+
+    /** Owning shard of a key (top bits of a Fibonacci hash). */
+    static unsigned
+    shardOf(uint64_t key)
+    {
+        return static_cast<unsigned>((key * 0x9e3779b97f4a7c15ull) >>
+                                     60);
+    }
+
+    /** Record one fragment's footprint anchor for texture @p tex. */
+    void
+    record(uint16_t tex, uint16_t level, int32_t unwrapped_u,
+           int32_t unwrapped_v, uint16_t wrapped_u, uint16_t wrapped_v)
+    {
+        insert(keys(tex, level, unwrapped_u, unwrapped_v, wrapped_u,
+                    wrapped_v));
+    }
+
+    /** Insert a precomputed key pair (set union, order-free). */
+    void
+    insert(const KeyPair &k)
+    {
+        unwrapped_[shardOf(k.unwrapped)].insert(k.unwrapped);
+        wrapped_[shardOf(k.wrapped)].insert(k.wrapped);
+    }
+
+    /** Bulk-insert unwrapped keys already bucketed to @p shard. Safe
+     *  to call concurrently with other shards' inserts, never with
+     *  the same shard's. */
+    void
+    insertUnwrapped(unsigned shard, const uint64_t *keys, size_t n)
+    {
+        unwrapped_[shard].insert(keys, keys + n);
+    }
+
+    /** Bulk-insert wrapped keys already bucketed to @p shard. */
+    void
+    insertWrapped(unsigned shard, const uint64_t *keys, size_t n)
+    {
+        wrapped_[shard].insert(keys, keys + n);
     }
 
     double
     repetitionFactor() const
     {
-        return wrapped_.empty()
-                   ? 0.0
-                   : static_cast<double>(unwrapped_.size()) /
-                         static_cast<double>(wrapped_.size());
+        uint64_t wrapped = uniqueWrapped();
+        return wrapped ? static_cast<double>(uniqueUnwrapped()) /
+                             static_cast<double>(wrapped)
+                       : 0.0;
     }
 
-    uint64_t uniqueWrapped() const { return wrapped_.size(); }
-    uint64_t uniqueUnwrapped() const { return unwrapped_.size(); }
+    /**
+     * Fold another counter into this one. Both sets are plain key
+     * unions, so merging per-tile counters in any order yields exactly
+     * the counts a single serial counter would have recorded - the
+     * property the parallel tile render engine relies on.
+     */
+    void
+    merge(const RepetitionCounter &other)
+    {
+        for (unsigned s = 0; s < kShards; ++s) {
+            unwrapped_[s].insert(other.unwrapped_[s].begin(),
+                                 other.unwrapped_[s].end());
+            wrapped_[s].insert(other.wrapped_[s].begin(),
+                               other.wrapped_[s].end());
+        }
+    }
+
+    /** Shards hold disjoint keys, so the sizes just add up. */
+    uint64_t
+    uniqueWrapped() const
+    {
+        uint64_t n = 0;
+        for (const auto &s : wrapped_)
+            n += s.size();
+        return n;
+    }
+
+    uint64_t
+    uniqueUnwrapped() const
+    {
+        uint64_t n = 0;
+        for (const auto &s : unwrapped_)
+            n += s.size();
+        return n;
+    }
 
   private:
-    std::unordered_set<uint64_t> unwrapped_;
-    std::unordered_set<uint64_t> wrapped_;
+    std::array<std::unordered_set<uint64_t>, kShards> unwrapped_;
+    std::array<std::unordered_set<uint64_t>, kShards> wrapped_;
 };
 
 } // namespace texcache

@@ -4,10 +4,14 @@
  * explicit simulators.
  */
 
+#include <cstdlib>
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "core/experiment.hh"
 #include "core/scene_layout.hh"
+#include "trace/trace_io.hh"
 
 using namespace texcache;
 
@@ -163,6 +167,51 @@ TEST(TraceStore, MemoizesScenesAndOutputs)
     const RenderOutput &o3 =
         store.output(BenchScene::Goblet, RasterOrder::vertical());
     EXPECT_NE(&o1, &o3);
+}
+
+TEST(TraceStore, StaleRevisionCacheEntryIsNotServed)
+{
+    // Regression test for a poisoned on-disk trace cache: an entry
+    // keyed by an older render-path revision must never satisfy the
+    // current build, even within the same compilation stamp.
+    std::string dir = ::testing::TempDir() + "texcache-poison-test";
+    std::filesystem::remove_all(dir);
+    setenv("TEXCACHE_TRACE_CACHE_DIR", dir.c_str(), 1);
+    std::filesystem::create_directories(dir);
+
+    // Plant a poisoned (clearly wrong) trace at the *previous*
+    // revision's path for this (scene, order, build).
+    RasterOrder order = RasterOrder::horizontal();
+    std::string stale =
+        traceCachePath(BenchScene::Goblet, order, kRenderPathRevision - 1);
+    ASSERT_FALSE(stale.empty());
+    TexelTrace poison;
+    poison.append(TexelRecord{1, 2, 3, 0, TouchKind::Nearest});
+    writeTrace(poison, stale);
+
+    std::string current = traceCachePath(BenchScene::Goblet, order);
+    ASSERT_NE(stale, current);
+    ASSERT_FALSE(std::filesystem::exists(current));
+
+    // The store must ignore the stale entry and render fresh...
+    TraceStore store;
+    const TexelTrace &fresh = store.trace(BenchScene::Goblet, order);
+    EXPECT_EQ(store.diskHits(), 0u);
+    EXPECT_EQ(store.renders(), 1u);
+    EXPECT_GT(store.renderMillis(), 0.0);
+    EXPECT_NE(fresh.size(), poison.size());
+
+    // ...and populate the current-revision path, which a second store
+    // then serves from disk, byte for byte.
+    ASSERT_TRUE(std::filesystem::exists(current));
+    TraceStore store2;
+    const TexelTrace &cached = store2.trace(BenchScene::Goblet, order);
+    EXPECT_EQ(store2.diskHits(), 1u);
+    EXPECT_EQ(store2.renders(), 0u);
+    EXPECT_TRUE(cached.packed() == fresh.packed());
+
+    unsetenv("TEXCACHE_TRACE_CACHE_DIR");
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Experiment, FirstWorkingSetPanicsOnEmptySweep)

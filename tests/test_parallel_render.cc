@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Byte-identity of the tile-parallel render engine (DESIGN.md
+ * section 11): for every scene, raster order and thread count, the
+ * engine's trace, framebuffer and statistics must equal the serial
+ * reference renderer's bit for bit. Also covers the dispatch policy
+ * (hooks route to the reference path; Force + hooks is a fatal
+ * configuration error).
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/renderer.hh"
+#include "scene/benchmarks.hh"
+
+namespace texcache {
+namespace {
+
+/** Scoped TEXCACHE_THREADS override (restores the prior value). */
+class ThreadEnv
+{
+  public:
+    explicit ThreadEnv(const char *value)
+    {
+        const char *old = std::getenv("TEXCACHE_THREADS");
+        had_ = old != nullptr;
+        if (old)
+            saved_ = old;
+        if (value)
+            setenv("TEXCACHE_THREADS", value, 1);
+        else
+            unsetenv("TEXCACHE_THREADS");
+    }
+    ~ThreadEnv()
+    {
+        if (had_)
+            setenv("TEXCACHE_THREADS", saved_.c_str(), 1);
+        else
+            unsetenv("TEXCACHE_THREADS");
+    }
+
+  private:
+    bool had_;
+    std::string saved_;
+};
+
+std::vector<RasterOrder>
+allOrders()
+{
+    return {RasterOrder::horizontal(), RasterOrder::vertical(),
+            RasterOrder::tiledOrder(8, 8),
+            RasterOrder::tiledOrder(16, 16, ScanDirection::Vertical),
+            RasterOrder::hilbertOrder()};
+}
+
+/** Assert @p out is byte-identical to the reference output @p ref. */
+void
+expectIdentical(const RenderOutput &ref, const RenderOutput &out,
+                const std::string &what)
+{
+    SCOPED_TRACE(what);
+
+    // Trace: the packed 64-bit records must match element for element.
+    ASSERT_EQ(ref.trace.packed().size(), out.trace.packed().size());
+    EXPECT_TRUE(ref.trace.packed() == out.trace.packed())
+        << "texel trace diverged";
+
+    // Framebuffer: every pixel.
+    ASSERT_EQ(ref.framebuffer.width(), out.framebuffer.width());
+    ASSERT_EQ(ref.framebuffer.height(), out.framebuffer.height());
+    for (unsigned y = 0; y < ref.framebuffer.height(); ++y)
+        for (unsigned x = 0; x < ref.framebuffer.width(); ++x)
+            ASSERT_TRUE(ref.framebuffer.texel(x, y) ==
+                        out.framebuffer.texel(x, y))
+                << "pixel (" << x << ", " << y << ") diverged";
+
+    // Statistics: integer counters and exact doubles.
+    EXPECT_EQ(ref.stats.trianglesIn, out.stats.trianglesIn);
+    EXPECT_EQ(ref.stats.trianglesculled, out.stats.trianglesculled);
+    EXPECT_EQ(ref.stats.trianglesRasterized,
+              out.stats.trianglesRasterized);
+    EXPECT_EQ(ref.stats.fragments, out.stats.fragments);
+    EXPECT_EQ(ref.stats.texelAccesses, out.stats.texelAccesses);
+    EXPECT_EQ(ref.stats.bilinearFragments, out.stats.bilinearFragments);
+    EXPECT_EQ(ref.stats.trilinearFragments,
+              out.stats.trilinearFragments);
+    EXPECT_EQ(ref.stats.nearestFragments, out.stats.nearestFragments);
+    EXPECT_EQ(ref.stats.sumCoveredArea, out.stats.sumCoveredArea);
+    EXPECT_EQ(ref.stats.sumBoxWidth, out.stats.sumBoxWidth);
+    EXPECT_EQ(ref.stats.sumBoxHeight, out.stats.sumBoxHeight);
+    EXPECT_EQ(ref.stats.boxSamples, out.stats.boxSamples);
+
+    // LOD histogram: every bucket plus the moments.
+    EXPECT_EQ(ref.stats.lodLevels.count(), out.stats.lodLevels.count());
+    EXPECT_EQ(ref.stats.lodLevels.sum(), out.stats.lodLevels.sum());
+    EXPECT_EQ(ref.stats.lodLevels.min(), out.stats.lodLevels.min());
+    EXPECT_EQ(ref.stats.lodLevels.max(), out.stats.lodLevels.max());
+    for (unsigned b = 0; b < stats::Distribution::kBuckets; ++b)
+        EXPECT_EQ(ref.stats.lodLevels.bucket(b),
+                  out.stats.lodLevels.bucket(b))
+            << "lod bucket " << b;
+
+    // Repetition counter: both sets are unions of the same fragment
+    // keys, so equal cardinalities mean equal sets.
+    EXPECT_EQ(ref.repetition.uniqueWrapped(),
+              out.repetition.uniqueWrapped());
+    EXPECT_EQ(ref.repetition.uniqueUnwrapped(),
+              out.repetition.uniqueUnwrapped());
+}
+
+TEST(ParallelRender, QuadAllOrdersAllThreads)
+{
+    Scene scene = makeQuadTestScene(128, 128, 1.7f);
+    RenderOptions opts;
+    opts.captureTrace = true;
+    opts.writeFramebuffer = true;
+    opts.countRepetition = true;
+
+    for (const RasterOrder &order : allOrders()) {
+        RenderOptions serial = opts;
+        serial.parallelTiles = ParallelTiles::Serial;
+        RenderOutput ref = render(scene, order, serial);
+        EXPECT_GT(ref.stats.fragments, 0u);
+
+        for (const char *threads : {"1", "2", "4", "8"}) {
+            ThreadEnv env(threads);
+            RenderOptions forced = opts;
+            forced.parallelTiles = ParallelTiles::Force;
+            RenderOutput out = render(scene, order, forced);
+            expectIdentical(ref, out,
+                            "quad order=" + order.str() +
+                                " threads=" + threads);
+        }
+    }
+}
+
+TEST(ParallelRender, FourScenesAllOrders)
+{
+    RenderOptions opts;
+    opts.captureTrace = true;
+    opts.writeFramebuffer = true;
+    opts.countRepetition = true;
+
+    for (BenchScene s : allBenchScenes()) {
+        Scene scene = makeScene(s);
+        for (const RasterOrder &order : allOrders()) {
+            RenderOptions serial = opts;
+            serial.parallelTiles = ParallelTiles::Serial;
+            RenderOutput ref = render(scene, order, serial);
+
+            for (const char *threads : {"2", "4", "8"}) {
+                ThreadEnv env(threads);
+                RenderOptions forced = opts;
+                forced.parallelTiles = ParallelTiles::Force;
+                RenderOutput out = render(scene, order, forced);
+                expectIdentical(ref, out,
+                                std::string(benchSceneName(s)) +
+                                    " order=" + order.str() +
+                                    " threads=" + threads);
+            }
+        }
+    }
+}
+
+TEST(ParallelRender, AutoRoutesHooksToReference)
+{
+    Scene scene = makeQuadTestScene();
+    RenderOptions opts;
+    opts.writeFramebuffer = false;
+    uint64_t hookCalls = 0;
+    opts.onFragment = [&](const Fragment &, const SampleResult &,
+                          uint16_t) { ++hookCalls; };
+
+    ThreadEnv env("4");
+    RenderOutput out = render(scene, RasterOrder::horizontal(), opts);
+    // Auto must fall back to the serial path so the hook observes
+    // every fragment in traversal order.
+    EXPECT_EQ(hookCalls, out.stats.fragments);
+    EXPECT_GT(hookCalls, 0u);
+}
+
+using ParallelRenderDeathTest = ::testing::Test;
+
+TEST(ParallelRenderDeathTest, ForceWithHooksIsFatal)
+{
+    Scene scene = makeQuadTestScene();
+    RenderOptions opts;
+    opts.parallelTiles = ParallelTiles::Force;
+    opts.onFragment = [](const Fragment &, const SampleResult &,
+                         uint16_t) {};
+    EXPECT_EXIT(render(scene, RasterOrder::horizontal(), opts),
+                testing::ExitedWithCode(1), "hooks");
+}
+
+TEST(ParallelRenderDeathTest, InvalidPolicyIsFatal)
+{
+    Scene scene = makeQuadTestScene();
+    RenderOptions opts;
+    opts.parallelTiles = static_cast<ParallelTiles>(99);
+    EXPECT_EXIT(render(scene, RasterOrder::horizontal(), opts),
+                testing::ExitedWithCode(1), "parallelTiles");
+}
+
+} // namespace
+} // namespace texcache

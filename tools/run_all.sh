@@ -12,7 +12,10 @@
 # Rendered texel traces are cached under $OUT/trace-cache (see
 # DESIGN.md section 8), so re-runs skip the expensive renders; delete
 # that directory to force re-rendering. Per-bench and cumulative
-# wall-clock are printed as each bench finishes.
+# wall-clock are printed as each bench finishes, along with the
+# bench's worker-thread count and its trace-generation vs simulation
+# wall-clock split (read from the bench's BENCH_*.json manifest;
+# needs python3, silently omitted without it).
 #
 # Besides the per-bench BENCH_*.json run manifests the benches write
 # into $OUT themselves (TEXCACHE_STATS_DIR), the whole run is
@@ -37,6 +40,8 @@ TEXCACHE_TRACE_CACHE_DIR="${TEXCACHE_TRACE_CACHE_DIR:-$OUT/trace-cache}"
 export TEXCACHE_TRACE_CACHE_DIR
 TEXCACHE_STATS_DIR="${TEXCACHE_STATS_DIR:-$OUT}"
 export TEXCACHE_STATS_DIR
+HAVE_PY=0
+command -v python3 > /dev/null 2>&1 && HAVE_PY=1
 failed=""
 total=0
 npass=0
@@ -45,6 +50,7 @@ rows=""
 for b in "$BUILD"/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     name=$(basename "$b")
+    : > "$OUT/.bench_marker"
     start=$(date +%s)
     if "$b" > "$OUT/$name.txt" 2> "$OUT/$name.err"; then
         status=ok
@@ -58,8 +64,42 @@ for b in "$BUILD"/bench/*; do
     end=$(date +%s)
     elapsed=$((end - start))
     total=$((total + elapsed))
-    echo "== $name ${elapsed}s (cumulative ${total}s) $status"
-    row="    {\"bench\": \"$name\", \"status\": \"$status\", \"seconds\": $elapsed}"
+    # Attribute this bench's freshly written manifests (newer than the
+    # marker) and pull out its thread count and how much of its wall-
+    # clock went to trace generation versus simulation.
+    split_txt=""
+    split_json=""
+    if [ "$HAVE_PY" = 1 ]; then
+        info=$(find "$OUT" -maxdepth 1 -name 'BENCH_*.json' \
+                   -newer "$OUT/.bench_marker" 2> /dev/null |
+            python3 -c '
+import json, sys
+trace_ms, threads, seen = 0.0, 0, False
+for line in sys.stdin:
+    path = line.strip()
+    if not path:
+        continue
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        continue
+    seen = True
+    tg = doc.get("stats", {}).get("trace_gen", {})
+    trace_ms += float(tg.get("render_wall_ms", 0) or 0)
+    threads = max(threads, int(tg.get("threads", 0) or 0))
+if seen:
+    sim_ms = max(0.0, float(sys.argv[1]) * 1000.0 - trace_ms)
+    print("%d %.0f %.0f" % (threads, trace_ms, sim_ms))
+' "$elapsed")
+        if [ -n "$info" ]; then
+            set -- $info
+            split_txt=" [threads=$1 trace-gen ${2}ms / sim ${3}ms]"
+            split_json=", \"threads\": $1, \"trace_gen_ms\": $2, \"sim_ms\": $3"
+        fi
+    fi
+    echo "== $name ${elapsed}s (cumulative ${total}s) $status$split_txt"
+    row="    {\"bench\": \"$name\", \"status\": \"$status\", \"seconds\": $elapsed$split_json}"
     if [ -n "$rows" ]; then
         rows="$rows,
 $row"
@@ -80,6 +120,7 @@ done
     printf '  "benches": [\n%s\n  ]\n' "$rows"
     printf '}\n'
 } > "$OUT/run_manifest.json"
+rm -f "$OUT/.bench_marker"
 echo "wrote $(ls "$OUT" | wc -l) result files to $OUT/ in ${total}s"
 if [ -n "$failed" ]; then
     echo "FAILED benches:$failed" >&2
