@@ -1,0 +1,500 @@
+#include "common/json_reader.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace texcache {
+namespace json {
+
+const char *
+ParseError::code() const
+{
+    switch (kind) {
+      case Kind::None:
+        return "ok";
+      case Kind::Truncated:
+        return "truncated";
+      case Kind::BadToken:
+        return "bad_token";
+      case Kind::BadString:
+        return "bad_string";
+      case Kind::BadEscape:
+        return "bad_escape";
+      case Kind::BadNumber:
+        return "bad_number";
+      case Kind::TooDeep:
+        return "too_deep";
+      case Kind::TrailingGarbage:
+        return "trailing_garbage";
+    }
+    return "unknown";
+}
+
+bool
+Value::isU64() const
+{
+    if (type_ != Type::Number)
+        return false;
+    return num_ >= 0.0 && num_ <= 18446744073709549568.0 &&
+           std::floor(num_) == num_;
+}
+
+uint64_t
+Value::u64() const
+{
+    panic_if(!isU64(), "JSON number is not an exact unsigned integer");
+    return static_cast<uint64_t>(num_);
+}
+
+const Value &
+Value::at(size_t i) const
+{
+    panic_if(type_ != Type::Array, "at() on a non-array JSON value");
+    panic_if(i >= elems_.size(), "JSON array index ", i, " of ",
+             elems_.size());
+    return elems_[i];
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double d)
+{
+    Value v;
+    v.type_ = Type::Number;
+    v.num_ = d;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.type_ = Type::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray()
+{
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+}
+
+Value
+Value::makeObject()
+{
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+}
+
+namespace {
+
+/** One parse attempt over an immutable input; cursor + error state. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, ParseError &err)
+        : text_(text), err_(err)
+    {}
+
+    bool
+    document(Value &out)
+    {
+        skipWs();
+        if (!value(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail(ParseError::Kind::TrailingGarbage,
+                        "bytes after the first JSON value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(ParseError::Kind kind, std::string msg)
+    {
+        // Keep the first (innermost) error; callers unwind through it.
+        if (!err_) {
+            err_.kind = kind;
+            err_.offset = pos_;
+            err_.message = std::move(msg);
+        }
+        return false;
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail(ParseError::Kind::BadToken,
+                        "expected '" + std::string(word) + "'");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    value(Value &out, unsigned depth)
+    {
+        if (atEnd())
+            return fail(ParseError::Kind::Truncated,
+                        "input ended where a value was expected");
+        switch (peek()) {
+          case 'n':
+            out = Value::makeNull();
+            return literal("null");
+          case 't':
+            out = Value::makeBool(true);
+            return literal("true");
+          case 'f':
+            out = Value::makeBool(false);
+            return literal("false");
+          case '"':
+            return string(out);
+          case '[':
+            return array(out, depth);
+          case '{':
+            return object(out, depth);
+          default:
+            if (peek() == '-' || (peek() >= '0' && peek() <= '9'))
+                return number(out);
+            return fail(ParseError::Kind::BadToken,
+                        std::string("unexpected character '") + peek() +
+                            "'");
+        }
+    }
+
+    bool
+    number(Value &out)
+    {
+        size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            ++pos_;
+        // Integer part: one digit, or a nonzero digit followed by more.
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail(ParseError::Kind::BadNumber,
+                        "digit expected after '-'");
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!atEnd() && peek() == '.') {
+            ++pos_;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail(ParseError::Kind::BadNumber,
+                            "digit expected after '.'");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail(ParseError::Kind::BadNumber,
+                            "digit expected in exponent");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        double d = 0.0;
+        auto res = std::from_chars(text_.data() + start,
+                                   text_.data() + pos_, d);
+        if (res.ec != std::errc() ||
+            res.ptr != text_.data() + pos_)
+            return fail(ParseError::Kind::BadNumber,
+                        "unparseable numeric literal");
+        out = Value::makeNumber(d);
+        return true;
+    }
+
+    /** Append @p cp to @p s as UTF-8. */
+    static void
+    appendUtf8(std::string &s, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            s.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            s.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            s.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            s.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool
+    hex4(uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail(ParseError::Kind::BadEscape,
+                        "\\u needs four hex digits");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + i];
+            uint32_t d;
+            if (c >= '0' && c <= '9')
+                d = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                d = 10 + c - 'a';
+            else if (c >= 'A' && c <= 'F')
+                d = 10 + c - 'A';
+            else
+                return fail(ParseError::Kind::BadEscape,
+                            "non-hex digit in \\u escape");
+            out = (out << 4) | d;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    stringBody(std::string &s)
+    {
+        ++pos_; // opening quote
+        while (true) {
+            if (atEnd())
+                return fail(ParseError::Kind::BadString,
+                            "unterminated string");
+            unsigned char c = static_cast<unsigned char>(peek());
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return fail(ParseError::Kind::BadString,
+                            "raw control character in string");
+            if (c != '\\') {
+                s.push_back(static_cast<char>(c));
+                ++pos_;
+                continue;
+            }
+            ++pos_; // backslash
+            if (atEnd())
+                return fail(ParseError::Kind::BadEscape,
+                            "input ended inside an escape");
+            char e = peek();
+            ++pos_;
+            switch (e) {
+              case '"':
+                s.push_back('"');
+                break;
+              case '\\':
+                s.push_back('\\');
+                break;
+              case '/':
+                s.push_back('/');
+                break;
+              case 'b':
+                s.push_back('\b');
+                break;
+              case 'f':
+                s.push_back('\f');
+                break;
+              case 'n':
+                s.push_back('\n');
+                break;
+              case 'r':
+                s.push_back('\r');
+                break;
+              case 't':
+                s.push_back('\t');
+                break;
+              case 'u': {
+                uint32_t cp;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a \uDC00-\uDFFF pair must follow.
+                    if (pos_ + 2 > text_.size() || peek() != '\\' ||
+                        text_[pos_ + 1] != 'u')
+                        return fail(ParseError::Kind::BadEscape,
+                                    "unpaired high surrogate");
+                    pos_ += 2;
+                    uint32_t lo;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        return fail(ParseError::Kind::BadEscape,
+                                    "invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    return fail(ParseError::Kind::BadEscape,
+                                "unpaired low surrogate");
+                }
+                appendUtf8(s, cp);
+                break;
+              }
+              default:
+                return fail(ParseError::Kind::BadEscape,
+                            std::string("unknown escape '\\") + e + "'");
+            }
+        }
+    }
+
+    bool
+    string(Value &out)
+    {
+        std::string s;
+        if (!stringBody(s))
+            return false;
+        out = Value::makeString(std::move(s));
+        return true;
+    }
+
+    bool
+    array(Value &out, unsigned depth)
+    {
+        if (depth >= kMaxDepth)
+            return fail(ParseError::Kind::TooDeep,
+                        "nesting deeper than kMaxDepth containers");
+        ++pos_; // '['
+        out = Value::makeArray();
+        skipWs();
+        if (atEnd())
+            return fail(ParseError::Kind::Truncated,
+                        "unterminated array");
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Value elem;
+            if (!value(elem, depth + 1))
+                return false;
+            out.append(std::move(elem));
+            skipWs();
+            if (atEnd())
+                return fail(ParseError::Kind::Truncated,
+                            "unterminated array");
+            if (peek() == ',') {
+                ++pos_;
+                skipWs();
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail(ParseError::Kind::BadToken,
+                        "expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    object(Value &out, unsigned depth)
+    {
+        if (depth >= kMaxDepth)
+            return fail(ParseError::Kind::TooDeep,
+                        "nesting deeper than kMaxDepth containers");
+        ++pos_; // '{'
+        out = Value::makeObject();
+        skipWs();
+        if (atEnd())
+            return fail(ParseError::Kind::Truncated,
+                        "unterminated object");
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (atEnd() || peek() != '"')
+                return fail(ParseError::Kind::BadToken,
+                            "expected a string key in object");
+            std::string key;
+            if (!stringBody(key))
+                return false;
+            skipWs();
+            if (atEnd() || peek() != ':')
+                return fail(ParseError::Kind::BadToken,
+                            "expected ':' after object key");
+            ++pos_;
+            skipWs();
+            Value member;
+            if (!value(member, depth + 1))
+                return false;
+            out.set(std::move(key), std::move(member));
+            skipWs();
+            if (atEnd())
+                return fail(ParseError::Kind::Truncated,
+                            "unterminated object");
+            if (peek() == ',') {
+                ++pos_;
+                skipWs();
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail(ParseError::Kind::BadToken,
+                        "expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    ParseError &err_;
+};
+
+} // namespace
+
+bool
+parse(std::string_view text, Value &out, ParseError &err)
+{
+    err = ParseError();
+    Parser p(text, err);
+    return p.document(out);
+}
+
+} // namespace json
+} // namespace texcache

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader.
+ *
+ * The counterpart of JsonWriter (common/json.hh): where every artifact
+ * the harness *emits* flows through the writer, every JSON document it
+ * *accepts* - texcached service requests, manifest post-processing in
+ * the load driver - flows through this parser, so escaping rules agree
+ * by construction (tests round-trip one through the other).
+ *
+ * Design constraints, in order:
+ *  - typed errors: a daemon fed hostile bytes must reject them with a
+ *    structured reason (kind + byte offset), never abort;
+ *  - bounded recursion: nesting deeper than kMaxDepth is an error, not
+ *    a stack overflow;
+ *  - strictness: exactly one JSON value per document; trailing bytes
+ *    beyond insignificant whitespace are an error.
+ *
+ * Numbers are held as double (plus an exact-integer fast path for
+ * values that fit, which covers every counter and byte size the
+ * harness exchanges). Object members preserve insertion order;
+ * duplicate keys keep both entries, find() returns the first.
+ */
+
+#ifndef TEXCACHE_COMMON_JSON_READER_HH
+#define TEXCACHE_COMMON_JSON_READER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace texcache {
+namespace json {
+
+/** Nesting beyond this many containers is a ParseError::TooDeep. */
+constexpr unsigned kMaxDepth = 64;
+
+/** What went wrong, and where (byte offset into the input). */
+struct ParseError
+{
+    enum class Kind
+    {
+        None,            ///< parse succeeded
+        Truncated,       ///< input ended inside a value
+        BadToken,        ///< unexpected character where a token starts
+        BadString,       ///< unterminated string or raw control char
+        BadEscape,       ///< malformed \x or \uXXXX escape
+        BadNumber,       ///< malformed numeric literal
+        TooDeep,         ///< nesting exceeded kMaxDepth
+        TrailingGarbage, ///< bytes after the first complete value
+    };
+
+    Kind kind = Kind::None;
+    size_t offset = 0;   ///< byte position the error was detected at
+    std::string message; ///< human-readable detail
+
+    explicit operator bool() const { return kind != Kind::None; }
+
+    /** Stable lowercase identifier ("bad_token", ...) for wire use. */
+    const char *code() const;
+};
+
+/** One parsed JSON value; a tree of these is a document. */
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return num_; }
+    const std::string &str() const { return str_; }
+
+    /** True when the number is an exact non-negative integer. */
+    bool isU64() const;
+    uint64_t u64() const;
+
+    /** Array elements / object member count. */
+    size_t
+    size() const
+    {
+        return type_ == Type::Object ? members_.size() : elems_.size();
+    }
+    /** Array element @p i (valid for arrays only; bounds-checked). */
+    const Value &at(size_t i) const;
+
+    /** Object member list in insertion order. */
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return members_;
+    }
+
+    /** First member named @p key, or nullptr. */
+    const Value *find(std::string_view key) const;
+
+    // Construction helpers (used by the parser; handy in tests).
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double d);
+    static Value makeString(std::string s);
+    static Value makeArray();
+    static Value makeObject();
+    void append(Value v) { elems_.push_back(std::move(v)); }
+    void
+    set(std::string key, Value v)
+    {
+        members_.emplace_back(std::move(key), std::move(v));
+    }
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> elems_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+/**
+ * Parse @p text as exactly one JSON document.
+ *
+ * On success returns true and fills @p out; on failure returns false
+ * and fills @p err (out is left in an unspecified but valid state).
+ */
+bool parse(std::string_view text, Value &out, ParseError &err);
+
+} // namespace json
+} // namespace texcache
+
+#endif // TEXCACHE_COMMON_JSON_READER_HH

@@ -49,8 +49,37 @@ writeTraceCache(const TexelTrace &trace, const std::string &path)
 
 } // namespace
 
+SceneSpec
+SceneSpec::quadScene(unsigned tex, unsigned screen, float repeat)
+{
+    SceneSpec s;
+    s.quad = true;
+    s.quadTex = tex;
+    s.quadScreen = screen;
+    s.quadRepeat = repeat;
+    return s;
+}
+
 std::string
-traceCachePath(BenchScene s, const RasterOrder &order,
+SceneSpec::key() const
+{
+    if (!quad)
+        return benchSceneName(bench);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "quad-%ux%u-r%g", quadTex,
+                  quadScreen, static_cast<double>(quadRepeat));
+    return buf;
+}
+
+Scene
+SceneSpec::build() const
+{
+    return quad ? makeQuadTestScene(quadTex, quadScreen, quadRepeat)
+                : makeScene(bench);
+}
+
+std::string
+traceCachePath(const SceneSpec &s, const RasterOrder &order,
                uint64_t revision)
 {
     const char *dir = std::getenv("TEXCACHE_TRACE_CACHE_DIR");
@@ -67,30 +96,30 @@ traceCachePath(BenchScene s, const RasterOrder &order,
     char hex[17];
     std::snprintf(hex, sizeof(hex), "%016llx",
                   static_cast<unsigned long long>(h));
-    return std::string(dir) + "/" + benchSceneName(s) + "-" +
-           order.str() + "-" + hex + ".trace";
+    return std::string(dir) + "/" + s.key() + "-" + order.str() + "-" +
+           hex + ".trace";
 }
 
 const Scene &
-TraceStore::scene(BenchScene s)
+TraceStore::scene(const SceneSpec &s)
 {
-    int key = static_cast<int>(s);
+    std::string key = s.key();
     auto it = scenes_.find(key);
     if (it == scenes_.end()) {
-        inform("building scene ", benchSceneName(s));
-        it = scenes_.emplace(key, makeScene(s)).first;
+        inform("building scene ", key);
+        it = scenes_.emplace(std::move(key), s.build()).first;
     }
     return it->second;
 }
 
 const RenderOutput &
-TraceStore::output(BenchScene s, const RasterOrder &order)
+TraceStore::output(const SceneSpec &s, const RasterOrder &order)
 {
-    auto key = std::make_pair(static_cast<int>(s), order.str());
+    auto key = std::make_pair(s.key(), order.str());
     auto it = outputs_.find(key);
     if (it == outputs_.end()) {
         const Scene &sc = scene(s);
-        inform("rendering ", benchSceneName(s), " (", order.str(), ")");
+        inform("rendering ", key.first, " (", order.str(), ")");
         RenderOptions opts;
         opts.writeFramebuffer = false; // figures need traces only
         auto t0 = std::chrono::steady_clock::now();
@@ -107,9 +136,9 @@ TraceStore::output(BenchScene s, const RasterOrder &order)
 }
 
 const TexelTrace &
-TraceStore::trace(BenchScene s, const RasterOrder &order)
+TraceStore::trace(const SceneSpec &s, const RasterOrder &order)
 {
-    auto key = std::make_pair(static_cast<int>(s), order.str());
+    auto key = std::make_pair(s.key(), order.str());
     if (auto it = outputs_.find(key); it != outputs_.end())
         return it->second.trace;
     if (auto it = diskTraces_.find(key); it != diskTraces_.end())

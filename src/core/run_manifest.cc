@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -74,18 +75,23 @@ RunManifest::write(std::ostream &os, const stats::Group *root) const
     w.endObject();
 
     // Every TEXCACHE_* override in effect; thread count and trace
-    // cache placement change what a run measures.
-    w.key("env");
-    w.beginObject();
-    for (char **e = environ; e && *e; ++e) {
-        if (std::strncmp(*e, "TEXCACHE_", 9) != 0)
-            continue;
-        const char *eq = std::strchr(*e, '=');
-        if (!eq)
-            continue;
-        w.kv(std::string_view(*e, eq - *e), std::string_view(eq + 1));
+    // cache placement change what a run measures. Deterministic
+    // (service-response) manifests omit the block: the serving
+    // process's environment is not part of the request.
+    if (!deterministic_) {
+        w.key("env");
+        w.beginObject();
+        for (char **e = environ; e && *e; ++e) {
+            if (std::strncmp(*e, "TEXCACHE_", 9) != 0)
+                continue;
+            const char *eq = std::strchr(*e, '=');
+            if (!eq)
+                continue;
+            w.kv(std::string_view(*e, eq - *e),
+                 std::string_view(eq + 1));
+        }
+        w.endObject();
     }
-    w.endObject();
 
     if (!configs_.empty()) {
         w.key("config");
@@ -101,9 +107,11 @@ RunManifest::write(std::ostream &os, const stats::Group *root) const
     }
 
     w.kv("wall_ms",
-         std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - processStart)
-             .count());
+         deterministic_
+             ? 0.0
+             : std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - processStart)
+                   .count());
 
     if (!trace_.chromePath.empty() || !trace_.eventsPath.empty()) {
         w.key("trace");
@@ -137,6 +145,14 @@ RunManifest::write(std::ostream &os, const stats::Group *root) const
     }
     w.endObject();
     os << "\n";
+}
+
+std::string
+RunManifest::toString(const stats::Group *root) const
+{
+    std::ostringstream os;
+    write(os, root);
+    return os.str();
 }
 
 std::string

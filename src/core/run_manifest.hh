@@ -39,6 +39,16 @@ class RunManifest
     /** Scene(s) the run rendered, free-form ("all", "guitar", ...). */
     void setScene(std::string scene) { scene_ = std::move(scene); }
 
+    /**
+     * Deterministic mode for service responses: the manifest must be
+     * a pure function of the request so byte-identity checks against
+     * another run of the same request hold. write() then omits the
+     * env block (daemon process environment is not request state) and
+     * emits wall_ms as 0 (the schema key stays; the daemon reports
+     * real latency through its own stats, not per-response bodies).
+     */
+    void setDeterministic(bool on) { deterministic_ = on; }
+
     /** Free-form configuration row (swept sizes, layout kind, ...). */
     void config(std::string key, std::string value);
     void config(std::string key, uint64_t value);
@@ -73,6 +83,9 @@ class RunManifest
     /** Render the manifest; @p root (may be null) is the stats tree. */
     void write(std::ostream &os, const stats::Group *root) const;
 
+    /** write() into a string (service responses, comparisons). */
+    std::string toString(const stats::Group *root = nullptr) const;
+
     /** BENCH_<bench>.json under TEXCACHE_STATS_DIR (default: cwd). */
     std::string defaultPath() const;
 
@@ -96,6 +109,7 @@ class RunManifest
 
     std::string bench_;
     std::string scene_;
+    bool deterministic_ = false;
     std::vector<ConfigRow> configs_;
     std::vector<Metric> metrics_;
     TraceInfo trace_; ///< empty paths = no trace block emitted

@@ -1,0 +1,327 @@
+#include "service/engine.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace texcache {
+namespace service {
+
+namespace {
+
+using ConfigKey = std::tuple<uint64_t, unsigned, unsigned>;
+
+ConfigKey
+keyOf(const CacheConfig &c)
+{
+    return {c.sizeBytes, c.lineBytes, c.assoc};
+}
+
+std::string
+controlOk(const char *kind)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.kv("status", "ok");
+    w.kv("kind", kind);
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+} // namespace
+
+ServiceEngine::ServiceEngine(TraceStore &store)
+    : ServiceEngine(store, Options{})
+{}
+
+ServiceEngine::ServiceEngine(TraceStore &store, Options opts)
+    : store_(store), opts_(opts), paused_(opts.startPaused),
+      accepted_(statsRoot_.scalar("accepted",
+                                  "requests admitted to the queue")),
+      rejectedFull_(statsRoot_.scalar(
+          "rejected_queue_full", "requests refused at full depth")),
+      rejectedParse_(statsRoot_.scalar("rejected_parse",
+                                       "bodies that were not JSON")),
+      rejectedBad_(statsRoot_.scalar(
+          "rejected_bad_request", "requests failing validation")),
+      rejectedShutdown_(statsRoot_.scalar(
+          "rejected_shutdown", "requests refused while draining")),
+      controlRequests_(statsRoot_.scalar(
+          "control", "ping/stats/shutdown control requests")),
+      batchable_(statsRoot_.scalar("batchable",
+                                   "accepted sweep-kind requests")),
+      batches_(statsRoot_.scalar("batches",
+                                 "shared-replay passes executed")),
+      foldedRequests_(statsRoot_.scalar(
+          "folded", "requests served from multi-request batches")),
+      queueDepthDist_(statsRoot_.distribution(
+          "queue_depth", "depth observed at each enqueue")),
+      latencyUs_(statsRoot_.distribution(
+          "latency_us", "enqueue-to-response microseconds"))
+{
+    statsRoot_.formula("fold_factor",
+                       "batchable requests per executed batch", [this] {
+                           uint64_t b = batches_.value();
+                           return b ? double(batchable_.value()) / b
+                                    : 0.0;
+                       });
+    panic_if(opts_.queueDepth == 0, "queue depth must be positive");
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+ServiceEngine::~ServiceEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stopping_ = true;
+        accepting_ = false;
+    }
+    cv_.notify_all();
+    dispatcher_.join();
+}
+
+std::future<std::string>
+ServiceEngine::submit(std::string_view body)
+{
+    std::promise<std::string> promise;
+    std::future<std::string> future = promise.get_future();
+
+    ServiceRequest req;
+    RequestError err = parseRequest(body, req);
+    if (err) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (err.code == RequestError::Code::Parse)
+            ++rejectedParse_;
+        else
+            ++rejectedBad_;
+        promise.set_value(err.toJson());
+        return future;
+    }
+
+    if (req.control()) {
+        std::string resp;
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            ++controlRequests_;
+            switch (req.kind) {
+              case ServiceRequest::Kind::Ping:
+                resp = controlOk("ping");
+                break;
+              case ServiceRequest::Kind::Shutdown:
+                accepting_ = false;
+                shutdownReq_ = true;
+                resp = controlOk("shutdown");
+                break;
+              default:
+                break; // stats: dump outside the lock
+            }
+        }
+        if (resp.empty())
+            resp = statsJson();
+        promise.set_value(std::move(resp));
+        return future;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!accepting_) {
+            ++rejectedShutdown_;
+            promise.set_value(
+                RequestError::shuttingDown("daemon is draining")
+                    .toJson());
+            return future;
+        }
+        if (queue_.size() >= opts_.queueDepth) {
+            ++rejectedFull_;
+            promise.set_value(
+                RequestError::queueFull(
+                    "queue is at depth " +
+                    std::to_string(opts_.queueDepth) +
+                    "; retry later")
+                    .toJson());
+            return future;
+        }
+        ++accepted_;
+        if (req.batchable())
+            ++batchable_;
+        queueDepthDist_.sample(queue_.size());
+        Pending p;
+        p.req = std::move(req);
+        p.promise = std::move(promise);
+        p.enqueued = std::chrono::steady_clock::now();
+        queue_.push_back(std::move(p));
+    }
+    cv_.notify_all();
+    return future;
+}
+
+void
+ServiceEngine::pause()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    paused_ = true;
+}
+
+void
+ServiceEngine::resume()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        paused_ = false;
+    }
+    cv_.notify_all();
+}
+
+void
+ServiceEngine::beginShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        accepting_ = false;
+    }
+    cv_.notify_all();
+}
+
+bool
+ServiceEngine::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return shutdownReq_;
+}
+
+void
+ServiceEngine::drain()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    idleCv_.wait(lk, [this] {
+        return queue_.empty() && !busy_;
+    });
+}
+
+size_t
+ServiceEngine::queueDepth() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return queue_.size();
+}
+
+std::string
+ServiceEngine::statsJson() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::ostringstream os;
+    statsRoot_.dumpJson(os);
+    return os.str();
+}
+
+void
+ServiceEngine::dispatchLoop()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+        cv_.wait(lk, [this] {
+            return stopping_ || (!queue_.empty() && !paused_);
+        });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        // Give concurrent clients one batch window to coalesce with
+        // the head request before collecting (skipped when draining -
+        // nothing new can arrive).
+        if (opts_.batchWindowMs && queue_.front().req.batchable() &&
+            !stopping_ && accepting_) {
+            cv_.wait_for(
+                lk, std::chrono::milliseconds(opts_.batchWindowMs),
+                [this] { return stopping_; });
+            if (queue_.empty())
+                continue;
+        }
+
+        std::vector<Pending> batch;
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        if (batch.front().req.batchable()) {
+            const std::string key = batch.front().req.batchKey();
+            for (auto it = queue_.begin(); it != queue_.end();) {
+                if (it->req.batchable() && it->req.batchKey() == key) {
+                    batch.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        busy_ = true;
+        lk.unlock();
+        runBatch(std::move(batch));
+        lk.lock();
+        busy_ = false;
+        idleCv_.notify_all();
+    }
+}
+
+void
+ServiceEngine::runBatch(std::vector<Pending> batch)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        ++batches_;
+        if (batch.size() > 1)
+            foldedRequests_ += batch.size();
+    }
+
+    if (batch.size() == 1 && !batch.front().req.batchable()) {
+        finish(batch.front(),
+               runServiceRequest(store_, batch.front().req));
+        return;
+    }
+
+    // Shared replay over the union of every member's configurations.
+    // runCacheSweep() is exact for any partitioning, so each member's
+    // manifest matches the direct path byte for byte.
+    std::map<ConfigKey, size_t> index;
+    std::vector<CacheConfig> uni;
+    for (const Pending &p : batch) {
+        for (const CacheConfig &c : p.req.configs) {
+            if (index.try_emplace(keyOf(c), uni.size()).second)
+                uni.push_back(c);
+        }
+    }
+
+    const ServiceRequest &head = batch.front().req;
+    const TexelTrace &trace = store_.trace(head.scene, head.order);
+    SceneLayout layout(store_.scene(head.scene), head.layout);
+    std::vector<CacheStats> stats = runCacheSweep(trace, layout, uni);
+
+    for (Pending &p : batch) {
+        std::vector<CacheStats> mine;
+        mine.reserve(p.req.configs.size());
+        for (const CacheConfig &c : p.req.configs)
+            mine.push_back(stats[index.at(keyOf(c))]);
+        finish(p, buildSweepManifest(p.req, mine));
+    }
+}
+
+void
+ServiceEngine::finish(Pending &p, std::string body)
+{
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - p.enqueued)
+                  .count();
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        latencyUs_.sample(static_cast<uint64_t>(us));
+    }
+    p.promise.set_value(std::move(body));
+}
+
+} // namespace service
+} // namespace texcache

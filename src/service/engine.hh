@@ -1,0 +1,157 @@
+/**
+ * @file
+ * texcached service engine: admission control, request batching, and
+ * service-latency statistics over the uniform request runner.
+ *
+ * The engine owns one dispatcher thread and one bounded request
+ * queue. submit() parses and validates on the submitting thread (so
+ * hostile bytes never reach the dispatcher) and returns a future that
+ * resolves to the response body - a deterministic manifest on
+ * success, a typed error JSON otherwise. Admission control is
+ * submit-time: when the queue is at depth, the request is rejected
+ * with a queue_full error instead of blocking the socket thread.
+ *
+ * Batching: sweep requests sharing a batch key (scene, raster order,
+ * layout - i.e. the same address-stream replay) that are queued
+ * together fold into one runCacheSweep() pass over the union of their
+ * configurations. The dispatcher waits one batch window after the
+ * first batchable request before collecting, giving concurrent
+ * clients a chance to coalesce. Because runCacheSweep() is exact for
+ * every partitioning (Mattson inclusion for FA, independent sims for
+ * SA), a folded request's manifest is byte-identical to the one the
+ * direct path produces - the property tests/test_service.cc pins.
+ *
+ * The TraceStore is not internally synchronized; the engine touches
+ * it from the dispatcher thread only. Simulation inside a pass still
+ * fans out over the process-wide sweep pool.
+ *
+ * Stats (dumped by the daemon on SIGTERM and on a "stats" control
+ * request): accepted/rejected/batched request counters, batch and
+ * fold accounting, a queue-depth distribution sampled at every
+ * enqueue, and a service-latency distribution (microseconds,
+ * enqueue -> response) whose dump carries p50/p95/p99.
+ */
+
+#ifndef TEXCACHE_SERVICE_ENGINE_HH
+#define TEXCACHE_SERVICE_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/request.hh"
+#include "stats/stats.hh"
+
+namespace texcache {
+namespace service {
+
+/** Batching + admission front end over runServiceRequest(). */
+class ServiceEngine
+{
+  public:
+    struct Options
+    {
+        size_t queueDepth = 64;     ///< admission-control bound
+        unsigned batchWindowMs = 5; ///< coalescing wait after first
+        /** Start with the dispatcher paused: requests queue but none
+         *  execute until resume(). Lets tests enqueue a known set and
+         *  assert it folds into exactly one batch. */
+        bool startPaused = false;
+    };
+
+    explicit ServiceEngine(TraceStore &store);
+    ServiceEngine(TraceStore &store, Options opts);
+
+    /** Drains the queue (every pending future resolves) and joins. */
+    ~ServiceEngine();
+
+    ServiceEngine(const ServiceEngine &) = delete;
+    ServiceEngine &operator=(const ServiceEngine &) = delete;
+
+    /**
+     * Parse, validate and enqueue one request body. The future always
+     * resolves: to a manifest for accepted simulation requests, to a
+     * control response (ping/stats/shutdown), or to a typed error
+     * body (parse_error, bad_request, queue_full, shutting_down).
+     */
+    std::future<std::string> submit(std::string_view body);
+
+    /** Hold the dispatcher (startPaused companion). */
+    void pause();
+    /** Release the dispatcher. */
+    void resume();
+
+    /**
+     * Stop admitting simulation requests; queued work still runs.
+     * Control requests keep working so a draining daemon stays
+     * observable.
+     */
+    void beginShutdown();
+
+    /** A shutdown control request was received (daemon poll). */
+    bool shutdownRequested() const;
+
+    /** Block until the queue is empty and no batch is in flight. */
+    void drain();
+
+    /** Current queue depth (tests, admission diagnostics). */
+    size_t queueDepth() const;
+
+    /** Root of the service stats tree ("service"). */
+    const stats::Group &statsRoot() const { return statsRoot_; }
+
+    /** Pretty JSON document of the stats tree (control response). */
+    std::string statsJson() const;
+
+  private:
+    struct Pending
+    {
+        ServiceRequest req;
+        std::promise<std::string> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void dispatchLoop();
+    /** Run one batch (>= 1 request, all same key when > 1). */
+    void runBatch(std::vector<Pending> batch);
+    /** Resolve one pending request and record its latency. */
+    void finish(Pending &p, std::string body);
+
+    TraceStore &store_;
+    Options opts_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;      ///< dispatcher wakeups
+    std::condition_variable idleCv_;  ///< drain() wakeups
+    std::deque<Pending> queue_;
+    bool paused_ = false;
+    bool stopping_ = false;   ///< destructor: exit once drained
+    bool accepting_ = true;   ///< beginShutdown clears
+    bool shutdownReq_ = false;
+    bool busy_ = false;       ///< a batch is executing
+
+    // --- statistics (guarded by mutex_) ---
+    stats::Group statsRoot_{"service"};
+    stats::Scalar &accepted_;
+    stats::Scalar &rejectedFull_;
+    stats::Scalar &rejectedParse_;
+    stats::Scalar &rejectedBad_;
+    stats::Scalar &rejectedShutdown_;
+    stats::Scalar &controlRequests_;
+    stats::Scalar &batchable_;
+    stats::Scalar &batches_;
+    stats::Scalar &foldedRequests_; ///< members of multi-request batches
+    stats::Distribution &queueDepthDist_;
+    stats::Distribution &latencyUs_;
+
+    std::thread dispatcher_;
+};
+
+} // namespace service
+} // namespace texcache
+
+#endif // TEXCACHE_SERVICE_ENGINE_HH

@@ -1,0 +1,144 @@
+#include "service/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace texcache {
+namespace service {
+
+namespace {
+
+/** Fill @p addr from @p path; false when the path does not fit. */
+bool
+unixAddr(const std::string &path, sockaddr_un &addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+bool
+readAll(int fd, char *buf, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, buf + got, n - got);
+        if (r > 0) {
+            got += static_cast<size_t>(r);
+        } else if (r < 0 && errno == EINTR) {
+            continue;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const char *buf, size_t n)
+{
+    size_t put = 0;
+    while (put < n) {
+        ssize_t r = ::write(fd, buf + put, n - put);
+        if (r > 0) {
+            put += static_cast<size_t>(r);
+        } else if (r < 0 && errno == EINTR) {
+            continue;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, int backlog)
+{
+    sockaddr_un addr;
+    if (!unixAddr(path, addr)) {
+        errno = ENAMETOOLONG;
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(fd, backlog) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    if (!unixAddr(path, addr)) {
+        errno = ENAMETOOLONG;
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    return fd;
+}
+
+bool
+readFrame(int fd, std::string &out)
+{
+    // Length line: up to 8 decimal digits then '\n', read one byte at
+    // a time (the line is tiny; the body read below is the bulk one).
+    size_t len = 0;
+    unsigned digits = 0;
+    for (;;) {
+        char c;
+        ssize_t r = ::read(fd, &c, 1);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            return false;
+        if (c == '\n')
+            break;
+        if (c < '0' || c > '9' || ++digits > 8)
+            return false;
+        len = len * 10 + static_cast<size_t>(c - '0');
+    }
+    if (digits == 0 || len > kMaxFrame)
+        return false;
+    out.resize(len);
+    return readAll(fd, out.data(), len);
+}
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    if (payload.size() > kMaxFrame)
+        return false;
+    std::string head = std::to_string(payload.size()) + "\n";
+    return writeAll(fd, head.data(), head.size()) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+} // namespace service
+} // namespace texcache

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * AF_UNIX stream transport for texcached.
+ *
+ * Framing is a decimal byte-count line ("123\n") followed by exactly
+ * that many payload bytes, in both directions. The count line keeps
+ * the protocol greppable (socat/nc debugging) while still letting
+ * responses carry arbitrary JSON, including embedded newlines from
+ * pretty-printed stats dumps. Frames are bounded (kMaxFrame) so a
+ * hostile peer cannot make the daemon allocate unbounded memory.
+ *
+ * All helpers return -1/false with errno preserved instead of
+ * throwing; the daemon treats any transport error as "drop this
+ * connection", never as fatal.
+ */
+
+#ifndef TEXCACHE_SERVICE_SOCKET_HH
+#define TEXCACHE_SERVICE_SOCKET_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace texcache {
+namespace service {
+
+/** Largest frame either side will accept (1MB body + slack). */
+constexpr size_t kMaxFrame = (1 << 20) + 4096;
+
+/** Bind + listen on a unix socket at @p path (unlinks stale files).
+ *  @return listening fd, or -1. */
+int listenUnix(const std::string &path, int backlog = 64);
+
+/** Connect to the daemon at @p path. @return fd, or -1. */
+int connectUnix(const std::string &path);
+
+/**
+ * Read one length-prefixed frame into @p out.
+ * @return true on a complete frame; false on EOF before any byte
+ * (clean close), a malformed/oversized length line, or a short body.
+ */
+bool readFrame(int fd, std::string &out);
+
+/** Write one length-prefixed frame. @return false on any error. */
+bool writeFrame(int fd, std::string_view payload);
+
+} // namespace service
+} // namespace texcache
+
+#endif // TEXCACHE_SERVICE_SOCKET_HH

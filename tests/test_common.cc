@@ -186,3 +186,165 @@ TEST(JsonWriter, EscapesKeysToo)
     }
     EXPECT_EQ(os.str(), "{\"we\\\"ird\\nkey\":1}");
 }
+
+// --- json::parse (the reader half of the round trip) -----------------
+
+#include "common/json_reader.hh"
+
+namespace {
+
+json::Value
+parseOk(std::string_view text)
+{
+    json::Value v;
+    json::ParseError err;
+    EXPECT_TRUE(json::parse(text, v, err)) << err.message;
+    return v;
+}
+
+json::ParseError
+parseErr(std::string_view text)
+{
+    json::Value v;
+    json::ParseError err;
+    EXPECT_FALSE(json::parse(text, v, err));
+    return err;
+}
+
+} // namespace
+
+TEST(JsonReader, ParsesScalarsAndContainers)
+{
+    json::Value v = parseOk(
+        R"({"n": null, "t": true, "f": false, "num": -12.5e1,)"
+        R"( "s": "hi", "a": [1, 2, 3], "o": {"k": 7}})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_TRUE(v.find("n")->isNull());
+    EXPECT_TRUE(v.find("t")->boolean());
+    EXPECT_FALSE(v.find("f")->boolean());
+    EXPECT_DOUBLE_EQ(v.find("num")->number(), -125.0);
+    EXPECT_EQ(v.find("s")->str(), "hi");
+    ASSERT_EQ(v.find("a")->size(), 3u);
+    EXPECT_EQ(v.find("a")->at(2).u64(), 3u);
+    EXPECT_EQ(v.find("o")->find("k")->u64(), 7u);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReader, ExactIntegerDetection)
+{
+    EXPECT_TRUE(parseOk("1024").isU64());
+    EXPECT_EQ(parseOk("1024").u64(), 1024u);
+    EXPECT_FALSE(parseOk("-3").isU64());
+    EXPECT_FALSE(parseOk("1.5").isU64());
+    // 2^40 survives the double round trip exactly.
+    EXPECT_EQ(parseOk("1099511627776").u64(), 1099511627776ull);
+}
+
+TEST(JsonReader, RejectsTrailingGarbage)
+{
+    json::ParseError e = parseErr("{\"a\": 1} x");
+    EXPECT_EQ(e.kind, json::ParseError::Kind::TrailingGarbage);
+    EXPECT_STREQ(e.code(), "trailing_garbage");
+    // Trailing whitespace is fine.
+    parseOk("{\"a\": 1}  \n\t ");
+    // Two top-level values are not.
+    EXPECT_EQ(parseErr("1 2").kind,
+              json::ParseError::Kind::TrailingGarbage);
+}
+
+TEST(JsonReader, RejectsDepthBeyondLimit)
+{
+    std::string deep(json::kMaxDepth, '[');
+    deep += std::string(json::kMaxDepth, ']');
+    parseOk(deep); // exactly kMaxDepth nests is legal
+    std::string toodeep = "[" + deep + "]";
+    json::ParseError e = parseErr(toodeep);
+    EXPECT_EQ(e.kind, json::ParseError::Kind::TooDeep);
+    EXPECT_STREQ(e.code(), "too_deep");
+}
+
+TEST(JsonReader, TypedErrorsCarryOffsets)
+{
+    json::ParseError e = parseErr("{\"a\": @}");
+    EXPECT_EQ(e.kind, json::ParseError::Kind::BadToken);
+    EXPECT_EQ(e.offset, 6u);
+
+    EXPECT_EQ(parseErr("{\"a\": 1").kind,
+              json::ParseError::Kind::Truncated);
+    EXPECT_EQ(parseErr("\"ab").kind,
+              json::ParseError::Kind::BadString);
+    EXPECT_EQ(parseErr("\"a\\q\"").kind,
+              json::ParseError::Kind::BadEscape);
+    EXPECT_EQ(parseErr("01").kind,
+              json::ParseError::Kind::TrailingGarbage);
+    EXPECT_EQ(parseErr("-x").kind,
+              json::ParseError::Kind::BadNumber);
+    EXPECT_EQ(parseErr("1.e3").kind,
+              json::ParseError::Kind::BadNumber);
+    EXPECT_EQ(parseErr("").kind, json::ParseError::Kind::Truncated);
+}
+
+TEST(JsonReader, RejectsRawControlCharactersInStrings)
+{
+    EXPECT_EQ(parseErr(std::string_view("\"a\nb\"", 5)).kind,
+              json::ParseError::Kind::BadString);
+}
+
+TEST(JsonReader, DecodesEscapesAndSurrogatePairs)
+{
+    json::Value v = parseOk(R"("a\"\\\/\b\f\n\r\tz")");
+    EXPECT_EQ(v.str(), "a\"\\/\b\f\n\r\tz");
+    // \u escapes: BMP, and an emoji via a surrogate pair.
+    EXPECT_EQ(parseOk(R"("\u0041")").str(), "A");
+    EXPECT_EQ(parseOk(R"("\u00e9")").str(), "\xc3\xa9");
+    EXPECT_EQ(parseOk(R"("\u2603")").str(), "\xe2\x98\x83");
+    EXPECT_EQ(parseOk(R"("\ud83c\udfa8")").str(),
+              "\xf0\x9f\x8e\xa8");
+    // Broken surrogate pairs are typed escape errors.
+    EXPECT_EQ(parseErr(R"("\ud83c")").kind,
+              json::ParseError::Kind::BadEscape);
+    EXPECT_EQ(parseErr(R"("\udfa8")").kind,
+              json::ParseError::Kind::BadEscape);
+    EXPECT_EQ(parseErr(R"("\ud83cx")").kind,
+              json::ParseError::Kind::BadEscape);
+}
+
+TEST(JsonReader, RoundTripsJsonWriterOutput)
+{
+    // Everything the writer can emit - escapes, control characters,
+    // UTF-8, nested containers, numbers - must parse back to the same
+    // logical document. The writer is the reference implementation for
+    // the harness's escaping rules.
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*pretty=*/true);
+        w.beginObject();
+        w.kv("quote", "say \"hi\"");
+        w.kv("back", "C:\\temp");
+        w.kv("ctrl", std::string_view("a\0\x01\n\x1f", 5));
+        w.kv("utf8", "caf\xc3\xa9 \xe2\x98\x83 \xf0\x9f\x8e\xa8");
+        w.kv("u", uint64_t(18446744073709549568ull));
+        w.kv("neg", int64_t(-42));
+        w.kv("pi", 3.25);
+        w.key("nested");
+        w.beginArray();
+        w.beginObject();
+        w.kv("deep", true);
+        w.endObject();
+        w.value(false);
+        w.endArray();
+        w.endObject();
+    }
+    json::Value v = parseOk(os.str());
+    EXPECT_EQ(v.find("quote")->str(), "say \"hi\"");
+    EXPECT_EQ(v.find("back")->str(), "C:\\temp");
+    EXPECT_EQ(v.find("ctrl")->str(),
+              std::string("a\0\x01\n\x1f", 5));
+    EXPECT_EQ(v.find("utf8")->str(),
+              "caf\xc3\xa9 \xe2\x98\x83 \xf0\x9f\x8e\xa8");
+    EXPECT_EQ(v.find("u")->u64(), 18446744073709549568ull);
+    EXPECT_DOUBLE_EQ(v.find("neg")->number(), -42.0);
+    EXPECT_DOUBLE_EQ(v.find("pi")->number(), 3.25);
+    EXPECT_TRUE(v.find("nested")->at(0).find("deep")->boolean());
+    EXPECT_FALSE(v.find("nested")->at(1).boolean());
+}

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * texcached service layer tests: request parsing/validation against
+ * the experiment registry, typed error bodies, engine coalescing and
+ * admission control, and byte-identity between the engine's batched
+ * responses and the direct library path.
+ *
+ * Everything runs on tiny quad scenes so the whole file simulates in
+ * well under a second; no sockets are involved (the daemon is a thin
+ * framing shell over the same engine).
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/json_reader.hh"
+#include "service/engine.hh"
+#include "service/request.hh"
+
+using namespace texcache;
+using namespace texcache::service;
+
+namespace {
+
+/** A small sweep body over the shared quad replay. */
+std::string
+sweepBody(const std::string &name, const std::string &configs)
+{
+    return "{\"kind\":\"sweep\",\"name\":\"" + name +
+           "\",\"scene\":\"quad\",\"quad\":{\"tex\":64,"
+           "\"screen\":64},\"order\":\"horizontal\","
+           "\"layout\":{\"kind\":\"blocked\",\"block_w\":4,"
+           "\"block_h\":4}," +
+           configs + "}";
+}
+
+/** Parse @p body and expect success. */
+ServiceRequest
+mustParse(const std::string &body)
+{
+    ServiceRequest req;
+    RequestError err = parseRequest(body, req);
+    EXPECT_FALSE(err) << err.message;
+    return req;
+}
+
+/** Expect @p body to fail with @p code; return the message. */
+std::string
+mustFail(const std::string &body, RequestError::Code code)
+{
+    ServiceRequest req;
+    RequestError err = parseRequest(body, req);
+    EXPECT_TRUE(err) << "body unexpectedly parsed: " << body;
+    EXPECT_EQ(int(code), int(err.code)) << err.message;
+    return err.message;
+}
+
+/** The error-body JSON must itself parse and carry the wire code. */
+void
+checkErrorBody(const std::string &resp, const std::string &code)
+{
+    json::Value v;
+    json::ParseError jerr;
+    ASSERT_TRUE(json::parse(resp, v, jerr)) << resp;
+    ASSERT_TRUE(v.isObject());
+    ASSERT_NE(nullptr, v.find("status"));
+    EXPECT_EQ("error", v.find("status")->str());
+    ASSERT_NE(nullptr, v.find("code"));
+    EXPECT_EQ(code, v.find("code")->str());
+    ASSERT_NE(nullptr, v.find("message"));
+}
+
+} // namespace
+
+TEST(ServiceRequest, ParsesFullSweep)
+{
+    ServiceRequest req = mustParse(sweepBody(
+        "t", "\"sweep\":{\"sizes\":[1024,2048],\"lines\":[32],"
+             "\"assocs\":[0,2]}"));
+    EXPECT_EQ(ServiceRequest::Kind::Sweep, req.kind);
+    EXPECT_EQ("t", req.name);
+    ASSERT_EQ(4u, req.configs.size());
+    // Product order: lines, then assocs, then sizes.
+    EXPECT_EQ(1024u, req.configs[0].sizeBytes);
+    EXPECT_EQ(CacheConfig::kFullyAssoc, req.configs[0].assoc);
+    EXPECT_EQ(2u, req.configs[2].assoc);
+    EXPECT_TRUE(req.batchable());
+    EXPECT_FALSE(req.control());
+}
+
+TEST(ServiceRequest, TypedParseAndValidationErrors)
+{
+    mustFail("not json at all", RequestError::Code::Parse);
+    mustFail("{\"kind\":\"sweep\"} trailing",
+             RequestError::Code::Parse);
+    mustFail("{}", RequestError::Code::BadRequest); // kind missing
+    mustFail("{\"kind\":\"explode\"}", RequestError::Code::BadRequest);
+
+    // Registry misses name the offending value.
+    std::string msg = mustFail(
+        "{\"kind\":\"sweep\",\"scene\":\"Atrium\","
+        "\"configs\":[{\"size\":1024,\"line\":32}]}",
+        RequestError::Code::BadRequest);
+    EXPECT_NE(std::string::npos, msg.find("Atrium"));
+
+    // Everything that would panic deeper in the stack is caught here.
+    mustFail(sweepBody("t", "\"configs\":[{\"size\":1000,"
+                            "\"line\":32}]"),
+             RequestError::Code::BadRequest); // non-pow2 size
+    mustFail(sweepBody("t", "\"configs\":[{\"size\":1024,"
+                            "\"line\":48}]"),
+             RequestError::Code::BadRequest); // non-pow2 line
+    mustFail(sweepBody("t", "\"configs\":[{\"size\":1024,"
+                            "\"line\":32,\"assoc\":3}]"),
+             RequestError::Code::BadRequest); // non-pow2 assoc
+    mustFail(sweepBody("t", "\"configs\":[]"),
+             RequestError::Code::BadRequest);
+    mustFail(sweepBody("t", "\"configs\":[{\"size\":1024,"
+                            "\"line\":32}],\"bogus\":1"),
+             RequestError::Code::BadRequest); // unknown field
+    mustFail(sweepBody("bad name!", "\"configs\":[{\"size\":1024,"
+                                    "\"line\":32}]"),
+             RequestError::Code::BadRequest); // name charset
+
+    // Kind-specific shape constraints.
+    mustFail("{\"kind\":\"classify\",\"scene\":\"quad\","
+             "\"configs\":[{\"size\":1024,\"line\":32},"
+             "{\"size\":2048,\"line\":32}]}",
+             RequestError::Code::BadRequest); // classify wants one
+    mustFail("{\"kind\":\"working_set\",\"scene\":\"quad\","
+             "\"configs\":[{\"size\":1024,\"line\":32,"
+             "\"assoc\":2}]}",
+             RequestError::Code::BadRequest); // working_set wants FA
+    mustFail(sweepBody("t", "\"configs\":[{\"size\":1024,"
+                            "\"line\":32}],\"capture\":0.9"),
+             RequestError::Code::BadRequest); // capture: ws only
+}
+
+TEST(ServiceRequest, BatchKeyTracksReplayIdentity)
+{
+    ServiceRequest a = mustParse(sweepBody(
+        "a", "\"configs\":[{\"size\":1024,\"line\":32}]"));
+    ServiceRequest b = mustParse(sweepBody(
+        "b", "\"configs\":[{\"size\":8192,\"line\":64}]"));
+    // Same scene/order/layout: configs do not split a batch.
+    EXPECT_EQ(a.batchKey(), b.batchKey());
+
+    ServiceRequest c = mustParse(
+        "{\"kind\":\"sweep\",\"scene\":\"quad\",\"quad\":{\"tex\":64,"
+        "\"screen\":64},\"order\":\"vertical\","
+        "\"layout\":{\"kind\":\"blocked\",\"block_w\":4,"
+        "\"block_h\":4},\"configs\":[{\"size\":1024,\"line\":32}]}");
+    EXPECT_NE(a.batchKey(), c.batchKey()); // order differs
+
+    ServiceRequest d = mustParse(sweepBody(
+        "d", "\"configs\":[{\"size\":1024,\"line\":32}]"));
+    d.layout.blockW = 8;
+    EXPECT_NE(a.batchKey(), d.batchKey()); // layout differs
+}
+
+TEST(ServiceRequest, DirectRunnerIsDeterministic)
+{
+    TraceStore store;
+    ServiceRequest req = mustParse(sweepBody(
+        "det", "\"sweep\":{\"sizes\":[1024,4096],\"lines\":[32]}"));
+    std::string first = runServiceRequest(store, req);
+    std::string second = runServiceRequest(store, req);
+    EXPECT_EQ(first, second);
+
+    // A fresh store (fresh render) must still produce the same bytes.
+    TraceStore other;
+    EXPECT_EQ(first, runServiceRequest(other, req));
+
+    // The manifest is schema-conformant JSON with the exact metrics.
+    json::Value v;
+    json::ParseError jerr;
+    ASSERT_TRUE(json::parse(first, v, jerr)) << jerr.message;
+    EXPECT_EQ("texcache-bench-1", v.find("schema")->str());
+    EXPECT_EQ("det", v.find("bench")->str());
+    EXPECT_EQ(nullptr, v.find("env")); // deterministic mode
+    EXPECT_DOUBLE_EQ(0.0, v.find("wall_ms")->number());
+    const json::Value *metrics = v.find("metrics");
+    ASSERT_NE(nullptr, metrics);
+    EXPECT_DOUBLE_EQ(
+        2.0, metrics->find("configs")->find("value")->number());
+}
+
+TEST(ServiceEngine, CoalescesIdenticalRequests)
+{
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.batchWindowMs = 0;
+    opts.startPaused = true;
+    ServiceEngine engine(store, opts);
+
+    const std::string body = sweepBody(
+        "hot", "\"sweep\":{\"sizes\":[1024,2048,4096],"
+               "\"lines\":[32]}");
+    std::vector<std::future<std::string>> futures;
+    for (int i = 0; i < 6; ++i)
+        futures.push_back(engine.submit(body));
+    EXPECT_EQ(6u, engine.queueDepth());
+    engine.resume();
+
+    std::vector<std::string> responses;
+    for (auto &f : futures)
+        responses.push_back(f.get());
+    for (const std::string &r : responses)
+        EXPECT_EQ(responses.front(), r);
+
+    // All six folded into exactly one shared pass.
+    const stats::Group &s = engine.statsRoot();
+    EXPECT_EQ(1.0, s.value("batches"));
+    EXPECT_EQ(6.0, s.value("folded"));
+    EXPECT_EQ(6.0, s.value("batchable"));
+    EXPECT_EQ(6.0, s.value("fold_factor"));
+    EXPECT_EQ(6.0, s.value("latency_us")); // distribution count
+
+    // And the folded response matches the direct path byte for byte.
+    TraceStore ref;
+    EXPECT_EQ(runServiceRequest(ref, mustParse(body)),
+              responses.front());
+}
+
+TEST(ServiceEngine, BatchesSplitOnReplayKeyAndUnionConfigs)
+{
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.batchWindowMs = 0;
+    opts.startPaused = true;
+    ServiceEngine engine(store, opts);
+
+    // Two members share a key with different configs (union pass);
+    // the third simulates another order entirely.
+    std::string a =
+        sweepBody("a", "\"configs\":[{\"size\":1024,\"line\":32}]");
+    std::string b = sweepBody(
+        "b", "\"configs\":[{\"size\":4096,\"line\":32,"
+             "\"assoc\":2},{\"size\":1024,\"line\":32}]");
+    std::string c =
+        "{\"kind\":\"sweep\",\"name\":\"c\",\"scene\":\"quad\","
+        "\"quad\":{\"tex\":64,\"screen\":64},"
+        "\"order\":\"vertical\",\"layout\":{\"kind\":\"blocked\","
+        "\"block_w\":4,\"block_h\":4},"
+        "\"configs\":[{\"size\":1024,\"line\":32}]}";
+
+    auto fa = engine.submit(a);
+    auto fb = engine.submit(b);
+    auto fc = engine.submit(c);
+    engine.resume();
+
+    std::string ra = fa.get(), rb = fb.get(), rc = fc.get();
+    EXPECT_EQ(2.0, engine.statsRoot().value("batches"));
+    EXPECT_EQ(2.0, engine.statsRoot().value("folded"));
+
+    TraceStore ref;
+    EXPECT_EQ(runServiceRequest(ref, mustParse(a)), ra);
+    EXPECT_EQ(runServiceRequest(ref, mustParse(b)), rb);
+    EXPECT_EQ(runServiceRequest(ref, mustParse(c)), rc);
+}
+
+TEST(ServiceEngine, AdmissionControlRejectsAtDepth)
+{
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.queueDepth = 2;
+    opts.batchWindowMs = 0;
+    opts.startPaused = true;
+    ServiceEngine engine(store, opts);
+
+    std::string body =
+        sweepBody("q", "\"configs\":[{\"size\":1024,\"line\":32}]");
+    auto f1 = engine.submit(body);
+    auto f2 = engine.submit(body);
+    auto f3 = engine.submit(body); // over depth: rejected immediately
+
+    std::string r3 = f3.get();
+    checkErrorBody(r3, "queue_full");
+    EXPECT_EQ(1.0, engine.statsRoot().value("rejected_queue_full"));
+    EXPECT_EQ(2.0, engine.statsRoot().value("accepted"));
+
+    engine.resume();
+    EXPECT_EQ(f1.get(), f2.get()); // queued work still completes
+}
+
+TEST(ServiceEngine, MalformedAndControlRequests)
+{
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.batchWindowMs = 0;
+    ServiceEngine engine(store, opts);
+
+    checkErrorBody(engine.submit("{{{{").get(), "parse_error");
+    checkErrorBody(engine.submit("{\"kind\":\"nope\"}").get(),
+                   "bad_request");
+    EXPECT_EQ(1.0, engine.statsRoot().value("rejected_parse"));
+    EXPECT_EQ(1.0, engine.statsRoot().value("rejected_bad_request"));
+
+    // Ping answers inline; stats dumps the tree as JSON.
+    EXPECT_NE(std::string::npos,
+              engine.submit("{\"kind\":\"ping\"}").get().find(
+                  "\"ok\""));
+    json::Value stats;
+    json::ParseError jerr;
+    ASSERT_TRUE(json::parse(engine.submit("{\"kind\":\"stats\"}").get(),
+                            stats, jerr));
+    ASSERT_NE(nullptr, stats.find("accepted"));
+
+    // Shutdown flips admission to shutting_down for new work.
+    EXPECT_FALSE(engine.shutdownRequested());
+    engine.submit("{\"kind\":\"shutdown\"}").get();
+    EXPECT_TRUE(engine.shutdownRequested());
+    checkErrorBody(
+        engine.submit(
+                  sweepBody("late", "\"configs\":[{\"size\":1024,"
+                                    "\"line\":32}]"))
+            .get(),
+        "shutting_down");
+}
+
+TEST(ServiceEngine, ByteIdentityAcrossRepresentativeKinds)
+{
+    // Three representative configs, engine running normally (batch
+    // window on, nothing paused) vs the direct library path.
+    const std::string bodies[] = {
+        // 1: mixed FA + SA sweep over one replay
+        sweepBody("rep-sweep",
+                  "\"sweep\":{\"sizes\":[1024,2048,4096,8192],"
+                  "\"lines\":[32],\"assocs\":[0,2]}"),
+        // 2: 3-C classification of a single config
+        "{\"kind\":\"classify\",\"name\":\"rep-classify\","
+        "\"scene\":\"quad\",\"quad\":{\"tex\":64,\"screen\":64},"
+        "\"order\":\"horizontal\",\"layout\":{\"kind\":\"blocked\","
+        "\"block_w\":4,\"block_h\":4},"
+        "\"configs\":[{\"size\":2048,\"line\":32,\"assoc\":2}]}",
+        // 3: working-set scan over an FA capacity sweep
+        "{\"kind\":\"working_set\",\"name\":\"rep-ws\","
+        "\"scene\":\"quad\",\"quad\":{\"tex\":64,\"screen\":64},"
+        "\"order\":\"horizontal\",\"layout\":{\"kind\":\"blocked\","
+        "\"block_w\":4,\"block_h\":4},\"capture\":0.9,"
+        "\"sweep\":{\"sizes\":[512,1024,2048,4096,8192],"
+        "\"lines\":[32]}}",
+    };
+
+    TraceStore store;
+    ServiceEngine engine(store, ServiceEngine::Options{});
+    TraceStore ref;
+    for (const std::string &body : bodies) {
+        SCOPED_TRACE(body);
+        std::string direct = runServiceRequest(ref, mustParse(body));
+        EXPECT_EQ(direct, engine.submit(body).get());
+    }
+}

@@ -18,9 +18,16 @@ baseline: a metric the baseline gates on must exist in the fresh run.
 Exit status: 0 when every gated metric passes, 1 on any regression or
 missing metric, 2 on malformed input.
 
+--against compares two manifests structurally instead: every JSON
+path of both documents must match exactly (values, types, presence).
+That is the gate for deterministic-mode manifests, e.g. a texcached
+response saved next to the equivalent direct batch-CLI run; it exits
+1 listing the first differing paths.
+
 Usage:
   tools/check_bench.py BASELINE FRESH [--tolerance T]
                        [--metric NAME=TOL]... [--quiet]
+  tools/check_bench.py MANIFEST --against OTHER
   tools/check_bench.py MANIFEST --list-metrics
 """
 
@@ -119,6 +126,51 @@ def check_metric(name, base_metric, fresh_metric, fresh_names, args):
                 f"tolerance {tol:g} ({src}) [{verdict}]")
 
 
+def diff_paths(a, b, path, out, limit=50):
+    """Collect dotted paths where two JSON documents differ."""
+    if len(out) >= limit:
+        return
+    if type(a) is not type(b):
+        out.append(f"{path or '(root)'}: type {type(a).__name__} vs "
+                   f"{type(b).__name__}")
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else key
+            if key not in a:
+                out.append(f"{sub}: only in second manifest")
+            elif key not in b:
+                out.append(f"{sub}: only in first manifest")
+            else:
+                diff_paths(a[key], b[key], sub, out, limit)
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} vs {len(b)}")
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff_paths(x, y, f"{path}[{i}]", out, limit)
+    elif a != b:
+        out.append(f"{path}: {a!r} vs {b!r}")
+
+
+def compare_against(path_a, path_b):
+    """Structural equality gate between two manifests."""
+    doc_a = load_manifest(path_a)
+    doc_b = load_manifest(path_b)
+    diffs = []
+    diff_paths(doc_a, doc_b, "", diffs)
+    if diffs:
+        print(f"check_bench: {path_a} differs from {path_b}:")
+        for d in diffs:
+            print(f"  {d}")
+        print(f"check_bench: FAIL ({len(diffs)} differing path"
+              f"{'s' if len(diffs) != 1 else ''} shown)")
+        return 1
+    print(f"check_bench: {path_a} and {path_b} are structurally "
+          f"identical")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Compare a fresh bench run manifest against a "
@@ -126,6 +178,10 @@ def main():
     ap.add_argument("baseline", help="committed baseline BENCH_*.json")
     ap.add_argument("fresh", nargs="?", default=None,
                     help="freshly produced BENCH_*.json")
+    ap.add_argument("--against", default=None, metavar="OTHER",
+                    help="compare the first manifest structurally "
+                         "against OTHER (every JSON path must match "
+                         "exactly) and exit")
     ap.add_argument("--list-metrics", action="store_true",
                     help="list the first manifest's metrics (name, "
                          "value, direction, tolerance) and exit")
@@ -149,6 +205,8 @@ def main():
         except ValueError:
             ap.error(f"--metric {spec!r}: {tol!r} is not a number")
 
+    if args.against is not None:
+        return compare_against(args.baseline, args.against)
     base_doc = load_manifest(args.baseline)
     if args.list_metrics:
         list_metrics(base_doc)

@@ -1,7 +1,13 @@
 #!/bin/sh
 # Regenerate every figure/table of the reproduction into results/.
-# Usage: tools/run_all.sh [--fail-fast] [build_dir] [out_dir]
+# Usage: tools/run_all.sh [--fail-fast] [--service] [build_dir] [out_dir]
 # Set TEXCACHE_CSV=1 for machine-readable output.
+#
+# With --service, the run additionally starts the texcached daemon on
+# a socket under $OUT, drives it with texcached_load (8 clients, 1000
+# mixed requests, byte-identity + fold assertions), and records the
+# result as one more row in run_manifest.json; the gated
+# BENCH_texcached.json lands in $OUT like every other bench manifest.
 #
 # Each bench writes stdout to $OUT/<name>.txt and stderr to
 # $OUT/<name>.err. By default a failing bench does not stop the run;
@@ -23,16 +29,27 @@
 # wall-clock plus the totals.
 set -u
 FAIL_FAST=0
-case "${1:-}" in
-    --fail-fast)
-        FAIL_FAST=1
-        shift
-        ;;
-    --*)
-        echo "usage: tools/run_all.sh [--fail-fast] [build_dir] [out_dir]" >&2
-        exit 2
-        ;;
-esac
+SERVICE=0
+while :; do
+    case "${1:-}" in
+        --fail-fast)
+            FAIL_FAST=1
+            shift
+            ;;
+        --service)
+            SERVICE=1
+            shift
+            ;;
+        --*)
+            echo "usage: tools/run_all.sh [--fail-fast] [--service]" \
+                 "[build_dir] [out_dir]" >&2
+            exit 2
+            ;;
+        *)
+            break
+            ;;
+    esac
+done
 BUILD="${1:-build}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
@@ -111,6 +128,47 @@ $row"
         break
     fi
 done
+# --service: one daemon round-trip smoke on top of the batch benches.
+# The daemon drains itself via the load driver's --shutdown control
+# request; --once is a belt-and-braces idle exit if the driver dies.
+if [ "$SERVICE" = 1 ] && { [ "$FAIL_FAST" = 0 ] || [ -z "$failed" ]; }; then
+    name=texcached
+    SOCK="$OUT/texcached.sock"
+    start=$(date +%s)
+    "$BUILD/tools/texcached" --socket "$SOCK" --once --idle-ms 10000 \
+        > "$OUT/$name.daemon.txt" 2> "$OUT/$name.daemon.err" &
+    daemon_pid=$!
+    tries=0
+    while [ ! -S "$SOCK" ] && [ "$tries" -lt 100 ]; do
+        sleep 0.1
+        tries=$((tries + 1))
+    done
+    if "$BUILD/tools/texcached_load" --socket "$SOCK" --clients 8 \
+        --requests 1000 --min-fold 1.5 --shutdown \
+        > "$OUT/$name.txt" 2> "$OUT/$name.err" && wait "$daemon_pid"
+    then
+        status=ok
+        npass=$((npass + 1))
+    else
+        echo "== $name FAILED; see $OUT/$name.err and $OUT/$name.daemon.err" >&2
+        failed="$failed $name"
+        status=FAILED
+        nfail=$((nfail + 1))
+        kill "$daemon_pid" 2> /dev/null
+        wait "$daemon_pid" 2> /dev/null
+    fi
+    end=$(date +%s)
+    elapsed=$((end - start))
+    total=$((total + elapsed))
+    echo "== $name ${elapsed}s (cumulative ${total}s) $status"
+    row="    {\"bench\": \"$name\", \"status\": \"$status\", \"seconds\": $elapsed}"
+    if [ -n "$rows" ]; then
+        rows="$rows,
+$row"
+    else
+        rows="$row"
+    fi
+fi
 {
     printf '{\n'
     printf '  "schema": "texcache-runall-1",\n'

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * texcached: the simulation-as-a-service daemon.
+ *
+ * Serves texcache-bench-1 manifests over an AF_UNIX socket. One
+ * frame in (a JSON request, service/request.hh schema), one frame
+ * out (the deterministic manifest, or a typed error body). Each
+ * accepted connection gets its own thread that blocks on the
+ * ServiceEngine future; concurrency, batching and admission control
+ * all live in the engine (service/engine.hh). One process-wide
+ * TraceStore memoizes rendered traces across every request.
+ *
+ * Lifecycle: SIGINT/SIGTERM (self-pipe, async-signal-safe) and the
+ * "shutdown" control request all take the same drain path - stop
+ * accepting, let queued work finish, resolve every in-flight future,
+ * dump the service stats tree to stderr and SERVICE_texcached.json
+ * (TEXCACHE_STATS_DIR aware), flush the tracing rings when
+ * TEXCACHE_TRACE is on, then exit 0. --once adds an idle timeout:
+ * after --idle-ms with no connections and an empty queue the daemon
+ * drains itself, which gives CI a deterministic end without kill(1).
+ *
+ * Usage:
+ *   texcached --socket /tmp/texcached.sock [--queue-depth 64]
+ *             [--batch-window-ms 5] [--once] [--idle-ms 2000]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "service/engine.hh"
+#include "service/socket.hh"
+#include "tracing/tracing.hh"
+
+using namespace texcache;
+using namespace texcache::service;
+
+namespace {
+
+int gSignalPipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    char b = 1;
+    // Best effort; the pipe is non-blocking and one byte suffices.
+    [[maybe_unused]] ssize_t r = ::write(gSignalPipe[1], &b, 1);
+}
+
+struct Args
+{
+    std::string socketPath = "texcached.sock";
+    size_t queueDepth = 64;
+    unsigned batchWindowMs = 5;
+    bool once = false;
+    unsigned idleMs = 2000;
+};
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "texcached: " << what
+                          << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--socket") {
+            const char *v = next("--socket");
+            if (!v)
+                return false;
+            args.socketPath = v;
+        } else if (a == "--queue-depth") {
+            const char *v = next("--queue-depth");
+            if (!v)
+                return false;
+            args.queueDepth = std::strtoul(v, nullptr, 10);
+        } else if (a == "--batch-window-ms") {
+            const char *v = next("--batch-window-ms");
+            if (!v)
+                return false;
+            args.batchWindowMs = std::strtoul(v, nullptr, 10);
+        } else if (a == "--once") {
+            args.once = true;
+        } else if (a == "--idle-ms") {
+            const char *v = next("--idle-ms");
+            if (!v)
+                return false;
+            args.idleMs = std::strtoul(v, nullptr, 10);
+        } else if (a == "--help" || a == "-h") {
+            std::cout
+                << "usage: texcached [--socket PATH] "
+                   "[--queue-depth N]\n"
+                   "                 [--batch-window-ms N] [--once] "
+                   "[--idle-ms N]\n";
+            return false;
+        } else {
+            std::cerr << "texcached: unknown option " << a << "\n";
+            return false;
+        }
+        if (args.queueDepth == 0) {
+            std::cerr << "texcached: --queue-depth must be > 0\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Open client connections, so shutdown can unblock their reads. */
+class ConnRegistry
+{
+  public:
+    void
+    add(int fd)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        fds_.insert(fd);
+    }
+
+    void
+    remove(int fd)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        fds_.erase(fd);
+    }
+
+    size_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return fds_.size();
+    }
+
+    /** SHUT_RDWR every live connection (readers return immediately). */
+    void
+    shutdownAll()
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (int fd : fds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::set<int> fds_;
+};
+
+std::string
+statsDumpPath()
+{
+    const char *dir = std::getenv("TEXCACHE_STATS_DIR");
+    std::string name = "SERVICE_texcached.json";
+    if (dir && *dir)
+        return std::string(dir) + "/" + name;
+    return name;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return 2;
+
+    if (::pipe(gSignalPipe) != 0) {
+        std::cerr << "texcached: pipe: " << std::strerror(errno)
+                  << "\n";
+        return 1;
+    }
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    int listenFd = listenUnix(args.socketPath);
+    if (listenFd < 0) {
+        std::cerr << "texcached: cannot listen on " << args.socketPath
+                  << ": " << std::strerror(errno) << "\n";
+        return 1;
+    }
+
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.queueDepth = args.queueDepth;
+    opts.batchWindowMs = args.batchWindowMs;
+    ServiceEngine engine(store, opts);
+
+    inform("texcached listening on ", args.socketPath,
+           " (queue depth ", args.queueDepth, ", batch window ",
+           args.batchWindowMs, "ms", args.once ? ", --once" : "", ")");
+
+    ConnRegistry conns;
+    std::mutex threadsMutex;
+    std::vector<std::thread> threads;
+    // Any accept or completed request refreshes the idle clock.
+    std::atomic<int64_t> lastActivityMs{
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count()};
+    auto touchActivity = [&lastActivityMs] {
+        lastActivityMs.store(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    };
+
+    auto serveConnection = [&](int fd) {
+        std::string body;
+        while (readFrame(fd, body)) {
+            std::string resp = engine.submit(body).get();
+            touchActivity();
+            bool wrote = writeFrame(fd, resp);
+            if (engine.shutdownRequested())
+                onSignal(0); // wake the accept loop; same drain path
+            if (!wrote)
+                break;
+        }
+        conns.remove(fd);
+        ::close(fd);
+        touchActivity();
+    };
+
+    for (;;) {
+        pollfd fds[2] = {{listenFd, POLLIN, 0},
+                         {gSignalPipe[0], POLLIN, 0}};
+        int r = ::poll(fds, 2, 100);
+        if (r < 0 && errno != EINTR)
+            break;
+
+        if (r > 0 && (fds[1].revents & POLLIN))
+            break; // signal or shutdown request
+
+        if (r > 0 && (fds[0].revents & POLLIN)) {
+            int cfd = ::accept(listenFd, nullptr, nullptr);
+            if (cfd >= 0) {
+                conns.add(cfd);
+                touchActivity();
+                std::lock_guard<std::mutex> lk(threadsMutex);
+                threads.emplace_back(serveConnection, cfd);
+            }
+        }
+
+        if (args.once && conns.count() == 0 &&
+            engine.queueDepth() == 0) {
+            int64_t now =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now()
+                        .time_since_epoch())
+                    .count();
+            if (now - lastActivityMs.load() >=
+                static_cast<int64_t>(args.idleMs)) {
+                inform("texcached idle for ", args.idleMs,
+                       "ms; draining (--once)");
+                break;
+            }
+        }
+    }
+
+    // Drain: no new connections or requests, finish queued work,
+    // resolve every in-flight response, then flush observability.
+    ::close(listenFd);
+    ::unlink(args.socketPath.c_str());
+    engine.beginShutdown();
+    conns.shutdownAll();
+    {
+        std::lock_guard<std::mutex> lk(threadsMutex);
+        for (std::thread &t : threads)
+            t.join();
+    }
+    engine.drain();
+
+    std::string stats = engine.statsJson();
+    std::cerr << "texcached service stats:\n" << stats;
+    std::ofstream out(statsDumpPath());
+    if (out) {
+        out << stats;
+        inform("wrote service stats ", statsDumpPath());
+    }
+    if (tracing::active()) {
+        tracing::DumpInfo t = tracing::dumpToFiles("texcached");
+        inform("flushed trace rings: ", t.recorded, " events (",
+               t.dropped, " dropped)");
+    }
+    return 0;
+}

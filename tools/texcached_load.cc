@@ -1,0 +1,435 @@
+/**
+ * @file
+ * texcached_load: concurrency + correctness load driver for texcached.
+ *
+ * Fires a deterministic mixed workload at a running daemon from N
+ * concurrent client connections:
+ *
+ *  - "hot" requests draw from a small set of sweep templates (a few
+ *    scene/order/layout batch keys x config variants), so concurrent
+ *    clients keep asking for the same replays and the daemon's batch
+ *    window can fold them into shared passes;
+ *  - "cold" requests are classify-kind with unique names - never
+ *    batchable - so the fold accounting has a known non-coalescible
+ *    denominator.
+ *
+ * Every response must be byte-identical to the manifest the direct
+ * library path (runServiceRequest on a local TraceStore) produces for
+ * the same body - the end-to-end determinism check that makes daemon
+ * results interchangeable with batch-CLI results. queue_full answers
+ * are retried with backoff (that is admission control working, not a
+ * failure); any other error or any byte mismatch fails the run.
+ *
+ * After the workload the driver pulls the daemon's stats and computes
+ * the batch-fold factor on the coalescible subset:
+ *
+ *    fold = hot_requests / (batches - cold_requests)
+ *
+ * and asserts it against --min-fold. Results land in
+ * BENCH_texcached.json (gated by tools/check_bench.py): exact pins on
+ * request count and byte-identity, a tolerance-gated fold factor, and
+ * reported requests/s + p99 latency.
+ *
+ * Usage:
+ *   texcached_load --socket PATH [--clients 8] [--requests 1000]
+ *                  [--hot-permille 700] [--min-fold 0] [--shutdown]
+ *                  [--dump-dir DIR]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/json_reader.hh"
+#include "common/logging.hh"
+#include "core/run_manifest.hh"
+#include "service/request.hh"
+#include "service/socket.hh"
+
+using namespace texcache;
+using namespace texcache::service;
+
+namespace {
+
+struct Args
+{
+    std::string socketPath = "texcached.sock";
+    unsigned clients = 8;
+    unsigned requests = 1000;
+    unsigned hotPermille = 700;
+    double minFold = 0.0;
+    bool shutdownDaemon = false;
+    std::string dumpDir;
+};
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "texcached_load: " << what
+                          << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const char *v = nullptr;
+        if (a == "--socket" && (v = next("--socket")))
+            args.socketPath = v;
+        else if (a == "--clients" && (v = next("--clients")))
+            args.clients = std::strtoul(v, nullptr, 10);
+        else if (a == "--requests" && (v = next("--requests")))
+            args.requests = std::strtoul(v, nullptr, 10);
+        else if (a == "--hot-permille" && (v = next("--hot-permille")))
+            args.hotPermille = std::strtoul(v, nullptr, 10);
+        else if (a == "--min-fold" && (v = next("--min-fold")))
+            args.minFold = std::strtod(v, nullptr);
+        else if (a == "--shutdown")
+            args.shutdownDaemon = true;
+        else if (a == "--dump-dir" && (v = next("--dump-dir")))
+            args.dumpDir = v;
+        else if (a == "--help" || a == "-h") {
+            std::cout << "usage: texcached_load --socket PATH "
+                         "[--clients N] [--requests N]\n"
+                         "  [--hot-permille N] [--min-fold F] "
+                         "[--shutdown] [--dump-dir DIR]\n";
+            return false;
+        } else {
+            std::cerr << "texcached_load: bad option " << a << "\n";
+            return false;
+        }
+        if (!args.clients || !args.requests ||
+            args.hotPermille > 1000) {
+            std::cerr << "texcached_load: invalid argument values\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * The hot template pool: 4 batch keys (scene x order x layout) x 3
+ * config variants. Bodies are byte-deterministic strings so repeats
+ * of a template are the *same* request - the coalescing target.
+ */
+std::vector<std::string>
+hotBodies()
+{
+    const char *keys[4][3] = {
+        // scene fragment, order fragment, layout fragment
+        {"\"scene\":\"quad\",\"quad\":{\"tex\":64,\"screen\":128}",
+         "\"order\":\"horizontal\"",
+         "\"layout\":{\"kind\":\"blocked\",\"block_w\":4,"
+         "\"block_h\":4}"},
+        {"\"scene\":\"quad\",\"quad\":{\"tex\":64,\"screen\":128}",
+         "\"order\":{\"dir\":\"horizontal\",\"tiled\":true,"
+         "\"tile_w\":8,\"tile_h\":8}",
+         "\"layout\":{\"kind\":\"blocked\",\"block_w\":4,"
+         "\"block_h\":4}"},
+        {"\"scene\":\"quad\",\"quad\":{\"tex\":64,\"screen\":128}",
+         "\"order\":\"horizontal\"", "\"layout\":{\"kind\":\"nonblocked\"}"},
+        {"\"scene\":\"quad\",\"quad\":{\"tex\":128,\"screen\":128,"
+         "\"repeat\":2}",
+         "\"order\":\"horizontal\"",
+         "\"layout\":{\"kind\":\"blocked\",\"block_w\":4,"
+         "\"block_h\":4}"},
+    };
+    const char *variants[3] = {
+        "\"sweep\":{\"sizes\":[1024,2048,4096,8192],\"lines\":[32]}",
+        "\"configs\":[{\"size\":4096,\"line\":32,\"assoc\":2},"
+        "{\"size\":8192,\"line\":32,\"assoc\":4}]",
+        "\"sweep\":{\"sizes\":[2048,4096,8192,16384],"
+        "\"lines\":[64]}",
+    };
+    std::vector<std::string> bodies;
+    for (int t = 0; t < 4; ++t) {
+        for (int v = 0; v < 3; ++v) {
+            bodies.push_back(
+                std::string("{\"kind\":\"sweep\",\"name\":\"hot-t") +
+                std::to_string(t) + "-v" + std::to_string(v) +
+                "\"," + keys[t][0] + "," + keys[t][1] + "," +
+                keys[t][2] + "," + variants[v] + "}");
+        }
+    }
+    return bodies;
+}
+
+/** Cold request @p i: classify kind, unique name, not batchable. */
+std::string
+coldBody(unsigned i)
+{
+    uint64_t size = 1024u << (i % 5); // 1K..16K
+    return "{\"kind\":\"classify\",\"name\":\"cold-" +
+           std::to_string(i) +
+           "\",\"scene\":\"quad\",\"quad\":{\"tex\":64,"
+           "\"screen\":128},\"order\":\"horizontal\","
+           "\"layout\":{\"kind\":\"blocked\",\"block_w\":4,"
+           "\"block_h\":4},\"configs\":[{\"size\":" +
+           std::to_string(size) + ",\"line\":32,\"assoc\":2}]}";
+}
+
+bool
+isErrorWithCode(const std::string &resp, const char *code)
+{
+    json::Value v;
+    json::ParseError err;
+    if (!json::parse(resp, v, err) || !v.isObject())
+        return false;
+    const json::Value *status = v.find("status");
+    const json::Value *c = v.find("code");
+    return status && status->isString() && status->str() == "error" &&
+           c && c->isString() && c->str() == code;
+}
+
+std::string
+sanitizeName(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return 2;
+
+    // Deterministic schedule: which body each request slot sends.
+    std::vector<std::string> hot = hotBodies();
+    std::vector<std::string> schedule;
+    std::vector<bool> isHot;
+    unsigned hotCount = 0, coldCount = 0;
+    std::mt19937 rng(0x7eca);
+    std::uniform_int_distribution<unsigned> permille(0, 999);
+    std::uniform_int_distribution<size_t> pickHot(0, hot.size() - 1);
+    for (unsigned i = 0; i < args.requests; ++i) {
+        if (permille(rng) < args.hotPermille) {
+            schedule.push_back(hot[pickHot(rng)]);
+            isHot.push_back(true);
+            ++hotCount;
+        } else {
+            schedule.push_back(coldBody(coldCount));
+            isHot.push_back(false);
+            ++coldCount;
+        }
+    }
+
+    // Reference manifests via the direct library path - the same
+    // builders the daemon uses, on a private TraceStore.
+    inform("computing ", schedule.size(),
+           " reference manifests (direct library path)");
+    TraceStore refStore;
+    std::map<std::string, std::string> reference;
+    for (const std::string &body : schedule) {
+        if (reference.count(body))
+            continue;
+        ServiceRequest req;
+        RequestError err = parseRequest(body, req);
+        if (err) {
+            std::cerr << "texcached_load: workload body invalid: "
+                      << err.message << "\n";
+            return 1;
+        }
+        reference.emplace(body, runServiceRequest(refStore, req));
+    }
+
+    // Fire the workload from N connections; slots are claimed from a
+    // shared cursor so the interleaving is concurrency-driven.
+    std::atomic<size_t> cursor{0};
+    std::atomic<uint64_t> mismatches{0}, transportErrors{0},
+        queueFullRetries{0}, otherErrors{0};
+    std::vector<std::vector<double>> latencies(args.clients);
+    std::mutex dumpMutex;
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (unsigned c = 0; c < args.clients; ++c) {
+        clients.emplace_back([&, c] {
+            int fd = connectUnix(args.socketPath);
+            if (fd < 0) {
+                ++transportErrors;
+                return;
+            }
+            std::string resp;
+            for (;;) {
+                size_t i = cursor.fetch_add(1);
+                if (i >= schedule.size())
+                    break;
+                const std::string &body = schedule[i];
+                bool done = false;
+                for (unsigned attempt = 0; attempt < 200 && !done;
+                     ++attempt) {
+                    auto s0 = std::chrono::steady_clock::now();
+                    if (!writeFrame(fd, body) ||
+                        !readFrame(fd, resp)) {
+                        ++transportErrors;
+                        ::close(fd);
+                        return;
+                    }
+                    if (isErrorWithCode(resp, "queue_full")) {
+                        ++queueFullRetries;
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(2));
+                        continue;
+                    }
+                    latencies[c].push_back(
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - s0)
+                            .count());
+                    done = true;
+                    const std::string &want = reference.at(body);
+                    if (resp != want) {
+                        ++mismatches;
+                        std::lock_guard<std::mutex> lk(dumpMutex);
+                        if (!args.dumpDir.empty()) {
+                            std::string stem =
+                                args.dumpDir + "/" +
+                                sanitizeName(body.substr(0, 48)) +
+                                "_" + std::to_string(i);
+                            std::ofstream(stem + ".svc.json") << resp;
+                            std::ofstream(stem + ".direct.json")
+                                << want;
+                        }
+                        if (isErrorWithCode(resp, "shutting_down") ||
+                            isErrorWithCode(resp, "bad_request") ||
+                            isErrorWithCode(resp, "parse_error"))
+                            ++otherErrors;
+                    }
+                }
+                if (!done)
+                    ++otherErrors; // retry budget exhausted
+            }
+            ::close(fd);
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    double wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+    // Daemon-side accounting: one stats control request.
+    double batches = 0, accepted = 0, folded = 0;
+    {
+        int fd = connectUnix(args.socketPath);
+        std::string resp;
+        if (fd >= 0 && writeFrame(fd, "{\"kind\":\"stats\"}") &&
+            readFrame(fd, resp)) {
+            json::Value v;
+            json::ParseError jerr;
+            if (json::parse(resp, v, jerr) && v.isObject()) {
+                if (const json::Value *b = v.find("batches"))
+                    batches = b->number();
+                if (const json::Value *a = v.find("accepted"))
+                    accepted = a->number();
+                if (const json::Value *f = v.find("folded"))
+                    folded = f->number();
+            }
+            if (args.shutdownDaemon)
+                if (writeFrame(fd, "{\"kind\":\"shutdown\"}"))
+                    readFrame(fd, resp);
+        } else {
+            ++transportErrors;
+        }
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    // fold on the coalescible subset: every cold request is its own
+    // batch by construction, so subtract them from the denominator.
+    double hotBatches = batches - double(coldCount);
+    double fold = hotBatches > 0 ? double(hotCount) / hotBatches : 0.0;
+
+    std::vector<double> all;
+    for (const auto &v : latencies)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    auto pct = [&](double p) {
+        if (all.empty())
+            return 0.0;
+        size_t idx = static_cast<size_t>(p * (all.size() - 1));
+        return all[idx];
+    };
+    double rps = wallMs > 0 ? 1000.0 * double(args.requests) / wallMs
+                            : 0.0;
+
+    std::cout << "texcached_load: " << args.requests << " requests, "
+              << args.clients << " clients, " << hotCount << " hot / "
+              << coldCount << " cold\n"
+              << "  wall " << wallMs / 1000.0 << "s  (" << rps
+              << " req/s)\n"
+              << "  latency ms p50 " << pct(0.50) << "  p95 "
+              << pct(0.95) << "  p99 " << pct(0.99) << "\n"
+              << "  daemon: accepted " << accepted << ", batches "
+              << batches << ", folded " << folded << "\n"
+              << "  fold on coalescible subset: " << fold << "\n"
+              << "  mismatches " << mismatches.load()
+              << ", transport errors " << transportErrors.load()
+              << ", queue_full retries " << queueFullRetries.load()
+              << ", other errors " << otherErrors.load() << "\n";
+
+    // The gated manifest. Byte-identity and request accounting are
+    // exact pins; throughput and latency are machine-dependent.
+    RunManifest m("texcached");
+    m.setScene("quad");
+    m.config("clients", uint64_t(args.clients));
+    m.config("requests", uint64_t(args.requests));
+    m.config("hot", uint64_t(hotCount));
+    m.config("cold", uint64_t(coldCount));
+    m.config("templates", uint64_t(hot.size()));
+    m.metric("requests", double(args.requests), "exact");
+    m.metric("mismatches", double(mismatches.load()), "exact");
+    m.metric("transport_errors", double(transportErrors.load()),
+             "exact");
+    m.metric("other_errors", double(otherErrors.load()), "exact");
+    m.metric("fold_coalescible", fold, "higher", 0.6);
+    m.metric("requests_per_sec", rps, "report");
+    m.metric("p99_ms", pct(0.99), "report");
+    m.metric("queue_full_retries", double(queueFullRetries.load()),
+             "report");
+    stats::Group root;
+    stats::Group &g = root.group("load");
+    g.constant("sent", args.requests);
+    g.constant("hot", hotCount);
+    g.constant("cold", coldCount);
+    g.constant("mismatches", mismatches.load());
+    g.constant("queue_full_retries", queueFullRetries.load());
+    g.real("fold_coalescible", fold);
+    g.real("requests_per_sec", rps);
+    g.real("p50_ms", pct(0.50));
+    g.real("p95_ms", pct(0.95));
+    g.real("p99_ms", pct(0.99));
+    m.writeFile(&root);
+
+    bool ok = mismatches.load() == 0 && transportErrors.load() == 0 &&
+              otherErrors.load() == 0;
+    if (args.minFold > 0 && fold < args.minFold) {
+        std::cerr << "texcached_load: fold " << fold
+                  << " below required " << args.minFold << "\n";
+        ok = false;
+    }
+    if (!ok)
+        std::cerr << "texcached_load: FAILED\n";
+    return ok ? 0 : 1;
+}
