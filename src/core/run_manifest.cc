@@ -6,10 +6,12 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "core/version.hh"
+#include "simd/isa.hh"
 
 extern char **environ;
 
@@ -73,6 +75,22 @@ RunManifest::write(std::ostream &os, const stats::Group *root) const
     w.kv("compiler", TEXCACHE_COMPILER);
     w.kv("compiled", __DATE__ " " __TIME__);
     w.endObject();
+
+    // Host execution context: machine-dependent facts a reader needs
+    // to judge the throughput metrics (a parallel speedup below 1 on
+    // a 1-core box is expected, not a regression) and the SIMD level
+    // the kernels dispatched to. check_bench.py refuses to compare
+    // "exact" metrics across manifests with different simd_isa.
+    // Deterministic (service-response) manifests omit the block: the
+    // serving host is not part of the request.
+    if (!deterministic_) {
+        w.key("host");
+        w.beginObject();
+        w.kv("hardware_concurrency",
+             uint64_t(std::thread::hardware_concurrency()));
+        w.kv("simd_isa", simd::isaName(simd::activeIsa()));
+        w.endObject();
+    }
 
     // Every TEXCACHE_* override in effect; thread count and trace
     // cache placement change what a run measures. Deterministic

@@ -90,9 +90,10 @@ struct VtDecision
  * older pipeline can never satisfy a newer build from disk and mask a
  * trace-generation regression. Bump whenever the way fragments or
  * texels are generated changes (revision 1 was the serial-only
- * renderer; 2 added the tile-parallel engine).
+ * renderer; 2 added the tile-parallel engine; 3 added the
+ * ISA-dispatched SIMD span kernels to the touch-only path).
  */
-inline constexpr uint64_t kRenderPathRevision = 2;
+inline constexpr uint64_t kRenderPathRevision = 3;
 
 /**
  * Tile-parallel execution policy of render(). The parallel engine bins

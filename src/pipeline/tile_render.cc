@@ -12,6 +12,7 @@
 #include "pipeline/viewport.hh"
 #include "raster/hilbert.hh"
 #include "raster/span_rasterizer.hh"
+#include "simd/span_kernels.hh"
 #include "tracing/tracing.hh"
 
 namespace texcache {
@@ -299,6 +300,14 @@ renderTiled(const Scene &scene, const RasterOrder &order,
     // ---- Tile workers (core/sweep pool; deterministic results) -----
     const bool touchOnly = !opts.writeFramebuffer;
     const bool horiz = order.dir == ScanDirection::Horizontal;
+    // Trace-only renders (the actual trace-generation workload) run
+    // the batched SIMD kernels of the dispatched ISA level; their
+    // per-fragment float sequence is the reference's exactly, so the
+    // output stays byte-identical at every level (DESIGN.md section
+    // 13). Framebuffer renders keep the scalar path: they are the
+    // interactive/debug mode and need the color fetches.
+    const simd::SpanKernels *simdK =
+        touchOnly ? &simd::kernels() : nullptr;
 
     auto renderTile = [&](uint32_t pos) -> TileResult {
         tracing::ScopedSpan tileSpan(kTileSpan, pos);
@@ -406,42 +415,190 @@ renderTiled(const Scene &scene, const RasterOrder &order,
             }
         };
 
+        // Batched equivalent of emitFragment for the touch-only SIMD
+        // path: one kernel call covers attributes, LOD, level select
+        // and address generation for up to kSpanBatch fragments; this
+        // consumer folds the per-fragment results into the same
+        // statistics, trace records and repetition keys, in the same
+        // fragment order.
+        simd::SpanContext sctx{};
+        auto consumeBatch = [&](const int32_t *bxs, const int32_t *bys,
+                                int bn, const simd::SpanBatchOut &bo) {
+            fragCount += static_cast<uint32_t>(bn);
+            for (int i = 0; i < bn; ++i) {
+                res.texelAccesses += bo.numTouches[i];
+                res.lod.sample(bo.firstLevel[i]);
+                if (bo.kind[i] == FilterKind::Bilinear)
+                    ++res.bilinearFragments;
+                else if (bo.kind[i] == FilterKind::Nearest)
+                    ++res.nearestFragments;
+                else
+                    ++res.trilinearFragments;
+            }
+            if (opts.captureTrace)
+                res.records.insert(res.records.end(), bo.records,
+                                   bo.records + bo.recEnd[bn - 1]);
+            if (tracing::enabled(tracing::kTexels))
+                for (int i = 0; i < bn; ++i)
+                    tracing::setTexelContext(
+                        static_cast<uint16_t>(bxs[i]),
+                        static_cast<uint16_t>(bys[i]), task->texture,
+                        bo.firstLevel[i], bo.firstU[i], bo.firstV[i]);
+            if (opts.countRepetition) {
+                for (int i = 0; i < bn; ++i) {
+                    RepetitionCounter::KeyPair k =
+                        RepetitionCounter::keys(
+                            task->texture, bo.firstLevel[i],
+                            bo.anchorU[i], bo.anchorV[i], bo.firstU[i],
+                            bo.firstV[i]);
+                    res.uwKeys[RepetitionCounter::shardOf(k.unwrapped)]
+                        .push_back(k.unwrapped);
+                    res.wrKeys[RepetitionCounter::shardOf(k.wrapped)]
+                        .push_back(k.wrapped);
+                }
+            }
+        };
+
         Fragment frag;
+        int32_t bxs[simd::kSpanBatch], bys[simd::kSpanBatch];
+        simd::SpanBatchOut bo;
         for (uint32_t t : bins[pos]) {
             task = &tasks[t];
             mip = &scene.textures[task->texture];
             fragCount = 0;
             PixelRect r = intersect(task->box, trect);
+            if (simdK)
+                sctx = simd::makeSpanContext(task->setup, *mip,
+                                             task->texture, task->texW,
+                                             task->texH,
+                                             opts.filterMode);
 
             if (grid.hilbert) {
-                for (const auto &c : cells) {
-                    int x = c.second.first, y = c.second.second;
-                    if (x < r.x0 || x > r.x1 || y < r.y0 || y > r.y1)
-                        continue;
-                    if (task->setup.shade(x, y, frag))
-                        emitFragment(frag);
+                if (simdK) {
+                    // Candidate cells in curve order; coverage tested
+                    // kSpanBatch at a time, survivors compacted (in
+                    // curve order) into full touch batches.
+                    int32_t txs[simd::kSpanBatch];
+                    int32_t tys[simd::kSpanBatch];
+                    int cand = 0, pend = 0;
+                    auto flushPend = [&]() {
+                        if (!pend)
+                            return;
+                        simdK->touches(sctx, bxs, bys, pend, bo);
+                        consumeBatch(bxs, bys, pend, bo);
+                        pend = 0;
+                    };
+                    auto testCand = [&]() {
+                        if (!cand)
+                            return;
+                        uint32_t m =
+                            simdK->coverMask(sctx, txs, tys, cand);
+                        for (int i = 0; i < cand; ++i) {
+                            if (!(m >> i & 1u))
+                                continue;
+                            bxs[pend] = txs[i];
+                            bys[pend] = tys[i];
+                            if (++pend == simd::kSpanBatch)
+                                flushPend();
+                        }
+                        cand = 0;
+                    };
+                    for (const auto &c : cells) {
+                        int x = c.second.first, y = c.second.second;
+                        if (x < r.x0 || x > r.x1 || y < r.y0 ||
+                            y > r.y1)
+                            continue;
+                        txs[cand] = x;
+                        tys[cand] = y;
+                        if (++cand == simd::kSpanBatch)
+                            testCand();
+                    }
+                    testCand();
+                    flushPend();
+                } else {
+                    for (const auto &c : cells) {
+                        int x = c.second.first, y = c.second.second;
+                        if (x < r.x0 || x > r.x1 || y < r.y0 ||
+                            y > r.y1)
+                            continue;
+                        if (task->setup.shade(x, y, frag))
+                            emitFragment(frag);
+                    }
                 }
             } else if (horiz) {
-                for (int y = r.y0; y <= r.y1; ++y) {
-                    int lo = r.x0, hi = r.x1;
-                    if (!spanOnLine(task->setup, true, y, lo, hi))
-                        continue;
-                    for (int x = lo; x <= hi; ++x) {
-                        // Interior pixels need no coverage test:
-                        // coverage along a line is an interval and
-                        // both endpoints were verified.
-                        task->setup.attributesAt(x, y, frag);
-                        emitFragment(frag);
+                if (simdK) {
+                    // Interior pixels need no coverage test. Batches
+                    // fill *across* spans: the paper scenes' triangles
+                    // average only a handful of pixels per row, so
+                    // per-span batches would run the wide kernels
+                    // mostly on tails. Traversal order is preserved -
+                    // pixels enter the batch exactly in row-major
+                    // span order and flush in order.
+                    int pend = 0;
+                    for (int y = r.y0; y <= r.y1; ++y) {
+                        int lo = r.x0, hi = r.x1;
+                        if (!spanOnLine(task->setup, true, y, lo, hi))
+                            continue;
+                        for (int x = lo; x <= hi; ++x) {
+                            bxs[pend] = x;
+                            bys[pend] = y;
+                            if (++pend == simd::kSpanBatch) {
+                                simdK->touches(sctx, bxs, bys, pend,
+                                               bo);
+                                consumeBatch(bxs, bys, pend, bo);
+                                pend = 0;
+                            }
+                        }
+                    }
+                    if (pend) {
+                        simdK->touches(sctx, bxs, bys, pend, bo);
+                        consumeBatch(bxs, bys, pend, bo);
+                    }
+                } else {
+                    for (int y = r.y0; y <= r.y1; ++y) {
+                        int lo = r.x0, hi = r.x1;
+                        if (!spanOnLine(task->setup, true, y, lo, hi))
+                            continue;
+                        for (int x = lo; x <= hi; ++x) {
+                            // Interior pixels need no coverage test:
+                            // coverage along a line is an interval
+                            // and both endpoints were verified.
+                            task->setup.attributesAt(x, y, frag);
+                            emitFragment(frag);
+                        }
                     }
                 }
             } else {
-                for (int x = r.x0; x <= r.x1; ++x) {
-                    int lo = r.y0, hi = r.y1;
-                    if (!spanOnLine(task->setup, false, x, lo, hi))
-                        continue;
-                    for (int y = lo; y <= hi; ++y) {
-                        task->setup.attributesAt(x, y, frag);
-                        emitFragment(frag);
+                if (simdK) {
+                    int pend = 0;
+                    for (int x = r.x0; x <= r.x1; ++x) {
+                        int lo = r.y0, hi = r.y1;
+                        if (!spanOnLine(task->setup, false, x, lo, hi))
+                            continue;
+                        for (int y = lo; y <= hi; ++y) {
+                            bxs[pend] = x;
+                            bys[pend] = y;
+                            if (++pend == simd::kSpanBatch) {
+                                simdK->touches(sctx, bxs, bys, pend,
+                                               bo);
+                                consumeBatch(bxs, bys, pend, bo);
+                                pend = 0;
+                            }
+                        }
+                    }
+                    if (pend) {
+                        simdK->touches(sctx, bxs, bys, pend, bo);
+                        consumeBatch(bxs, bys, pend, bo);
+                    }
+                } else {
+                    for (int x = r.x0; x <= r.x1; ++x) {
+                        int lo = r.y0, hi = r.y1;
+                        if (!spanOnLine(task->setup, false, x, lo, hi))
+                            continue;
+                        for (int y = lo; y <= hi; ++y) {
+                            task->setup.attributesAt(x, y, frag);
+                            emitFragment(frag);
+                        }
                     }
                 }
             }

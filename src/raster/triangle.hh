@@ -81,6 +81,20 @@ class TriangleSetup
         return {invW_.e0, invW_.ex, invW_.ey, false};
     }
 
+    /** u/w plane coefficients (for the SIMD span kernels). */
+    EdgeView
+    uOverWPlane() const
+    {
+        return {uOverW_.e0, uOverW_.ex, uOverW_.ey, false};
+    }
+
+    /** v/w plane coefficients (for the SIMD span kernels). */
+    EdgeView
+    vOverWPlane() const
+    {
+        return {vOverW_.e0, vOverW_.ex, vOverW_.ey, false};
+    }
+
     /** Signed double area in pixels^2 (positive after orientation fix). */
     float area2() const { return area2_; }
 

@@ -1,0 +1,145 @@
+#include "simd/isa.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "simd/span_kernels.hh"
+
+namespace texcache {
+namespace simd {
+
+namespace {
+
+constexpr Isa kAllIsas[] = {Isa::Scalar, Isa::Sse41, Isa::Avx2};
+
+/** CPUID feature test (build-independent). */
+bool
+cpuSupports(Isa isa)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    switch (isa) {
+      case Isa::Scalar:
+        return true;
+      case Isa::Sse41:
+        return __builtin_cpu_supports("sse4.1");
+      case Isa::Avx2:
+        return __builtin_cpu_supports("avx2");
+    }
+    return false;
+#else
+    return isa == Isa::Scalar;
+#endif
+}
+
+std::string
+supportedList()
+{
+    std::string s;
+    for (Isa isa : kAllIsas) {
+        if (!isaSupported(isa))
+            continue;
+        if (!s.empty())
+            s += "|";
+        s += isaName(isa);
+    }
+    return s;
+}
+
+/** The dispatched level; -1 until first resolved from the env. */
+std::atomic<int> g_active{-1};
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        return "scalar";
+      case Isa::Sse41:
+        return "sse41";
+      case Isa::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+bool
+isaSupported(Isa isa)
+{
+    return kernelsFor(isa) != nullptr && cpuSupports(isa);
+}
+
+Isa
+bestIsa()
+{
+    if (isaSupported(Isa::Avx2))
+        return Isa::Avx2;
+    if (isaSupported(Isa::Sse41))
+        return Isa::Sse41;
+    return Isa::Scalar;
+}
+
+std::vector<Isa>
+supportedIsas()
+{
+    std::vector<Isa> out;
+    for (Isa isa : kAllIsas)
+        if (isaSupported(isa))
+            out.push_back(isa);
+    return out;
+}
+
+Isa
+resolveIsa(const char *spec)
+{
+    if (!spec || !*spec || std::strcmp(spec, "native") == 0)
+        return bestIsa();
+    for (Isa isa : kAllIsas) {
+        if (std::strcmp(spec, isaName(isa)) != 0)
+            continue;
+        fatal_if(!isaSupported(isa), "TEXCACHE_SIMD=", spec,
+                 " is not available on this build/CPU (available: ",
+                 supportedList(), ")");
+        return isa;
+    }
+    fatal("TEXCACHE_SIMD=", spec,
+          " is not one of scalar|sse41|avx2|native");
+}
+
+Isa
+isaFromEnv()
+{
+    return resolveIsa(std::getenv("TEXCACHE_SIMD"));
+}
+
+Isa
+activeIsa()
+{
+    int v = g_active.load(std::memory_order_acquire);
+    if (v >= 0)
+        return static_cast<Isa>(v);
+    Isa isa = isaFromEnv();
+    // First resolution wins if two threads race; both saw the same
+    // environment, so the value is the same either way.
+    int expected = -1;
+    if (g_active.compare_exchange_strong(expected,
+                                         static_cast<int>(isa),
+                                         std::memory_order_acq_rel))
+        return isa;
+    return static_cast<Isa>(expected);
+}
+
+void
+setActiveIsa(Isa isa)
+{
+    fatal_if(!isaSupported(isa), "cannot activate ISA level ",
+             isaName(isa), " (available: ", supportedList(), ")");
+    g_active.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+} // namespace simd
+} // namespace texcache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Runtime ISA dispatch for the vectorized raster/sampler kernels
+ * (DESIGN.md section 13).
+ *
+ * One kernel body (kernel_body.hh) is compiled three times - scalar,
+ * SSE4.1 and AVX2 - and the level actually executed is chosen once at
+ * startup from CPUID, overridable with TEXCACHE_SIMD=scalar|sse41|
+ * avx2|native (fatal on unknown or unsupported values). Every level
+ * produces byte-identical traces, framebuffers and statistics: the
+ * kernels perform the same IEEE float operations in the same order
+ * per fragment, vectorized across fragments, which the identity
+ * matrix in tests/test_parallel_render.cc and the batch fuzz in
+ * tests/test_simd_kernels.cc enforce.
+ */
+
+#ifndef TEXCACHE_SIMD_ISA_HH
+#define TEXCACHE_SIMD_ISA_HH
+
+#include <vector>
+
+namespace texcache {
+namespace simd {
+
+/** Instruction-set level of the span kernels, in increasing width. */
+enum class Isa : int
+{
+    Scalar = 0, ///< one fragment at a time (the identity reference)
+    Sse41 = 1,  ///< 4 fragments per vector
+    Avx2 = 2,   ///< 8 fragments per vector
+};
+
+/** Display name: "scalar", "sse41", "avx2". */
+const char *isaName(Isa isa);
+
+/** True when the level is both compiled in and supported by the CPU. */
+bool isaSupported(Isa isa);
+
+/** The widest compiled-and-supported level ("native"). */
+Isa bestIsa();
+
+/** Every compiled-and-supported level, narrowest first (test matrix). */
+std::vector<Isa> supportedIsas();
+
+/**
+ * Parse a TEXCACHE_SIMD-style spec. "scalar"/"sse41"/"avx2" select
+ * that level, "native" (or an empty/unset spec) selects bestIsa().
+ * fatal() on an unknown spec or a level the build or CPU lacks -
+ * silently falling back would make a run's ISA (recorded in every
+ * manifest) disagree with what the user pinned.
+ */
+Isa resolveIsa(const char *spec);
+
+/** resolveIsa(getenv("TEXCACHE_SIMD")) - re-reads the environment. */
+Isa isaFromEnv();
+
+/**
+ * The level the render engine dispatches to. Resolved from the
+ * environment once on first use, then cached; setActiveIsa overrides
+ * it (tests and the micro_raster SIMD ablation switch levels within
+ * one process).
+ */
+Isa activeIsa();
+
+/** Override the active level; fatal() when unsupported. */
+void setActiveIsa(Isa isa);
+
+} // namespace simd
+} // namespace texcache
+
+#endif // TEXCACHE_SIMD_ISA_HH

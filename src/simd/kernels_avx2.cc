@@ -1,0 +1,42 @@
+// Width-8 instantiation of the kernel body, compiled with -mavx2
+// -ffp-contract=off and deliberately *without* -mfma: the scalar
+// reference targets baseline x86-64 and can never contract a
+// multiply-add, so neither may this translation unit. When the
+// compiler cannot target AVX2, the entry degrades to a null table.
+
+#include "simd/span_kernels.hh"
+
+#if defined(__AVX2__)
+
+#include "simd/kernel_body.hh"
+#include "simd/vec_avx2.hh"
+
+namespace texcache {
+namespace simd {
+
+const SpanKernels *
+avx2Kernels()
+{
+    static const SpanKernels k = {&touchesKernel<VecAvx2>,
+                                  &coverKernel<VecAvx2>};
+    return &k;
+}
+
+} // namespace simd
+} // namespace texcache
+
+#else // !__AVX2__
+
+namespace texcache {
+namespace simd {
+
+const SpanKernels *
+avx2Kernels()
+{
+    return nullptr;
+}
+
+} // namespace simd
+} // namespace texcache
+
+#endif

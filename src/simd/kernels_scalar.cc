@@ -1,0 +1,23 @@
+// Width-1 instantiation of the kernel body. Compiled with the
+// project's baseline flags (plus -ffp-contract=off for uniformity):
+// this is the portable fallback and the forced-scalar ablation
+// baseline, available in every build on every architecture.
+
+#include "simd/span_kernels.hh"
+
+#include "simd/kernel_body.hh"
+#include "simd/vec_scalar.hh"
+
+namespace texcache {
+namespace simd {
+
+const SpanKernels *
+scalarKernels()
+{
+    static const SpanKernels k = {&touchesKernel<VecScalar>,
+                                  &coverKernel<VecScalar>};
+    return &k;
+}
+
+} // namespace simd
+} // namespace texcache

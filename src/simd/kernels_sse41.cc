@@ -1,0 +1,41 @@
+// Width-4 instantiation of the kernel body, compiled with -msse4.1
+// -ffp-contract=off (see src/simd/CMakeLists.txt). When the compiler
+// cannot target SSE4.1 (non-x86 hosts), the entry degrades to a null
+// table and the dispatcher treats the level as not compiled in.
+
+#include "simd/span_kernels.hh"
+
+#if defined(__SSE4_1__)
+
+#include "simd/kernel_body.hh"
+#include "simd/vec_sse41.hh"
+
+namespace texcache {
+namespace simd {
+
+const SpanKernels *
+sse41Kernels()
+{
+    static const SpanKernels k = {&touchesKernel<VecSse41>,
+                                  &coverKernel<VecSse41>};
+    return &k;
+}
+
+} // namespace simd
+} // namespace texcache
+
+#else // !__SSE4_1__
+
+namespace texcache {
+namespace simd {
+
+const SpanKernels *
+sse41Kernels()
+{
+    return nullptr;
+}
+
+} // namespace simd
+} // namespace texcache
+
+#endif

@@ -1,0 +1,66 @@
+#include "simd/span_kernels.hh"
+
+#include "common/logging.hh"
+#include "texture/mipmap.hh"
+
+namespace texcache {
+namespace simd {
+
+SpanContext
+makeSpanContext(const TriangleSetup &setup, const MipMap &mip,
+                uint16_t texture, float texW, float texH,
+                FilterMode mode, WrapMode wrap)
+{
+    SpanContext c;
+    TriangleSetup::EdgeView iw = setup.invWPlane();
+    c.iwE0 = iw.e0;
+    c.iwEx = iw.ex;
+    c.iwEy = iw.ey;
+    TriangleSetup::EdgeView uw = setup.uOverWPlane();
+    c.uwE0 = uw.e0;
+    c.uwEx = uw.ex;
+    c.uwEy = uw.ey;
+    TriangleSetup::EdgeView vw = setup.vOverWPlane();
+    c.vwE0 = vw.e0;
+    c.vwEx = vw.ex;
+    c.vwEy = vw.ey;
+    for (int i = 0; i < 3; ++i) {
+        TriangleSetup::EdgeView e = setup.edge(i);
+        c.edgeE0[i] = e.e0;
+        c.edgeEx[i] = e.ex;
+        c.edgeEy[i] = e.ey;
+        c.topLeft[i] = e.topLeft;
+    }
+    c.texW = texW;
+    c.texH = texH;
+    c.mip = &mip;
+    c.texture = texture;
+    c.mode = mode;
+    c.wrap = wrap;
+    return c;
+}
+
+const SpanKernels *
+kernelsFor(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        return scalarKernels();
+      case Isa::Sse41:
+        return sse41Kernels();
+      case Isa::Avx2:
+        return avx2Kernels();
+    }
+    return nullptr;
+}
+
+const SpanKernels &
+kernels()
+{
+    const SpanKernels *k = kernelsFor(activeIsa());
+    panic_if(!k, "active ISA level has no compiled kernels");
+    return *k;
+}
+
+} // namespace simd
+} // namespace texcache

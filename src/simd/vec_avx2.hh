@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Width-8 AVX2 traits for the kernel body. Same IEEE-exact operation
+ * set as the SSE4.1 traits, one whole kSpanBatch per vector. Compiled
+ * without -mfma and with -ffp-contract=off so no multiply-add ever
+ * contracts (the scalar reference cannot contract either).
+ */
+
+#ifndef TEXCACHE_SIMD_VEC_AVX2_HH
+#define TEXCACHE_SIMD_VEC_AVX2_HH
+
+#if !defined(__AVX2__)
+#error "vec_avx2.hh requires -mavx2 (include it from kernels_avx2.cc only)"
+#endif
+
+#include <cstdint>
+#include <immintrin.h>
+
+namespace texcache {
+namespace simd {
+
+struct VecAvx2
+{
+    static constexpr int kW = 8;
+    using f32 = __m256;
+    using i32 = __m256i;
+    using m32 = __m256;
+
+    static f32 set1(float x) { return _mm256_set1_ps(x); }
+    static i32 iset1(int32_t x) { return _mm256_set1_epi32(x); }
+    static f32 load(const float *p) { return _mm256_loadu_ps(p); }
+
+    static i32
+    iload(const int32_t *p)
+    {
+        return _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p));
+    }
+
+    static void store(float *p, f32 v) { _mm256_storeu_ps(p, v); }
+
+    static void
+    istore(int32_t *p, i32 v)
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+
+    static f32 toF(i32 v) { return _mm256_cvtepi32_ps(v); }
+    static f32 add(f32 a, f32 b) { return _mm256_add_ps(a, b); }
+    static f32 sub(f32 a, f32 b) { return _mm256_sub_ps(a, b); }
+    static f32 mul(f32 a, f32 b) { return _mm256_mul_ps(a, b); }
+    static f32 div(f32 a, f32 b) { return _mm256_div_ps(a, b); }
+    static f32 sqrt(f32 a) { return _mm256_sqrt_ps(a); }
+    static f32 floor(f32 a) { return _mm256_floor_ps(a); }
+
+    /** See VecSse41::maxStd: operand swap reproduces std::max. */
+    static f32 maxStd(f32 a, f32 b) { return _mm256_max_ps(b, a); }
+
+    static i32 trunc(f32 a) { return _mm256_cvttps_epi32(a); }
+    static i32 iadd(i32 a, i32 b) { return _mm256_add_epi32(a, b); }
+    static i32 iand(i32 a, i32 b) { return _mm256_and_si256(a, b); }
+    static i32 ior(i32 a, i32 b) { return _mm256_or_si256(a, b); }
+    static i32 ishl16(i32 a) { return _mm256_slli_epi32(a, 16); }
+    static i32 imin(i32 a, i32 b) { return _mm256_min_epi32(a, b); }
+    static i32 imax(i32 a, i32 b) { return _mm256_max_epi32(a, b); }
+
+    static m32
+    cmpLt(f32 a, f32 b)
+    {
+        return _mm256_cmp_ps(a, b, _CMP_LT_OQ);
+    }
+
+    static m32
+    cmpLe(f32 a, f32 b)
+    {
+        return _mm256_cmp_ps(a, b, _CMP_LE_OQ);
+    }
+
+    static m32
+    cmpGt(f32 a, f32 b)
+    {
+        return _mm256_cmp_ps(a, b, _CMP_GT_OQ);
+    }
+
+    static m32
+    trueMask()
+    {
+        return _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+    }
+
+    static m32
+    andnot(m32 a, m32 b)
+    {
+        return _mm256_andnot_ps(a, b);
+    }
+
+    static m32 and_(m32 a, m32 b) { return _mm256_and_ps(a, b); }
+
+    static uint32_t
+    moveMask(m32 m)
+    {
+        return static_cast<uint32_t>(_mm256_movemask_ps(m));
+    }
+};
+
+} // namespace simd
+} // namespace texcache
+
+#endif // TEXCACHE_SIMD_VEC_AVX2_HH

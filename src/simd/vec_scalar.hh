@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Width-1 traits for the kernel body: plain C++ float/int ops. This is
+ * the portable fallback (and the forced-scalar ablation baseline); by
+ * construction it performs literally the reference's operations, one
+ * fragment per "vector".
+ */
+
+#ifndef TEXCACHE_SIMD_VEC_SCALAR_HH
+#define TEXCACHE_SIMD_VEC_SCALAR_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace texcache {
+namespace simd {
+
+struct VecScalar
+{
+    static constexpr int kW = 1;
+    using f32 = float;
+    using i32 = int32_t;
+    using m32 = bool;
+
+    static f32 set1(float x) { return x; }
+    static i32 iset1(int32_t x) { return x; }
+    static f32 load(const float *p) { return *p; }
+    static i32 iload(const int32_t *p) { return *p; }
+    static void store(float *p, f32 v) { *p = v; }
+    static void istore(int32_t *p, i32 v) { *p = v; }
+    static f32 toF(i32 v) { return static_cast<float>(v); }
+    static f32 add(f32 a, f32 b) { return a + b; }
+    static f32 sub(f32 a, f32 b) { return a - b; }
+    static f32 mul(f32 a, f32 b) { return a * b; }
+    static f32 div(f32 a, f32 b) { return a / b; }
+    static f32 sqrt(f32 a) { return std::sqrt(a); }
+    static f32 floor(f32 a) { return std::floor(a); }
+    /** std::max semantics: equal or NaN picks the first operand. */
+    static f32 maxStd(f32 a, f32 b) { return std::max(a, b); }
+    static i32 trunc(f32 a) { return static_cast<int32_t>(a); }
+    static i32 iadd(i32 a, i32 b) { return a + b; }
+    static i32 iand(i32 a, i32 b) { return a & b; }
+    static i32 ior(i32 a, i32 b) { return a | b; }
+    static i32 ishl16(i32 a) { return a << 16; }
+    static i32 imin(i32 a, i32 b) { return std::min(a, b); }
+    static i32 imax(i32 a, i32 b) { return std::max(a, b); }
+    static m32 cmpLt(f32 a, f32 b) { return a < b; }
+    static m32 cmpLe(f32 a, f32 b) { return a <= b; }
+    static m32 cmpGt(f32 a, f32 b) { return a > b; }
+    static m32 trueMask() { return true; }
+    static m32 andnot(m32 a, m32 b) { return !a && b; }
+    static m32 and_(m32 a, m32 b) { return a && b; }
+    static uint32_t moveMask(m32 m) { return m ? 1u : 0u; }
+};
+
+} // namespace simd
+} // namespace texcache
+
+#endif // TEXCACHE_SIMD_VEC_SCALAR_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Width-4 SSE4.1 traits for the kernel body. Every operation used is
+ * IEEE-exact per lane (addps/subps/mulps/divps/sqrtps/roundps,
+ * cvtdq2ps/cvttps2dq), so lane results match the scalar reference bit
+ * for bit; see maxStd for the one deliberate operand swap.
+ */
+
+#ifndef TEXCACHE_SIMD_VEC_SSE41_HH
+#define TEXCACHE_SIMD_VEC_SSE41_HH
+
+#if !defined(__SSE4_1__)
+#error "vec_sse41.hh requires -msse4.1 (include it from kernels_sse41.cc only)"
+#endif
+
+#include <cstdint>
+#include <smmintrin.h>
+
+namespace texcache {
+namespace simd {
+
+struct VecSse41
+{
+    static constexpr int kW = 4;
+    using f32 = __m128;
+    using i32 = __m128i;
+    using m32 = __m128;
+
+    static f32 set1(float x) { return _mm_set1_ps(x); }
+    static i32 iset1(int32_t x) { return _mm_set1_epi32(x); }
+    static f32 load(const float *p) { return _mm_loadu_ps(p); }
+
+    static i32
+    iload(const int32_t *p)
+    {
+        return _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    }
+
+    static void store(float *p, f32 v) { _mm_storeu_ps(p, v); }
+
+    static void
+    istore(int32_t *p, i32 v)
+    {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+    }
+
+    static f32 toF(i32 v) { return _mm_cvtepi32_ps(v); }
+    static f32 add(f32 a, f32 b) { return _mm_add_ps(a, b); }
+    static f32 sub(f32 a, f32 b) { return _mm_sub_ps(a, b); }
+    static f32 mul(f32 a, f32 b) { return _mm_mul_ps(a, b); }
+    static f32 div(f32 a, f32 b) { return _mm_div_ps(a, b); }
+    static f32 sqrt(f32 a) { return _mm_sqrt_ps(a); }
+    static f32 floor(f32 a) { return _mm_floor_ps(a); }
+
+    /**
+     * std::max(a, b) returns a when equal or unordered; MAXPS returns
+     * its *second* operand in those cases, so swapping the operands
+     * reproduces std::max exactly: maxps(b, a) = (b > a) ? b : a.
+     */
+    static f32 maxStd(f32 a, f32 b) { return _mm_max_ps(b, a); }
+
+    static i32 trunc(f32 a) { return _mm_cvttps_epi32(a); }
+    static i32 iadd(i32 a, i32 b) { return _mm_add_epi32(a, b); }
+    static i32 iand(i32 a, i32 b) { return _mm_and_si128(a, b); }
+    static i32 ior(i32 a, i32 b) { return _mm_or_si128(a, b); }
+    static i32 ishl16(i32 a) { return _mm_slli_epi32(a, 16); }
+    static i32 imin(i32 a, i32 b) { return _mm_min_epi32(a, b); }
+    static i32 imax(i32 a, i32 b) { return _mm_max_epi32(a, b); }
+    static m32 cmpLt(f32 a, f32 b) { return _mm_cmplt_ps(a, b); }
+    static m32 cmpLe(f32 a, f32 b) { return _mm_cmple_ps(a, b); }
+    static m32 cmpGt(f32 a, f32 b) { return _mm_cmpgt_ps(a, b); }
+
+    static m32
+    trueMask()
+    {
+        return _mm_castsi128_ps(_mm_set1_epi32(-1));
+    }
+
+    static m32 andnot(m32 a, m32 b) { return _mm_andnot_ps(a, b); }
+    static m32 and_(m32 a, m32 b) { return _mm_and_ps(a, b); }
+
+    static uint32_t
+    moveMask(m32 m)
+    {
+        return static_cast<uint32_t>(_mm_movemask_ps(m));
+    }
+};
+
+} // namespace simd
+} // namespace texcache
+
+#endif // TEXCACHE_SIMD_VEC_SSE41_HH

@@ -16,9 +16,21 @@
 
 #include "pipeline/renderer.hh"
 #include "scene/benchmarks.hh"
+#include "simd/isa.hh"
 
 namespace texcache {
 namespace {
+
+/** Scoped SIMD ISA-level override (restores the prior level). */
+class IsaGuard
+{
+  public:
+    IsaGuard() : saved_(simd::activeIsa()) {}
+    ~IsaGuard() { simd::setActiveIsa(saved_); }
+
+  private:
+    simd::Isa saved_;
+};
 
 /** Scoped TEXCACHE_THREADS override (restores the prior value). */
 class ThreadEnv
@@ -161,6 +173,50 @@ TEST(ParallelRender, FourScenesAllOrders)
                                 std::string(benchSceneName(s)) +
                                     " order=" + order.str() +
                                     " threads=" + threads);
+            }
+        }
+    }
+}
+
+/**
+ * The ISSUE 7 byte-identity matrix: 4 scenes x 5 raster orders x
+ * {1, 8} threads x every ISA level compiled and supported on this
+ * host, in the trace-only configuration that engages the SIMD span
+ * kernels (writeFramebuffer = false, as TraceStore renders). The
+ * reference is the serial renderer, whose per-fragment path never
+ * touches the kernels, so any vectorization divergence - float
+ * ordering, wrap handling, record packing, repetition anchors -
+ * fails here.
+ */
+TEST(ParallelRender, FourScenesTraceOnlyIsaMatrix)
+{
+    RenderOptions opts;
+    opts.captureTrace = true;
+    opts.writeFramebuffer = false;
+    opts.countRepetition = true;
+
+    IsaGuard guard;
+    for (BenchScene s : allBenchScenes()) {
+        Scene scene = makeScene(s);
+        for (const RasterOrder &order : allOrders()) {
+            RenderOptions serial = opts;
+            serial.parallelTiles = ParallelTiles::Serial;
+            RenderOutput ref = render(scene, order, serial);
+            EXPECT_GT(ref.stats.fragments, 0u);
+
+            for (simd::Isa isa : simd::supportedIsas()) {
+                simd::setActiveIsa(isa);
+                for (const char *threads : {"1", "8"}) {
+                    ThreadEnv env(threads);
+                    RenderOptions forced = opts;
+                    forced.parallelTiles = ParallelTiles::Force;
+                    RenderOutput out = render(scene, order, forced);
+                    expectIdentical(ref, out,
+                                    std::string(benchSceneName(s)) +
+                                        " order=" + order.str() +
+                                        " isa=" + simd::isaName(isa) +
+                                        " threads=" + threads);
+                }
             }
         }
     }

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
+#include "simd/isa.hh"
+#include "simd/span_kernels.hh"
 #include "texture/sampler.hh"
 
 using namespace texcache;
@@ -275,6 +278,86 @@ TEST(Sampler, TouchOnlySamplingMatchesFullFiltering)
                 << "iter " << iter << " touch " << i;
             ASSERT_EQ(full.touches[i].v, touch.touches[i].v)
                 << "iter " << iter << " touch " << i;
+        }
+    }
+}
+
+TEST(Sampler, SimdBatchesMatchScalarKernel)
+{
+    // Randomized fragment batches through the SIMD span kernels
+    // (simd/span_kernels.hh) for every compiled ISA level, compared
+    // lane for lane against the scalar kernel on synthetic attribute
+    // planes - unconstrained by real triangle geometry, and always
+    // including unaligned tails (n % lanes != 0).
+    MipMap mips[2] = {gradientMip(),
+                      MipMap(Image(64, 16, Rgba8{9, 9, 9, 255}))};
+    const FilterMode modes[] = {FilterMode::Trilinear,
+                                FilterMode::BilinearMipNearest,
+                                FilterMode::NearestMipNearest};
+    const WrapMode wraps[] = {WrapMode::Repeat, WrapMode::Clamp};
+    const simd::SpanKernels *scalar = simd::scalarKernels();
+    ASSERT_NE(scalar, nullptr);
+
+    uint32_t x = 0xfeedbeef;
+    auto rnd = [&] {
+        x = x * 1664525u + 1013904223u;
+        return static_cast<float>(x >> 8) / static_cast<float>(1 << 24);
+    };
+    for (int iter = 0; iter < 400; ++iter) {
+        const MipMap &m = mips[iter & 1];
+        simd::SpanContext ctx{};
+        // 1/w plane kept strictly positive over the pixel range so
+        // every lane holds a renderable fragment.
+        ctx.iwE0 = 1.5f + rnd() * 1.5f;
+        ctx.iwEx = (rnd() - 0.5f) * 0.02f;
+        ctx.iwEy = (rnd() - 0.5f) * 0.02f;
+        ctx.uwE0 = (rnd() - 0.5f) * 4.0f;
+        ctx.uwEx = (rnd() - 0.5f) * 0.1f;
+        ctx.uwEy = (rnd() - 0.5f) * 0.1f;
+        ctx.vwE0 = (rnd() - 0.5f) * 4.0f;
+        ctx.vwEx = (rnd() - 0.5f) * 0.1f;
+        ctx.vwEy = (rnd() - 0.5f) * 0.1f;
+        ctx.texW = static_cast<float>(m.width(0));
+        ctx.texH = static_cast<float>(m.height(0));
+        ctx.mip = &m;
+        ctx.texture = static_cast<uint16_t>(iter % 2048);
+        ctx.mode = modes[iter % 3];
+        ctx.wrap = wraps[(iter / 3) % 2];
+
+        int n = 1 + static_cast<int>(rnd() * 7.99f); // 1..8
+        int32_t xs[simd::kSpanBatch], ys[simd::kSpanBatch];
+        for (int i = 0; i < n; ++i) {
+            xs[i] = static_cast<int32_t>(rnd() * 64.0f);
+            ys[i] = static_cast<int32_t>(rnd() * 64.0f);
+        }
+
+        simd::SpanBatchOut ref;
+        scalar->touches(ctx, xs, ys, n, ref);
+        for (simd::Isa isa : simd::supportedIsas()) {
+            if (isa == simd::Isa::Scalar)
+                continue;
+            simd::SpanBatchOut out;
+            simd::kernelsFor(isa)->touches(ctx, xs, ys, n, out);
+            for (int i = 0; i < n; ++i) {
+                SCOPED_TRACE(std::string("iter ") +
+                             std::to_string(iter) + " isa=" +
+                             simd::isaName(isa) + " lane " +
+                             std::to_string(i) + " of " +
+                             std::to_string(n));
+                ASSERT_EQ(out.kind[i], ref.kind[i]);
+                ASSERT_EQ(out.numTouches[i], ref.numTouches[i]);
+                ASSERT_EQ(out.firstLevel[i], ref.firstLevel[i]);
+                ASSERT_EQ(out.firstU[i], ref.firstU[i]);
+                ASSERT_EQ(out.firstV[i], ref.firstV[i]);
+                ASSERT_EQ(out.anchorU[i], ref.anchorU[i]);
+                ASSERT_EQ(out.anchorV[i], ref.anchorV[i]);
+                ASSERT_EQ(out.recEnd[i], ref.recEnd[i]);
+            }
+            ASSERT_EQ(0, std::memcmp(out.records, ref.records,
+                                     ref.recEnd[n - 1] *
+                                         sizeof(uint64_t)))
+                << "iter " << iter << " isa=" << simd::isaName(isa)
+                << ": packed records diverged";
         }
     }
 }

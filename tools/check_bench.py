@@ -16,7 +16,10 @@ else 0.15. Direction and the metric set are always taken from the
 baseline: a metric the baseline gates on must exist in the fresh run.
 
 Exit status: 0 when every gated metric passes, 1 on any regression or
-missing metric, 2 on malformed input.
+missing metric, 2 on malformed input - including comparing manifests
+produced at different SIMD ISA levels (host.simd_isa) when the
+baseline carries "exact" pins; exact comparisons are only meaningful
+at one ISA level.
 
 --against compares two manifests structurally instead: every JSON
 path of both documents must match exactly (values, types, presence).
@@ -218,6 +221,25 @@ def main():
     if base_doc.get("bench") != fresh_doc.get("bench"):
         die(f"bench mismatch: baseline is {base_doc.get('bench')!r}, "
             f"fresh is {fresh_doc.get('bench')!r}")
+
+    # Manifests record the SIMD level the span kernels dispatched to
+    # (host.simd_isa). The kernels are byte-identical across levels,
+    # so an "exact" pin that differs between ISA levels is a real
+    # identity bug - but comparing across levels would misattribute
+    # it to nondeterminism. Refuse, naming both levels, so the caller
+    # re-runs one side under TEXCACHE_SIMD=<level> instead.
+    base_isa = base_doc.get("host", {}).get("simd_isa")
+    fresh_isa = fresh_doc.get("host", {}).get("simd_isa")
+    if (base_isa is not None and fresh_isa is not None
+            and base_isa != fresh_isa
+            and any(m.get("direction") == "exact"
+                    for m in base_doc["metrics"].values())):
+        die(f"ISA mismatch for exact metrics: baseline "
+            f"{args.baseline} was produced at simd_isa={base_isa!r} "
+            f"but fresh {args.fresh} at simd_isa={fresh_isa!r}; "
+            f"exact pins must be compared at one ISA level. Re-run "
+            f"the fresh bench with TEXCACHE_SIMD={base_isa} (or "
+            f"refresh the baseline at {fresh_isa}).")
 
     print(f"check_bench: {base_doc['bench']}: "
           f"baseline {args.baseline} (git "

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SIMD dispatch probe for CI and debugging.
+ *
+ * Prints the span-kernel ISA levels this build compiled and this CPU
+ * supports, one per line, plus the level the dispatcher would select
+ * (honoring TEXCACHE_SIMD - so a bogus override fails here, loudly,
+ * before any bench runs). CI's TEXCACHE_SIMD matrix asks
+ * `simd_probe --supports <level>` per entry and emits an explicit
+ * skip line for levels the runner cannot execute, instead of silently
+ * testing scalar twice.
+ *
+ * Usage:
+ *   simd_probe                 # report: compiled, supported, selected
+ *   simd_probe --supports ISA  # exit 0 iff ISA runs here (quiet)
+ *   simd_probe --best          # print the selected level only
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "simd/isa.hh"
+#include "simd/span_kernels.hh"
+
+using namespace texcache;
+
+int
+main(int argc, char **argv)
+{
+    const simd::Isa all[] = {simd::Isa::Scalar, simd::Isa::Sse41,
+                             simd::Isa::Avx2};
+
+    if (argc == 3 && std::strcmp(argv[1], "--supports") == 0) {
+        for (simd::Isa isa : all) {
+            if (std::strcmp(argv[2], simd::isaName(isa)) != 0)
+                continue;
+            bool ok = simd::kernelsFor(isa) != nullptr &&
+                      simd::isaSupported(isa);
+            return ok ? 0 : 1;
+        }
+        std::cerr << "simd_probe: unknown ISA level '" << argv[2]
+                  << "' (scalar|sse41|avx2)\n";
+        return 2;
+    }
+    if (argc == 2 && std::strcmp(argv[1], "--best") == 0) {
+        // activeIsa() resolves TEXCACHE_SIMD and is fatal on an
+        // unknown or unsupported override - the point: fail here.
+        std::cout << simd::isaName(simd::activeIsa()) << "\n";
+        return 0;
+    }
+    if (argc != 1) {
+        std::cerr << "usage: simd_probe [--supports ISA | --best]\n";
+        return 2;
+    }
+
+    for (simd::Isa isa : all) {
+        std::cout << simd::isaName(isa) << ": "
+                  << (simd::kernelsFor(isa) ? "compiled" : "not compiled")
+                  << ", "
+                  << (simd::isaSupported(isa) ? "supported"
+                                              : "unsupported by this CPU")
+                  << "\n";
+    }
+    std::cout << "selected: " << simd::isaName(simd::activeIsa())
+              << "\n";
+    return 0;
+}
