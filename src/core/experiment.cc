@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <map>
 
+#include "perf/perf_counters.hh"
 #include "trace/trace_io.hh"
 
 namespace texcache {
@@ -158,6 +159,7 @@ profileTrace(const TexelTrace &trace, const SceneLayout &layout,
              unsigned line_bytes)
 {
     StackDistProfiler prof(line_bytes);
+    perf::addSimulatedAccesses(trace.size());
     std::vector<Addr> buf;
     for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
         size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);
@@ -175,6 +177,7 @@ runCache(const TexelTrace &trace, const SceneLayout &layout,
     // CacheSim internally takes the O(1) fully associative path for
     // large kFullyAssoc configs, so one code path serves both.
     CacheSim cache(config);
+    perf::addSimulatedAccesses(trace.size());
     std::vector<Addr> buf;
     for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
         size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);
@@ -190,6 +193,7 @@ classifyCache(const TexelTrace &trace, const SceneLayout &layout,
               const CacheConfig &config)
 {
     MissClassifier cls(config);
+    perf::addSimulatedAccesses(trace.size());
     std::vector<Addr> buf;
     for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
         size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);
@@ -205,6 +209,7 @@ runFaSweep(const TexelTrace &trace, const SceneLayout &layout,
            unsigned line_bytes, const std::vector<uint64_t> &sizes)
 {
     FaCapacitySweep sweep(line_bytes, sizes);
+    perf::addSimulatedAccesses(trace.size());
     std::vector<Addr> buf;
     for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
         size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);
@@ -219,6 +224,7 @@ runCacheGroup(const TexelTrace &trace, const SceneLayout &layout,
               const std::vector<CacheConfig> &configs)
 {
     GroupSim group(configs);
+    perf::addSimulatedAccesses(trace.size());
     std::vector<Addr> buf;
     for (size_t i = 0; i < trace.size(); i += SceneLayout::kMapChunk) {
         size_t end = std::min(trace.size(), i + SceneLayout::kMapChunk);

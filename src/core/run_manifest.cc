@@ -8,9 +8,12 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/resource.h>
+
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "core/version.hh"
+#include "perf/perf_counters.hh"
 #include "simd/isa.hh"
 
 extern char **environ;
@@ -21,6 +24,17 @@ namespace {
 
 /** Process wall-clock origin (static init ~= process start). */
 const auto processStart = std::chrono::steady_clock::now();
+
+/** Peak resident set size so far, in bytes (0 when unavailable). */
+uint64_t
+peakRssBytes()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // ru_maxrss is kilobytes on Linux.
+    return uint64_t(ru.ru_maxrss) * 1024;
+}
 
 std::string
 renderDouble(double v)
@@ -89,6 +103,39 @@ RunManifest::write(std::ostream &os, const stats::Group *root) const
         w.kv("hardware_concurrency",
              uint64_t(std::thread::hardware_concurrency()));
         w.kv("simd_isa", simd::isaName(simd::activeIsa()));
+        w.kv("peak_rss_bytes", peakRssBytes());
+        w.endObject();
+    }
+
+    // Host hardware-counter mirror of the run (report-only; never
+    // gated - CI containers routinely lack perf_event_open, in which
+    // case the block says so instead of lying with zeros). Omitted
+    // from deterministic service responses like the host block.
+    if (!deterministic_) {
+        perf::Reading r = perf::read();
+        uint64_t sim = perf::simulatedAccesses();
+        w.key("perf");
+        w.beginObject();
+        w.kv("available", r.available);
+        if (!r.available) {
+            w.kv("reason", perf::unavailableReason());
+        } else {
+            w.kv("cycles", r.cycles);
+            w.kv("instructions", r.instructions);
+            w.kv("ipc", r.ipc());
+            w.kv("llc_loads", r.llcLoads);
+            w.kv("llc_misses", r.llcMisses);
+            w.kv("llc_miss_rate", r.llcMissRate());
+            w.kv("branch_misses", r.branchMisses);
+            w.kv("multiplexed", r.multiplexed);
+        }
+        w.kv("simulated_accesses", sim);
+        // The paper's own metric, mirrored onto the host: how often
+        // the *simulator* misses in the host LLC per texel access it
+        // simulates.
+        w.kv("llc_misses_per_simulated_access",
+             (r.available && sim) ? double(r.llcMisses) / double(sim)
+                                  : 0.0);
         w.endObject();
     }
 

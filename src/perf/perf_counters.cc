@@ -1,0 +1,236 @@
+#include "perf/perf_counters.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#include <cerrno>
+#endif
+
+namespace texcache {
+namespace perf {
+
+namespace {
+
+/// Process total of simulated texel accesses, bumped once per replay
+/// pass. Relaxed is fine: readers want an eventually-consistent sum,
+/// and every bump is a bulk add from a pass that already completed.
+std::atomic<uint64_t> gSimulatedAccesses{0};
+
+#if defined(__linux__)
+
+/// Slot order mirrors Reading's counter fields.
+enum Slot
+{
+    kCycles,
+    kInstructions,
+    kLlcLoads,
+    kLlcMisses,
+    kBranchMisses,
+    kNumSlots,
+};
+
+struct Counters
+{
+    int fd[kNumSlots] = {-1, -1, -1, -1, -1};
+    bool available = false;
+    std::string reason;
+};
+
+long
+sysPerfEventOpen(struct perf_event_attr *attr)
+{
+    // pid=0, cpu=-1: this process, any CPU; no group leader (inherit
+    // is incompatible with PERF_FORMAT_GROUP, so one fd per counter).
+    return syscall(__NR_perf_event_open, attr, 0, -1, -1, 0);
+}
+
+int
+openCounter(uint32_t type, uint64_t config)
+{
+    struct perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = type;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    // inherit=1: threads created after this point (sweep pool, tile
+    // workers, service dispatcher) are counted too; read() sums the
+    // whole tree. Requires opening before any worker thread spawns,
+    // which is why initCounters() runs from a pre-main static.
+    attr.inherit = 1;
+    attr.exclude_kernel = 1; // user-space only; works at paranoid<=2
+    attr.exclude_hv = 1;
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    return int(sysPerfEventOpen(&attr));
+}
+
+uint64_t
+cacheConfig(uint64_t cache, uint64_t op, uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+Counters
+initCounters()
+{
+    Counters c;
+    const char *env = std::getenv("TEXCACHE_PERF");
+    if (env && env[0] == '0' && env[1] == '\0') {
+        c.reason = "disabled by TEXCACHE_PERF=0";
+        return c;
+    }
+
+    struct { Slot slot; uint32_t type; uint64_t config; } wanted[] = {
+        {kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+        {kInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+        {kLlcLoads, PERF_TYPE_HW_CACHE,
+         cacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+        {kLlcMisses, PERF_TYPE_HW_CACHE,
+         cacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS)},
+        {kBranchMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    };
+
+    int firstErrno = 0;
+    for (const auto &w : wanted) {
+        int fd = openCounter(w.type, w.config);
+        if (fd < 0 && !firstErrno)
+            firstErrno = errno;
+        c.fd[w.slot] = fd;
+    }
+
+    // Cycles + instructions are the floor; LLC/branch counters may be
+    // absent on some hosts (VMs without PMU cache events) and degrade
+    // to zero individually.
+    c.available = c.fd[kCycles] >= 0 && c.fd[kInstructions] >= 0;
+    if (!c.available) {
+        for (int &fd : c.fd) {
+            if (fd >= 0)
+                close(fd);
+            fd = -1;
+        }
+        c.reason = std::string("perf_event_open failed: ") +
+                   std::strerror(firstErrno ? firstErrno : ENOSYS);
+    }
+    return c;
+}
+
+/// Opened once before main() so inherit=1 covers every later thread.
+/// Never torn down: the fds live for the process, like the trace rings.
+Counters &
+counters()
+{
+    static Counters c = initCounters();
+    return c;
+}
+
+/// Force counter setup during static initialization, ahead of any
+/// code that might spawn threads from its own pre-main hooks.
+struct EarlyInit
+{
+    EarlyInit() { (void)counters(); }
+};
+EarlyInit gEarlyInit;
+
+/// Read one fd; scales for multiplexing, returns 0 on any failure.
+uint64_t
+readScaled(int fd, bool *multiplexed)
+{
+    if (fd < 0)
+        return 0;
+    // PERF_FORMAT_TOTAL_TIME_ENABLED|RUNNING layout.
+    uint64_t buf[3] = {0, 0, 0};
+    if (::read(fd, buf, sizeof(buf)) != ssize_t(sizeof(buf)))
+        return 0;
+    uint64_t value = buf[0], enabled = buf[1], running = buf[2];
+    if (running && running < enabled) {
+        *multiplexed = true;
+        return uint64_t(double(value) * double(enabled) / double(running));
+    }
+    return value;
+}
+
+#endif // __linux__
+
+#if !defined(__linux__)
+const std::string gNoLinuxReason = "perf_event_open requires Linux";
+#endif
+
+} // namespace
+
+bool
+available()
+{
+#if defined(__linux__)
+    return counters().available;
+#else
+    return false;
+#endif
+}
+
+const std::string &
+unavailableReason()
+{
+#if defined(__linux__)
+    return counters().reason;
+#else
+    return gNoLinuxReason;
+#endif
+}
+
+Reading
+read()
+{
+    Reading r;
+#if defined(__linux__)
+    Counters &c = counters();
+    if (!c.available)
+        return r;
+    r.available = true;
+    r.cycles = readScaled(c.fd[kCycles], &r.multiplexed);
+    r.instructions = readScaled(c.fd[kInstructions], &r.multiplexed);
+    r.llcLoads = readScaled(c.fd[kLlcLoads], &r.multiplexed);
+    r.llcMisses = readScaled(c.fd[kLlcMisses], &r.multiplexed);
+    r.branchMisses = readScaled(c.fd[kBranchMisses], &r.multiplexed);
+#endif
+    return r;
+}
+
+Reading
+Reading::since(const Reading &earlier) const
+{
+    auto sub = [](uint64_t now, uint64_t then) {
+        return now >= then ? now - then : 0;
+    };
+    Reading d;
+    d.available = available && earlier.available;
+    d.multiplexed = multiplexed || earlier.multiplexed;
+    d.cycles = sub(cycles, earlier.cycles);
+    d.instructions = sub(instructions, earlier.instructions);
+    d.llcLoads = sub(llcLoads, earlier.llcLoads);
+    d.llcMisses = sub(llcMisses, earlier.llcMisses);
+    d.branchMisses = sub(branchMisses, earlier.branchMisses);
+    return d;
+}
+
+void
+addSimulatedAccesses(uint64_t n)
+{
+    gSimulatedAccesses.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t
+simulatedAccesses()
+{
+    return gSimulatedAccesses.load(std::memory_order_relaxed);
+}
+
+} // namespace perf
+} // namespace texcache

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Host hardware performance counters via perf_event_open(2).
+ *
+ * The paper's analysis is built on *simulated* miss rates; this layer
+ * measures the host's own cache behaviour while it simulates, so a
+ * bench manifest can report the mirror metric: host LLC misses per
+ * simulated texel access. Five process-wide counters open before
+ * main() (cycles, instructions, LLC loads, LLC misses, branch
+ * misses), each with inherit=1 so threads spawned later - the sweep
+ * pool, the tile-render workers, the service dispatcher - are
+ * aggregated into one read().
+ *
+ * Degradation contract: perf_event_open is frequently unavailable
+ * (seccomp'd containers, perf_event_paranoid >= 3, non-Linux). Every
+ * entry point then stays safe and cheap: available() is false,
+ * read() returns a Reading with available=false, and consumers emit
+ * report-only blocks that say so instead of failing. Nothing in the
+ * harness *gates* on these numbers; they are observability, like the
+ * tracing layer. TEXCACHE_PERF=0 disables the counters explicitly.
+ *
+ * Counter values are scaled for kernel multiplexing using
+ * time_enabled/time_running (Reading::multiplexed flags when scaling
+ * happened). Counts are user-space only (exclude_kernel), which is
+ * also what lets the syscall succeed at perf_event_paranoid=2.
+ *
+ * The denominator for the mirror metric is explicit, not inferred:
+ * replay drivers call addSimulatedAccesses() once per pass (a relaxed
+ * atomic add per *pass*, never per access), and simulatedAccesses()
+ * reads the process total.
+ */
+
+#ifndef TEXCACHE_PERF_PERF_COUNTERS_HH
+#define TEXCACHE_PERF_PERF_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace texcache {
+namespace perf {
+
+/** One aggregated reading of the process-wide counter set. */
+struct Reading
+{
+    bool available = false; ///< at least cycles+instructions opened
+    bool multiplexed = false; ///< any counter was time-sliced (scaled)
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t llcLoads = 0;
+    uint64_t llcMisses = 0;
+    uint64_t branchMisses = 0;
+
+    /** Counter-wise delta (this - earlier); flags OR together. */
+    Reading since(const Reading &earlier) const;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+
+    double
+    llcMissRate() const
+    {
+        return llcLoads ? double(llcMisses) / double(llcLoads) : 0.0;
+    }
+};
+
+/** Did the process-wide counters open? Stable after process start. */
+bool available();
+
+/** Human-readable reason when available() is false ("" otherwise). */
+const std::string &unavailableReason();
+
+/** Cumulative counts since process start, all threads aggregated. */
+Reading read();
+
+/**
+ * Credit @p n simulated texel accesses to the process total. Replay
+ * drivers call this once per trace pass with the pass length.
+ */
+void addSimulatedAccesses(uint64_t n);
+
+/** Total simulated texel accesses credited so far. */
+uint64_t simulatedAccesses();
+
+} // namespace perf
+} // namespace texcache
+
+#endif // TEXCACHE_PERF_PERF_COUNTERS_HH

@@ -1,12 +1,17 @@
 #include "service/engine.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <tuple>
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "perf/perf_counters.hh"
+#include "stats/prometheus.hh"
+#include "tracing/tracing.hh"
 
 namespace texcache {
 namespace service {
@@ -19,6 +24,43 @@ ConfigKey
 keyOf(const CacheConfig &c)
 {
     return {c.sizeBytes, c.lineBytes, c.assoc};
+}
+
+// Span-name ids for the per-request async lifetimes. Interned once
+// per process (the name table survives tracing::configure()).
+uint16_t
+requestSpan()
+{
+    static uint16_t id = tracing::nameId("svc.request");
+    return id;
+}
+
+uint16_t
+queueSpan()
+{
+    static uint16_t id = tracing::nameId("svc.queue");
+    return id;
+}
+
+uint16_t
+executeSpan()
+{
+    static uint16_t id = tracing::nameId("svc.execute");
+    return id;
+}
+
+double
+parseSlowReqMs()
+{
+    const char *env = std::getenv("TEXCACHE_SLOW_REQ_MS");
+    if (!env || !*env)
+        return -1.0;
+    char *end = nullptr;
+    double v = std::strtod(env, &end);
+    fatal_if(end == env || *end != '\0' || !(v >= 0.0),
+             "TEXCACHE_SLOW_REQ_MS='", env,
+             "' is not a non-negative millisecond threshold");
+    return v;
 }
 
 std::string
@@ -60,11 +102,24 @@ ServiceEngine::ServiceEngine(TraceStore &store, Options opts)
                                  "shared-replay passes executed")),
       foldedRequests_(statsRoot_.scalar(
           "folded", "requests served from multi-request batches")),
+      slowRequests_(statsRoot_.scalar(
+          "slow_requests",
+          "requests over the TEXCACHE_SLOW_REQ_MS threshold")),
       queueDepthDist_(statsRoot_.distribution(
           "queue_depth", "depth observed at each enqueue")),
       latencyUs_(statsRoot_.distribution(
-          "latency_us", "enqueue-to-response microseconds"))
+          "latency_us", "enqueue-to-response microseconds")),
+      perfAvailable_(statsRoot_.group("perf").scalar(
+          "available", "host perf counters opened (0/1)")),
+      cyclesPerRequest_(statsRoot_.findGroup("perf")->distribution(
+          "cycles_per_request",
+          "host cycles per request, batch delta / members")),
+      llcMissesPerRequest_(statsRoot_.findGroup("perf")->distribution(
+          "llc_misses_per_request",
+          "host LLC misses per request, batch delta / members"))
 {
+    slowReqMs_ = parseSlowReqMs();
+    perfAvailable_.set(perf::available() ? 1 : 0);
     statsRoot_.formula("fold_factor",
                        "batchable requests per executed batch", [this] {
                            uint64_t b = batches_.value();
@@ -105,6 +160,7 @@ ServiceEngine::submit(std::string_view body)
     }
 
     if (req.control()) {
+        bool wantMetrics = false;
         std::string resp;
         {
             std::lock_guard<std::mutex> lk(mutex_);
@@ -118,12 +174,18 @@ ServiceEngine::submit(std::string_view body)
                 shutdownReq_ = true;
                 resp = controlOk("shutdown");
                 break;
+              case ServiceRequest::Kind::Metrics:
+                wantMetrics = true;
+                break;
               default:
                 break; // stats: dump outside the lock
             }
         }
+        // Snapshot/render outside the lock held above: both re-take
+        // mutex_ briefly for a consistent capture, and neither ever
+        // blocks the dispatcher on rendering.
         if (resp.empty())
-            resp = statsJson();
+            resp = wantMetrics ? metricsText() : statsJson();
         promise.set_value(std::move(resp));
         return future;
     }
@@ -155,6 +217,15 @@ ServiceEngine::submit(std::string_view body)
         p.req = std::move(req);
         p.promise = std::move(promise);
         p.enqueued = std::chrono::steady_clock::now();
+        p.id = ++nextId_;
+        if (tracing::enabled(tracing::kSpans)) {
+            // The request's whole life plus its time-in-queue phase,
+            // correlated by the admission id; the queue span ends when
+            // the dispatcher collects it into a batch.
+            tracing::asyncBegin(requestSpan(), p.id,
+                                uint32_t(queue_.size()));
+            tracing::asyncBegin(queueSpan(), p.id);
+        }
         queue_.push_back(std::move(p));
     }
     cv_.notify_all();
@@ -220,6 +291,42 @@ ServiceEngine::statsJson() const
     return os.str();
 }
 
+stats::Snapshot
+ServiceEngine::snapshot() const
+{
+    stats::Snapshot snap;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        snap = stats::Snapshot::capture(statsRoot_);
+        snap.gauge("queue_depth_now", double(queue_.size()));
+        snap.gauge("busy", busy_ ? 1.0 : 0.0);
+        snap.gauge("accepting", accepting_ ? 1.0 : 0.0);
+    }
+    // Host counter totals live outside the stats tree (process-wide,
+    // not engine state) and need no lock.
+    perf::Reading r = perf::read();
+    if (r.available) {
+        snap.counter("host.cycles", double(r.cycles));
+        snap.counter("host.instructions", double(r.instructions));
+        snap.counter("host.llc_loads", double(r.llcLoads));
+        snap.counter("host.llc_misses", double(r.llcMisses));
+        snap.counter("host.branch_misses", double(r.branchMisses));
+    }
+    snap.counter("host.simulated_accesses",
+                 double(perf::simulatedAccesses()));
+    snap.unixMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    return snap;
+}
+
+std::string
+ServiceEngine::metricsText() const
+{
+    return stats::expositionText(snapshot(), "texcache_service");
+}
+
 void
 ServiceEngine::dispatchLoop()
 {
@@ -271,16 +378,46 @@ ServiceEngine::dispatchLoop()
 void
 ServiceEngine::runBatch(std::vector<Pending> batch)
 {
+    uint64_t batchSeq = 0;
     {
         std::lock_guard<std::mutex> lk(mutex_);
         ++batches_;
+        batchSeq = batches_.value();
         if (batch.size() > 1)
             foldedRequests_ += batch.size();
     }
 
+    if (tracing::enabled(tracing::kSpans)) {
+        // Queue phase over, execute phase begins, for every member at
+        // once - a fold shows up as N execute spans sharing one batch
+        // sequence number in their args.
+        for (const Pending &p : batch) {
+            tracing::asyncEnd(queueSpan(), p.id);
+            tracing::asyncBegin(executeSpan(), p.id,
+                                uint32_t(batchSeq));
+        }
+    }
+
+    // Host-counter cost of this batch, spread over its members. The
+    // counters are process-wide, but batches execute serially on this
+    // one dispatcher thread (connection threads only block on
+    // futures), so the delta is attributable to the batch.
+    perf::Reading before;
+    if (perf::available())
+        before = perf::read();
+    auto chargeBatch = [&] {
+        if (!before.available)
+            return;
+        perf::Reading d = perf::read().since(before);
+        std::lock_guard<std::mutex> lk(mutex_);
+        cyclesPerRequest_.sample(d.cycles / batch.size());
+        llcMissesPerRequest_.sample(d.llcMisses / batch.size());
+    };
+
     if (batch.size() == 1 && !batch.front().req.batchable()) {
-        finish(batch.front(),
-               runServiceRequest(store_, batch.front().req));
+        std::string body = runServiceRequest(store_, batch.front().req);
+        chargeBatch();
+        finish(batch.front(), std::move(body));
         return;
     }
 
@@ -300,6 +437,7 @@ ServiceEngine::runBatch(std::vector<Pending> batch)
     const TexelTrace &trace = store_.trace(head.scene, head.order);
     SceneLayout layout(store_.scene(head.scene), head.layout);
     std::vector<CacheStats> stats = runCacheSweep(trace, layout, uni);
+    chargeBatch();
 
     for (Pending &p : batch) {
         std::vector<CacheStats> mine;
@@ -316,9 +454,34 @@ ServiceEngine::finish(Pending &p, std::string body)
     auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - p.enqueued)
                   .count();
+    double ms = double(us) / 1000.0;
+    bool slow = slowReqMs_ >= 0.0 && ms >= slowReqMs_;
     {
         std::lock_guard<std::mutex> lk(mutex_);
         latencyUs_.sample(static_cast<uint64_t>(us));
+        if (slow)
+            ++slowRequests_;
+    }
+    if (slow) {
+        // One structured line per slow request, composed first so the
+        // stderr write is a single insertion (interleaving-safe
+        // enough for line-oriented consumers).
+        std::ostringstream os;
+        JsonWriter w(os, /*pretty=*/false);
+        w.beginObject();
+        w.kv("event", "slow_request");
+        w.kv("id", p.id);
+        w.kv("kind", p.req.kindName());
+        w.kv("name", p.req.name);
+        w.kv("latency_ms", ms);
+        w.kv("threshold_ms", slowReqMs_);
+        w.endObject();
+        os << "\n";
+        std::cerr << os.str();
+    }
+    if (tracing::enabled(tracing::kSpans)) {
+        tracing::asyncEnd(executeSpan(), p.id);
+        tracing::asyncEnd(requestSpan(), p.id);
     }
     p.promise.set_value(std::move(body));
 }

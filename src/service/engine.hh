@@ -30,6 +30,22 @@
  * fold accounting, a queue-depth distribution sampled at every
  * enqueue, and a service-latency distribution (microseconds,
  * enqueue -> response) whose dump carries p50/p95/p99.
+ *
+ * Telemetry (this layer's live view):
+ *  - every admitted request gets a monotonically increasing id and,
+ *    when span tracing is on, an async-span lifetime: "svc.request"
+ *    (admission -> response) containing "svc.queue" (admission ->
+ *    collection) and "svc.execute" (batch membership -> response),
+ *    all correlated by the request id, so a Perfetto view of a loaded
+ *    daemon shows each request's life and which batch served it;
+ *  - snapshot() captures the stats tree plus live gauges (current
+ *    queue depth, busy flag) and host perf-counter totals without
+ *    pausing the dispatcher; metricsText() renders it as Prometheus
+ *    exposition for the "metrics" control request;
+ *  - per-batch host perf deltas (cycles, LLC misses per member) feed
+ *    the "perf" stats group when perf_event_open is available;
+ *  - TEXCACHE_SLOW_REQ_MS=N logs one structured JSON line to stderr
+ *    for every request slower than N ms, and counts them.
  */
 
 #ifndef TEXCACHE_SERVICE_ENGINE_HH
@@ -44,6 +60,7 @@
 #include <thread>
 
 #include "service/request.hh"
+#include "stats/snapshot.hh"
 #include "stats/stats.hh"
 
 namespace texcache {
@@ -107,12 +124,25 @@ class ServiceEngine
     /** Pretty JSON document of the stats tree (control response). */
     std::string statsJson() const;
 
+    /**
+     * Consistent point-in-time snapshot of the stats tree plus live
+     * gauges (queue_depth_now, busy, accepting) and host perf-counter
+     * totals. Takes the stats mutex only for the capture itself - the
+     * dispatcher is never paused.
+     */
+    stats::Snapshot snapshot() const;
+
+    /** Prometheus exposition text of snapshot() ("metrics" control
+     *  response); rendered outside the lock. */
+    std::string metricsText() const;
+
   private:
     struct Pending
     {
         ServiceRequest req;
         std::promise<std::string> promise;
         std::chrono::steady_clock::time_point enqueued;
+        uint64_t id = 0; ///< admission-assigned request id
     };
 
     void dispatchLoop();
@@ -133,6 +163,10 @@ class ServiceEngine
     bool accepting_ = true;   ///< beginShutdown clears
     bool shutdownReq_ = false;
     bool busy_ = false;       ///< a batch is executing
+    uint64_t nextId_ = 0;     ///< request-id source (admission order)
+
+    /** TEXCACHE_SLOW_REQ_MS threshold; negative = logging disabled. */
+    double slowReqMs_ = -1.0;
 
     // --- statistics (guarded by mutex_) ---
     stats::Group statsRoot_{"service"};
@@ -145,8 +179,14 @@ class ServiceEngine
     stats::Scalar &batchable_;
     stats::Scalar &batches_;
     stats::Scalar &foldedRequests_; ///< members of multi-request batches
+    stats::Scalar &slowRequests_;   ///< over the TEXCACHE_SLOW_REQ_MS bar
     stats::Distribution &queueDepthDist_;
     stats::Distribution &latencyUs_;
+    /** Host perf deltas per batch, spread over its members; only
+     *  sampled when perf_event_open is available. */
+    stats::Scalar &perfAvailable_;
+    stats::Distribution &cyclesPerRequest_;
+    stats::Distribution &llcMissesPerRequest_;
 
     std::thread dispatcher_;
 };

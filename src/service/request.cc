@@ -105,6 +105,8 @@ ServiceRequest::kindName() const
         return "ping";
       case Kind::Stats:
         return "stats";
+      case Kind::Metrics:
+        return "metrics";
       case Kind::Shutdown:
         return "shutdown";
     }
@@ -245,12 +247,15 @@ parseKind(Ctx &c, const json::Value &root, ServiceRequest &req)
         req.kind = ServiceRequest::Kind::Ping;
     else if (k == "stats")
         req.kind = ServiceRequest::Kind::Stats;
+    else if (k == "metrics")
+        req.kind = ServiceRequest::Kind::Metrics;
     else if (k == "shutdown")
         req.kind = ServiceRequest::Kind::Shutdown;
     else
         return c.fail("unknown kind \"" + k +
                       "\"; expected sweep, classify, working_set, "
-                      "vt_residency, ping, stats or shutdown");
+                      "vt_residency, ping, stats, metrics or "
+                      "shutdown");
     return true;
 }
 

@@ -10,7 +10,7 @@
  *
  *   {
  *     "kind":  "sweep" | "classify" | "working_set" | "vt_residency"
- *              | "ping" | "stats" | "shutdown",
+ *              | "ping" | "stats" | "metrics" | "shutdown",
  *     "name":  "my-run",                  // manifest bench name
  *     "scene": "Flight" | ... | "quad",
  *     "quad":  {"tex": 64, "screen": 256, "repeat": 4},
@@ -91,6 +91,7 @@ struct ServiceRequest
         VtResidency, ///< virtual-texturing residency render
         Ping,        ///< control: liveness probe
         Stats,       ///< control: dump the service stats tree
+        Metrics,     ///< control: Prometheus exposition snapshot
         Shutdown,    ///< control: drain and exit
     };
 
@@ -112,7 +113,7 @@ struct ServiceRequest
     control() const
     {
         return kind == Kind::Ping || kind == Kind::Stats ||
-               kind == Kind::Shutdown;
+               kind == Kind::Metrics || kind == Kind::Shutdown;
     }
 
     /** Sweep requests over the same replay coalesce into one batch. */

@@ -1,0 +1,137 @@
+#include "stats/prometheus.hh"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "stats/snapshot.hh"
+
+namespace texcache {
+namespace stats {
+
+namespace {
+
+/// Shortest round-trippable number; integral values print without a
+/// decimal point (counters read naturally). Non-finite renders as 0.
+std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof(buf), int64_t(v));
+        return std::string(buf, res.ptr);
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+num(uint64_t v)
+{
+    char buf[24];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/// Inclusive upper bound of log2 bucket @p k as exposition text:
+/// bucket 0 holds the value 0; bucket k >= 1 holds [2^(k-1), 2^k),
+/// whose largest integer sample is 2^k - 1.
+std::string
+bucketLe(unsigned k)
+{
+    if (k == 0)
+        return "0";
+    if (k >= 64)
+        return "18446744073709551615"; // 2^64 - 1
+    return num((uint64_t(1) << k) - 1);
+}
+
+void
+writeGauge(std::ostream &os, const std::string &name, double v)
+{
+    os << "# TYPE " << name << " gauge\n" << name << ' ' << num(v) << '\n';
+}
+
+void
+writeHistogram(std::ostream &os, const std::string &name,
+               const Distribution &d)
+{
+    os << "# TYPE " << name << " histogram\n";
+    unsigned top = 0;
+    for (unsigned i = 0; i < Distribution::kBuckets; ++i)
+        if (d.bucket(i))
+            top = i + 1;
+    uint64_t cum = 0;
+    for (unsigned i = 0; i < top; ++i) {
+        cum += d.bucket(i);
+        os << name << "_bucket{le=\"" << bucketLe(i) << "\"} "
+           << num(cum) << '\n';
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << num(d.count()) << '\n';
+    os << name << "_sum " << num(d.sum()) << '\n';
+    os << name << "_count " << num(d.count()) << '\n';
+    // Companion quantile gauges: log2 buckets are too coarse for good
+    // server-side quantile math, and the registry already interpolates.
+    writeGauge(os, name + "_p50", d.percentile(0.50));
+    writeGauge(os, name + "_p95", d.percentile(0.95));
+    writeGauge(os, name + "_p99", d.percentile(0.99));
+}
+
+} // namespace
+
+std::string
+promMetricName(std::string_view path)
+{
+    std::string out;
+    out.reserve(path.size());
+    for (char c : path) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty())
+        out = "_";
+    // Metric names may not start with a digit.
+    if (out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void
+writeExposition(std::ostream &os, const Snapshot &snap,
+                std::string_view prefix)
+{
+    std::string pfx = promMetricName(prefix);
+    for (const Snapshot::Entry &e : snap.entries()) {
+        std::string name = pfx.empty()
+                               ? promMetricName(e.path)
+                               : pfx + "_" + promMetricName(e.path);
+        switch (e.kind) {
+          case Snapshot::Kind::Counter:
+            os << "# TYPE " << name << " counter\n"
+               << name << ' ' << num(e.value) << '\n';
+            break;
+          case Snapshot::Kind::Gauge:
+            writeGauge(os, name, e.value);
+            break;
+          case Snapshot::Kind::Dist:
+            writeHistogram(os, name, e.dist);
+            break;
+        }
+    }
+}
+
+std::string
+expositionText(const Snapshot &snap, std::string_view prefix)
+{
+    std::ostringstream os;
+    writeExposition(os, snap, prefix);
+    return os.str();
+}
+
+} // namespace stats
+} // namespace texcache

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Prometheus text-exposition rendering of a stats Snapshot.
+ *
+ * Target format is the classic text exposition (version 0.0.4): one
+ * `# TYPE` comment per metric family followed by its sample lines.
+ * The mapping from the registry's kinds:
+ *
+ *  - Snapshot Counter -> `counter`; Gauge -> `gauge`;
+ *  - Distribution     -> `histogram` with cumulative `_bucket` lines.
+ *    The registry's log2 bucket k covers [2^(k-1), 2^k) (bucket 0 is
+ *    the literal value 0), so bucket k's inclusive upper bound is
+ *    le="2^k - 1" for integer samples, with le="0" for bucket 0 and a
+ *    trailing le="+Inf"; `_sum` and `_count` follow. Because
+ *    Prometheus quantile math over log2 buckets is coarse, the
+ *    registry's own interpolated p50/p95/p99 are also emitted as
+ *    companion gauges (`<name>_p50` ...).
+ *
+ * Metric names are `<prefix>_<path>` with '.' and every character
+ * outside [a-zA-Z0-9_:] mangled to '_'. Values are never NaN/inf
+ * (non-finite inputs render as 0), matching the registry's JSON
+ * contract. Output is deterministic: entry order is snapshot order.
+ */
+
+#ifndef TEXCACHE_STATS_PROMETHEUS_HH
+#define TEXCACHE_STATS_PROMETHEUS_HH
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace texcache {
+namespace stats {
+
+class Snapshot;
+
+/** Mangle a dotted stat path into a legal metric name (no prefix). */
+std::string promMetricName(std::string_view path);
+
+/** Render @p snap as exposition text onto @p os. */
+void writeExposition(std::ostream &os, const Snapshot &snap,
+                     std::string_view prefix = "texcache");
+
+/** writeExposition into a string. */
+std::string expositionText(const Snapshot &snap,
+                           std::string_view prefix = "texcache");
+
+} // namespace stats
+} // namespace texcache
+
+#endif // TEXCACHE_STATS_PROMETHEUS_HH

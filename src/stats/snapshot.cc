@@ -1,0 +1,218 @@
+#include "stats/snapshot.hh"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace texcache {
+namespace stats {
+
+namespace {
+
+double
+finiteOrZero(double v)
+{
+    return std::isfinite(v) ? v : 0.0;
+}
+
+void
+flatten(const Group &g, const std::string &prefix,
+        std::vector<Snapshot::Entry> &out)
+{
+    for (const StatBase *s : g.statsInOrder()) {
+        Snapshot::Entry e;
+        e.path = prefix + s->name();
+        if (auto *d = dynamic_cast<const Distribution *>(s)) {
+            e.kind = Snapshot::Kind::Dist;
+            e.dist.merge(*d); // deep copy of the live histogram
+            e.value = double(d->count());
+        } else if (dynamic_cast<const Scalar *>(s)) {
+            e.kind = Snapshot::Kind::Counter;
+            e.value = finiteOrZero(s->total());
+        } else {
+            // Formulas and any future stat kind: resolve to a number
+            // now; the snapshot never re-evaluates.
+            e.kind = Snapshot::Kind::Gauge;
+            e.value = finiteOrZero(s->total());
+        }
+        out.push_back(std::move(e));
+    }
+    for (const Group *child : g.groupsInOrder())
+        flatten(*child, prefix + child->name() + ".", out);
+}
+
+void
+writeEntryValue(JsonWriter &w, const Snapshot::Entry &e)
+{
+    if (e.kind == Snapshot::Kind::Dist)
+        e.dist.writeJson(w);
+    else
+        w.value(finiteOrZero(e.value));
+}
+
+} // namespace
+
+Snapshot
+Snapshot::capture(const Group &root)
+{
+    Snapshot snap;
+    flatten(root, "", snap.entries_);
+    return snap;
+}
+
+void
+Snapshot::gauge(std::string path, double value)
+{
+    Entry e;
+    e.path = std::move(path);
+    e.kind = Kind::Gauge;
+    e.value = finiteOrZero(value);
+    entries_.push_back(std::move(e));
+}
+
+void
+Snapshot::counter(std::string path, double value)
+{
+    Entry e;
+    e.path = std::move(path);
+    e.kind = Kind::Counter;
+    e.value = finiteOrZero(value);
+    entries_.push_back(std::move(e));
+}
+
+const Snapshot::Entry *
+Snapshot::find(std::string_view path) const
+{
+    for (const Entry &e : entries_)
+        if (e.path == path)
+            return &e;
+    return nullptr;
+}
+
+double
+Snapshot::value(std::string_view path, double fallback) const
+{
+    const Entry *e = find(path);
+    return e ? e->value : fallback;
+}
+
+Snapshot
+Snapshot::deltaFrom(const Snapshot &earlier) const
+{
+    std::unordered_map<std::string_view, const Entry *> old;
+    old.reserve(earlier.entries_.size());
+    for (const Entry &e : earlier.entries_)
+        old.emplace(e.path, &e);
+
+    Snapshot delta;
+    delta.unixMs = unixMs;
+    delta.entries_.reserve(entries_.size());
+    for (const Entry &e : entries_) {
+        Entry d = e;
+        auto it = old.find(e.path);
+        if (it != old.end()) {
+            const Entry &prev = *it->second;
+            switch (e.kind) {
+              case Kind::Counter:
+                // Monotonic; clamp guards a reset-under-us race.
+                d.value = e.value >= prev.value ? e.value - prev.value
+                                                : e.value;
+                break;
+              case Kind::Gauge:
+                break; // instantaneous: keep the newer reading
+              case Kind::Dist:
+                d.dist.subtractCounts(prev.dist);
+                d.value = double(d.dist.count());
+                break;
+            }
+        }
+        delta.entries_.push_back(std::move(d));
+    }
+    return delta;
+}
+
+void
+Snapshot::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("t_unix_ms", int64_t(unixMs));
+    w.key("stats");
+    w.beginObject();
+    for (const Entry &e : entries_) {
+        w.key(e.path);
+        writeEntryValue(w, e);
+    }
+    w.endObject();
+    w.endObject();
+}
+
+SnapshotRing::SnapshotRing(size_t capacity) : capacity_(capacity)
+{
+    panic_if(capacity_ == 0, "SnapshotRing: capacity must be >= 1");
+    ring_.reserve(capacity_);
+}
+
+void
+SnapshotRing::push(Snapshot snap)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(snap));
+    } else {
+        ring_[head_] = std::move(snap);
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++pushed_;
+}
+
+const Snapshot &
+SnapshotRing::at(size_t i) const
+{
+    panic_if(i >= ring_.size(), "SnapshotRing: index ", i, " out of ",
+             ring_.size());
+    return ring_[(head_ + i) % ring_.size()];
+}
+
+void
+SnapshotRing::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("schema", "texcache-snapshots-1");
+    w.kv("capacity", uint64_t(capacity_));
+    w.kv("pushed", pushed_);
+    w.key("snapshots");
+    w.beginArray();
+    for (size_t i = 0; i < size(); ++i) {
+        const Snapshot &snap = at(i);
+        w.beginObject();
+        w.kv("t_unix_ms", int64_t(snap.unixMs));
+        w.key("stats");
+        w.beginObject();
+        for (const Snapshot::Entry &e : snap.entries()) {
+            w.key(e.path);
+            writeEntryValue(w, e);
+        }
+        w.endObject();
+        if (i > 0) {
+            // Counter deltas vs the previous retained snapshot, so a
+            // reader gets rates without re-deriving them.
+            Snapshot d = snap.deltaFrom(at(i - 1));
+            w.key("delta");
+            w.beginObject();
+            for (const Snapshot::Entry &e : d.entries()) {
+                if (e.kind != Snapshot::Kind::Counter)
+                    continue;
+                w.key(e.path);
+                w.value(e.value);
+            }
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace stats
+} // namespace texcache

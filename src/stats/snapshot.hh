@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Point-in-time snapshots of a stats::Group tree.
+ *
+ * The live registry (stats.hh) is built for hot-path writers: plain
+ * uint64 increments, no locks, dump at end of run. A long-running
+ * daemon needs the opposite - cheap consistent *reads* while the
+ * writers keep going. A Snapshot flattens the tree once into a value
+ * vector (dotted paths, resolved formula values, full histogram
+ * copies) that is then immutable: render it as JSON or Prometheus
+ * exposition text, diff it against an earlier snapshot for rates, or
+ * park it in a SnapshotRing for post-mortem dumps - all without
+ * touching the live tree again.
+ *
+ * Thread-safety contract: capture() reads the live tree with plain
+ * loads, so the *caller* synchronizes with writers (the service
+ * engine captures under its stats mutex). Everything after capture is
+ * value semantics - snapshots can be rendered, diffed and shipped
+ * across threads freely.
+ *
+ * Kinds map onto exposition semantics: Scalars are monotonic Counters
+ * (deltas subtract), Formulas are Gauges (deltas keep the newer
+ * value), Distributions diff bucket-wise via
+ * Distribution::subtractCounts.
+ */
+
+#ifndef TEXCACHE_STATS_SNAPSHOT_HH
+#define TEXCACHE_STATS_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace texcache {
+
+class JsonWriter;
+
+namespace stats {
+
+/** One flattened, immutable reading of a Group tree. */
+class Snapshot
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Counter, ///< monotonic (Scalar); deltas subtract
+        Gauge,   ///< instantaneous (Formula / synthetic); deltas keep newer
+        Dist,    ///< histogram (Distribution); deltas subtract buckets
+    };
+
+    struct Entry
+    {
+        std::string path; ///< dotted path relative to the captured root
+        Kind kind;
+        double value = 0.0;     ///< Counter/Gauge reading (finite)
+        Distribution dist;      ///< Dist payload; empty otherwise
+    };
+
+    Snapshot() = default;
+
+    /**
+     * Flatten @p root. Paths are relative to it (the root's own name
+     * is not a path component). Caller synchronizes with writers.
+     */
+    static Snapshot capture(const Group &root);
+
+    /** Wall-clock capture stamp, ms since the epoch (0 = unset). */
+    int64_t unixMs = 0;
+
+    /** Append a synthetic instantaneous gauge (live queue depth...). */
+    void gauge(std::string path, double value);
+
+    /** Append a synthetic monotonic counter (host perf totals...). */
+    void counter(std::string path, double value);
+
+    /** Entry at @p path; nullptr when absent. */
+    const Entry *find(std::string_view path) const;
+
+    /** Counter/Gauge value at @p path (@p fallback when absent). */
+    double value(std::string_view path, double fallback = 0.0) const;
+
+    /**
+     * Per-entry difference vs an @p earlier snapshot of the same tree:
+     * counters and histograms subtract, gauges keep this (newer)
+     * snapshot's value. Entries absent from @p earlier pass through
+     * unchanged (new stats appear as their full value).
+     */
+    Snapshot deltaFrom(const Snapshot &earlier) const;
+
+    const std::vector<Entry> &entries() const { return entries_; }
+    bool empty() const { return entries_.empty(); }
+
+    /**
+     * Render as one JSON object: {"t_unix_ms": ..., "stats": {path:
+     * number | distribution-object, ...}}. Never emits NaN/inf.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Bounded ring of periodic snapshots - the daemon's flight recorder.
+ * push() evicts the oldest once capacity is reached; writeJson()
+ * renders oldest-first, attaching each snapshot's counter deltas vs
+ * its predecessor so rates are readable straight off the dump.
+ */
+class SnapshotRing
+{
+  public:
+    explicit SnapshotRing(size_t capacity);
+
+    void push(Snapshot snap);
+
+    size_t size() const { return ring_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /** Snapshot @p i, oldest-first; i < size(). */
+    const Snapshot &at(size_t i) const;
+
+    /** Total snapshots ever pushed (>= size() once wrapped). */
+    uint64_t pushed() const { return pushed_; }
+
+    /**
+     * {"schema": "texcache-snapshots-1", "capacity": ..., "pushed":
+     * ..., "snapshots": [{...snapshot..., "delta": {counter deltas vs
+     * the previous retained snapshot}}]}.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    size_t capacity_;
+    size_t head_ = 0; ///< index of the oldest element
+    uint64_t pushed_ = 0;
+    std::vector<Snapshot> ring_;
+};
+
+} // namespace stats
+} // namespace texcache
+
+#endif // TEXCACHE_STATS_SNAPSHOT_HH

@@ -1,6 +1,7 @@
 #include "stats/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/json.hh"
@@ -42,6 +43,24 @@ Distribution::merge(const Distribution &other)
 }
 
 void
+Distribution::subtractCounts(const Distribution &earlier)
+{
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        buckets_[i] = buckets_[i] >= earlier.buckets_[i]
+                          ? buckets_[i] - earlier.buckets_[i]
+                          : 0;
+    }
+    count_ = count_ >= earlier.count_ ? count_ - earlier.count_ : 0;
+    sum_ = sum_ >= earlier.sum_ ? sum_ - earlier.sum_ : 0;
+    // min_/max_ keep the later reading's values (see header); an empty
+    // delta reverts to the pristine sentinels so min() reports 0.
+    if (!count_) {
+        min_ = ~0ULL;
+        max_ = 0;
+    }
+}
+
+void
 Distribution::reset()
 {
     *this = Distribution();
@@ -52,6 +71,10 @@ Distribution::percentile(double p) const
 {
     if (!count_)
         return 0.0;
+    // A NaN p would slide through min/max clamping (every comparison
+    // is false) and poison the rank; treat it as p=0.
+    if (!std::isfinite(p))
+        p = p > 0 ? 1.0 : 0.0;
     p = std::min(std::max(p, 0.0), 1.0);
     // Rank of the target sample, 1-based; p=0 -> first, p=1 -> last.
     double rank = 1.0 + p * static_cast<double>(count_ - 1);
@@ -109,6 +132,13 @@ Formula::Formula(Group &parent, std::string name, std::string desc,
     : fn_(std::move(fn))
 {
     parent.add(*this, std::move(name), std::move(desc));
+}
+
+double
+Formula::total() const
+{
+    double v = fn_ ? fn_() : 0.0;
+    return std::isfinite(v) ? v : 0.0;
 }
 
 void

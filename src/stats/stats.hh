@@ -162,6 +162,15 @@ class Distribution : public StatBase
     /** Fold another histogram into this one (per-thread merges). */
     void merge(const Distribution &other);
 
+    /**
+     * Subtract an earlier reading of the *same* histogram, leaving the
+     * counts accumulated since it (snapshot deltas). Buckets, count
+     * and sum subtract exactly; min/max cannot be un-merged from a
+     * histogram, so the later reading's values are kept - a documented
+     * approximation interval percentiles stay clamped to.
+     */
+    void subtractCounts(const Distribution &earlier);
+
     void reset();
 
     double total() const override
@@ -188,7 +197,13 @@ class Formula : public StatBase
 
     void bind(std::function<double()> fn) { fn_ = std::move(fn); }
 
-    double total() const override { return fn_ ? fn_() : 0.0; }
+    /**
+     * Evaluate the bound function. Unbound formulas and non-finite
+     * results (0/0 ratios over empty runs, inf from a zero
+     * denominator) collapse to 0.0 so a dumped tree never contains
+     * NaN/inf - both are invalid JSON.
+     */
+    double total() const override;
     void writeJson(JsonWriter &w) const override;
 
   private:

@@ -47,6 +47,9 @@ enum class EventKind : uint8_t
     FetchDrop = 6,     ///< sim domain; outstanding limit reached
     FetchComplete = 7, ///< sim domain; b = issue-to-data latency ticks
     PageEvict = 8,     ///< sim domain; addr = victim page, b = resident
+    AsyncBegin = 9,    ///< wall domain; a = name id, addr = async id,
+                       ///< c = detail - spans that cross threads
+    AsyncEnd = 10,     ///< wall domain; a = name id, addr = async id
 };
 
 /** 3-C classification carried by CacheMiss events (Event::cls). */

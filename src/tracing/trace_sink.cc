@@ -11,6 +11,7 @@
  * timeline); they live in the binary log for texcache-report.
  */
 
+#include <cstdio>
 #include <istream>
 #include <ostream>
 
@@ -33,6 +34,16 @@ eventHeader(JsonWriter &w, const char *ph, double ts_us, int pid,
     w.kv("ts", ts_us);
     w.kv("pid", pid);
     w.kv("tid", static_cast<uint64_t>(tid));
+}
+
+/** Async correlation id as the hex-string form the viewers expect. */
+std::string
+asyncIdString(uint64_t id)
+{
+    char buf[19];
+    int n = std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(id));
+    return std::string(buf, buf + n);
 }
 
 void
@@ -90,6 +101,31 @@ writeChromeTrace(std::ostream &os)
                     eventHeader(w, "E", ev.ts / 1e3, 1, tid);
                     w.endObject();
                     break;
+                  case EventKind::AsyncBegin:
+                  case EventKind::AsyncEnd: {
+                    // Nestable async events: Perfetto matches "b"/"e"
+                    // pairs by (cat, id, name) across threads, which
+                    // is how one request's phases line up on a single
+                    // track whichever thread emitted them.
+                    bool begin = static_cast<EventKind>(ev.kind) ==
+                                 EventKind::AsyncBegin;
+                    w.beginObject();
+                    w.kv("name", ev.a < names.size()
+                                     ? std::string_view(names[ev.a])
+                                     : std::string_view("?"));
+                    eventHeader(w, begin ? "b" : "e", ev.ts / 1e3, 1,
+                                tid);
+                    w.kv("cat", "async");
+                    w.kv("id", asyncIdString(ev.addr));
+                    if (begin && ev.c) {
+                        w.key("args");
+                        w.beginObject();
+                        w.kv("detail", static_cast<uint64_t>(ev.c));
+                        w.endObject();
+                    }
+                    w.endObject();
+                    break;
+                  }
                   case EventKind::FetchComplete:
                     // Span the fetch from issue to data arrival in
                     // the sim-tick domain (1 tick = 1 "us" in the

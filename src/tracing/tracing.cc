@@ -218,6 +218,33 @@ spanEnd(uint16_t name)
 }
 
 void
+asyncBegin(uint16_t name, uint64_t id, uint32_t detail)
+{
+    if (!enabled(kSpans))
+        return;
+    Event ev{};
+    ev.ts = nowNs();
+    ev.addr = id;
+    ev.a = name;
+    ev.c = detail;
+    ev.kind = static_cast<uint8_t>(EventKind::AsyncBegin);
+    record(ev);
+}
+
+void
+asyncEnd(uint16_t name, uint64_t id)
+{
+    if (!enabled(kSpans))
+        return;
+    Event ev{};
+    ev.ts = nowNs();
+    ev.addr = id;
+    ev.a = name;
+    ev.kind = static_cast<uint8_t>(EventKind::AsyncEnd);
+    record(ev);
+}
+
+void
 cacheMiss(uint64_t addr, MissClass cls, uint16_t tag)
 {
     if (tag == kTagSilent)

@@ -103,6 +103,17 @@ uint16_t nameId(std::string_view name);
 void spanBegin(uint16_t name, uint64_t detail = 0);
 void spanEnd(uint16_t name);
 
+/**
+ * Begin/end a wall-domain *async* span (category kSpans): a lifetime
+ * that may start on one thread and finish on another, matched by
+ * (name, id) rather than thread nesting - the shape of a service
+ * request travelling admission -> queue -> dispatcher -> response.
+ * Renders as Perfetto nestable async events ("b"/"e") correlated by
+ * id, so all phases of one request line up on one async track.
+ */
+void asyncBegin(uint16_t name, uint64_t id, uint32_t detail = 0);
+void asyncEnd(uint16_t name, uint64_t id);
+
 /** RAII span; no-op (one branch) when spans are disabled. */
 class ScopedSpan
 {

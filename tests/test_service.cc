@@ -12,13 +12,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <future>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json_reader.hh"
 #include "service/engine.hh"
 #include "service/request.hh"
+#include "tracing/tracing.hh"
 
 using namespace texcache;
 using namespace texcache::service;
@@ -353,4 +359,211 @@ TEST(ServiceEngine, ByteIdentityAcrossRepresentativeKinds)
         std::string direct = runServiceRequest(ref, mustParse(body));
         EXPECT_EQ(direct, engine.submit(body).get());
     }
+}
+
+TEST(ServiceRequest, MetricsIsAControlKind)
+{
+    ServiceRequest req = mustParse("{\"kind\":\"metrics\"}");
+    EXPECT_EQ(ServiceRequest::Kind::Metrics, req.kind);
+    EXPECT_TRUE(req.control());
+    EXPECT_FALSE(req.batchable());
+    EXPECT_STREQ("metrics", req.kindName());
+    // Control requests take no experiment payload.
+    mustFail("{\"kind\":\"metrics\",\"scene\":\"quad\"}",
+             RequestError::Code::BadRequest);
+}
+
+TEST(ServiceEngine, MetricsAnswersValidExpositionInline)
+{
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.batchWindowMs = 0;
+    ServiceEngine engine(store, opts);
+
+    // Some traffic first so counters and histograms are non-trivial.
+    engine.submit(sweepBody(
+                      "m", "\"configs\":[{\"size\":1024,\"line\":32}]"))
+        .get();
+
+    std::string text =
+        engine.submit("{\"kind\":\"metrics\"}").get();
+    // Shape: TYPE comments, >= 20 sample series, a histogram with a
+    // +Inf bucket, and never a NaN.
+    EXPECT_NE(std::string::npos, text.find("# TYPE "));
+    EXPECT_NE(std::string::npos,
+              text.find("# TYPE texcache_service_accepted counter"));
+    EXPECT_NE(std::string::npos,
+              text.find("texcache_service_accepted 1"));
+    EXPECT_NE(std::string::npos,
+              text.find("texcache_service_latency_us_bucket"
+                        "{le=\"+Inf\"} 1"));
+    EXPECT_NE(std::string::npos,
+              text.find("texcache_service_queue_depth_now 0"));
+    EXPECT_EQ(std::string::npos, text.find("nan"));
+    size_t series = 0;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty() && line[0] != '#')
+            ++series;
+    EXPECT_GE(series, 20u);
+}
+
+TEST(ServiceEngine, SnapshotCarriesLiveGauges)
+{
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.batchWindowMs = 0;
+    opts.startPaused = true;
+    ServiceEngine engine(store, opts);
+
+    auto f = engine.submit(sweepBody(
+        "s", "\"configs\":[{\"size\":1024,\"line\":32}]"));
+    stats::Snapshot snap = engine.snapshot();
+    EXPECT_GT(snap.unixMs, 0);
+    EXPECT_EQ(snap.value("queue_depth_now"), 1.0);
+    EXPECT_EQ(snap.value("accepting"), 1.0);
+    EXPECT_EQ(snap.value("accepted"), 1.0);
+    engine.resume();
+    f.get();
+    EXPECT_EQ(engine.snapshot().value("queue_depth_now"), 0.0);
+}
+
+TEST(ServiceEngine, SlowRequestThresholdCountsAndLogs)
+{
+    // Threshold 0 ms: every completed job is "slow". The env is read
+    // once at engine construction.
+    ::setenv("TEXCACHE_SLOW_REQ_MS", "0", 1);
+    {
+        TraceStore store;
+        ServiceEngine::Options opts;
+        opts.batchWindowMs = 0;
+        ServiceEngine engine(store, opts);
+        engine.submit(sweepBody(
+                          "sl", "\"configs\":[{\"size\":1024,"
+                                "\"line\":32}]"))
+            .get();
+        EXPECT_EQ(1.0, engine.statsRoot().value("slow_requests"));
+    }
+    ::unsetenv("TEXCACHE_SLOW_REQ_MS");
+
+    // Unset: nothing is slow.
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.batchWindowMs = 0;
+    ServiceEngine engine(store, opts);
+    engine.submit(sweepBody(
+                      "ns", "\"configs\":[{\"size\":1024,"
+                            "\"line\":32}]"))
+        .get();
+    EXPECT_EQ(0.0, engine.statsRoot().value("slow_requests"));
+}
+
+TEST(ServiceEngine, ControlRequestsRaceJobTrafficSafely)
+{
+    // The satellite race: control threads hammer ping/stats/metrics
+    // while job threads submit folding sweep traffic. All responses
+    // must stay well-formed and the engine must keep serving
+    // byte-identical results - control reads never pause or corrupt
+    // the dispatcher.
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.batchWindowMs = 1;
+    ServiceEngine engine(store, opts);
+
+    const std::string body = sweepBody(
+        "race", "\"sweep\":{\"sizes\":[1024,2048,4096],"
+                "\"lines\":[32]}");
+    TraceStore ref;
+    const std::string expected = runServiceRequest(ref, mustParse(body));
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> controlErrors{0};
+    std::vector<std::thread> controllers;
+    for (int t = 0; t < 3; ++t) {
+        controllers.emplace_back([&, t] {
+            const char *kinds[] = {"{\"kind\":\"ping\"}",
+                                   "{\"kind\":\"stats\"}",
+                                   "{\"kind\":\"metrics\"}"};
+            while (!stop.load(std::memory_order_relaxed)) {
+                std::string resp = engine.submit(kinds[t]).get();
+                bool ok = false;
+                if (t == 2) {
+                    ok = resp.find("# TYPE ") != std::string::npos &&
+                         resp.find("nan") == std::string::npos;
+                } else {
+                    json::Value v;
+                    json::ParseError err;
+                    ok = json::parse(resp, v, err) && v.isObject();
+                }
+                if (!ok)
+                    ++controlErrors;
+            }
+        });
+    }
+
+    std::vector<std::future<std::string>> jobs;
+    for (int i = 0; i < 24; ++i)
+        jobs.push_back(engine.submit(body));
+    for (auto &f : jobs)
+        EXPECT_EQ(expected, f.get());
+
+    stop.store(true);
+    for (std::thread &th : controllers)
+        th.join();
+    EXPECT_EQ(0, controlErrors.load());
+    EXPECT_EQ(24.0, engine.statsRoot().value("accepted"));
+    // Control traffic flowed during the run and the engine is still
+    // accepting.
+    EXPECT_GT(engine.statsRoot().value("control"), 3.0);
+    EXPECT_FALSE(engine.shutdownRequested());
+}
+
+TEST(ServiceEngine, RequestIdsProduceCorrelatedAsyncSpans)
+{
+    tracing::configure({tracing::kSpans, 1, 1 << 16});
+    {
+        TraceStore store;
+        ServiceEngine::Options opts;
+        opts.batchWindowMs = 0;
+        ServiceEngine engine(store, opts);
+        engine.submit(sweepBody(
+                          "sp", "\"configs\":[{\"size\":1024,"
+                                "\"line\":32}]"))
+            .get();
+        engine.submit(sweepBody(
+                          "sp2", "\"configs\":[{\"size\":2048,"
+                                 "\"line\":32}]"))
+            .get();
+    }
+    std::vector<tracing::Event> evs = tracing::snapshotEvents();
+    tracing::configure({0, 1, 1 << 16});
+
+    // Each request gets a distinct id; begin/end pair per phase name.
+    uint16_t reqName = tracing::nameId("svc.request");
+    uint16_t queueName = tracing::nameId("svc.queue");
+    uint16_t execName = tracing::nameId("svc.execute");
+    std::map<uint64_t, int> begins, ends;
+    int queuePairs = 0, execPairs = 0;
+    for (const tracing::Event &ev : evs) {
+        if (ev.kind == uint8_t(tracing::EventKind::AsyncBegin)) {
+            if (ev.a == reqName)
+                ++begins[ev.addr];
+            if (ev.a == queueName)
+                ++queuePairs;
+            if (ev.a == execName)
+                ++execPairs;
+        } else if (ev.kind == uint8_t(tracing::EventKind::AsyncEnd)) {
+            if (ev.a == reqName)
+                ++ends[ev.addr];
+        }
+    }
+    EXPECT_EQ(begins.size(), 2u); // two requests, two distinct ids
+    for (const auto &kv : begins) {
+        EXPECT_NE(kv.first, 0u); // ids start at 1
+        EXPECT_EQ(kv.second, 1);
+        EXPECT_EQ(ends[kv.first], 1); // every begin has its end
+    }
+    EXPECT_EQ(queuePairs, 2);
+    EXPECT_EQ(execPairs, 2);
 }

@@ -13,6 +13,9 @@
 #include "cache/cache_sim.hh"
 #include "cache/stats_export.hh"
 #include "common/json.hh"
+#include "common/json_reader.hh"
+#include "stats/prometheus.hh"
+#include "stats/snapshot.hh"
 #include "stats/stats.hh"
 
 using namespace texcache;
@@ -279,4 +282,256 @@ TEST(StatsDistribution, PercentilesAreMonotoneAndBounded)
     double p50 = d.percentile(0.5);
     EXPECT_GE(p50, 256.0);
     EXPECT_LE(p50, 1024.0);
+}
+
+TEST(StatsDistribution, PercentileGuardsNonFiniteP)
+{
+    stats::Distribution d;
+    d.sample(10);
+    d.sample(20);
+    // A non-finite p (e.g. a rate formula that divided by zero
+    // upstream) must clamp instead of poisoning the result with NaN.
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(d.percentile(nan), d.percentile(0.0));
+    EXPECT_EQ(d.percentile(inf), d.percentile(1.0));
+    EXPECT_EQ(d.percentile(-inf), d.percentile(0.0));
+}
+
+TEST(StatsFormula, NonFiniteEvaluationsReadAsZero)
+{
+    stats::Group root;
+    uint64_t hits = 1, accesses = 0;
+    // The classic dump-time hazard: a ratio whose denominator is
+    // still zero. total() must never surface NaN/inf into JSON.
+    root.formula("bad_rate", "", [&] {
+        return double(hits) / double(accesses);
+    });
+    EXPECT_EQ(root.value("bad_rate"), 0.0);
+    accesses = 4;
+    EXPECT_DOUBLE_EQ(root.value("bad_rate"), 0.25);
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+    EXPECT_EQ(os.str().find("inf"), std::string::npos);
+}
+
+TEST(StatsDistribution, SubtractCountsYieldsTheIntervalDelta)
+{
+    stats::Distribution earlier;
+    earlier.sample(1);
+    earlier.sample(100);
+
+    stats::Distribution later = earlier; // copy, then keep sampling
+    later.sample(3);
+    later.sample(1000);
+
+    stats::Distribution delta = later;
+    delta.subtractCounts(earlier);
+    EXPECT_EQ(delta.count(), 2u);
+    EXPECT_EQ(delta.sum(), 1003u);
+    EXPECT_EQ(delta.bucket(stats::Distribution::bucketOf(3)), 1u);
+    EXPECT_EQ(delta.bucket(stats::Distribution::bucketOf(1000)), 1u);
+    EXPECT_EQ(delta.bucket(stats::Distribution::bucketOf(1)), 0u);
+    // min/max are the later reading's (documented approximation).
+    EXPECT_EQ(delta.min(), 1u);
+    EXPECT_EQ(delta.max(), 1000u);
+
+    // Subtracting a distribution from itself is empty, not negative.
+    stats::Distribution zero = later;
+    zero.subtractCounts(later);
+    EXPECT_EQ(zero.count(), 0u);
+    EXPECT_EQ(zero.sum(), 0u);
+    EXPECT_EQ(zero.min(), 0u);
+    EXPECT_EQ(zero.max(), 0u);
+}
+
+namespace {
+
+/** A small tree exercising all three snapshot kinds. */
+void
+buildTelemetryTree(stats::Group &root, stats::Scalar *&hits,
+                   stats::Distribution *&lat)
+{
+    hits = &root.scalar("hits", "counter");
+    root.formula("rate", "gauge", [] { return 0.5; });
+    stats::Group &svc = root.group("svc");
+    lat = &svc.distribution("latency_us", "histogram");
+}
+
+} // namespace
+
+TEST(StatsSnapshot, CaptureFlattensKindsAndPaths)
+{
+    stats::Group root;
+    stats::Scalar *hits;
+    stats::Distribution *lat;
+    buildTelemetryTree(root, hits, lat);
+    *hits += 7;
+    lat->sample(3);
+    lat->sample(100);
+
+    stats::Snapshot snap = stats::Snapshot::capture(root);
+    const stats::Snapshot::Entry *h = snap.find("hits");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->kind, stats::Snapshot::Kind::Counter);
+    EXPECT_EQ(h->value, 7.0);
+    const stats::Snapshot::Entry *r = snap.find("rate");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->kind, stats::Snapshot::Kind::Gauge);
+    EXPECT_EQ(r->value, 0.5);
+    const stats::Snapshot::Entry *l = snap.find("svc.latency_us");
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->kind, stats::Snapshot::Kind::Dist);
+    EXPECT_EQ(l->dist.count(), 2u);
+
+    // The snapshot is frozen: later writes do not leak in.
+    *hits += 100;
+    lat->sample(5);
+    EXPECT_EQ(snap.value("hits"), 7.0);
+    EXPECT_EQ(snap.find("svc.latency_us")->dist.count(), 2u);
+    EXPECT_EQ(snap.value("missing", -1.0), -1.0);
+}
+
+TEST(StatsSnapshot, DeltaSubtractsCountersKeepsGauges)
+{
+    stats::Group root;
+    stats::Scalar *hits;
+    stats::Distribution *lat;
+    buildTelemetryTree(root, hits, lat);
+
+    *hits += 10;
+    lat->sample(4);
+    stats::Snapshot t0 = stats::Snapshot::capture(root);
+    *hits += 5;
+    lat->sample(8);
+    lat->sample(16);
+    stats::Snapshot t1 = stats::Snapshot::capture(root);
+
+    stats::Snapshot d = t1.deltaFrom(t0);
+    EXPECT_EQ(d.value("hits"), 5.0);
+    EXPECT_EQ(d.value("rate"), 0.5); // gauge: newer value, no subtract
+    EXPECT_EQ(d.find("svc.latency_us")->dist.count(), 2u);
+    EXPECT_EQ(d.find("svc.latency_us")->dist.sum(), 24u);
+
+    // Synthetic entries absent from the earlier snapshot pass through.
+    stats::Snapshot t2 = stats::Snapshot::capture(root);
+    t2.counter("host.cycles", 1234.0);
+    stats::Snapshot d2 = t2.deltaFrom(t0);
+    EXPECT_EQ(d2.value("host.cycles"), 1234.0);
+}
+
+TEST(StatsSnapshot, RingEvictsOldestAndDumpsValidJson)
+{
+    stats::Group root;
+    stats::Scalar &n = root.scalar("n", "");
+    stats::SnapshotRing ring(3);
+    for (int i = 1; i <= 5; ++i) {
+        ++n;
+        stats::Snapshot s = stats::Snapshot::capture(root);
+        s.unixMs = i;
+        ring.push(std::move(s));
+    }
+    EXPECT_EQ(ring.capacity(), 3u);
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.pushed(), 5u);
+    // Oldest-first: pushes 3, 4, 5 survive.
+    EXPECT_EQ(ring.at(0).value("n"), 3.0);
+    EXPECT_EQ(ring.at(2).value("n"), 5.0);
+    EXPECT_EQ(ring.at(0).unixMs, 3);
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*pretty=*/false);
+        ring.writeJson(w);
+    }
+    json::Value v;
+    json::ParseError err;
+    ASSERT_TRUE(json::parse(os.str(), v, err)) << err.message;
+    EXPECT_EQ(v.find("schema")->str(), "texcache-snapshots-1");
+    EXPECT_DOUBLE_EQ(v.find("pushed")->number(), 5.0);
+    // Each retained snapshot carries counter deltas vs its
+    // predecessor; n grows by exactly one per push.
+    const json::Value *snaps = v.find("snapshots");
+    ASSERT_NE(snaps, nullptr);
+    ASSERT_EQ(snaps->size(), 3u);
+    const json::Value *delta = snaps->at(1).find("delta");
+    ASSERT_NE(delta, nullptr);
+    EXPECT_DOUBLE_EQ(delta->find("n")->number(), 1.0);
+}
+
+TEST(StatsPrometheus, MetricNameMangling)
+{
+    EXPECT_EQ(stats::promMetricName("svc.latency_us"),
+              "svc_latency_us");
+    EXPECT_EQ(stats::promMetricName("a-b c"), "a_b_c");
+    EXPECT_EQ(stats::promMetricName("ok_name:x9"), "ok_name:x9");
+}
+
+TEST(StatsPrometheus, ExpositionShapeForAllKinds)
+{
+    stats::Group root;
+    stats::Scalar *hits;
+    stats::Distribution *lat;
+    buildTelemetryTree(root, hits, lat);
+    *hits += 3;
+    lat->sample(0);
+    lat->sample(5); // bucket [4, 8): le="7"
+    lat->sample(1000);
+
+    stats::Snapshot snap = stats::Snapshot::capture(root);
+    std::string text = stats::expositionText(snap, "tc");
+
+    EXPECT_NE(text.find("# TYPE tc_hits counter\ntc_hits 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE tc_rate gauge\ntc_rate 0.5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE tc_svc_latency_us histogram"),
+              std::string::npos);
+    // Cumulative log2 buckets: le bounds are 2^k - 1, 0 for bucket 0.
+    EXPECT_NE(text.find("tc_svc_latency_us_bucket{le=\"0\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("tc_svc_latency_us_bucket{le=\"7\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("tc_svc_latency_us_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("tc_svc_latency_us_sum 1005"),
+              std::string::npos);
+    EXPECT_NE(text.find("tc_svc_latency_us_count 3"),
+              std::string::npos);
+    // Companion percentile gauges ride along with the histogram.
+    EXPECT_NE(text.find("tc_svc_latency_us_p50"), std::string::npos);
+    EXPECT_NE(text.find("tc_svc_latency_us_p99"), std::string::npos);
+    // Never NaN/inf anywhere in the exposition.
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("NaN"), std::string::npos);
+}
+
+TEST(StatsPrometheus, BucketCountsAreCumulative)
+{
+    stats::Distribution d;
+    for (uint64_t v : {1ull, 2ull, 4ull, 8ull, 16ull})
+        d.sample(v);
+    stats::Group root;
+    root.distribution("lat", "", d);
+    std::string text = stats::expositionText(
+        stats::Snapshot::capture(root), "tc");
+
+    // Walk the bucket lines: counts never decrease and end at count.
+    double prev = -1.0;
+    size_t pos = 0;
+    int buckets = 0;
+    while ((pos = text.find("tc_lat_bucket{le=", pos)) !=
+           std::string::npos) {
+        size_t sp = text.find("} ", pos);
+        ASSERT_NE(sp, std::string::npos);
+        double v = std::stod(text.substr(sp + 2));
+        EXPECT_GE(v, prev);
+        prev = v;
+        ++buckets;
+        pos = sp;
+    }
+    EXPECT_GE(buckets, 5);
+    EXPECT_EQ(prev, 5.0); // +Inf bucket == count
 }

@@ -409,3 +409,57 @@ TEST(Tracing, PagePoolEvictionEvents)
     EXPECT_EQ(evs[0].b, 1u);
     EXPECT_EQ(evs[1].b, 1u);
 }
+
+TEST(Tracing, AsyncSpansRecordIdAndDetail)
+{
+    TracerGuard guard(kSpans);
+    uint16_t req = nameId("async.request");
+    uint16_t queue = nameId("async.queue");
+    // Interleaved lifetimes that thread-scoped spans cannot express:
+    // request 7 outlives request 9's whole queue residency.
+    asyncBegin(req, 7, /*detail=*/2);
+    asyncBegin(queue, 9);
+    asyncEnd(queue, 9);
+    asyncEnd(req, 7);
+
+    std::vector<Event> evs = snapshotEvents();
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs[0].kind, uint8_t(EventKind::AsyncBegin));
+    EXPECT_EQ(evs[0].a, req);
+    EXPECT_EQ(evs[0].addr, 7u); // correlation id rides in addr
+    EXPECT_EQ(evs[0].c, 2u);    // detail payload
+    EXPECT_EQ(evs[1].addr, 9u);
+    EXPECT_EQ(evs[2].kind, uint8_t(EventKind::AsyncEnd));
+    EXPECT_EQ(evs[2].a, queue);
+    EXPECT_EQ(evs[3].a, req);
+}
+
+TEST(Tracing, AsyncSpansAreInertWhenDisabled)
+{
+    TracerGuard guard(kMisses); // spans category off
+    asyncBegin(nameId("async.off"), 1);
+    asyncEnd(nameId("async.off"), 1);
+    EXPECT_EQ(snapshotEvents().size(), 0u);
+}
+
+TEST(Tracing, ChromeTraceAsyncShape)
+{
+    TracerGuard guard(kSpans);
+    uint16_t name = nameId("async.chrome");
+    asyncBegin(name, 0xabc, 5);
+    asyncEnd(name, 0xabc);
+
+    std::stringstream ss;
+    writeChromeTrace(ss);
+    std::string json = ss.str();
+    // Nestable async begin/end, matched by (cat, id, name); the id is
+    // a hex string so Perfetto treats it opaquely.
+    EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"async\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":\"0xabc\""), std::string::npos);
+    EXPECT_NE(json.find("\"async.chrome\""), std::string::npos);
+    EXPECT_NE(json.find("\"detail\":5"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}

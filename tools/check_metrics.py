@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""check_metrics: strict line-by-line Prometheus exposition validator.
+
+CI's telemetry job scrapes a loaded texcached daemon and feeds the
+text through here; any malformed series fails the run. The checks are
+the ones a real scrape pipeline depends on:
+
+ - every line is a comment (# HELP / # TYPE) or a sample
+   ``name[{labels}] value``;
+ - metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+ - sample values parse as finite floats - NaN/Inf fail (the stats
+   layer guarantees it never emits them);
+ - every sample belongs to a family announced by a preceding # TYPE;
+ - histograms are complete and consistent: cumulative ``_bucket``
+   counts are monotonically non-decreasing, the ``+Inf`` bucket is
+   present and equals ``_count``, and ``_sum``/``_count`` exist.
+
+Usage:
+  check_metrics.py [--min-series N] [FILE]     (stdin when no FILE)
+
+Prints a one-line summary and exits 0 when valid, 1 otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$'
+)
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+        self.types = {}      # family name -> declared type
+        self.samples = 0
+        self.histograms = {} # family -> {"buckets": [(le, v)], ...}
+
+    def error(self, lineno, msg):
+        self.errors.append("line %d: %s" % (lineno, msg))
+
+    def check_line(self, lineno, line):
+        if not line.strip():
+            return
+        if line.startswith("#"):
+            self.check_comment(lineno, line)
+            return
+        m = SAMPLE_RE.match(line.strip())
+        if not m:
+            self.error(lineno, "not a valid sample line: %r" % line)
+            return
+        name = m.group("name")
+        labels = m.group("labels")
+        if labels is not None:
+            body = labels[1:-1]
+            for pair in filter(None, body.split(",")):
+                if not LABEL_RE.match(pair.strip()):
+                    self.error(lineno, "bad label %r" % pair)
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            self.error(lineno, "unparseable value %r" % m.group("value"))
+            return
+        if not math.isfinite(value):
+            self.error(lineno, "non-finite value in %s" % name)
+            return
+        family = self.family_of(name)
+        if family not in self.types:
+            self.error(lineno, "sample %s precedes its # TYPE" % name)
+        self.samples += 1
+        self.track_histogram(lineno, name, labels, value)
+
+    def check_comment(self, lineno, line):
+        parts = line.split(None, 3)
+        if parts[0] != "#" or len(parts) < 2:
+            self.error(lineno, "malformed comment: %r" % line)
+            return
+        if parts[1] not in ("TYPE", "HELP"):
+            # Other comments are legal exposition; accept them.
+            return
+        if len(parts) < 3 or not NAME_RE.match(parts[2]):
+            self.error(lineno, "bad metric name in %r" % line)
+            return
+        if parts[1] == "TYPE":
+            if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary",
+                    "untyped"):
+                self.error(lineno, "bad TYPE in %r" % line)
+                return
+            if parts[2] in self.types:
+                self.error(lineno, "duplicate # TYPE for %s" % parts[2])
+            self.types[parts[2]] = parts[3]
+            if parts[3] == "histogram":
+                self.histograms[parts[2]] = {
+                    "buckets": [], "sum": None, "count": None,
+                    "line": lineno,
+                }
+
+    def family_of(self, name):
+        """Collapse histogram sample suffixes onto their family."""
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and self.types.get(base) == "histogram":
+                return base
+        return name
+
+    def track_histogram(self, lineno, name, labels, value):
+        for suffix, key in (("_bucket", "buckets"), ("_sum", "sum"),
+                            ("_count", "count")):
+            if not name.endswith(suffix):
+                continue
+            base = name[: -len(suffix)]
+            h = self.histograms.get(base)
+            if h is None:
+                continue
+            if key == "buckets":
+                le = None
+                if labels:
+                    for pair in labels[1:-1].split(","):
+                        k, _, v = pair.partition("=")
+                        if k.strip() == "le":
+                            le = v.strip().strip('"')
+                if le is None:
+                    self.error(lineno,
+                               "%s_bucket without an le label" % base)
+                    return
+                h["buckets"].append((lineno, le, value))
+            else:
+                h[key] = (lineno, value)
+            return
+
+    def finish(self):
+        for base, h in self.histograms.items():
+            where = "histogram %s (line %d)" % (base, h["line"])
+            if h["sum"] is None:
+                self.errors.append("%s: missing _sum" % where)
+            if h["count"] is None:
+                self.errors.append("%s: missing _count" % where)
+            if not h["buckets"]:
+                self.errors.append("%s: no _bucket series" % where)
+                continue
+            prev = -1.0
+            inf_value = None
+            for lineno, le, value in h["buckets"]:
+                if le != "+Inf":
+                    try:
+                        float(le)
+                    except ValueError:
+                        self.errors.append(
+                            "line %d: bad le=%r" % (lineno, le))
+                if value < prev:
+                    self.errors.append(
+                        "line %d: %s buckets not cumulative"
+                        % (lineno, base))
+                prev = value
+                if le == "+Inf":
+                    inf_value = value
+            if inf_value is None:
+                self.errors.append("%s: missing le=\"+Inf\"" % where)
+            elif h["count"] is not None and inf_value != h["count"][1]:
+                self.errors.append(
+                    "%s: +Inf bucket %g != _count %g"
+                    % (where, inf_value, h["count"][1]))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", nargs="?", help="exposition text (stdin)")
+    ap.add_argument("--min-series", type=int, default=1,
+                    help="fail when fewer sample lines than this")
+    args = ap.parse_args()
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    checker = Checker()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        checker.check_line(lineno, line)
+    checker.finish()
+
+    if checker.samples < args.min_series:
+        checker.errors.append(
+            "only %d sample series (need >= %d)"
+            % (checker.samples, args.min_series))
+
+    if checker.errors:
+        for e in checker.errors:
+            print("check_metrics: %s" % e, file=sys.stderr)
+        print("check_metrics: FAIL (%d samples, %d errors)"
+              % (checker.samples, len(checker.errors)))
+        return 1
+    print("check_metrics: OK (%d samples, %d families)"
+          % (checker.samples, len(checker.types)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * perf_probe: CI helper reporting whether perf_event_open works here.
+ *
+ * Prints one line and exits 0 when the process-wide hardware counters
+ * opened, 1 when they did not (with the reason). CI's telemetry job
+ * uses the exit code to decide between asserting the perf block in
+ * fresh manifests and printing an explicit SKIP - degradation must be
+ * visible, never silent. --json emits the same facts as a JSON
+ * object, plus a current reading when available.
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "perf/perf_counters.hh"
+
+using namespace texcache;
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json") {
+            json = true;
+        } else if (a == "--help" || a == "-h") {
+            std::cout << "usage: perf_probe [--json]\n"
+                         "exit 0: perf counters available; exit 1: "
+                         "not\n";
+            return 0;
+        } else {
+            std::cerr << "perf_probe: unknown option " << a << "\n";
+            return 2;
+        }
+    }
+
+    bool ok = perf::available();
+    if (json) {
+        std::ostringstream os;
+        JsonWriter w(os, /*pretty=*/false);
+        w.beginObject();
+        w.kv("available", ok);
+        if (!ok) {
+            w.kv("reason", perf::unavailableReason());
+        } else {
+            perf::Reading r = perf::read();
+            w.kv("cycles", r.cycles);
+            w.kv("instructions", r.instructions);
+            w.kv("llc_loads", r.llcLoads);
+            w.kv("llc_misses", r.llcMisses);
+            w.kv("branch_misses", r.branchMisses);
+            w.kv("multiplexed", r.multiplexed);
+        }
+        w.endObject();
+        std::cout << os.str() << "\n";
+    } else if (ok) {
+        std::cout << "perf: available\n";
+    } else {
+        std::cout << "perf: unavailable (" << perf::unavailableReason()
+                  << ")\n";
+    }
+    return ok ? 0 : 1;
+}

@@ -91,7 +91,7 @@ for b in "$BUILD"/bench/*; do
                    -newer "$OUT/.bench_marker" 2> /dev/null |
             python3 -c '
 import json, sys
-trace_ms, threads, seen, isa = 0.0, 0, False, "?"
+trace_ms, threads, seen, isa, rss = 0.0, 0, False, "?", 0
 for line in sys.stdin:
     path = line.strip()
     if not path:
@@ -106,14 +106,15 @@ for line in sys.stdin:
     trace_ms += float(tg.get("render_wall_ms", 0) or 0)
     threads = max(threads, int(tg.get("threads", 0) or 0))
     isa = str(doc.get("host", {}).get("simd_isa", isa)).split()[0]
+    rss = max(rss, int(doc.get("host", {}).get("peak_rss_bytes", 0) or 0))
 if seen:
     sim_ms = max(0.0, float(sys.argv[1]) * 1000.0 - trace_ms)
-    print("%d %.0f %.0f %s" % (threads, trace_ms, sim_ms, isa))
+    print("%d %.0f %.0f %s %d" % (threads, trace_ms, sim_ms, isa, rss))
 ' "$elapsed")
         if [ -n "$info" ]; then
             set -- $info
-            split_txt=" [threads=$1 isa=$4 trace-gen ${2}ms / sim ${3}ms]"
-            split_json=", \"threads\": $1, \"simd_isa\": \"$4\", \"trace_gen_ms\": $2, \"sim_ms\": $3"
+            split_txt=" [threads=$1 isa=$4 trace-gen ${2}ms / sim ${3}ms rss $(($5 / 1048576))MiB]"
+            split_json=", \"threads\": $1, \"simd_isa\": \"$4\", \"trace_gen_ms\": $2, \"sim_ms\": $3, \"peak_rss_bytes\": $5"
         fi
     fi
     echo "== $name ${elapsed}s (cumulative ${total}s) $status$split_txt"

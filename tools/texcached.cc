@@ -19,9 +19,18 @@
  * after --idle-ms with no connections and an empty queue the daemon
  * drains itself, which gives CI a deterministic end without kill(1).
  *
+ * Telemetry: while running, the poll loop captures a stats snapshot
+ * every --snapshot-ms (default 1000) into a bounded in-memory ring
+ * (newest --snapshot-keep, default 120); the drain path dumps it to
+ * SERVICE_texcached_snapshots.json - a flight recorder for the
+ * daemon's final minutes. Live visibility goes through the "metrics"
+ * control request (Prometheus exposition text; tools/texcached_top.py
+ * renders it) which never pauses the engine.
+ *
  * Usage:
  *   texcached --socket /tmp/texcached.sock [--queue-depth 64]
  *             [--batch-window-ms 5] [--once] [--idle-ms 2000]
+ *             [--snapshot-ms 1000] [--snapshot-keep 120]
  */
 
 #include <atomic>
@@ -41,9 +50,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "service/engine.hh"
 #include "service/socket.hh"
+#include "stats/snapshot.hh"
 #include "tracing/tracing.hh"
 
 using namespace texcache;
@@ -68,6 +79,8 @@ struct Args
     unsigned batchWindowMs = 5;
     bool once = false;
     unsigned idleMs = 2000;
+    unsigned snapshotMs = 1000; ///< periodic snapshot interval; 0 = off
+    size_t snapshotKeep = 120;  ///< ring capacity (newest kept)
 };
 
 bool
@@ -105,12 +118,28 @@ parseArgs(int argc, char **argv, Args &args)
             if (!v)
                 return false;
             args.idleMs = std::strtoul(v, nullptr, 10);
+        } else if (a == "--snapshot-ms") {
+            const char *v = next("--snapshot-ms");
+            if (!v)
+                return false;
+            args.snapshotMs = std::strtoul(v, nullptr, 10);
+        } else if (a == "--snapshot-keep") {
+            const char *v = next("--snapshot-keep");
+            if (!v)
+                return false;
+            args.snapshotKeep = std::strtoul(v, nullptr, 10);
+            if (args.snapshotKeep == 0) {
+                std::cerr << "texcached: --snapshot-keep must be > 0\n";
+                return false;
+            }
         } else if (a == "--help" || a == "-h") {
             std::cout
                 << "usage: texcached [--socket PATH] "
                    "[--queue-depth N]\n"
                    "                 [--batch-window-ms N] [--once] "
-                   "[--idle-ms N]\n";
+                   "[--idle-ms N]\n"
+                   "                 [--snapshot-ms N] "
+                   "[--snapshot-keep N]\n";
             return false;
         } else {
             std::cerr << "texcached: unknown option " << a << "\n";
@@ -164,10 +193,9 @@ class ConnRegistry
 };
 
 std::string
-statsDumpPath()
+statsDumpPath(const char *name)
 {
     const char *dir = std::getenv("TEXCACHE_STATS_DIR");
-    std::string name = "SERVICE_texcached.json";
     if (dir && *dir)
         return std::string(dir) + "/" + name;
     return name;
@@ -241,12 +269,31 @@ main(int argc, char **argv)
         touchActivity();
     };
 
+    // Flight recorder: periodic engine snapshots, newest N retained,
+    // dumped on the drain path. Captured from this (accept) thread so
+    // the engine is never paused and nothing extra synchronizes.
+    stats::SnapshotRing snapshots(args.snapshotKeep);
+    int64_t lastSnapshotMs = 0;
+
     for (;;) {
         pollfd fds[2] = {{listenFd, POLLIN, 0},
                          {gSignalPipe[0], POLLIN, 0}};
         int r = ::poll(fds, 2, 100);
         if (r < 0 && errno != EINTR)
             break;
+
+        if (args.snapshotMs) {
+            int64_t now =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now()
+                        .time_since_epoch())
+                    .count();
+            if (now - lastSnapshotMs >=
+                static_cast<int64_t>(args.snapshotMs)) {
+                snapshots.push(engine.snapshot());
+                lastSnapshotMs = now;
+            }
+        }
 
         if (r > 0 && (fds[1].revents & POLLIN))
             break; // signal or shutdown request
@@ -292,10 +339,27 @@ main(int argc, char **argv)
 
     std::string stats = engine.statsJson();
     std::cerr << "texcached service stats:\n" << stats;
-    std::ofstream out(statsDumpPath());
+    std::ofstream out(statsDumpPath("SERVICE_texcached.json"));
     if (out) {
         out << stats;
-        inform("wrote service stats ", statsDumpPath());
+        inform("wrote service stats ",
+               statsDumpPath("SERVICE_texcached.json"));
+    }
+    if (args.snapshotMs) {
+        // Final capture so the dump always reflects end-of-life state,
+        // then flush the ring.
+        snapshots.push(engine.snapshot());
+        std::string path =
+            statsDumpPath("SERVICE_texcached_snapshots.json");
+        std::ofstream snapOut(path);
+        if (snapOut) {
+            JsonWriter w(snapOut);
+            snapshots.writeJson(w);
+            snapOut << "\n";
+            inform("wrote snapshot ring ", path, " (",
+                   snapshots.size(), " of ", snapshots.pushed(),
+                   " snapshots retained)");
+        }
     }
     if (tracing::active()) {
         tracing::DumpInfo t = tracing::dumpToFiles("texcached");

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""texcached_top: live terminal view of a running texcached daemon.
+
+Polls the daemon's ``metrics`` control request (Prometheus text
+exposition over the AF_UNIX length-prefixed framing) and renders the
+numbers an operator actually watches: request rate, queue depth, fold
+factor, latency percentiles, rejections and slow requests. Stdlib
+only - no curses, no third-party clients - so it runs anywhere the
+daemon does.
+
+Usage:
+  texcached_top.py --socket /tmp/texcached.sock [--interval 1.0]
+  texcached_top.py --socket ... --once          # one dashboard, exit
+  texcached_top.py --socket ... --once --raw    # raw exposition text
+
+``--raw`` exists for scripting/CI: it prints exactly what the daemon
+returned, so a validator (tools/check_metrics.py) can parse it.
+"""
+
+import argparse
+import socket
+import sys
+import time
+
+REQUEST = b'{"kind":"metrics"}'
+
+
+def scrape(sock_path, timeout=5.0):
+    """One metrics round-trip; returns the exposition text."""
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.settimeout(timeout)
+    try:
+        s.connect(sock_path)
+        s.sendall(str(len(REQUEST)).encode() + b"\n" + REQUEST)
+        # Frame header: decimal byte count terminated by newline.
+        header = b""
+        while not header.endswith(b"\n"):
+            ch = s.recv(1)
+            if not ch:
+                raise ConnectionError("short frame header")
+            header += ch
+            if len(header) > 20:
+                raise ConnectionError("oversized frame header")
+        n = int(header.strip())
+        payload = b""
+        while len(payload) < n:
+            chunk = s.recv(n - len(payload))
+            if not chunk:
+                raise ConnectionError("short frame payload")
+            payload += chunk
+        return payload.decode("utf-8", "replace")
+    finally:
+        s.close()
+
+
+def parse_exposition(text):
+    """Exposition text -> {metric name: float} for plain samples.
+
+    Histogram series keep their suffixed names (``x_sum``,
+    ``x_count``, ``x_p50`` ...); ``_bucket`` lines are skipped - the
+    dashboard reads the registry's own percentile gauges instead of
+    re-deriving quantiles from log2 buckets.
+    """
+    values = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            continue
+        name, value = parts
+        if "{" in name:  # bucket (labelled) series
+            continue
+        try:
+            values[name] = float(value)
+        except ValueError:
+            continue
+    return values
+
+
+def metric(values, name, default=0.0):
+    return values.get("texcache_service_" + name, default)
+
+
+def render(values, prev, dt):
+    """One dashboard string from the current and previous scrape."""
+
+    def rate(name):
+        if prev is None or dt <= 0:
+            return 0.0
+        return max(0.0, (metric(values, name) - metric(prev, name)) / dt)
+
+    lines = []
+    lines.append(
+        "texcached  qps %7.1f   ctrl/s %6.1f   queue %3d   %s"
+        % (
+            rate("accepted"),
+            rate("control"),
+            int(metric(values, "queue_depth_now")),
+            "busy" if metric(values, "busy") else "idle",
+        )
+    )
+    lines.append(
+        "requests   accepted %8d   folded %6d   batches %6d   "
+        "fold x%.2f"
+        % (
+            int(metric(values, "accepted")),
+            int(metric(values, "folded")),
+            int(metric(values, "batches")),
+            metric(values, "fold_factor"),
+        )
+    )
+    lines.append(
+        "latency    p50 %8.0fus   p95 %8.0fus   p99 %8.0fus   "
+        "mean %8.0fus"
+        % (
+            metric(values, "latency_us_p50"),
+            metric(values, "latency_us_p95"),
+            metric(values, "latency_us_p99"),
+            metric(values, "latency_us_sum")
+            / max(1.0, metric(values, "latency_us_count")),
+        )
+    )
+    rejected = sum(
+        int(metric(values, "rejected_" + k))
+        for k in ("queue_full", "parse", "bad_request", "shutdown")
+    )
+    lines.append(
+        "health     rejected %6d (full %d)   slow %6d   accepting %s"
+        % (
+            rejected,
+            int(metric(values, "rejected_queue_full")),
+            int(metric(values, "slow_requests")),
+            "yes" if metric(values, "accepting") else "no",
+        )
+    )
+    if metric(values, "perf_available") or "texcache_service_host_cycles" in values:
+        sim = values.get("texcache_service_host_simulated_accesses", 0.0)
+        misses = values.get("texcache_service_host_llc_misses", 0.0)
+        lines.append(
+            "host       llc misses %12d   sim accesses %12d   "
+            "miss/access %.4g"
+            % (int(misses), int(sim), misses / sim if sim else 0.0)
+        )
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--socket", default="texcached.sock",
+                    help="daemon AF_UNIX socket path")
+    ap.add_argument("--interval", type=float, default=1.0,
+                    help="poll interval in seconds")
+    ap.add_argument("--once", action="store_true",
+                    help="print one report and exit")
+    ap.add_argument("--raw", action="store_true",
+                    help="with --once: print the raw exposition text")
+    ap.add_argument("--count", type=int, default=0,
+                    help="exit after N polls (0 = run forever)")
+    args = ap.parse_args()
+
+    if args.once:
+        try:
+            text = scrape(args.socket)
+        except (OSError, ConnectionError) as e:
+            print("texcached_top: cannot scrape %s: %s"
+                  % (args.socket, e), file=sys.stderr)
+            return 1
+        if args.raw:
+            sys.stdout.write(text)
+        else:
+            print(render(parse_exposition(text), None, 0.0))
+        return 0
+
+    prev = None
+    prev_t = None
+    polls = 0
+    try:
+        while True:
+            try:
+                text = scrape(args.socket)
+            except (OSError, ConnectionError) as e:
+                print("texcached_top: cannot scrape %s: %s"
+                      % (args.socket, e), file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            values = parse_exposition(text)
+            dt = (now - prev_t) if prev_t is not None else 0.0
+            # Clear screen + home, then the dashboard.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            print(time.strftime("%H:%M:%S"), "every %.1fs" % args.interval,
+                  " (ctrl-c to quit)")
+            print(render(values, prev, dt))
+            sys.stdout.flush()
+            prev, prev_t = values, now
+            polls += 1
+            if args.count and polls >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
