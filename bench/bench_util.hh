@@ -22,6 +22,7 @@
 #include "core/experiment.hh"
 #include "core/run_manifest.hh"
 #include "core/sweep.hh"
+#include "prof/prof.hh"
 #include "stats/stats.hh"
 #include "tracing/tracing.hh"
 
@@ -155,6 +156,14 @@ dumpStats(const std::string &bench,
         tracing::DumpInfo t = tracing::dumpToFiles(bench);
         manifest.setTrace({t.chromePath, t.eventsPath, t.recorded,
                            t.dropped, t.sampleN});
+    }
+    // Same discipline for the sampling profiler: TEXCACHE_PROF_HZ
+    // armed it before main(), so flush PROF_<bench>.* next to the
+    // manifest and register the paths; disarmed this is one branch.
+    if (prof::armed()) {
+        prof::DumpInfo p = prof::dumpToFiles(bench);
+        manifest.setProfile({p.collapsedPath, p.speedscopePath,
+                             p.samples, p.dropped, p.hz});
     }
     manifest.writeFile(&root);
 }

@@ -125,10 +125,15 @@ TraceStore::output(const SceneSpec &s, const RasterOrder &order)
         opts.writeFramebuffer = false; // figures need traces only
         auto t0 = std::chrono::steady_clock::now();
         it = outputs_.emplace(key, render(sc, order, opts)).first;
-        renderMillis_ += std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
-        ++renders_;
+        // Single-writer (dispatcher) accounting; relaxed stores pair
+        // with the relaxed reads in the metrics snapshot.
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        renderMillis_.store(
+            renderMillis_.load(std::memory_order_relaxed) + ms,
+            std::memory_order_relaxed);
+        renders_.fetch_add(1, std::memory_order_relaxed);
         std::string path = traceCachePath(s, order);
         if (!path.empty() && !std::filesystem::exists(path))
             writeTraceCache(it->second.trace, path);
@@ -147,7 +152,7 @@ TraceStore::trace(const SceneSpec &s, const RasterOrder &order)
     std::string path = traceCachePath(s, order);
     if (!path.empty() && std::filesystem::exists(path)) {
         inform("trace cache hit: ", path);
-        ++diskHits_;
+        diskHits_.fetch_add(1, std::memory_order_relaxed);
         auto it = diskTraces_.emplace(key, readTrace(path)).first;
         return it->second;
     }

@@ -191,6 +191,20 @@ RunManifest::write(std::ostream &os, const stats::Group *root) const
         w.endObject();
     }
 
+    if (!deterministic_ && (!profile_.collapsedPath.empty() ||
+                            !profile_.speedscopePath.empty())) {
+        w.key("profile");
+        w.beginObject();
+        if (!profile_.collapsedPath.empty())
+            w.kv("collapsed", profile_.collapsedPath);
+        if (!profile_.speedscopePath.empty())
+            w.kv("speedscope", profile_.speedscopePath);
+        w.kv("samples", profile_.samples);
+        w.kv("dropped_samples", profile_.dropped);
+        w.kv("hz", uint64_t(profile_.hz));
+        w.endObject();
+    }
+
     w.key("metrics");
     w.beginObject();
     for (const Metric &m : metrics_) {

@@ -80,6 +80,21 @@ class RunManifest
      *  "trace" block so tooling can find the files). */
     void setTrace(TraceInfo info) { trace_ = std::move(info); }
 
+    /** Profile artifacts of the run (prof::DumpInfo shape). */
+    struct ProfileInfo
+    {
+        std::string collapsedPath;  ///< flamegraph.pl collapsed text
+        std::string speedscopePath; ///< speedscope-loadable JSON
+        uint64_t samples = 0;       ///< samples retained and dumped
+        uint64_t dropped = 0;       ///< lost to ring wraparound
+        unsigned hz = 0;            ///< per-thread sample rate
+    };
+
+    /** Record where the run's CPU profile landed (a "profile" block,
+     *  next to "trace"; omitted in deterministic mode - sample counts
+     *  are not a function of the request). */
+    void setProfile(ProfileInfo info) { profile_ = std::move(info); }
+
     /** Render the manifest; @p root (may be null) is the stats tree. */
     void write(std::ostream &os, const stats::Group *root) const;
 
@@ -112,7 +127,8 @@ class RunManifest
     bool deterministic_ = false;
     std::vector<ConfigRow> configs_;
     std::vector<Metric> metrics_;
-    TraceInfo trace_; ///< empty paths = no trace block emitted
+    TraceInfo trace_;     ///< empty paths = no trace block emitted
+    ProfileInfo profile_; ///< empty paths = no profile block emitted
 };
 
 } // namespace texcache

@@ -1,0 +1,668 @@
+#include "prof/prof.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include <cxxabi.h>
+#include <dirent.h>
+#include <dlfcn.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "tracing/tracing.hh"
+
+// Old glibc spells the SIGEV_THREAD_ID target field only through the
+// union member; newer ones provide the POSIX-ish alias.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace texcache {
+namespace prof {
+
+namespace {
+
+/**
+ * One ring slot, guarded by a per-slot sequence counter. The writer
+ * of global sample number n (landing in slot n % capacity) stores
+ * seq = 2n+1, the payload, then seq = 2n+2 (release); a reader
+ * accepts the slot for sample n only if it observes 2n+2 before and
+ * after copying. Writers never block: a slot being overwritten is
+ * simply unreadable until the new sample is complete. Two handlers
+ * claim distinct n via fetch_add, so they collide on a slot only
+ * when exactly `capacity` samples apart - at which point the older
+ * sample was due for overwrite anyway.
+ */
+struct Slot
+{
+    std::atomic<uint64_t> seq{0};
+    Sample s;
+};
+
+struct State
+{
+    std::atomic<bool> armed{false};
+    std::atomic<uint64_t> next{0}; ///< samples ever claimed
+    std::atomic<uint64_t> tag{0};  ///< current request id (0 = none)
+    Slot *slots = nullptr;         ///< never freed; see start()
+    uint64_t capacity = 0;
+    unsigned hz = 0;
+    pid_t pid = 0;
+
+    std::thread watcher;
+    std::atomic<bool> watcherRun{false};
+    std::map<pid_t, timer_t> timers; ///< watcher/stop only
+    std::mutex mu;                   ///< start/stop serialization
+};
+
+// Deliberately leaked: when the env arms the profiler for the whole
+// process life, nothing calls stop() before exit, and destroying a
+// State with a joinable watcher (or live timers firing into a torn-
+// down handler) would terminate. Static-destruction order is a
+// minefield a profiler must not stand in.
+State &gState = *new State;
+
+/** Async-signal-safe read of @p len bytes at @p addr; false on any
+ *  fault or short read (the EFAULT-instead-of-crash trick that makes
+ *  walking an untrusted frame chain safe). */
+bool
+readMem(uint64_t addr, void *dst, size_t len)
+{
+    struct iovec local = {dst, len};
+    struct iovec remote = {reinterpret_cast<void *>(addr), len};
+    return syscall(SYS_process_vm_readv, gState.pid, &local, 1ul,
+                   &remote, 1ul, 0ul) == static_cast<ssize_t>(len);
+}
+
+/** Frames must advance upward but stay within a sane stack extent. */
+constexpr uint64_t kMaxFrameSpan = 1ull << 24;
+
+void
+onSigprof(int, siginfo_t *, void *uctx)
+{
+    if (!gState.armed.load(std::memory_order_relaxed))
+        return;
+    int saved_errno = errno;
+
+    const ucontext_t *uc = static_cast<const ucontext_t *>(uctx);
+    Sample s;
+#if defined(__x86_64__)
+    uint64_t pc = static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_RIP]);
+    uint64_t fp = static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+    uint64_t pc = uc->uc_mcontext.pc;
+    uint64_t fp = uc->uc_mcontext.regs[29];
+#else
+    uint64_t pc = 0, fp = 0;
+#endif
+    s.frames[0] = pc;
+    unsigned n = 1;
+    while (n < kMaxFrames && fp >= 4096) {
+        uint64_t pair[2]; // [0] = caller's fp, [1] = return address
+        if (!readMem(fp, pair, sizeof(pair)))
+            break;
+        if (pair[1] < 4096)
+            break;
+        s.frames[n++] = pair[1];
+        if (pair[0] <= fp || pair[0] - fp > kMaxFrameSpan)
+            break;
+        fp = pair[0];
+    }
+    s.nframes = static_cast<uint16_t>(n);
+    s.tag = gState.tag.load(std::memory_order_relaxed);
+    s.tid = static_cast<uint32_t>(syscall(SYS_gettid));
+    s.span = tracing::currentSpanId();
+
+    uint64_t i = gState.next.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = gState.slots[i % gState.capacity];
+    slot.seq.store(2 * i + 1, std::memory_order_relaxed);
+    slot.s = s;
+    slot.seq.store(2 * i + 2, std::memory_order_release);
+
+    errno = saved_errno;
+}
+
+/** Linux per-thread CPU clock id (kernel encoding: complemented tid,
+ *  CPUCLOCK_SCHED, per-thread bit). CLOCK_THREAD_CPUTIME_ID only
+ *  names the *calling* thread, so the watcher must build these. */
+clockid_t
+threadCpuClock(pid_t tid)
+{
+    constexpr unsigned kCpuClockSched = 2;
+    constexpr unsigned kCpuClockPerThread = 4;
+    return static_cast<clockid_t>(
+        ((~static_cast<unsigned>(tid)) << 3) | kCpuClockSched |
+        kCpuClockPerThread);
+}
+
+/** Create and arm a CPU-time interval timer delivering SIGPROF to
+ *  @p tid. Returns false if the kernel refuses (thread already gone,
+ *  or the clockid encoding is unsupported). */
+bool
+armThreadTimer(pid_t tid, unsigned hz, timer_t &out)
+{
+    struct sigevent sev;
+    std::memset(&sev, 0, sizeof(sev));
+    sev.sigev_notify = SIGEV_THREAD_ID;
+    sev.sigev_signo = SIGPROF;
+    sev.sigev_notify_thread_id = tid;
+    timer_t t;
+    if (timer_create(threadCpuClock(tid), &sev, &t) != 0)
+        return false;
+    long ns = static_cast<long>(1000000000ll / hz);
+    struct itimerspec spec;
+    spec.it_interval.tv_sec = ns / 1000000000l;
+    spec.it_interval.tv_nsec = ns % 1000000000l;
+    spec.it_value = spec.it_interval;
+    if (timer_settime(t, 0, &spec, nullptr) != 0) {
+        timer_delete(t);
+        return false;
+    }
+    out = t;
+    return true;
+}
+
+/** Scan /proc/self/task and arm a timer for every thread that does
+ *  not have one yet. Returns how many new timers were created. */
+unsigned
+armNewThreads(pid_t self_tid)
+{
+    unsigned created = 0;
+    DIR *d = opendir("/proc/self/task");
+    if (!d)
+        return 0;
+    while (struct dirent *e = readdir(d)) {
+        if (e->d_name[0] < '0' || e->d_name[0] > '9')
+            continue;
+        pid_t tid = static_cast<pid_t>(std::atol(e->d_name));
+        if (tid == self_tid || gState.timers.count(tid))
+            continue;
+        timer_t t;
+        if (armThreadTimer(tid, gState.hz, t)) {
+            gState.timers[tid] = t;
+            ++created;
+        }
+    }
+    closedir(d);
+    return created;
+}
+
+void
+watcherMain()
+{
+    pid_t self = static_cast<pid_t>(syscall(SYS_gettid));
+    while (gState.watcherRun.load(std::memory_order_relaxed)) {
+        armNewThreads(self);
+        struct timespec ts = {0, 100 * 1000 * 1000};
+        nanosleep(&ts, nullptr);
+    }
+}
+
+/** Aggregate the retained samples into unique collapsed stacks. */
+std::map<std::string, uint64_t>
+foldStacks(const std::vector<Sample> &samples, Symbolizer &sym)
+{
+    std::map<std::string, uint64_t> folded;
+    for (const Sample &s : samples)
+        ++folded[sym.stackLine(s)];
+    return folded;
+}
+
+/** Environment arming, before main(): TEXCACHE_PROF_HZ=<hz> turns
+ *  the profiler on for the whole process; TEXCACHE_PROF_BUF sizes
+ *  the sample ring. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *hz_env = std::getenv("TEXCACHE_PROF_HZ");
+        if (!hz_env || !*hz_env)
+            return;
+        char *end = nullptr;
+        long hz = std::strtol(hz_env, &end, 10);
+        fatal_if(end == hz_env || *end != '\0' || hz < 0 ||
+                     hz > 100000,
+                 "TEXCACHE_PROF_HZ='", hz_env,
+                 "' is not a sample rate in 0..100000");
+        if (hz == 0)
+            return;
+        Options opts;
+        opts.hz = static_cast<unsigned>(hz);
+        if (const char *buf = std::getenv("TEXCACHE_PROF_BUF")) {
+            char *bend = nullptr;
+            long long cap = std::strtoll(buf, &bend, 10);
+            fatal_if(bend == buf || *bend != '\0' || cap < 1,
+                     "TEXCACHE_PROF_BUF='", buf,
+                     "' is not a positive sample count");
+            opts.capacity = static_cast<uint64_t>(cap);
+        }
+        start(opts);
+    }
+} envInit;
+
+} // namespace
+
+bool
+start(const Options &opts)
+{
+    std::lock_guard<std::mutex> g(gState.mu);
+    if (gState.armed.load(std::memory_order_relaxed))
+        return true;
+    fatal_if(opts.hz == 0 || opts.capacity == 0,
+             "prof::start: hz and capacity must be positive");
+
+    // The slot array is deliberately never freed: a straggler SIGPROF
+    // delivered between our disarm store and the kernel acting on
+    // timer_delete may still read it. Arm/disarm cycles are test-only,
+    // so re-arming with a different capacity leaks one old array.
+    if (!gState.slots || gState.capacity != opts.capacity) {
+        gState.slots = new Slot[opts.capacity];
+        gState.capacity = opts.capacity;
+    } else {
+        for (uint64_t i = 0; i < gState.capacity; ++i)
+            gState.slots[i].seq.store(0, std::memory_order_relaxed);
+    }
+    gState.next.store(0, std::memory_order_relaxed);
+    gState.hz = opts.hz;
+    gState.pid = getpid();
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = onSigprof;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+        warn("prof: sigaction(SIGPROF) failed: ",
+             std::strerror(errno));
+        return false;
+    }
+
+    // Prove per-thread CPU-clock timers work here before claiming to
+    // be armed (seccomp filters and exotic kernels may refuse).
+    timer_t probe;
+    pid_t self = static_cast<pid_t>(syscall(SYS_gettid));
+    if (!armThreadTimer(self, opts.hz, probe)) {
+        warn("prof: per-thread CPU-clock timers unavailable (",
+             std::strerror(errno), "); profiler stays disarmed");
+        return false;
+    }
+    gState.timers[self] = probe;
+
+    tracing::enableSpanContext();
+    gState.armed.store(true, std::memory_order_relaxed);
+    gState.watcherRun.store(true, std::memory_order_relaxed);
+    gState.watcher = std::thread(watcherMain);
+    inform("prof: armed at ", opts.hz, " Hz per thread (ring ",
+           opts.capacity, " samples)");
+    return true;
+}
+
+void
+stop()
+{
+    std::lock_guard<std::mutex> g(gState.mu);
+    if (!gState.armed.load(std::memory_order_relaxed))
+        return;
+    gState.armed.store(false, std::memory_order_relaxed);
+    gState.watcherRun.store(false, std::memory_order_relaxed);
+    if (gState.watcher.joinable())
+        gState.watcher.join();
+    for (auto &kv : gState.timers)
+        timer_delete(kv.second);
+    gState.timers.clear();
+    gState.hz = 0;
+    tracing::disableSpanContext();
+}
+
+bool
+armed()
+{
+    return gState.armed.load(std::memory_order_relaxed);
+}
+
+unsigned
+hz()
+{
+    return gState.hz;
+}
+
+Counts
+counts()
+{
+    Counts c;
+    c.total = gState.next.load(std::memory_order_relaxed);
+    c.retained = std::min(c.total, gState.capacity);
+    c.dropped = c.total - c.retained;
+    return c;
+}
+
+void
+setRequestTag(uint64_t tag)
+{
+    gState.tag.store(tag, std::memory_order_relaxed);
+}
+
+std::vector<Sample>
+snapshotSamples()
+{
+    std::vector<Sample> out;
+    uint64_t total = gState.next.load(std::memory_order_acquire);
+    if (!gState.slots || total == 0)
+        return out;
+    uint64_t first = total > gState.capacity ? total - gState.capacity
+                                             : 0;
+    out.reserve(static_cast<size_t>(total - first));
+    for (uint64_t i = first; i < total; ++i) {
+        Slot &slot = gState.slots[i % gState.capacity];
+        if (slot.seq.load(std::memory_order_acquire) != 2 * i + 2)
+            continue; // writer mid-flight (or already overwritten)
+        Sample s = slot.s;
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) != 2 * i + 2)
+            continue; // overwritten while copying
+        if (s.nframes == 0 || s.nframes > kMaxFrames)
+            continue;
+        out.push_back(s);
+    }
+    return out;
+}
+
+Symbolizer::Symbolizer() : spanNames_(tracing::spanNames()) {}
+
+std::string
+Symbolizer::resolve(uint64_t pc)
+{
+    auto it = cache_.find(pc);
+    if (it != cache_.end())
+        return it->second;
+
+    std::string name;
+    Dl_info info;
+    std::memset(&info, 0, sizeof(info));
+    if (dladdr(reinterpret_cast<void *>(pc), &info) &&
+        info.dli_sname) {
+        int status = 0;
+        char *demangled = abi::__cxa_demangle(info.dli_sname, nullptr,
+                                              nullptr, &status);
+        name = (status == 0 && demangled) ? demangled
+                                          : info.dli_sname;
+        std::free(demangled);
+        // Drop the argument list for readability; keep operator()
+        // and friends intact.
+        size_t paren = name.find('(');
+        if (paren != std::string::npos && paren > 0 &&
+            name.compare(0, 8, "operator") != 0 &&
+            name.rfind("operator", paren) == std::string::npos)
+            name.resize(paren);
+    } else if (info.dli_fname && info.dli_fbase) {
+        const char *base = std::strrchr(info.dli_fname, '/');
+        std::ostringstream os;
+        os << (base ? base + 1 : info.dli_fname) << "+0x" << std::hex
+           << (pc - reinterpret_cast<uint64_t>(info.dli_fbase));
+        name = os.str();
+    } else {
+        std::ostringstream os;
+        os << "0x" << std::hex << pc;
+        name = os.str();
+    }
+    // Collapsed-stack text splits frames on ';' and the trailing
+    // count on ' '; neither may appear inside a frame name.
+    for (char &c : name) {
+        if (c == ';')
+            c = ':';
+        else if (c == ' ')
+            c = '_';
+    }
+    cache_.emplace(pc, name);
+    return name;
+}
+
+std::string
+Symbolizer::frameName(uint64_t pc, bool return_address)
+{
+    // Return addresses point after the call; step back into it so the
+    // caller's own line, not the next statement, gets the credit.
+    return resolve(return_address ? pc - 1 : pc);
+}
+
+std::string
+Symbolizer::spanFrame(const Sample &s) const
+{
+    if (s.span == tracing::kNoSpanId || s.span >= spanNames_.size())
+        return "span:(none)";
+    std::string out = "span:" + spanNames_[s.span];
+    for (char &c : out) {
+        if (c == ';')
+            c = ':';
+        else if (c == ' ')
+            c = '_';
+    }
+    return out;
+}
+
+std::string
+Symbolizer::stackLine(const Sample &s)
+{
+    std::string line = spanFrame(s);
+    for (unsigned j = s.nframes; j-- > 0;) {
+        line += ';';
+        line += frameName(s.frames[j], j > 0);
+    }
+    return line;
+}
+
+void
+writeCollapsed(std::ostream &os)
+{
+    Symbolizer sym;
+    for (const auto &kv : foldStacks(snapshotSamples(), sym))
+        os << kv.first << ' ' << kv.second << '\n';
+}
+
+void
+writeSpeedscope(std::ostream &os, const std::string &name)
+{
+    Symbolizer sym;
+    std::vector<Sample> samples = snapshotSamples();
+
+    // Unique frame table plus unique stacks with weights; the stack
+    // holds frame indices root-first, as speedscope expects.
+    std::map<std::string, size_t> frameIndex;
+    std::vector<std::string> frames;
+    auto internFrame = [&](const std::string &f) {
+        auto it = frameIndex.find(f);
+        if (it != frameIndex.end())
+            return it->second;
+        size_t idx = frames.size();
+        frames.push_back(f);
+        frameIndex.emplace(f, idx);
+        return idx;
+    };
+    std::map<std::vector<size_t>, uint64_t> stacks;
+    uint64_t total = 0;
+    for (const Sample &s : samples) {
+        std::vector<size_t> stack;
+        stack.reserve(s.nframes + 1u);
+        stack.push_back(internFrame(sym.spanFrame(s)));
+        for (unsigned j = s.nframes; j-- > 0;)
+            stack.push_back(internFrame(sym.frameName(s.frames[j],
+                                                      j > 0)));
+        ++stacks[stack];
+        ++total;
+    }
+
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.kv("$schema",
+         "https://www.speedscope.app/file-format-schema.json");
+    w.kv("name", name);
+    w.kv("exporter", "texcache-prof");
+    w.key("shared");
+    w.beginObject();
+    w.key("frames");
+    w.beginArray();
+    for (const std::string &f : frames) {
+        w.beginObject();
+        w.kv("name", f);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.key("profiles");
+    w.beginArray();
+    w.beginObject();
+    w.kv("type", "sampled");
+    w.kv("name", name);
+    w.kv("unit", "none");
+    w.kv("startValue", uint64_t(0));
+    w.kv("endValue", total);
+    w.key("samples");
+    w.beginArray();
+    for (const auto &kv : stacks) {
+        w.beginArray();
+        for (size_t idx : kv.first)
+            w.value(static_cast<uint64_t>(idx));
+        w.endArray();
+    }
+    w.endArray();
+    w.key("weights");
+    w.beginArray();
+    for (const auto &kv : stacks)
+        w.value(kv.second);
+    w.endArray();
+    w.endObject();
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeProfileJson(std::ostream &os, size_t max_stacks,
+                 size_t max_tags)
+{
+    Symbolizer sym;
+    std::vector<Sample> samples = snapshotSamples();
+    Counts c = counts();
+
+    // Group by request tag; fold each tag's stacks and keep the
+    // heaviest max_stacks so the document fits a service frame.
+    std::map<uint64_t, std::vector<const Sample *>> byTag;
+    for (const Sample &s : samples)
+        byTag[s.tag].push_back(&s);
+
+    // Keep only the heaviest max_tags tags, again to bound the body.
+    std::vector<uint64_t> keep;
+    keep.reserve(byTag.size());
+    for (const auto &tagged : byTag)
+        keep.push_back(tagged.first);
+    size_t tagsTruncated = 0;
+    if (keep.size() > max_tags) {
+        std::sort(keep.begin(), keep.end(),
+                  [&](uint64_t a, uint64_t b) {
+                      size_t na = byTag[a].size(), nb = byTag[b].size();
+                      return na != nb ? na > nb : a < b;
+                  });
+        tagsTruncated = keep.size() - max_tags;
+        keep.resize(max_tags);
+        std::sort(keep.begin(), keep.end());
+    }
+
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.kv("armed", armed());
+    w.kv("hz", static_cast<uint64_t>(hz()));
+    w.kv("total_samples", c.total);
+    w.kv("retained", static_cast<uint64_t>(samples.size()));
+    w.kv("dropped", c.dropped);
+    w.kv("requests_truncated",
+         static_cast<uint64_t>(tagsTruncated));
+    w.key("requests");
+    w.beginObject();
+    for (uint64_t tag : keep) {
+        const auto &tagged = *byTag.find(tag);
+        std::map<std::string, uint64_t> folded;
+        for (const Sample *s : tagged.second)
+            ++folded[sym.stackLine(*s)];
+        std::vector<std::pair<std::string, uint64_t>> top(
+            folded.begin(), folded.end());
+        std::sort(top.begin(), top.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second != b.second
+                                 ? a.second > b.second
+                                 : a.first < b.first;
+                  });
+        bool truncated = top.size() > max_stacks;
+        if (truncated)
+            top.resize(max_stacks);
+
+        w.key(std::to_string(tagged.first));
+        w.beginObject();
+        w.kv("samples",
+             static_cast<uint64_t>(tagged.second.size()));
+        w.kv("truncated", truncated);
+        w.key("stacks");
+        w.beginObject();
+        for (const auto &kv : top)
+            w.kv(kv.first, kv.second);
+        w.endObject();
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+DumpInfo
+dumpToFiles(const std::string &name)
+{
+    DumpInfo info;
+    Counts c = counts();
+    info.samples = c.retained;
+    info.dropped = c.dropped;
+    info.hz = hz();
+
+    std::string dir;
+    if (const char *env = std::getenv("TEXCACHE_STATS_DIR"))
+        if (*env)
+            dir = std::string(env) + "/";
+    info.collapsedPath = dir + "PROF_" + name + ".collapsed";
+    info.speedscopePath = dir + "PROF_" + name + ".speedscope.json";
+
+    std::ofstream collapsed(info.collapsedPath);
+    if (!collapsed) {
+        warn("cannot write profile ", info.collapsedPath);
+        info.collapsedPath.clear();
+    } else {
+        writeCollapsed(collapsed);
+        inform("wrote collapsed profile ", info.collapsedPath, " (",
+               info.samples, " samples, ", info.dropped, " dropped)");
+    }
+
+    std::ofstream speedscope(info.speedscopePath);
+    if (!speedscope) {
+        warn("cannot write profile ", info.speedscopePath);
+        info.speedscopePath.clear();
+    } else {
+        writeSpeedscope(speedscope, name);
+        inform("wrote speedscope profile ", info.speedscopePath);
+    }
+    return info;
+}
+
+} // namespace prof
+} // namespace texcache

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * In-process sampling profiler with span and request attribution.
+ *
+ * Always compiled, runtime-armed: TEXCACHE_PROF_HZ=<hz> arms a
+ * per-thread POSIX interval timer (timer_create on each thread's CPU
+ * clock, SIGEV_THREAD_ID delivery of SIGPROF) so every running thread
+ * is sampled at the requested rate of *its own* CPU time - idle
+ * threads cost nothing and are never sampled. Disarmed (the default)
+ * the profiler costs nothing at all: no handler is installed, no
+ * timers exist, and no memory is allocated, matching the tracing
+ * layer's discipline.
+ *
+ * The SIGPROF handler is strictly async-signal-safe: it captures the
+ * interrupted PC from the ucontext, walks the frame-pointer chain
+ * reading each frame pair through a raw process_vm_readv(2) syscall
+ * (which reports EFAULT instead of faulting on a garbage frame
+ * pointer), snapshots the thread's innermost active tracing span
+ * (tracing::currentSpanId) and the process-wide request tag, and
+ * publishes the sample into a fixed-size global ring guarded by
+ * per-slot sequence counters. No allocation, no locks, no library
+ * calls that might take them; errno is saved and restored.
+ * Symbolization happens strictly at dump time via dladdr(3) (the
+ * build exports executable symbols for this; see CMAKE_ENABLE_EXPORTS)
+ * with an unresolved-PC fallback of module+offset from the mapping
+ * base.
+ *
+ * New threads are discovered by a watcher thread that rescans
+ * /proc/self/task every 100 ms and creates a timer for each new tid,
+ * so the sweep pool, tile renderers and service dispatcher are all
+ * profiled without hooking any thread-creation site. Threads born
+ * between scans lose at most 100 ms of samples.
+ *
+ * Attribution axes carried by every sample:
+ *  - span: the innermost active tracing span on the sampled thread
+ *    (sweep point, render phase, ...), maintained via the tracing
+ *    layer's kSpanCtx mask bit even when event tracing is off;
+ *  - tag: a process-wide request id (setRequestTag) the texcached
+ *    dispatcher publishes around each batch execution, so per-request
+ *    CPU profiles slice out of one shared ring. The tag is global,
+ *    not per-thread, because a request's sweep fans out across the
+ *    worker pool; batches execute serially on one dispatcher, so a
+ *    global tag attributes pool workers correctly.
+ *
+ * Dump formats: collapsed-stack text (flamegraph.pl compatible,
+ * "span:<name>;outer;...;leaf count" lines) and speedscope-loadable
+ * JSON, both written next to the other run artifacts under
+ * TEXCACHE_STATS_DIR and registered in run manifests.
+ */
+
+#ifndef TEXCACHE_PROF_PROF_HH
+#define TEXCACHE_PROF_PROF_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace texcache {
+namespace prof {
+
+/** Deepest stack the handler records (leaf plus 39 callers). */
+constexpr unsigned kMaxFrames = 40;
+
+/** One captured sample. frames[0] is the interrupted (leaf) PC;
+ *  frames[1..nframes-1] are return addresses, innermost first. */
+struct Sample
+{
+    uint64_t frames[kMaxFrames];
+    uint64_t tag;     ///< request tag at capture time (0 = none)
+    uint32_t tid;     ///< kernel tid of the sampled thread
+    uint16_t span;    ///< tracing span name id, or tracing::kNoSpanId
+    uint16_t nframes; ///< valid frames (>= 1)
+};
+
+/** Arming parameters (env: TEXCACHE_PROF_HZ, TEXCACHE_PROF_BUF). */
+struct Options
+{
+    unsigned hz = 997;              ///< per-thread CPU-time sample rate
+    uint64_t capacity = 1ull << 16; ///< samples the global ring holds
+};
+
+/**
+ * Arm the profiler: allocate the ring, install the SIGPROF handler,
+ * enable tracing span context and start the thread watcher. Safe to
+ * call once threads are already running - they are discovered on the
+ * first scan. Returns false (with a warn()) if the kernel refuses
+ * per-thread CPU-clock timers; true if already armed.
+ */
+bool start(const Options &opts);
+
+/**
+ * Disarm: gate the handler off, delete all timers, stop the watcher
+ * and disable span context. Captured samples are kept for dumping.
+ */
+void stop();
+
+/** Is the profiler currently armed? */
+bool armed();
+
+/** The armed sample rate in Hz (0 when disarmed). */
+unsigned hz();
+
+/** Ring accounting. */
+struct Counts
+{
+    uint64_t total = 0;    ///< samples ever captured
+    uint64_t retained = 0; ///< samples currently in the ring
+    uint64_t dropped = 0;  ///< overwritten by ring wraparound
+};
+
+Counts counts();
+
+/**
+ * Publish the request id the process is currently executing (0 to
+ * clear). A single relaxed atomic store; the handler snapshots it
+ * into every sample on every thread.
+ */
+void setRequestTag(uint64_t tag);
+
+/**
+ * Copy out every sample currently retained in the ring, skipping
+ * slots a concurrent writer is mid-update on. Oldest first.
+ */
+std::vector<Sample> snapshotSamples();
+
+/**
+ * Dump-time PC -> name resolver. dladdr per unique PC, demangled,
+ * cached; falls back to "module+0x<offset>". Return addresses
+ * (frame index > 0) are resolved at pc-1 so they land inside the
+ * call instruction.
+ */
+class Symbolizer
+{
+  public:
+    Symbolizer();
+
+    /** Name for one frame of a sample. */
+    std::string frameName(uint64_t pc, bool return_address);
+
+    /** "span:<name>;outer;...;leaf" for @p s (no trailing count). */
+    std::string stackLine(const Sample &s);
+
+    /** The sample's span frame alone ("span:<name>"). */
+    std::string spanFrame(const Sample &s) const;
+
+  private:
+    std::string resolve(uint64_t pc);
+
+    std::vector<std::string> spanNames_;
+    std::map<uint64_t, std::string> cache_;
+};
+
+/** Write collapsed-stack text: one "stack count" line per unique
+ *  stack, flamegraph.pl compatible. */
+void writeCollapsed(std::ostream &os);
+
+/** Write a speedscope-loadable JSON profile (unique stacks with
+ *  weights; one synthetic "span:<name>" root frame per stack). */
+void writeSpeedscope(std::ostream &os, const std::string &name);
+
+/**
+ * Write the per-request profile document served by the texcached
+ * "profile" control request: ring accounting plus, per request tag,
+ * the sample count and the top @p max_stacks collapsed stacks. At
+ * most @p max_tags tags are emitted (heaviest by sample count;
+ * "requests_truncated" counts the rest), bounding the document well
+ * below the service frame limit.
+ */
+void writeProfileJson(std::ostream &os, size_t max_stacks = 50,
+                      size_t max_tags = 64);
+
+/** Where a dump landed, plus its accounting (for run manifests). */
+struct DumpInfo
+{
+    std::string collapsedPath;
+    std::string speedscopePath;
+    uint64_t samples = 0; ///< retained samples dumped
+    uint64_t dropped = 0; ///< lost to ring wraparound
+    unsigned hz = 0;
+};
+
+/**
+ * Write PROF_<name>.collapsed and PROF_<name>.speedscope.json under
+ * TEXCACHE_STATS_DIR (default: cwd), reporting both paths via
+ * inform() on stderr.
+ */
+DumpInfo dumpToFiles(const std::string &name);
+
+} // namespace prof
+} // namespace texcache
+
+#endif // TEXCACHE_PROF_PROF_HH

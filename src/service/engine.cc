@@ -10,6 +10,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "perf/perf_counters.hh"
+#include "prof/prof.hh"
 #include "stats/prometheus.hh"
 #include "tracing/tracing.hh"
 
@@ -75,6 +76,32 @@ controlOk(const char *kind)
     os << "\n";
     return os.str();
 }
+
+/** The "profile" control response: the profiler's per-request
+ *  document wrapped in the uniform control envelope. Stack and tag
+ *  caps keep the body well under the socket frame bound. */
+std::string
+profileText()
+{
+    std::ostringstream body;
+    prof::writeProfileJson(body, /*max_stacks=*/20, /*max_tags=*/32);
+    std::string doc = body.str();
+    while (!doc.empty() && doc.back() == '\n')
+        doc.pop_back();
+    return "{\"status\":\"ok\",\"kind\":\"profile\",\"profile\":" +
+           doc + "}\n";
+}
+
+/** Publish the id of the batch now executing to the profiler, so
+ *  every sample taken anywhere in the process during execution -
+ *  dispatcher and sweep-pool workers alike - attributes to it.
+ *  Batches run serially on one dispatcher, which is what makes the
+ *  process-global tag correct; folded members share the head id. */
+struct ScopedRequestTag
+{
+    explicit ScopedRequestTag(uint64_t id) { prof::setRequestTag(id); }
+    ~ScopedRequestTag() { prof::setRequestTag(0); }
+};
 
 } // namespace
 
@@ -160,7 +187,7 @@ ServiceEngine::submit(std::string_view body)
     }
 
     if (req.control()) {
-        bool wantMetrics = false;
+        ServiceRequest::Kind deferred = ServiceRequest::Kind::Stats;
         std::string resp;
         {
             std::lock_guard<std::mutex> lk(mutex_);
@@ -174,18 +201,23 @@ ServiceEngine::submit(std::string_view body)
                 shutdownReq_ = true;
                 resp = controlOk("shutdown");
                 break;
-              case ServiceRequest::Kind::Metrics:
-                wantMetrics = true;
-                break;
               default:
-                break; // stats: dump outside the lock
+                deferred = req.kind; // render outside the lock
+                break;
             }
         }
-        // Snapshot/render outside the lock held above: both re-take
-        // mutex_ briefly for a consistent capture, and neither ever
+        // Snapshot/render outside the lock held above: metrics and
+        // stats re-take mutex_ briefly for a consistent capture, the
+        // profile reads its own lock-free ring, and none of them ever
         // blocks the dispatcher on rendering.
-        if (resp.empty())
-            resp = wantMetrics ? metricsText() : statsJson();
+        if (resp.empty()) {
+            if (deferred == ServiceRequest::Kind::Metrics)
+                resp = metricsText();
+            else if (deferred == ServiceRequest::Kind::Profile)
+                resp = profileText();
+            else
+                resp = statsJson();
+        }
         promise.set_value(std::move(resp));
         return future;
     }
@@ -314,6 +346,19 @@ ServiceEngine::snapshot() const
     }
     snap.counter("host.simulated_accesses",
                  double(perf::simulatedAccesses()));
+    // Trace-ring health: per-category recorded/dropped event counts
+    // across every thread ring, plus the trace store's render/disk
+    // accounting - all process-wide counters outside the stats tree.
+    tracing::CategoryCounts cc = tracing::categoryCounts();
+    for (unsigned i = 0; i < tracing::CategoryCounts::kCount; ++i) {
+        std::string base =
+            std::string("tracing.") + tracing::categoryName(i);
+        snap.counter(base + ".recorded_events", double(cc.recorded[i]));
+        snap.counter(base + ".dropped_events", double(cc.dropped[i]));
+    }
+    snap.counter("trace_store.renders", double(store_.renders()));
+    snap.counter("trace_store.disk_hits", double(store_.diskHits()));
+    snap.gauge("trace_store.render_wall_ms", store_.renderMillis());
     snap.unixMs =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::system_clock::now().time_since_epoch())
@@ -378,6 +423,7 @@ ServiceEngine::dispatchLoop()
 void
 ServiceEngine::runBatch(std::vector<Pending> batch)
 {
+    ScopedRequestTag tag(batch.front().id);
     uint64_t batchSeq = 0;
     {
         std::lock_guard<std::mutex> lk(mutex_);

@@ -107,6 +107,8 @@ ServiceRequest::kindName() const
         return "stats";
       case Kind::Metrics:
         return "metrics";
+      case Kind::Profile:
+        return "profile";
       case Kind::Shutdown:
         return "shutdown";
     }
@@ -249,13 +251,15 @@ parseKind(Ctx &c, const json::Value &root, ServiceRequest &req)
         req.kind = ServiceRequest::Kind::Stats;
     else if (k == "metrics")
         req.kind = ServiceRequest::Kind::Metrics;
+    else if (k == "profile")
+        req.kind = ServiceRequest::Kind::Profile;
     else if (k == "shutdown")
         req.kind = ServiceRequest::Kind::Shutdown;
     else
         return c.fail("unknown kind \"" + k +
                       "\"; expected sweep, classify, working_set, "
-                      "vt_residency, ping, stats, metrics or "
-                      "shutdown");
+                      "vt_residency, ping, stats, metrics, profile "
+                      "or shutdown");
     return true;
 }
 

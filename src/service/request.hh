@@ -92,6 +92,7 @@ struct ServiceRequest
         Ping,        ///< control: liveness probe
         Stats,       ///< control: dump the service stats tree
         Metrics,     ///< control: Prometheus exposition snapshot
+        Profile,     ///< control: per-request CPU profile slice
         Shutdown,    ///< control: drain and exit
     };
 
@@ -113,7 +114,8 @@ struct ServiceRequest
     control() const
     {
         return kind == Kind::Ping || kind == Kind::Stats ||
-               kind == Kind::Metrics || kind == Kind::Shutdown;
+               kind == Kind::Metrics || kind == Kind::Profile ||
+               kind == Kind::Shutdown;
     }
 
     /** Sweep requests over the same replay coalesce into one batch. */

@@ -181,6 +181,11 @@ SnapshotRing::writeJson(JsonWriter &w) const
     w.kv("schema", "texcache-snapshots-1");
     w.kv("capacity", uint64_t(capacity_));
     w.kv("pushed", pushed_);
+    // The true retained window: after wraparound the dump holds only
+    // the newest `retained` of `pushed` snapshots, and the first one
+    // has no delta because its predecessor was evicted.
+    w.kv("retained", uint64_t(size()));
+    w.kv("evicted", pushed_ - size());
     w.key("snapshots");
     w.beginArray();
     for (size_t i = 0; i < size(); ++i) {

@@ -127,8 +127,11 @@ class SnapshotRing
 
     /**
      * {"schema": "texcache-snapshots-1", "capacity": ..., "pushed":
-     * ..., "snapshots": [{...snapshot..., "delta": {counter deltas vs
-     * the previous retained snapshot}}]}.
+     * ..., "retained": size(), "evicted": pushed - size(),
+     * "snapshots": [{...snapshot..., "delta": {counter deltas vs the
+     * previous retained snapshot}}]}. retained/evicted report the
+     * true window after wraparound: the oldest retained snapshot
+     * carries no delta (its predecessor was evicted).
      */
     void writeJson(JsonWriter &w) const;
 

@@ -33,6 +33,15 @@ enum Category : uint32_t
     kTexels = 1u << 2,  ///< "texels": sampled access events (hit+miss)
     kFetches = 1u << 3, ///< "fetches": vt fetch-queue events
     kAll = kSpans | kMisses | kTexels | kFetches,
+    /**
+     * Internal pseudo-category: maintain the per-thread stack of
+     * active span name ids (tracing.hh tlsSpanStack) without
+     * recording any events. The sampling profiler (src/prof) sets it
+     * so its signal handler can attribute samples to the innermost
+     * span; it is never part of kAll and TEXCACHE_TRACE cannot
+     * enable it.
+     */
+    kSpanCtx = 1u << 16,
 };
 
 /** What one event records (Event::kind). */

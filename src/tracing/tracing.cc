@@ -1,6 +1,7 @@
 #include "tracing/tracing.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -15,6 +16,7 @@ namespace tracing {
 
 uint32_t gMask = 0;
 thread_local TexelContext tlsContext;
+thread_local SpanStack tlsSpanStack;
 
 namespace {
 
@@ -28,6 +30,17 @@ struct Ring
     uint64_t dropped = 0;
     uint64_t sampleTick = 0; ///< deterministic per-thread decimation
     uint32_t tid = 0;
+    uint64_t recordedBy[CategoryCounts::kCount] = {};
+    uint64_t droppedBy[CategoryCounts::kCount] = {};
+};
+
+/** Ring-health counter slot for an event category. */
+enum CatIndex : unsigned
+{
+    kCatSpans = 0,
+    kCatMisses = 1,
+    kCatTexels = 2,
+    kCatFetches = 3,
 };
 
 struct Registry
@@ -79,14 +92,38 @@ nowNs()
 
 /** Append @p ev to this thread's ring, honoring the capacity bound. */
 void
-record(const Event &ev)
+record(const Event &ev, unsigned cat)
 {
     Ring &r = ring();
     if (r.buf.size() >= registry().capacity) {
         ++r.dropped;
+        ++r.droppedBy[cat];
         return;
     }
     r.buf.push_back(ev);
+    ++r.recordedBy[cat];
+}
+
+/** Push/pop the signal-readable span stack (kSpanCtx). The id store
+ *  is fenced before the depth store so a SIGPROF arriving between the
+ *  two sees the old depth and a fully written prefix. */
+void
+spanCtxPush(uint16_t name)
+{
+    SpanStack &s = tlsSpanStack;
+    uint32_t d = s.depth;
+    if (d < SpanStack::kMaxDepth)
+        s.ids[d] = name;
+    std::atomic_signal_fence(std::memory_order_release);
+    s.depth = d + 1;
+}
+
+void
+spanCtxPop()
+{
+    SpanStack &s = tlsSpanStack;
+    if (s.depth > 0)
+        s.depth = s.depth - 1;
 }
 
 /** Sampled record for the high-frequency categories: keeps every
@@ -177,6 +214,49 @@ struct EnvInit
 
 } // namespace
 
+void
+enableSpanContext()
+{
+    gMask |= kSpanCtx;
+}
+
+void
+disableSpanContext()
+{
+    gMask &= ~uint32_t(kSpanCtx);
+}
+
+std::vector<std::string>
+spanNames()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    return reg.names;
+}
+
+const char *
+categoryName(unsigned index)
+{
+    static const char *const names[CategoryCounts::kCount] = {
+        "spans", "misses", "texels", "fetches"};
+    return index < CategoryCounts::kCount ? names[index] : "?";
+}
+
+CategoryCounts
+categoryCounts()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    CategoryCounts out;
+    for (const auto &r : reg.rings) {
+        for (unsigned i = 0; i < CategoryCounts::kCount; ++i) {
+            out.recorded[i] += r->recordedBy[i];
+            out.dropped[i] += r->droppedBy[i];
+        }
+    }
+    return out;
+}
+
 uint16_t
 nameId(std::string_view name)
 {
@@ -194,6 +274,8 @@ nameId(std::string_view name)
 void
 spanBegin(uint16_t name, uint64_t detail)
 {
+    if (enabled(kSpanCtx))
+        spanCtxPush(name);
     if (!enabled(kSpans))
         return;
     Event ev{};
@@ -202,19 +284,21 @@ spanBegin(uint16_t name, uint64_t detail)
     ev.a = name;
     ev.c = static_cast<uint32_t>(detail);
     ev.kind = static_cast<uint8_t>(EventKind::SpanBegin);
-    record(ev);
+    record(ev, kCatSpans);
 }
 
 void
 spanEnd(uint16_t name)
 {
+    if (enabled(kSpanCtx))
+        spanCtxPop();
     if (!enabled(kSpans))
         return;
     Event ev{};
     ev.ts = nowNs();
     ev.a = name;
     ev.kind = static_cast<uint8_t>(EventKind::SpanEnd);
-    record(ev);
+    record(ev, kCatSpans);
 }
 
 void
@@ -228,7 +312,7 @@ asyncBegin(uint16_t name, uint64_t id, uint32_t detail)
     ev.a = name;
     ev.c = detail;
     ev.kind = static_cast<uint8_t>(EventKind::AsyncBegin);
-    record(ev);
+    record(ev, kCatSpans);
 }
 
 void
@@ -241,7 +325,7 @@ asyncEnd(uint16_t name, uint64_t id)
     ev.addr = id;
     ev.a = name;
     ev.kind = static_cast<uint8_t>(EventKind::AsyncEnd);
-    record(ev);
+    record(ev, kCatSpans);
 }
 
 void
@@ -262,12 +346,12 @@ cacheMiss(uint64_t addr, MissClass cls, uint16_t tag)
     ev.tag = tag;
     if (enabled(kMisses)) {
         ev.kind = static_cast<uint8_t>(EventKind::CacheMiss);
-        record(ev);
+        record(ev, kCatMisses);
     }
     if (enabled(kTexels)) {
         ev.kind = static_cast<uint8_t>(EventKind::CacheAccess);
         ev.cls = 0; // not a hit
-        record(ev);
+        record(ev, kCatTexels);
     }
 }
 
@@ -288,7 +372,7 @@ cacheHit(uint64_t addr, uint16_t tag)
     ev.kind = static_cast<uint8_t>(EventKind::CacheAccess);
     ev.cls = 1; // hit
     ev.tag = tag;
-    record(ev);
+    record(ev, kCatTexels);
 }
 
 void
@@ -302,7 +386,7 @@ fetchEvent(EventKind kind, uint64_t page, uint64_t tick,
     ev.addr = page;
     ev.b = payload;
     ev.kind = static_cast<uint8_t>(kind);
-    record(ev);
+    record(ev, kCatFetches);
 }
 
 void
@@ -318,7 +402,9 @@ configure(const TraceConfig &config)
     reg.sampleN = config.sampleN ? config.sampleN : 1;
     reg.capacity = config.capacity ? config.capacity : 1;
     reg.epoch = Clock::now();
-    gMask = config.mask;
+    // kSpanCtx is owned by the profiler (enableSpanContext), not by
+    // trace configuration; keep it across re-configuration.
+    gMask = config.mask | (gMask & kSpanCtx);
 }
 
 TraceConfig
@@ -326,7 +412,8 @@ currentConfig()
 {
     Registry &reg = registry();
     std::lock_guard<std::mutex> g(reg.mu);
-    return {gMask, reg.sampleN, reg.capacity};
+    // Report only the event categories; kSpanCtx is profiler-internal.
+    return {gMask & ~uint32_t(kSpanCtx), reg.sampleN, reg.capacity};
 }
 
 uint64_t

@@ -77,6 +77,54 @@ struct TexelContext
 
 extern thread_local TexelContext tlsContext;
 
+/** Sentinel span id: no span active (or span context disabled). */
+constexpr uint16_t kNoSpanId = 0xffff;
+
+/**
+ * Per-thread stack of active span name ids, maintained only while
+ * kSpanCtx is in the mask (the sampling profiler arms it via
+ * enableSpanContext()). Written by spanBegin/spanEnd on the owning
+ * thread and read *asynchronously* by the profiler's SIGPROF handler
+ * on the same thread, so updates order the id store before the depth
+ * store with a signal fence; the handler then always sees a
+ * consistent prefix of the stack.
+ */
+struct SpanStack
+{
+    static constexpr uint32_t kMaxDepth = 32;
+    uint32_t depth = 0;
+    uint16_t ids[kMaxDepth] = {};
+};
+
+extern thread_local SpanStack tlsSpanStack;
+
+/**
+ * The innermost active span's name id on this thread, or kNoSpanId.
+ * Async-signal-safe: plain TLS loads only. If spans nest deeper than
+ * SpanStack::kMaxDepth, the deepest recorded ancestor is returned.
+ */
+inline uint16_t
+currentSpanId()
+{
+    uint32_t d = tlsSpanStack.depth;
+    if (d == 0)
+        return kNoSpanId;
+    if (d > SpanStack::kMaxDepth)
+        d = SpanStack::kMaxDepth;
+    return tlsSpanStack.ids[d - 1];
+}
+
+/**
+ * Arm/disarm span-context maintenance (the kSpanCtx mask bit) without
+ * touching the event categories. Used by the profiler so span
+ * attribution works even when event tracing itself is off.
+ */
+void enableSpanContext();
+void disableSpanContext();
+
+/** Copy of the interned span-name table (id -> name). */
+std::vector<std::string> spanNames();
+
 /** Publish the current fragment/texel (gate with enabled() first). */
 inline void
 setTexelContext(uint16_t x, uint16_t y, uint16_t tex, uint16_t level,
@@ -119,7 +167,7 @@ class ScopedSpan
 {
   public:
     explicit ScopedSpan(uint16_t name, uint64_t detail = 0)
-        : name_(name), on_(enabled(kSpans))
+        : name_(name), on_(enabled(kSpans | kSpanCtx))
     {
         if (on_)
             spanBegin(name_, detail);
@@ -176,6 +224,20 @@ uint64_t recordedCount();
 
 /** Events dropped to full rings across all threads. */
 uint64_t droppedCount();
+
+/** Per-category ring health, aggregated across all thread rings. */
+struct CategoryCounts
+{
+    static constexpr unsigned kCount = 4;
+    uint64_t recorded[kCount] = {}; ///< events buffered, by category
+    uint64_t dropped[kCount] = {};  ///< events lost to full rings
+};
+
+/** "spans", "misses", "texels", "fetches" for indices 0..3. */
+const char *categoryName(unsigned index);
+
+/** Snapshot the per-category recorded/dropped counters. */
+CategoryCounts categoryCounts();
 
 /**
  * Snapshot every buffered event, ring by ring in registration order

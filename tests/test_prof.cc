@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Sampling-profiler tests: attribution correctness on a synthetic
+ * two-phase workload, ring wraparound accounting, dump formats,
+ * request-tag slicing, and worker-thread discovery.
+ *
+ * Sample-count assertions are deliberately loose: the kernel clamps
+ * per-thread CPU-clock timer delivery to its tick rate (~250 Hz on
+ * CONFIG_HZ=250 boxes) regardless of the requested 997 Hz, so tests
+ * assert fractions and floors, never hz * seconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "common/json_reader.hh"
+#include "prof/prof.hh"
+#include "tracing/tracing.hh"
+
+using namespace texcache;
+
+namespace {
+
+/** Spin this thread for @p cpu_ms of its own CPU time. The volatile
+ *  accumulator keeps the loop from folding away. */
+volatile uint64_t gSink = 0;
+
+double
+threadCpuMs()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return ts.tv_sec * 1e3 + ts.tv_nsec / 1e6;
+}
+
+/** Forced inline so the hot loop lives bodily inside each caller:
+ *  a plain call here would be a tail call at -O2, erasing the caller
+ *  frame the attribution tests key on. */
+inline __attribute__((always_inline)) void
+burnCpu(double cpu_ms)
+{
+    double start = threadCpuMs();
+    uint64_t h = 1469598103934665603ull;
+    while (threadCpuMs() - start < cpu_ms) {
+        for (int i = 0; i < 4096; ++i) {
+            h ^= static_cast<uint64_t>(i);
+            h *= 1099511628211ull;
+        }
+        gSink = h;
+    }
+}
+
+/** Total sample count across a profile run. */
+size_t
+sampleTotal()
+{
+    return prof::snapshotSamples().size();
+}
+
+} // namespace
+
+// Out of line and exported (not static) so dladdr can name them; the
+// two-phase test keys its attribution checks on these symbols.
+__attribute__((noinline)) void
+profTestPhaseA(double cpu_ms)
+{
+    burnCpu(cpu_ms);
+}
+
+__attribute__((noinline)) void
+profTestPhaseB(double cpu_ms)
+{
+    burnCpu(cpu_ms);
+}
+
+TEST(Prof, DisarmedCostsNothingAndCaptureNothing)
+{
+    ASSERT_FALSE(prof::armed());
+    EXPECT_EQ(prof::hz(), 0u);
+    prof::Counts c = prof::counts();
+    EXPECT_EQ(c.total, 0u);
+    EXPECT_EQ(c.dropped, 0u);
+    // The request-tag store must be safe disarmed (texcached calls it
+    // unconditionally around every batch).
+    prof::setRequestTag(7);
+    prof::setRequestTag(0);
+    EXPECT_TRUE(prof::snapshotSamples().empty());
+}
+
+TEST(Prof, TwoPhaseSymbolAndSpanAttribution)
+{
+    prof::Options opts;
+    opts.hz = 997;
+    ASSERT_TRUE(prof::start(opts));
+    uint64_t before = prof::counts().total;
+
+    uint16_t idA = tracing::nameId("phase.A");
+    uint16_t idB = tracing::nameId("phase.B");
+    {
+        tracing::ScopedSpan span(idA);
+        profTestPhaseA(400.0);
+    }
+    {
+        tracing::ScopedSpan span(idB);
+        profTestPhaseB(400.0);
+    }
+    prof::stop();
+
+    std::vector<prof::Sample> samples = prof::snapshotSamples();
+    ASSERT_GE(prof::counts().total - before, 40u)
+        << "timer delivered implausibly few samples";
+
+    prof::Symbolizer sym;
+    size_t inA = 0, inB = 0;
+    size_t aCorrectSpan = 0, bCorrectSpan = 0;
+    size_t spanA = 0, spanB = 0;
+    size_t spanACorrectSym = 0, spanBCorrectSym = 0;
+    for (const prof::Sample &s : samples) {
+        std::string stack = sym.stackLine(s);
+        bool hasA = stack.find("profTestPhaseA") != std::string::npos;
+        bool hasB = stack.find("profTestPhaseB") != std::string::npos;
+        if (hasA) {
+            ++inA;
+            aCorrectSpan += s.span == idA;
+        }
+        if (hasB) {
+            ++inB;
+            bCorrectSpan += s.span == idB;
+        }
+        if (s.span == idA) {
+            ++spanA;
+            spanACorrectSym += hasA;
+        }
+        if (s.span == idB) {
+            ++spanB;
+            spanBCorrectSym += hasB;
+        }
+    }
+    // Both phases burned equal CPU; both must show up substantially.
+    ASSERT_GE(inA, 10u) << "phase A never symbolized";
+    ASSERT_GE(inB, 10u) << "phase B never symbolized";
+    // >= 80% agreement in both directions: samples whose stack names
+    // a phase carry that phase's span, and samples inside a span
+    // resolve to that phase's symbol.
+    EXPECT_GE(aCorrectSpan * 100, inA * 80);
+    EXPECT_GE(bCorrectSpan * 100, inB * 80);
+    EXPECT_GE(spanACorrectSym * 100, spanA * 80);
+    EXPECT_GE(spanBCorrectSym * 100, spanB * 80);
+}
+
+TEST(Prof, RingWraparoundAccounting)
+{
+    prof::Options opts;
+    opts.hz = 997;
+    opts.capacity = 32;
+    ASSERT_TRUE(prof::start(opts));
+    // Spin until the ring has provably wrapped; cap the wait so a
+    // refusing kernel fails loudly instead of hanging.
+    double start = threadCpuMs();
+    while (prof::counts().total < 80 &&
+           threadCpuMs() - start < 10000.0)
+        burnCpu(20.0);
+    prof::stop();
+
+    prof::Counts c = prof::counts();
+    ASSERT_GT(c.total, 32u) << "ring never wrapped";
+    EXPECT_EQ(c.retained, 32u);
+    EXPECT_EQ(c.dropped, c.total - 32u);
+    EXPECT_LE(sampleTotal(), 32u);
+}
+
+TEST(Prof, CollapsedAndSpeedscopeFormats)
+{
+    prof::Options opts;
+    opts.hz = 997;
+    ASSERT_TRUE(prof::start(opts));
+    {
+        uint16_t id = tracing::nameId("fmt.phase");
+        tracing::ScopedSpan span(id);
+        profTestPhaseA(250.0);
+    }
+    prof::stop();
+    ASSERT_GE(sampleTotal(), 10u);
+
+    std::ostringstream collapsed;
+    prof::writeCollapsed(collapsed);
+    std::istringstream lines(collapsed.str());
+    std::string line;
+    size_t nlines = 0;
+    uint64_t total = 0;
+    while (std::getline(lines, line)) {
+        ++nlines;
+        // "frame;frame;...;frame count": exactly one space, a
+        // span-rooted stack, and a positive trailing count.
+        size_t sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        EXPECT_EQ(line.find(' '), sp) << line;
+        EXPECT_EQ(line.rfind("span:", 0), 0u) << line;
+        uint64_t count = std::stoull(line.substr(sp + 1));
+        EXPECT_GT(count, 0u);
+        total += count;
+    }
+    ASSERT_GT(nlines, 0u);
+    EXPECT_EQ(total, sampleTotal());
+
+    std::ostringstream speedscope;
+    prof::writeSpeedscope(speedscope, "fmt");
+    json::Value doc;
+    json::ParseError err;
+    ASSERT_TRUE(json::parse(speedscope.str(), doc, err))
+        << err.message;
+    EXPECT_EQ(doc.find("$schema")->str(),
+              "https://www.speedscope.app/file-format-schema.json");
+    const json::Value &frames =
+        *doc.find("shared")->find("frames");
+    ASSERT_GT(frames.size(), 0u);
+    const json::Value &profile = doc.find("profiles")->at(0);
+    EXPECT_EQ(profile.find("type")->str(), "sampled");
+    const json::Value &stacks = *profile.find("samples");
+    const json::Value &weights = *profile.find("weights");
+    ASSERT_EQ(stacks.size(), weights.size());
+    uint64_t weightSum = 0;
+    for (size_t i = 0; i < weights.size(); ++i)
+        weightSum += weights.at(i).u64();
+    EXPECT_EQ(weightSum, profile.find("endValue")->u64());
+    // Every frame index must be in range.
+    for (size_t i = 0; i < stacks.size(); ++i)
+        for (size_t j = 0; j < stacks.at(i).size(); ++j)
+            EXPECT_LT(stacks.at(i).at(j).u64(), frames.size());
+}
+
+TEST(Prof, RequestTagSlicing)
+{
+    prof::Options opts;
+    opts.hz = 997;
+    ASSERT_TRUE(prof::start(opts));
+    prof::setRequestTag(42);
+    profTestPhaseA(250.0);
+    prof::setRequestTag(0);
+    prof::stop();
+
+    std::ostringstream os;
+    prof::writeProfileJson(os);
+    json::Value doc;
+    json::ParseError err;
+    ASSERT_TRUE(json::parse(os.str(), doc, err)) << err.message;
+    EXPECT_FALSE(doc.find("armed")->boolean()); // stopped above
+    const json::Value *reqs = doc.find("requests");
+    ASSERT_NE(reqs, nullptr);
+    const json::Value *tagged = reqs->find("42");
+    ASSERT_NE(tagged, nullptr) << os.str().substr(0, 400);
+    EXPECT_GT(tagged->find("samples")->u64(), 0u);
+    ASSERT_GT(tagged->find("stacks")->members().size(), 0u);
+}
+
+TEST(Prof, DiscoversThreadsStartedAfterArming)
+{
+    prof::Options opts;
+    opts.hz = 997;
+    ASSERT_TRUE(prof::start(opts));
+    // The watcher rescans /proc/self/task every ~100 ms; half a
+    // second of spinning leaves plenty of sampled windows. Main
+    // blocks in join() burning no CPU, so key on the worker's actual
+    // tid rather than comparing against whoever sampled first.
+    std::atomic<uint32_t> workerTid{0};
+    std::thread worker([&workerTid] {
+        workerTid = static_cast<uint32_t>(syscall(SYS_gettid));
+        burnCpu(500.0);
+    });
+    worker.join();
+    prof::stop();
+
+    size_t fromWorker = 0;
+    for (const prof::Sample &s : prof::snapshotSamples())
+        fromWorker += s.tid == workerTid.load();
+    EXPECT_GE(fromWorker, 10u)
+        << "no samples from the late-started worker thread";
+}
+
+TEST(Prof, DumpToFilesWritesBothArtifacts)
+{
+    prof::Options opts;
+    opts.hz = 997;
+    ASSERT_TRUE(prof::start(opts));
+    profTestPhaseA(120.0);
+    prof::stop();
+
+    prof::DumpInfo info = prof::dumpToFiles("prof_test");
+    ASSERT_FALSE(info.collapsedPath.empty());
+    ASSERT_FALSE(info.speedscopePath.empty());
+    EXPECT_GT(info.samples, 0u);
+    std::ifstream collapsed(info.collapsedPath);
+    ASSERT_TRUE(collapsed.good());
+    std::string first;
+    ASSERT_TRUE(static_cast<bool>(std::getline(collapsed, first)));
+    EXPECT_EQ(first.rfind("span:", 0), 0u);
+    std::ifstream speedscope(info.speedscopePath);
+    ASSERT_TRUE(speedscope.good());
+    std::remove(info.collapsedPath.c_str());
+    std::remove(info.speedscopePath.c_str());
+}

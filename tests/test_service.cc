@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/json_reader.hh"
+#include "prof/prof.hh"
 #include "service/engine.hh"
 #include "service/request.hh"
 #include "tracing/tracing.hh"
@@ -566,4 +567,123 @@ TEST(ServiceEngine, RequestIdsProduceCorrelatedAsyncSpans)
     }
     EXPECT_EQ(queuePairs, 2);
     EXPECT_EQ(execPairs, 2);
+}
+
+TEST(ServiceRequest, ProfileIsAControlKind)
+{
+    ServiceRequest req = mustParse("{\"kind\":\"profile\"}");
+    EXPECT_EQ(ServiceRequest::Kind::Profile, req.kind);
+    EXPECT_TRUE(req.control());
+    EXPECT_FALSE(req.batchable());
+    EXPECT_STREQ("profile", req.kindName());
+    mustFail("{\"kind\":\"profile\",\"scene\":\"quad\"}",
+             RequestError::Code::BadRequest);
+}
+
+TEST(ServiceEngine, MetricsExposeTracingAndTraceStoreSeries)
+{
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.batchWindowMs = 0;
+    ServiceEngine engine(store, opts);
+    engine.submit(sweepBody(
+                      "ts", "\"configs\":[{\"size\":1024,\"line\":32}]"))
+        .get();
+
+    std::string text = engine.submit("{\"kind\":\"metrics\"}").get();
+    // Every per-category trace-ring counter pair is a series, armed
+    // or not (zero when tracing is off - scrapers need stable names).
+    for (const char *cat : {"spans", "misses", "texels", "fetches"}) {
+        std::string base =
+            std::string("texcache_service_tracing_") + cat;
+        EXPECT_NE(std::string::npos,
+                  text.find("# TYPE " + base + "_recorded_events "
+                            "counter"))
+            << base;
+        EXPECT_NE(std::string::npos,
+                  text.find(base + "_dropped_events "))
+            << base;
+    }
+    // The sweep above forced one quad render through the trace store.
+    EXPECT_NE(std::string::npos,
+              text.find("# TYPE texcache_service_trace_store_renders "
+                        "counter"));
+    EXPECT_NE(std::string::npos,
+              text.find("texcache_service_trace_store_renders 1"));
+    EXPECT_NE(std::string::npos,
+              text.find("texcache_service_trace_store_disk_hits 0"));
+    EXPECT_NE(std::string::npos,
+              text.find("# TYPE texcache_service_trace_store_render_"
+                        "wall_ms gauge"));
+}
+
+TEST(ServiceEngine, ProfileControlServesPerRequestProfiles)
+{
+    // Arm the profiler, push real sweep traffic through the engine,
+    // and expect the "profile" control response to slice samples per
+    // request tag. The effective sample rate is kernel-clamped, so
+    // keep submitting work until some request got sampled (bounded).
+    prof::Options popts;
+    popts.hz = 997;
+    ASSERT_TRUE(prof::start(popts));
+
+    TraceStore store;
+    ServiceEngine::Options opts;
+    opts.batchWindowMs = 0;
+    ServiceEngine engine(store, opts);
+    const std::string body = sweepBody(
+        "pr", "\"sweep\":{\"sizes\":[1024,2048,4096,8192,16384],"
+              "\"lines\":[16,32,64],\"assocs\":[0,2,4]}");
+
+    json::Value doc;
+    json::ParseError jerr;
+    bool tagged = false;
+    for (int round = 0; round < 20 && !tagged; ++round) {
+        engine.submit(body).get();
+        std::string resp =
+            engine.submit("{\"kind\":\"profile\"}").get();
+        ASSERT_TRUE(json::parse(resp, doc, jerr)) << jerr.message;
+        EXPECT_EQ("ok", doc.find("status")->str());
+        EXPECT_EQ("profile", doc.find("kind")->str());
+        const json::Value *prof = doc.find("profile");
+        ASSERT_NE(nullptr, prof);
+        EXPECT_TRUE(prof->find("armed")->boolean());
+        const json::Value *reqs = prof->find("requests");
+        ASSERT_NE(nullptr, reqs);
+        for (const auto &kv : reqs->members()) {
+            if (kv.first == "0")
+                continue; // untagged (engine plumbing, idle threads)
+            tagged = true;
+            EXPECT_GT(kv.second.find("samples")->u64(), 0u);
+            ASSERT_GT(kv.second.find("stacks")->members().size(), 0u);
+            // Stacks are span-rooted collapsed lines with the span
+            // names the sweep runs under.
+            const auto &stacks = kv.second.find("stacks")->members();
+            EXPECT_EQ(0u, stacks.begin()->first.rfind("span:", 0))
+                << stacks.begin()->first;
+        }
+    }
+    prof::stop();
+    EXPECT_TRUE(tagged)
+        << "no engine request was ever sampled under its tag";
+}
+
+TEST(ServiceEngine, ResponsesByteIdenticalWhileProfilerArmed)
+{
+    // The profiler must be a pure observer: responses under SIGPROF
+    // interruption are byte-identical to the direct unprofiled path.
+    const std::string body = sweepBody(
+        "armed-rep", "\"sweep\":{\"sizes\":[1024,2048,4096],"
+                     "\"lines\":[32],\"assocs\":[0,2]}");
+    TraceStore ref;
+    std::string direct = runServiceRequest(ref, mustParse(body));
+
+    prof::Options popts;
+    popts.hz = 997;
+    ASSERT_TRUE(prof::start(popts));
+    TraceStore store;
+    ServiceEngine engine(store, ServiceEngine::Options{});
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(direct, engine.submit(body).get()) << i;
+    prof::stop();
 }

@@ -461,6 +461,71 @@ TEST(StatsSnapshot, RingEvictsOldestAndDumpsValidJson)
     EXPECT_DOUBLE_EQ(delta->find("n")->number(), 1.0);
 }
 
+TEST(StatsSnapshot, RingWraparoundKeepsDeltasAndReportsWindow)
+{
+    // Push far past capacity with a recognizable increment per step
+    // (push i adds i, so n = i*(i+1)/2 after push i): every retained
+    // delta must match its own step even after the ring has wrapped
+    // several times over.
+    stats::Group root;
+    stats::Scalar &n = root.scalar("n", "");
+    stats::SnapshotRing ring(4);
+    for (int i = 1; i <= 11; ++i) {
+        n += i;
+        stats::Snapshot s = stats::Snapshot::capture(root);
+        s.unixMs = i;
+        ring.push(std::move(s));
+    }
+    ASSERT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.pushed(), 11u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ring.at(i).unixMs, int64_t(8 + i)) << i;
+    // In-memory deltas across the wrapped window: push k added k.
+    for (size_t i = 1; i < 4; ++i) {
+        stats::Snapshot d = ring.at(i).deltaFrom(ring.at(i - 1));
+        EXPECT_DOUBLE_EQ(d.value("n"), double(8 + i)) << i;
+    }
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*pretty=*/false);
+        ring.writeJson(w);
+    }
+    json::Value v;
+    json::ParseError err;
+    ASSERT_TRUE(json::parse(os.str(), v, err)) << err.message;
+    // The dump reports the true retained window, not just capacity.
+    EXPECT_DOUBLE_EQ(v.find("pushed")->number(), 11.0);
+    EXPECT_DOUBLE_EQ(v.find("retained")->number(), 4.0);
+    EXPECT_DOUBLE_EQ(v.find("evicted")->number(), 7.0);
+    const json::Value *snaps = v.find("snapshots");
+    ASSERT_NE(snaps, nullptr);
+    ASSERT_EQ(snaps->size(), 4u);
+    // The oldest retained snapshot has no delta (its predecessor was
+    // evicted); every later one deltas against its true neighbour.
+    EXPECT_EQ(snaps->at(0).find("delta"), nullptr);
+    for (size_t i = 1; i < 4; ++i) {
+        const json::Value *d = snaps->at(i).find("delta");
+        ASSERT_NE(d, nullptr) << i;
+        EXPECT_DOUBLE_EQ(d->find("n")->number(), double(8 + i)) << i;
+        EXPECT_DOUBLE_EQ(snaps->at(i).find("t_unix_ms")->number(),
+                         double(8 + i))
+            << i;
+    }
+
+    // A partially filled ring reports zero evictions.
+    stats::SnapshotRing fresh(8);
+    fresh.push(stats::Snapshot::capture(root));
+    std::ostringstream os2;
+    {
+        JsonWriter w(os2, /*pretty=*/false);
+        fresh.writeJson(w);
+    }
+    ASSERT_TRUE(json::parse(os2.str(), v, err)) << err.message;
+    EXPECT_DOUBLE_EQ(v.find("retained")->number(), 1.0);
+    EXPECT_DOUBLE_EQ(v.find("evicted")->number(), 0.0);
+}
+
 TEST(StatsPrometheus, MetricNameMangling)
 {
     EXPECT_EQ(stats::promMetricName("svc.latency_us"),

@@ -27,10 +27,19 @@ That is the gate for deterministic-mode manifests, e.g. a texcached
 response saved next to the equivalent direct batch-CLI run; it exits
 1 listing the first differing paths.
 
+--diff renders a hierarchical metric-delta report instead of gating:
+every numeric leaf of both manifests (metrics values, the stats tree,
+wall_ms, host and perf blocks, ...) is flattened to its dotted path
+and the two values are printed with absolute and percent deltas,
+sorted by percent magnitude, largest first. --top N bounds the rows
+(default 40). Reporting only: --diff always exits 0 on well-formed
+input.
+
 Usage:
   tools/check_bench.py BASELINE FRESH [--tolerance T]
                        [--metric NAME=TOL]... [--quiet]
   tools/check_bench.py MANIFEST --against OTHER
+  tools/check_bench.py A --diff B [--top N]
   tools/check_bench.py MANIFEST --list-metrics
 """
 
@@ -174,6 +183,67 @@ def compare_against(path_a, path_b):
     return 0
 
 
+def numeric_leaves(doc, path, out):
+    """Flatten every numeric leaf into {dotted.path: float}."""
+    if isinstance(doc, bool):
+        return  # bool is an int subclass; deltas are meaningless
+    if isinstance(doc, (int, float)):
+        out[path or "(root)"] = float(doc)
+    elif isinstance(doc, dict):
+        for key in doc:
+            numeric_leaves(doc[key], f"{path}.{key}" if path else key,
+                           out)
+    elif isinstance(doc, list):
+        for i, item in enumerate(doc):
+            numeric_leaves(item, f"{path}[{i}]", out)
+
+
+def diff_report(path_a, path_b, top):
+    """Hierarchical numeric delta report between two manifests."""
+    doc_a = load_manifest(path_a)
+    doc_b = load_manifest(path_b)
+    a, b = {}, {}
+    numeric_leaves(doc_a, "", a)
+    numeric_leaves(doc_b, "", b)
+
+    rows = []
+    for name in sorted(set(a) & set(b)):
+        va, vb = a[name], b[name]
+        delta = vb - va
+        if va:
+            pct = delta / abs(va)
+        else:
+            pct = 0.0 if delta == 0 else float("inf")
+        rows.append((name, va, vb, delta, pct))
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+
+    # Largest percent movement first; ties (and both-zero rows) by
+    # absolute movement so structural noise sinks to the bottom.
+    rows.sort(key=lambda r: (-abs(r[4]), -abs(r[3]), r[0]))
+    changed = sum(1 for r in rows if r[3] != 0.0)
+    print(f"check_bench: diff {path_a} -> {path_b}: "
+          f"{len(rows)} shared numeric leaves, {changed} changed")
+    width = max((len(r[0]) for r in rows[:top]), default=0)
+    for name, va, vb, delta, pct in rows[:top]:
+        if delta == 0.0:
+            print(f"  {name:<{width}}  {va:g} (unchanged)")
+            continue
+        pct_s = "new" if pct == float("inf") else f"{pct:+.1%}"
+        print(f"  {name:<{width}}  {va:g} -> {vb:g}  "
+              f"({delta:+g}, {pct_s})")
+    if len(rows) > top:
+        print(f"  ... {len(rows) - top} more rows "
+              f"(raise --top to see them)")
+    for label, only in ((path_a, only_a), (path_b, only_b)):
+        for name in only[:top]:
+            print(f"  {name}: only in {label}")
+        if len(only) > top:
+            print(f"  ... {len(only) - top} more leaves only in "
+                  f"{label}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Compare a fresh bench run manifest against a "
@@ -185,6 +255,14 @@ def main():
                     help="compare the first manifest structurally "
                          "against OTHER (every JSON path must match "
                          "exactly) and exit")
+    ap.add_argument("--diff", default=None, metavar="OTHER",
+                    help="print a numeric delta report (absolute and "
+                         "percent, sorted by percent magnitude) "
+                         "between the first manifest and OTHER, then "
+                         "exit 0; no gating")
+    ap.add_argument("--top", type=int, default=40, metavar="N",
+                    help="rows to show in the --diff report "
+                         "(default 40)")
     ap.add_argument("--list-metrics", action="store_true",
                     help="list the first manifest's metrics (name, "
                          "value, direction, tolerance) and exit")
@@ -210,6 +288,10 @@ def main():
 
     if args.against is not None:
         return compare_against(args.baseline, args.against)
+    if args.diff is not None:
+        if args.top < 1:
+            ap.error("--top must be at least 1")
+        return diff_report(args.baseline, args.diff, args.top)
     base_doc = load_manifest(args.baseline)
     if args.list_metrics:
         list_metrics(base_doc)

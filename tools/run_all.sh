@@ -1,7 +1,16 @@
 #!/bin/sh
 # Regenerate every figure/table of the reproduction into results/.
-# Usage: tools/run_all.sh [--fail-fast] [--service] [build_dir] [out_dir]
+# Usage: tools/run_all.sh [--fail-fast] [--service] [--profile]
+#                         [build_dir] [out_dir]
 # Set TEXCACHE_CSV=1 for machine-readable output.
+#
+# With --profile, every bench runs with the in-process sampling
+# profiler armed (TEXCACHE_PROF_HZ, default 97 Hz - a prime, so the
+# sampler does not beat against periodic work). Each bench then dumps
+# PROF_<bench>.collapsed / PROF_<bench>.speedscope.json into $OUT;
+# the merged run_manifest.json rows carry the paths, and (with
+# python3) a self-contained FLAME_<bench>.html flamegraph is rendered
+# next to each dump via tools/texcache_flame.py.
 #
 # With --service, the run additionally starts the texcached daemon on
 # a socket under $OUT, drives it with texcached_load (8 clients, 1000
@@ -30,6 +39,7 @@
 set -u
 FAIL_FAST=0
 SERVICE=0
+PROFILE=0
 while :; do
     case "${1:-}" in
         --fail-fast)
@@ -40,9 +50,13 @@ while :; do
             SERVICE=1
             shift
             ;;
+        --profile)
+            PROFILE=1
+            shift
+            ;;
         --*)
             echo "usage: tools/run_all.sh [--fail-fast] [--service]" \
-                 "[build_dir] [out_dir]" >&2
+                 "[--profile] [build_dir] [out_dir]" >&2
             exit 2
             ;;
         *)
@@ -52,6 +66,11 @@ while :; do
 done
 BUILD="${1:-build}"
 OUT="${2:-results}"
+TOOLS_DIR=$(dirname "$0")
+if [ "$PROFILE" = 1 ]; then
+    TEXCACHE_PROF_HZ="${TEXCACHE_PROF_HZ:-97}"
+    export TEXCACHE_PROF_HZ
+fi
 mkdir -p "$OUT"
 TEXCACHE_TRACE_CACHE_DIR="${TEXCACHE_TRACE_CACHE_DIR:-$OUT/trace-cache}"
 export TEXCACHE_TRACE_CACHE_DIR
@@ -117,8 +136,34 @@ if seen:
             split_json=", \"threads\": $1, \"simd_isa\": \"$4\", \"trace_gen_ms\": $2, \"sim_ms\": $3, \"peak_rss_bytes\": $5"
         fi
     fi
+    # --profile: attribute this bench's fresh profiler dumps, render
+    # an HTML flamegraph per dump, and thread the paths into the row.
+    prof_json=""
+    if [ "$PROFILE" = 1 ]; then
+        plist=""
+        for p in $(find "$OUT" -maxdepth 1 -name 'PROF_*.collapsed' \
+                       -newer "$OUT/.bench_marker" 2> /dev/null); do
+            [ -s "$p" ] || continue
+            flame=""
+            if [ "$HAVE_PY" = 1 ]; then
+                flame="$OUT/FLAME_$(basename "$p" .collapsed |
+                    sed 's/^PROF_//').html"
+                python3 "$TOOLS_DIR/texcache_flame.py" "$p" \
+                    --out "$flame" 2>> "$OUT/$name.err" || flame=""
+            fi
+            entry="{\"collapsed\": \"$p\""
+            [ -n "$flame" ] && entry="$entry, \"flamegraph\": \"$flame\""
+            entry="$entry}"
+            if [ -n "$plist" ]; then
+                plist="$plist, $entry"
+            else
+                plist="$entry"
+            fi
+        done
+        [ -n "$plist" ] && prof_json=", \"profiles\": [$plist]"
+    fi
     echo "== $name ${elapsed}s (cumulative ${total}s) $status$split_txt"
-    row="    {\"bench\": \"$name\", \"status\": \"$status\", \"seconds\": $elapsed$split_json}"
+    row="    {\"bench\": \"$name\", \"status\": \"$status\", \"seconds\": $elapsed$split_json$prof_json}"
     if [ -n "$rows" ]; then
         rows="$rows,
 $row"

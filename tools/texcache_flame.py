@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""texcache_flame: fold a profiler dump into a flamegraph.
+
+Consumes either dump the in-process sampling profiler writes
+(src/prof): collapsed-stack text (``frame;frame;...;leaf count``
+lines, flamegraph.pl compatible) or a speedscope JSON profile. The
+format is sniffed from the content, not the file name.
+
+Two renderings, both dependency-free:
+
+  - a self-contained HTML flamegraph (inline SVG + a few lines of
+    JavaScript for hover details and click-to-zoom) written to
+    --out or stdout;
+  - ``--text``: an indented tree with sample counts, percentages and
+    bar sketches, for terminals and CI logs.
+
+Stdlib only, like every tool in this directory - it must run in the
+same container the benches do.
+
+Usage:
+  texcache_flame.py PROF_cache_sim.collapsed --out flame.html
+  texcache_flame.py PROF_cache_sim.speedscope.json --text
+  texcache_flame.py PROF_x.collapsed --text --depth 6 --min-pct 1.0
+"""
+
+import argparse
+import html
+import json
+import sys
+
+
+def die(msg):
+    print(f"texcache_flame: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def parse_collapsed(text, path):
+    """[(frames tuple root-first, count)] from collapsed-stack text."""
+    stacks = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        head, sep, count = line.rpartition(" ")
+        if not sep:
+            die(f"{path}:{lineno}: no trailing count: {line!r}")
+        try:
+            n = int(count)
+        except ValueError:
+            die(f"{path}:{lineno}: count {count!r} is not an integer")
+        frames = tuple(f for f in head.split(";") if f)
+        if not frames:
+            die(f"{path}:{lineno}: empty stack")
+        stacks.append((frames, n))
+    return stacks
+
+
+def parse_speedscope(doc, path):
+    """Same shape from a speedscope 'sampled' profile document."""
+    try:
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        profile = doc["profiles"][0]
+        samples = profile["samples"]
+        weights = profile["weights"]
+    except (KeyError, IndexError, TypeError) as e:
+        die(f"{path}: not a speedscope profile ({e})")
+    if profile.get("type") != "sampled":
+        die(f"{path}: profile type {profile.get('type')!r} is not "
+            f"'sampled'")
+    if len(samples) != len(weights):
+        die(f"{path}: {len(samples)} stacks vs {len(weights)} weights")
+    stacks = []
+    for stack, weight in zip(samples, weights):
+        try:
+            stacks.append((tuple(frames[i] for i in stack),
+                           int(weight)))
+        except (IndexError, TypeError):
+            die(f"{path}: frame index out of range in {stack!r}")
+    return stacks
+
+
+def load_stacks(path):
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        die(f"cannot read {path}: {e}")
+    if text.lstrip().startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            die(f"{path}: starts like JSON but does not parse: {e}")
+        return parse_speedscope(doc, path)
+    return parse_collapsed(text, path)
+
+
+class Node:
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+        self.children = {}
+
+
+def build_tree(stacks):
+    """Merge stacks into a trie; node value = samples at-or-below."""
+    root = Node("all")
+    for frames, count in stacks:
+        root.value += count
+        node = root
+        for frame in frames:
+            node = node.children.setdefault(frame, Node(frame))
+            node.value += count
+    return root
+
+
+def render_text(root, out, max_depth, min_pct):
+    """Indented tree, heaviest child first."""
+    total = root.value or 1
+    bar_width = 24
+
+    def walk(node, depth):
+        pct = 100.0 * node.value / total
+        if pct < min_pct:
+            return
+        bar = "#" * max(1, round(bar_width * node.value / total))
+        out.write(f"{node.value:>9} {pct:6.2f}% |{bar:<{bar_width}}| "
+                  f"{'  ' * depth}{node.name}\n")
+        if depth >= max_depth:
+            return
+        for child in sorted(node.children.values(),
+                            key=lambda c: (-c.value, c.name)):
+            walk(child, depth + 1)
+
+    out.write(f"{'samples':>9} {'%':>7}\n")
+    walk(root, 0)
+
+
+# The page is one SVG built from the merged trie, widths proportional
+# to sample counts; the script swaps the x/width coordinate system on
+# click so any frame can be zoomed to full width (flamegraph.pl's
+# behaviour, minus the external dependency).
+HTML_PAGE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>
+ body {{ font: 13px sans-serif; margin: 12px; }}
+ #info {{ height: 2em; color: #333; }}
+ svg {{ width: 100%; }}
+ rect {{ stroke: white; stroke-width: 0.5; cursor: pointer; }}
+ rect:hover {{ stroke: black; }}
+ text {{ pointer-events: none; font: 11px monospace; fill: #111; }}
+</style></head><body>
+<h3>{title}</h3>
+<div id="info">hover a frame; click to zoom, click the base to
+reset</div>
+<svg id="fg" viewBox="0 0 1200 {height}"
+     xmlns="http://www.w3.org/2000/svg"></svg>
+<script>
+const FRAMES = {frames_json};
+const TOTAL = {total};
+const ROW = 18, W = 1200;
+const svg = document.getElementById("fg");
+const info = document.getElementById("info");
+const palette = v => {{
+  // deterministic warm color per name hash
+  let h = 0;
+  for (const ch of v) h = (h * 31 + ch.charCodeAt(0)) >>> 0;
+  return `hsl(${{20 + h % 40}}, ${{70 + h % 25}}%, ${{52 + h % 16}}%)`;
+}};
+let zoom = 0; // index into FRAMES of the zoom root
+function draw() {{
+  svg.textContent = "";
+  const zf = FRAMES[zoom];
+  const scale = W / zf.v;
+  for (const f of FRAMES) {{
+    // visible iff inside the zoomed subtree or an ancestor of it
+    const inside = f.x >= zf.x && f.x + f.v <= zf.x + zf.v;
+    const anc = zf.x >= f.x && zf.x + zf.v <= f.x + f.v;
+    if (!inside && !anc) continue;
+    const x = inside ? (f.x - zf.x) * scale : 0;
+    const w = inside ? f.v * scale : W;
+    if (w < 0.3) continue;
+    const y = f.d * ROW;
+    const r = document.createElementNS(svg.namespaceURI, "rect");
+    r.setAttribute("x", x); r.setAttribute("y", y);
+    r.setAttribute("width", w); r.setAttribute("height", ROW - 1);
+    r.setAttribute("fill", anc && !inside ? "#ccc" : palette(f.n));
+    const pct = (100 * f.v / TOTAL).toFixed(2);
+    r.addEventListener("mouseenter", () =>
+      info.textContent = `${{f.n}} - ${{f.v}} samples (${{pct}}%)`);
+    r.addEventListener("click", () =>
+      {{ zoom = f.i; draw(); }});
+    svg.appendChild(r);
+    if (w > 30) {{
+      const t = document.createElementNS(svg.namespaceURI, "text");
+      t.setAttribute("x", x + 3); t.setAttribute("y", y + ROW - 6);
+      const chars = Math.floor((w - 6) / 6.5);
+      t.textContent = f.n.length > chars
+        ? f.n.slice(0, Math.max(0, chars - 2)) + ".." : f.n;
+      svg.appendChild(t);
+    }}
+  }}
+}}
+draw();
+</script></body></html>
+"""
+
+
+def render_html(root, out, title):
+    """Flatten the trie to [{i, n(ame), v(alue), x, d(epth)}]."""
+    frames = []
+
+    def walk(node, x, depth):
+        idx = len(frames)
+        frames.append({"i": idx, "n": node.name, "v": node.value,
+                       "x": x, "d": depth})
+        for child in sorted(node.children.values(),
+                            key=lambda c: (-c.value, c.name)):
+            walk(child, x, depth + 1)
+            x += child.value
+
+    walk(root, 0, 0)
+    depth = max(f["d"] for f in frames) + 1
+    out.write(HTML_PAGE.format(
+        title=html.escape(title),
+        height=depth * 18,
+        total=root.value,
+        frames_json=json.dumps(frames)))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input",
+                    help="PROF_*.collapsed or PROF_*.speedscope.json")
+    ap.add_argument("--out", default=None,
+                    help="output path (default: stdout)")
+    ap.add_argument("--text", action="store_true",
+                    help="render an indented text tree instead of "
+                         "HTML")
+    ap.add_argument("--title", default=None,
+                    help="HTML page title (default: input file name)")
+    ap.add_argument("--depth", type=int, default=1000,
+                    help="--text: deepest level to print")
+    ap.add_argument("--min-pct", type=float, default=0.0,
+                    help="--text: hide subtrees below this percent "
+                         "of total samples")
+    args = ap.parse_args()
+
+    stacks = load_stacks(args.input)
+    if not stacks:
+        die(f"{args.input}: no stacks")
+    root = build_tree(stacks)
+
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        if args.text:
+            render_text(root, out, args.depth, args.min_pct)
+        else:
+            render_html(root, out, args.title or args.input)
+    finally:
+        if args.out:
+            out.close()
+            print(f"texcache_flame: wrote {args.out} "
+                  f"({root.value} samples)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
