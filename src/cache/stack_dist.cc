@@ -106,6 +106,8 @@ StackDistProfiler::access(Addr addr)
     uint64_t *slot = lastTime_.find(line);
     if (!slot) {
         ++cold_;
+        if (firstTouchLog_)
+            firstTouchLog_->push_back(line);
         lastTime_.insert(line, now_);
     } else {
         uint64_t prev = *slot;
@@ -134,6 +136,38 @@ StackDistProfiler::access(Addr addr)
         top_[i] = top_[i - 1];
     top_[0] = {line, now_};
     ++now_;
+}
+
+std::vector<uint64_t>
+StackDistProfiler::stackOrder() const
+{
+    // Top-array lines own the newest timestamps, but their map entries
+    // may be stale (fast-path rotations never write the map back), so
+    // they are excluded from the timestamp sort and appended by array
+    // position: top_[topSize_-1] is the (topSize_)-th newest, top_[0]
+    // the MRU.
+    auto inTop = [&](uint64_t line) {
+        for (size_t i = 0; i < topSize_; ++i)
+            if (top_[i].line == line)
+                return true;
+        return false;
+    };
+
+    std::vector<std::pair<uint64_t, uint64_t>> rest; // (time, line)
+    rest.reserve(lastTime_.size());
+    lastTime_.forEach([&](uint64_t line, uint64_t t) {
+        if (!inTop(line))
+            rest.emplace_back(t, line);
+    });
+    std::sort(rest.begin(), rest.end());
+
+    std::vector<uint64_t> order;
+    order.reserve(rest.size() + topSize_);
+    for (const auto &[t, line] : rest)
+        order.push_back(line);
+    for (size_t i = topSize_; i > 0; --i)
+        order.push_back(top_[i - 1].line);
+    return order;
 }
 
 uint64_t

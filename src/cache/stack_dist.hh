@@ -62,6 +62,27 @@ class StackDistProfiler
      *  (d >= 1; index 0 unused). */
     const std::vector<uint64_t> &histogram() const { return hist_; }
 
+    /**
+     * Record every cold (first-touch) line address into @p log, in
+     * touch order. The sharded profiler (cache/shard_sim.hh) replays
+     * exactly these accesses against a global LRU-stack oracle to
+     * reconcile per-segment passes into the exact whole-trace
+     * histogram. Pass nullptr to stop logging; @p log must outlive
+     * the accesses recorded while set.
+     */
+    void setFirstTouchLog(std::vector<uint64_t> *log)
+    {
+        firstTouchLog_ = log;
+    }
+
+    /**
+     * Every distinct line seen, ordered by last access (LRU first,
+     * MRU last) - the profiler's LRU stack at this instant. Used by
+     * segment reconciliation to re-establish the true global recency
+     * order after a segment's pass merges (see shard_sim.cc).
+     */
+    std::vector<uint64_t> stackOrder() const;
+
   private:
     void compact();
     void fenwickAdd(size_t pos, int delta);
@@ -91,6 +112,8 @@ class StackDistProfiler
     static constexpr size_t kTopK = 8;
     TopEntry top_[kTopK];
     size_t topSize_ = 0;
+
+    std::vector<uint64_t> *firstTouchLog_ = nullptr;
 
     LineMap lastTime_; ///< line -> last access timestamp
     std::vector<uint64_t> tree_; ///< Fenwick over timestamps

@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,7 @@
 #include <map>
 
 #include "perf/perf_counters.hh"
+#include "trace/chunked_trace.hh"
 #include "trace/trace_io.hh"
 
 namespace texcache {
@@ -79,13 +81,14 @@ SceneSpec::build() const
                 : makeScene(bench);
 }
 
+namespace {
+
+/** Shared trace-cache naming: <dir>/<scene>-<order>-<stamp><ext>. */
 std::string
-traceCachePath(const SceneSpec &s, const RasterOrder &order,
-               uint64_t revision)
+cacheEntryPath(const SceneSpec &s, const RasterOrder &order,
+               const std::string &dir, uint64_t revision,
+               const char *ext)
 {
-    const char *dir = std::getenv("TEXCACHE_TRACE_CACHE_DIR");
-    if (!dir || !*dir)
-        return "";
     // Key material: build stamp, record schema, render-path revision.
     // The revision keeps traces from an older execution model (e.g.
     // the serial-only renderer) from masking a trace-generation bug in
@@ -97,8 +100,118 @@ traceCachePath(const SceneSpec &s, const RasterOrder &order,
     char hex[17];
     std::snprintf(hex, sizeof(hex), "%016llx",
                   static_cast<unsigned long long>(h));
-    return std::string(dir) + "/" + s.key() + "-" + order.str() + "-" +
-           hex + ".trace";
+    return dir + "/" + s.key() + "-" + order.str() + "-" + hex + ext;
+}
+
+/** @p dir, or TEXCACHE_TRACE_CACHE_DIR, or "". */
+std::string
+cacheDirOrEnv(const std::string &dir)
+{
+    if (!dir.empty())
+        return dir;
+    const char *env = std::getenv("TEXCACHE_TRACE_CACHE_DIR");
+    return env && *env ? env : "";
+}
+
+} // namespace
+
+std::string
+traceCachePath(const SceneSpec &s, const RasterOrder &order,
+               uint64_t revision)
+{
+    std::string dir = cacheDirOrEnv("");
+    if (dir.empty())
+        return "";
+    return cacheEntryPath(s, order, dir, revision, ".trace");
+}
+
+std::string
+chunkedTracePath(const SceneSpec &s, const RasterOrder &order,
+                 const std::string &dir, uint64_t revision)
+{
+    std::string d = cacheDirOrEnv(dir);
+    if (d.empty())
+        return "";
+    return cacheEntryPath(s, order, d, revision, ".ctrace");
+}
+
+uint64_t
+traceCacheCapBytes()
+{
+    const char *env = std::getenv("TEXCACHE_TRACE_CACHE_CAP");
+    if (!env || !*env)
+        return 0;
+    char *rest = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(env, &rest, 10);
+    uint64_t mult = 1;
+    if (rest != env && *rest) {
+        switch (*rest) {
+          case 'k': case 'K': mult = 1ull << 10; ++rest; break;
+          case 'm': case 'M': mult = 1ull << 20; ++rest; break;
+          case 'g': case 'G': mult = 1ull << 30; ++rest; break;
+          default: break;
+        }
+    }
+    fatal_if(rest == env || *rest || errno == ERANGE,
+             "TEXCACHE_TRACE_CACHE_CAP='", env,
+             "' is not a byte count (expected digits with optional "
+             "K/M/G suffix)");
+    return v * mult;
+}
+
+uint64_t
+pruneTraceCache(const std::string &dir, uint64_t cap_bytes,
+                const std::string &keep)
+{
+    namespace fs = std::filesystem;
+    if (!cap_bytes || dir.empty())
+        return 0;
+
+    struct Entry
+    {
+        fs::path path;
+        uint64_t bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        std::string ext = de.path().extension().string();
+        if (ext != ".trace" && ext != ".ctrace" && ext != ".tmp")
+            continue;
+        uint64_t bytes = de.file_size(ec);
+        if (ec)
+            continue;
+        total += bytes;
+        entries.push_back({de.path(), bytes,
+                           fs::last_write_time(de.path(), ec)});
+    }
+    if (total <= cap_bytes)
+        return 0;
+
+    // LRU by mtime: evict the least recently written first.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    uint64_t pruned = 0;
+    for (const Entry &e : entries) {
+        if (total <= cap_bytes)
+            break;
+        if (!keep.empty() && fs::path(keep) == e.path)
+            continue;
+        if (!fs::remove(e.path, ec))
+            continue;
+        total -= e.bytes;
+        pruned += e.bytes;
+        inform("trace cache: pruned ", e.path.string(), " (", e.bytes,
+               " bytes) to meet cap ", cap_bytes);
+    }
+    return pruned;
 }
 
 const Scene &
@@ -135,8 +248,12 @@ TraceStore::output(const SceneSpec &s, const RasterOrder &order)
             std::memory_order_relaxed);
         renders_.fetch_add(1, std::memory_order_relaxed);
         std::string path = traceCachePath(s, order);
-        if (!path.empty() && !std::filesystem::exists(path))
+        if (!path.empty() && !std::filesystem::exists(path)) {
             writeTraceCache(it->second.trace, path);
+            pruneTraceCache(
+                std::filesystem::path(path).parent_path().string(),
+                traceCacheCapBytes(), path);
+        }
     }
     return it->second;
 }
@@ -157,6 +274,65 @@ TraceStore::trace(const SceneSpec &s, const RasterOrder &order)
         return it->second;
     }
     return output(s, order).trace;
+}
+
+std::string
+TraceStore::spillTrace(const SceneSpec &s, const RasterOrder &order,
+                       const std::string &dir)
+{
+    std::string path = chunkedTracePath(s, order, dir);
+    fatal_if(path.empty(),
+             "spillTrace needs a cache directory (argument or "
+             "TEXCACHE_TRACE_CACHE_DIR)");
+
+    if (std::filesystem::exists(path)) {
+        ChunkedTraceFile f;
+        TraceFileError err;
+        if (f.open(path, err)) {
+            inform("chunked trace cache hit: ", path);
+            diskHits_.fetch_add(1, std::memory_order_relaxed);
+            // The cap holds in the all-hits steady state too (the
+            // cap may have been lowered since the file was written).
+            pruneTraceCache(
+                std::filesystem::path(path).parent_path().string(),
+                traceCacheCapBytes(), path);
+            return path;
+        }
+        // A torn writer run (crash before finalize) or foreign bytes
+        // under our name: re-render over it.
+        inform("chunked trace ", path, " rejected (", err.str(),
+               "); re-rendering");
+    }
+
+    const Scene &sc = scene(s);
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    std::string tmp = path + ".tmp";
+    inform("rendering ", s.key(), " (", order.str(),
+           ") streamed to ", path);
+    auto t0 = std::chrono::steady_clock::now();
+    {
+        ChunkedTraceWriter writer(tmp);
+        RenderOptions opts;
+        opts.writeFramebuffer = false;
+        opts.countRepetition = false;
+        opts.traceSink = &writer;
+        render(sc, order, opts);
+        writer.finalize();
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    renderMillis_.store(
+        renderMillis_.load(std::memory_order_relaxed) + ms,
+        std::memory_order_relaxed);
+    renders_.fetch_add(1, std::memory_order_relaxed);
+    fatal_if(std::rename(tmp.c_str(), path.c_str()) != 0,
+             "cannot move ", tmp, " into place");
+    pruneTraceCache(std::filesystem::path(path).parent_path().string(),
+                    traceCacheCapBytes(), path);
+    return path;
 }
 
 StackDistProfiler

@@ -88,6 +88,20 @@ class TraceStore
     /** The texel trace only - served from the disk cache if possible. */
     const TexelTrace &trace(const SceneSpec &s, const RasterOrder &order);
 
+    /**
+     * Render (s, order) with the trace streamed straight to a chunked
+     * on-disk file - the trace is never materialized in memory, so
+     * arbitrarily large frames spill at bounded RSS. Returns the file
+     * path (chunkedTracePath under @p dir, or under
+     * TEXCACHE_TRACE_CACHE_DIR when @p dir is empty). A valid existing
+     * file is reused without rendering; a torn or stale-schema file is
+     * re-rendered in place. The cache directory is pruned to
+     * traceCacheCapBytes() afterwards, never evicting the returned
+     * file.
+     */
+    std::string spillTrace(const SceneSpec &s, const RasterOrder &order,
+                           const std::string &dir = "");
+
     /** Wall-clock spent in render() by this store (trace generation,
      *  as opposed to the simulation passes that replay the traces). */
     double
@@ -130,6 +144,32 @@ class TraceStore
  */
 std::string traceCachePath(const SceneSpec &s, const RasterOrder &order,
                            uint64_t revision = kRenderPathRevision);
+
+/**
+ * Cache file path for a *chunked* (streamable) trace of (scene,
+ * order): like traceCachePath but with the .ctrace extension, rooted
+ * at @p dir when non-empty, else at TEXCACHE_TRACE_CACHE_DIR ("" when
+ * neither is set).
+ */
+std::string chunkedTracePath(const SceneSpec &s, const RasterOrder &order,
+                             const std::string &dir = "",
+                             uint64_t revision = kRenderPathRevision);
+
+/**
+ * Size cap for the trace cache directory, from TEXCACHE_TRACE_CACHE_CAP
+ * (bytes, with optional K/M/G suffix); 0 = uncapped. Garbage values
+ * are a fatal() configuration error.
+ */
+uint64_t traceCacheCapBytes();
+
+/**
+ * Evict least-recently-modified trace files (.trace, .ctrace and
+ * leftover .tmp) from @p dir until its total size is at most
+ * @p cap_bytes; @p keep is never evicted. Every eviction is
+ * inform()ed. Returns the bytes removed. No-op when @p cap_bytes is 0.
+ */
+uint64_t pruneTraceCache(const std::string &dir, uint64_t cap_bytes,
+                         const std::string &keep = "");
 
 /** Replay a trace through a layout into a stack-distance profiler. */
 StackDistProfiler profileTrace(const TexelTrace &trace,

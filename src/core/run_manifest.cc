@@ -212,7 +212,8 @@ RunManifest::write(std::ostream &os, const stats::Group *root) const
         w.beginObject();
         w.kv("value", m.value);
         w.kv("direction", m.direction);
-        if (m.direction == "higher" || m.direction == "lower")
+        if (m.direction == "higher" || m.direction == "lower" ||
+            m.direction == "ceiling")
             w.kv("tolerance", m.tolerance);
         w.endObject();
     }

@@ -57,10 +57,14 @@ class RunManifest
     /**
      * Gated metric. @p direction tells tools/check_bench.py how to
      * compare a fresh value against the baseline's:
-     *   "higher" - regression when fresh < base * (1 - tolerance);
-     *   "lower"  - regression when fresh > base * (1 + tolerance);
-     *   "exact"  - any difference fails (determinism pins);
-     *   "report" - printed, never compared (machine-dependent).
+     *   "higher"  - regression when fresh < base * (1 - tolerance);
+     *   "lower"   - regression when fresh > base * (1 + tolerance);
+     *   "ceiling" - like "lower" but the baseline value is a hard
+     *               budget, not a noisy measurement: the default
+     *               tolerance is 0 instead of 0.15 (resource bounds,
+     *               e.g. peak RSS of a streamed replay);
+     *   "exact"   - any difference fails (determinism pins);
+     *   "report"  - printed, never compared (machine-dependent).
      */
     void metric(std::string name, double value,
                 std::string direction = "report",

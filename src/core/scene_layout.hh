@@ -87,6 +87,26 @@ class SceneLayout
         }
     }
 
+    /**
+     * Like mapRange() but over a span of packed records, as handed out
+     * by a TraceSource chunk - the streamed-replay path has no
+     * TexelTrace to index into.
+     */
+    void
+    mapPacked(const uint64_t *recs, size_t n,
+              std::vector<Addr> &out) const
+    {
+        out.clear();
+        Addr a[3];
+        for (size_t i = 0; i < n; ++i) {
+            TexelRecord r = TexelRecord::unpack(recs[i]);
+            const TextureLayout &lay = *layouts_[r.texture];
+            unsigned cnt = lay.addresses({r.level, r.u, r.v}, a);
+            for (unsigned k = 0; k < cnt; ++k)
+                out.push_back(a[k]);
+        }
+    }
+
     /** Span length (in records) the chunked replay loops use. */
     static constexpr size_t kMapChunk = 1 << 16;
 

@@ -81,7 +81,7 @@ renderReference(const Scene &scene, const RasterOrder &order,
     Mat4 mvp = scene.proj * scene.view;
 
     // Rough reservation: most fragments are trilinear (8 touches).
-    if (opts.captureTrace)
+    if (opts.captureTrace && !opts.traceSink)
         out.trace.reserve(static_cast<size_t>(scene.screenW) *
                           scene.screenH * 8);
 
@@ -163,8 +163,16 @@ renderReference(const Scene &scene, const RasterOrder &order,
                     else
                         ++out.stats.trilinearFragments;
 
-                    if (opts.captureTrace)
-                        out.trace.appendSample(tri.texture, s);
+                    if (opts.captureTrace) {
+                        if (opts.traceSink) {
+                            uint64_t rec[8];
+                            unsigned nr = packSampleRecords(
+                                tri.texture, s, rec);
+                            opts.traceSink->append(rec, nr);
+                        } else {
+                            out.trace.appendSample(tri.texture, s);
+                        }
+                    }
                     if (opts.onFragment)
                         opts.onFragment(frag, s, tri.texture);
 

@@ -116,6 +116,17 @@ enum class ParallelTiles : uint8_t
 struct RenderOptions
 {
     bool captureTrace = true;   ///< record the texel trace
+    /**
+     * When set (and captureTrace is on), captured records stream into
+     * this sink instead of materializing in RenderOutput::trace, which
+     * stays empty. The sink receives exactly the bytes the trace would
+     * have held, in the same order, on both render paths: the serial
+     * renderer streams per sample; the tile engine buffers per-tile
+     * segments (peak memory bounded by one frame's fragments) and
+     * drains them in canonical traversal order during the merge. The
+     * sink is invoked from the merge/serial thread only.
+     */
+    TraceSink *traceSink = nullptr;
     bool writeFramebuffer = true; ///< produce the color image
     bool countRepetition = true;  ///< feed the RepetitionCounter
     /** Serial-vs-tile-parallel execution policy (output-invariant). */

@@ -675,12 +675,15 @@ renderTiled(const Scene &scene, const RasterOrder &order,
             uint32_t beg = seg ? tr.segRecEnd[seg - 1] : 0;
             segDst[wi][seg] = dst;
             dst += tr.segRecEnd[seg] - beg;
+            if (opts.traceSink && tr.segRecEnd[seg] > beg)
+                opts.traceSink->append(tr.records.data() + beg,
+                                       tr.segRecEnd[seg] - beg);
             uint64_t frags = tr.segFrags[seg];
             out.stats.fragments += frags;
             triFrags[tasks[t].sceneTri] += frags;
         }
     }
-    if (opts.captureTrace && totalRecords) {
+    if (opts.captureTrace && totalRecords && !opts.traceSink) {
         out.trace.resizePacked(totalRecords);
         uint64_t *base = out.trace.mutablePacked();
         std::vector<uint32_t> copyWork(results.size());

@@ -1,0 +1,318 @@
+#include "trace/chunked_trace.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace texcache {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'E', 'X', 'C', 'H', 'K', '0', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kFlagFinalized = 1u << 0;
+constexpr uint64_t kHeaderBytes = 32;
+
+/** Bytes per mapping window; bounds RSS *and* address space (the
+ *  small-RAM smoke runs under ulimit -v), so windows are mapped and
+ *  unmapped as the cursor advances instead of mapping whole files. */
+constexpr uint64_t kWindowBytes = 16ull << 20;
+
+struct Header
+{
+    char magic[8];
+    uint32_t version;
+    uint32_t chunkRecords;
+    uint64_t records;
+    uint32_t flags;
+    uint32_t reserved;
+};
+static_assert(sizeof(Header) == kHeaderBytes, "header layout");
+
+Header
+makeHeader(uint32_t chunk_records, uint64_t records, uint32_t flags)
+{
+    Header h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.version = kVersion;
+    h.chunkRecords = chunk_records;
+    h.records = records;
+    h.flags = flags;
+    h.reserved = 0;
+    return h;
+}
+
+} // namespace
+
+std::string
+TraceFileError::str() const
+{
+    return "offset " + std::to_string(offset) + ": " + reason;
+}
+
+// ---- Writer --------------------------------------------------------
+
+ChunkedTraceWriter::ChunkedTraceWriter(const std::string &path,
+                                       uint32_t chunk_records)
+    : path_(path), chunkRecords_(chunk_records)
+{
+    fatal_if(!chunk_records || !isPowerOfTwo(chunk_records),
+             "chunk size ", chunk_records, " not a power of two");
+    file_ = std::fopen(path.c_str(), "wb");
+    fatal_if(!file_, "cannot open chunked trace '", path,
+             "' for writing: ", std::strerror(errno));
+    buf_.reserve(chunkRecords_);
+    Header h = makeHeader(chunkRecords_, 0, 0);
+    fatal_if(std::fwrite(&h, sizeof(h), 1, file_) != 1,
+             "short header write to '", path, "'");
+}
+
+ChunkedTraceWriter::~ChunkedTraceWriter()
+{
+    // An unfinalized file stays on disk with the finalized bit clear,
+    // so readers reject it; do not silently finalize here.
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+ChunkedTraceWriter::flushBuffer()
+{
+    if (buf_.empty())
+        return;
+    fatal_if(std::fwrite(buf_.data(), sizeof(uint64_t), buf_.size(),
+                         file_) != buf_.size(),
+             "short write to chunked trace '", path_, "'");
+    buf_.clear();
+}
+
+void
+ChunkedTraceWriter::append(const uint64_t *records, size_t n)
+{
+    fatal_if(finalized_, "append to finalized chunked trace '", path_,
+             "'");
+    written_ += n;
+    while (n) {
+        size_t room = chunkRecords_ - buf_.size();
+        size_t take = std::min(n, room);
+        buf_.insert(buf_.end(), records, records + take);
+        records += take;
+        n -= take;
+        if (buf_.size() == chunkRecords_)
+            flushBuffer();
+    }
+}
+
+void
+ChunkedTraceWriter::finalize()
+{
+    fatal_if(finalized_, "double finalize of '", path_, "'");
+    flushBuffer();
+    Header h = makeHeader(chunkRecords_, written_, kFlagFinalized);
+    fatal_if(std::fseek(file_, 0, SEEK_SET) != 0 ||
+                 std::fwrite(&h, sizeof(h), 1, file_) != 1,
+             "cannot finalize header of '", path_, "'");
+    fatal_if(std::fclose(file_) != 0, "close failed for '", path_,
+             "': ", std::strerror(errno));
+    file_ = nullptr;
+    finalized_ = true;
+}
+
+// ---- Reader --------------------------------------------------------
+
+ChunkedTraceFile::~ChunkedTraceFile()
+{
+    close();
+}
+
+ChunkedTraceFile::ChunkedTraceFile(ChunkedTraceFile &&other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)), info_(other.info_)
+{
+    other.fd_ = -1;
+}
+
+ChunkedTraceFile &
+ChunkedTraceFile::operator=(ChunkedTraceFile &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        path_ = std::move(other.path_);
+        info_ = other.info_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+ChunkedTraceFile::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ChunkedTraceFile::open(const std::string &path, TraceFileError &err)
+{
+    close();
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        err = {0, std::string("cannot open: ") + std::strerror(errno)};
+        return false;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        err = {0, std::string("cannot stat: ") + std::strerror(errno)};
+        ::close(fd);
+        return false;
+    }
+    uint64_t size = static_cast<uint64_t>(st.st_size);
+    if (size < kHeaderBytes) {
+        err = {size, "truncated header (need " +
+                         std::to_string(kHeaderBytes) +
+                         " bytes, file has " + std::to_string(size) +
+                         ")"};
+        ::close(fd);
+        return false;
+    }
+    Header h{};
+    if (::pread(fd, &h, sizeof(h), 0) !=
+        static_cast<ssize_t>(sizeof(h))) {
+        err = {0, "header read failed"};
+        ::close(fd);
+        return false;
+    }
+    if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+        err = {0, "bad magic (not a chunked texcache trace)"};
+        ::close(fd);
+        return false;
+    }
+    if (h.version != kVersion) {
+        err = {8, "unsupported version " + std::to_string(h.version)};
+        ::close(fd);
+        return false;
+    }
+    if (!h.chunkRecords || !isPowerOfTwo(h.chunkRecords)) {
+        err = {12, "chunk size " + std::to_string(h.chunkRecords) +
+                       " not a power of two"};
+        ::close(fd);
+        return false;
+    }
+    if (!(h.flags & kFlagFinalized)) {
+        err = {24, "incomplete trace (writer never finalized)"};
+        ::close(fd);
+        return false;
+    }
+    uint64_t expect = kHeaderBytes + h.records * sizeof(uint64_t);
+    if (size != expect) {
+        err = {std::min(size, expect),
+               "truncated payload: header claims " +
+                   std::to_string(h.records) + " records (" +
+                   std::to_string(expect) + " bytes), file has " +
+                   std::to_string(size)};
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    path_ = path;
+    info_ = {h.version, h.chunkRecords, h.records, true};
+    return true;
+}
+
+ChunkedTraceFile
+ChunkedTraceFile::mustOpen(const std::string &path)
+{
+    ChunkedTraceFile f;
+    TraceFileError err;
+    fatal_if(!f.open(path, err), "chunked trace '", path, "': ",
+             err.str());
+    return f;
+}
+
+void
+ChunkedTraceFile::visitChunks(
+    uint64_t begin, uint64_t end,
+    const std::function<void(const uint64_t *, size_t)> &fn) const
+{
+    panic_if(fd_ < 0, "visitChunks on a closed trace file");
+    uint64_t chunks = info_.chunks();
+    panic_if(begin > end || end > chunks, "chunk range [", begin, ", ",
+             end, ") of ", chunks);
+
+    const uint64_t chunkBytes = info_.chunkRecords * sizeof(uint64_t);
+    // Whole windows of chunks per mapping; at least one chunk.
+    const uint64_t windowChunks =
+        std::max<uint64_t>(1, kWindowBytes / chunkBytes);
+    const long page = ::sysconf(_SC_PAGESIZE);
+
+    std::vector<uint64_t> fallback; // pread path, one chunk at a time
+    for (uint64_t w = begin; w < end; w += windowChunks) {
+        uint64_t wEnd = std::min(end, w + windowChunks);
+        uint64_t firstRec = w * info_.chunkRecords;
+        uint64_t lastRec =
+            std::min(info_.records, wEnd * info_.chunkRecords);
+        uint64_t off = kHeaderBytes + firstRec * sizeof(uint64_t);
+        uint64_t len = (lastRec - firstRec) * sizeof(uint64_t);
+        if (!len)
+            continue;
+
+        uint64_t mapOff = off & ~static_cast<uint64_t>(page - 1);
+        uint64_t mapLen = len + (off - mapOff);
+        void *map = ::mmap(nullptr, mapLen, PROT_READ, MAP_PRIVATE,
+                           fd_, static_cast<off_t>(mapOff));
+        if (map != MAP_FAILED) {
+            ::madvise(map, mapLen, MADV_SEQUENTIAL);
+            const uint64_t *recs = reinterpret_cast<const uint64_t *>(
+                static_cast<const char *>(map) + (off - mapOff));
+            for (uint64_t c = w; c < wEnd; ++c) {
+                uint64_t b = c * info_.chunkRecords;
+                uint64_t n =
+                    std::min<uint64_t>(info_.chunkRecords,
+                                       info_.records - b);
+                fn(recs + (b - firstRec), n);
+            }
+            ::munmap(map, mapLen);
+            continue;
+        }
+        // mmap unavailable (exotic filesystems, tight ulimit -v on
+        // the window itself): positioned reads, one chunk at a time.
+        for (uint64_t c = w; c < wEnd; ++c) {
+            uint64_t b = c * info_.chunkRecords;
+            uint64_t n = std::min<uint64_t>(info_.chunkRecords,
+                                            info_.records - b);
+            fallback.resize(n);
+            uint64_t cOff = kHeaderBytes + b * sizeof(uint64_t);
+            ssize_t got = ::pread(fd_, fallback.data(),
+                                  n * sizeof(uint64_t),
+                                  static_cast<off_t>(cOff));
+            fatal_if(got != static_cast<ssize_t>(n * sizeof(uint64_t)),
+                     "short read from '", path_, "' at offset ", cOff);
+            fn(fallback.data(), n);
+        }
+    }
+}
+
+TexelTrace
+ChunkedTraceFile::readAll() const
+{
+    TexelTrace trace;
+    trace.reserve(info_.records);
+    visitChunks(0, info_.chunks(),
+                [&](const uint64_t *recs, size_t n) {
+                    trace.appendPacked(recs, n);
+                });
+    return trace;
+}
+
+} // namespace texcache

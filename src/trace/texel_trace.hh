@@ -75,6 +75,22 @@ struct TexelRecord
 unsigned packSampleRecords(uint16_t tex, const SampleResult &s,
                            uint64_t *out);
 
+/**
+ * Incremental consumer of packed trace records. The render pipeline
+ * streams captured records into a sink (RenderOptions::traceSink)
+ * instead of materializing them in RenderOutput::trace, which keeps
+ * peak RSS flat no matter how long the trace is; ChunkedTraceWriter
+ * (chunked_trace.hh) is the on-disk implementation.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume @p n packed records (texel_trace layout, in order). */
+    virtual void append(const uint64_t *records, size_t n) = 0;
+};
+
 /** An in-memory texel trace for one rendered frame. */
 class TexelTrace
 {

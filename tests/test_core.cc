@@ -4,8 +4,10 @@
  * explicit simulators.
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -253,4 +255,122 @@ TEST(Experiment, BaseAlignIsHonored)
     SceneLayout b(fix().scene, coarse);
     // Coarser alignment can only grow the footprint.
     EXPECT_LE(a.totalFootprint(), b.totalFootprint());
+}
+
+// ---- Streamed spills and the trace-cache size cap ------------------
+
+namespace {
+
+void
+writeBytes(const std::string &path, size_t n)
+{
+    std::ofstream out(path, std::ios::binary);
+    std::string buf(n, 'x');
+    out.write(buf.data(), static_cast<std::streamsize>(n));
+}
+
+void
+ageFile(const std::string &path, int seconds_ago)
+{
+    namespace fs = std::filesystem;
+    fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                  std::chrono::seconds(seconds_ago));
+}
+
+} // namespace
+
+TEST(TraceCache, PruneEvictsLruUntilUnderCap)
+{
+    std::string dir = ::testing::TempDir() + "texcache-prune-test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    writeBytes(dir + "/a.trace", 100);
+    writeBytes(dir + "/b.ctrace", 200);
+    writeBytes(dir + "/c.tmp", 50);
+    writeBytes(dir + "/unrelated.txt", 400); // never cache-managed
+    ageFile(dir + "/a.trace", 3000);  // oldest -> first victim
+    ageFile(dir + "/b.ctrace", 2000);
+    ageFile(dir + "/c.tmp", 1000);
+
+    // 350 cache bytes vs a 260 cap: evicting a (100) reaches 250.
+    uint64_t removed = pruneTraceCache(dir, 260);
+    EXPECT_EQ(removed, 100u);
+    EXPECT_FALSE(std::filesystem::exists(dir + "/a.trace"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/b.ctrace"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/c.tmp"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/unrelated.txt"));
+
+    // The keep file survives even when LRU order says otherwise.
+    removed = pruneTraceCache(dir, 40, dir + "/b.ctrace");
+    EXPECT_EQ(removed, 50u);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/b.ctrace"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/c.tmp"));
+
+    // Cap 0 = uncapped: nothing is touched.
+    EXPECT_EQ(pruneTraceCache(dir, 0), 0u);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/b.ctrace"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, CapParsesSuffixes)
+{
+    setenv("TEXCACHE_TRACE_CACHE_CAP", "512", 1);
+    EXPECT_EQ(traceCacheCapBytes(), 512u);
+    setenv("TEXCACHE_TRACE_CACHE_CAP", "64k", 1);
+    EXPECT_EQ(traceCacheCapBytes(), 64u << 10);
+    setenv("TEXCACHE_TRACE_CACHE_CAP", "3M", 1);
+    EXPECT_EQ(traceCacheCapBytes(), 3u << 20);
+    setenv("TEXCACHE_TRACE_CACHE_CAP", "2G", 1);
+    EXPECT_EQ(traceCacheCapBytes(), 2ull << 30);
+    setenv("TEXCACHE_TRACE_CACHE_CAP", "0", 1);
+    EXPECT_EQ(traceCacheCapBytes(), 0u);
+    unsetenv("TEXCACHE_TRACE_CACHE_CAP");
+    EXPECT_EQ(traceCacheCapBytes(), 0u);
+    setenv("TEXCACHE_TRACE_CACHE_CAP", "12parsecs", 1);
+    EXPECT_EXIT(traceCacheCapBytes(), ::testing::ExitedWithCode(1),
+                "TEXCACHE_TRACE_CACHE_CAP");
+    unsetenv("TEXCACHE_TRACE_CACHE_CAP");
+}
+
+TEST(TraceStore, SpillTraceReusesValidFilesAndPrunes)
+{
+    std::string dir = ::testing::TempDir() + "texcache-spill-test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    SceneSpec spec = SceneSpec::quadScene(32, 64, 1.0f);
+    RasterOrder order = RasterOrder::horizontal();
+    TraceStore store;
+    std::string path = store.spillTrace(spec, order, dir);
+    EXPECT_EQ(store.renders(), 1u);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Second spill (fresh store, same build) reuses the file.
+    TraceStore store2;
+    EXPECT_EQ(store2.spillTrace(spec, order, dir), path);
+    EXPECT_EQ(store2.renders(), 0u);
+    EXPECT_EQ(store2.diskHits(), 1u);
+
+    // A torn file (finalized flag never set) is re-rendered in place.
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    uint32_t zero = 0;
+    f.seekp(24);
+    f.write(reinterpret_cast<const char *>(&zero), sizeof(zero));
+    f.close();
+    TraceStore store3;
+    EXPECT_EQ(store3.spillTrace(spec, order, dir), path);
+    EXPECT_EQ(store3.renders(), 1u);
+
+    // With a tiny cap, pruning after the spill never evicts the file
+    // just produced.
+    setenv("TEXCACHE_TRACE_CACHE_CAP", "1", 1);
+    writeBytes(dir + "/old.trace", 1000);
+    ageFile(dir + "/old.trace", 5000);
+    TraceStore store4;
+    EXPECT_EQ(store4.spillTrace(spec, order, dir), path);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/old.trace"));
+    unsetenv("TEXCACHE_TRACE_CACHE_CAP");
+    std::filesystem::remove_all(dir);
 }

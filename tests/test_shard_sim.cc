@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Exactness tests for the sharded replay engine: set-partitioned
+ * CacheSim shards and time-partitioned stack-distance passes must
+ * merge to byte-identical statistics against the serial simulators,
+ * for every organization and shard count - that is the whole contract
+ * (cache/shard_sim.hh, core/shard_replay.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "cache/cache_sim.hh"
+#include "cache/shard_sim.hh"
+#include "cache/stack_dist.hh"
+#include "cache/three_c.hh"
+#include "common/rng.hh"
+#include "core/experiment.hh"
+#include "core/scene_layout.hh"
+#include "core/shard_replay.hh"
+#include "trace/chunked_trace.hh"
+#include "trace/trace_source.hh"
+
+using namespace texcache;
+
+namespace {
+
+/** A reuse-heavy synthetic address stream: random walk over a bounded
+ *  footprint plus periodic returns to a hot region, so every stack
+ *  distance band and both hit paths get exercised. */
+std::vector<Addr>
+syntheticStream(uint32_t seed, size_t n, uint64_t footprint)
+{
+    Rng rng(seed);
+    std::vector<Addr> a;
+    a.reserve(n);
+    uint64_t cur = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (rng.below(8) == 0)
+            cur = rng.below(256) * 4; // hot region revisit
+        else
+            cur = (cur + rng.below(2048)) % footprint;
+        a.push_back(cur);
+    }
+    return a;
+}
+
+void
+expectStatsEq(const CacheStats &got, const CacheStats &want,
+              const std::string &what)
+{
+    EXPECT_EQ(got.accesses, want.accesses) << what;
+    EXPECT_EQ(got.misses, want.misses) << what;
+    EXPECT_EQ(got.coldMisses, want.coldMisses) << what;
+    EXPECT_EQ(got.evictions, want.evictions) << what;
+}
+
+/** Histogram equality modulo trailing zeros (merged histograms may be
+ *  sized differently than the serial profiler's). */
+void
+expectHistEq(const std::vector<uint64_t> &got,
+             const std::vector<uint64_t> &want)
+{
+    size_t n = std::max(got.size(), want.size());
+    for (size_t d = 0; d < n; ++d) {
+        uint64_t g = d < got.size() ? got[d] : 0;
+        uint64_t w = d < want.size() ? want[d] : 0;
+        EXPECT_EQ(g, w) << "histogram bin " << d;
+    }
+}
+
+/** Run the time-partitioned pass over @p cuts-defined segments and
+ *  merge. Segments are replayed in order, as the sharded runner's
+ *  merge step does. */
+ShardedStackProfile
+segmentedProfile(const std::vector<Addr> &a, unsigned line_bytes,
+                 const std::vector<size_t> &cuts)
+{
+    std::vector<StackShardPass> passes;
+    size_t begin = 0;
+    for (size_t cut : cuts) {
+        StackSegmentPass pass(line_bytes);
+        pass.accessRange(a.data() + begin, cut - begin);
+        passes.push_back(pass.finish());
+        begin = cut;
+    }
+    StackSegmentPass last(line_bytes);
+    last.accessRange(a.data() + begin, a.size() - begin);
+    passes.push_back(last.finish());
+    return mergeStackShards(passes, line_bytes);
+}
+
+std::vector<size_t>
+evenCuts(size_t n, unsigned segs)
+{
+    std::vector<size_t> cuts;
+    for (unsigned s = 1; s < segs; ++s)
+        cuts.push_back(n * s / segs);
+    return cuts;
+}
+
+} // namespace
+
+// ---- Set partitioning ----------------------------------------------
+
+TEST(SetShard, MergesExactlyAcrossConfigsAndShardCounts)
+{
+    std::vector<Addr> a = syntheticStream(7, 60000, 1 << 18);
+    std::vector<CacheConfig> configs;
+    Rng rng(11);
+    const uint64_t sizes[] = {8 << 10, 16 << 10, 32 << 10, 64 << 10};
+    const unsigned lines[] = {16, 32, 64};
+    const unsigned assocs[] = {1, 2, 4, 8, CacheConfig::kFullyAssoc};
+    for (int i = 0; i < 8; ++i)
+        configs.push_back({sizes[rng.below(4)], lines[rng.below(3)],
+                           assocs[rng.below(5)]});
+
+    std::vector<CacheStats> serial;
+    for (const CacheConfig &c : configs) {
+        CacheSim sim(c);
+        for (Addr addr : a)
+            sim.access(addr);
+        serial.push_back(sim.stats());
+    }
+
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        std::vector<std::vector<CacheStats>> per;
+        for (unsigned s = 0; s < shards; ++s) {
+            SetShardSim shard(configs, s, shards);
+            shard.accessRange(a.data(), a.size());
+            per.push_back(shard.stats());
+        }
+        std::vector<CacheStats> merged = mergeShardStats(per);
+        ASSERT_EQ(merged.size(), configs.size());
+        for (size_t i = 0; i < configs.size(); ++i)
+            expectStatsEq(merged[i], serial[i],
+                          configs[i].str() + " @" +
+                              std::to_string(shards) + " shards");
+    }
+}
+
+TEST(SetShard, EveryAccessLandsOnExactlyOneShard)
+{
+    std::vector<Addr> a = syntheticStream(3, 20000, 1 << 16);
+    std::vector<CacheConfig> configs{{16 << 10, 32, 2}};
+    for (unsigned shards : {2u, 4u, 8u}) {
+        uint64_t total = 0;
+        for (unsigned s = 0; s < shards; ++s) {
+            SetShardSim shard(configs, s, shards);
+            shard.accessRange(a.data(), a.size());
+            total += shard.stats()[0].accesses;
+        }
+        EXPECT_EQ(total, a.size()) << shards << " shards";
+    }
+}
+
+// ---- Time partitioning ---------------------------------------------
+
+TEST(StackShard, SegmentedProfileMatchesSerial)
+{
+    std::vector<Addr> a = syntheticStream(19, 50000, 1 << 17);
+    StackDistProfiler serial(32);
+    for (Addr addr : a)
+        serial.access(addr);
+
+    for (unsigned segs : {1u, 2u, 3u, 4u, 7u, 8u}) {
+        ShardedStackProfile merged =
+            segmentedProfile(a, 32, evenCuts(a.size(), segs));
+        EXPECT_EQ(merged.accesses, serial.accesses()) << segs;
+        EXPECT_EQ(merged.cold, serial.coldMisses()) << segs;
+        expectHistEq(merged.histogram(), serial.histogram());
+        for (uint64_t size = 32; size <= (1 << 18); size <<= 1)
+            EXPECT_EQ(merged.misses(size), serial.misses(size))
+                << segs << " segments @" << size << "B";
+    }
+}
+
+TEST(StackShard, SkewedCutsMatchSerial)
+{
+    // Pathological partitions: a 1-access segment, an empty-adjacent
+    // cut, and a giant tail must all reconcile exactly.
+    std::vector<Addr> a = syntheticStream(23, 9000, 1 << 14);
+    StackDistProfiler serial(64);
+    for (Addr addr : a)
+        serial.access(addr);
+    ShardedStackProfile merged =
+        segmentedProfile(a, 64, {1, 2, 17, 8000});
+    EXPECT_EQ(merged.accesses, serial.accesses());
+    EXPECT_EQ(merged.cold, serial.coldMisses());
+    expectHistEq(merged.histogram(), serial.histogram());
+}
+
+TEST(StackShard, CyclicTopKPatternAcrossBoundaries)
+{
+    // <= 8 distinct lines cycles stay entirely inside the profiler's
+    // top-K fast path; a boundary mid-cycle is the adversarial case
+    // for finish()'s stack reconstruction (the map entries of top
+    // lines are stale by design).
+    std::vector<Addr> a;
+    for (int rep = 0; rep < 400; ++rep)
+        for (uint64_t line = 0; line < 7; ++line)
+            a.push_back(line * 32);
+    // Shift phase so segment boundaries never align with cycles.
+    for (int rep = 0; rep < 100; ++rep)
+        for (uint64_t line = 7; line-- > 2;)
+            a.push_back(line * 32);
+
+    StackDistProfiler serial(32);
+    for (Addr addr : a)
+        serial.access(addr);
+    for (unsigned segs : {2u, 3u, 5u}) {
+        ShardedStackProfile merged =
+            segmentedProfile(a, 32, evenCuts(a.size(), segs));
+        EXPECT_EQ(merged.cold, serial.coldMisses()) << segs;
+        expectHistEq(merged.histogram(), serial.histogram());
+    }
+}
+
+TEST(StackShard, OracleDistancesAreGlobal)
+{
+    LruStackOracle o;
+    EXPECT_EQ(o.touch(1), 0u); // cold
+    EXPECT_EQ(o.touch(2), 0u); // cold; stack: 2,1
+    EXPECT_EQ(o.touch(1), 2u); // stack: 1,2
+    EXPECT_EQ(o.touch(2), 2u); // stack: 2,1
+    o.promote(1);              // stack: 1,2
+    EXPECT_EQ(o.touch(2), 2u);
+    EXPECT_EQ(o.touch(2), 1u);
+    EXPECT_EQ(o.lines(), 2u);
+}
+
+TEST(StackShard, OraclePromoteOfAbsentLineDies)
+{
+    LruStackOracle o;
+    o.touch(1);
+    EXPECT_DEATH(o.promote(99), "absent");
+}
+
+// ---- Core runners over rendered traces -----------------------------
+
+namespace {
+
+struct Fixture
+{
+    SceneSpec spec = SceneSpec::quadScene(64, 128, 2.0f);
+    RasterOrder order = RasterOrder::horizontal();
+    TraceStore store;
+    Scene scene = spec.build();
+    SceneLayout layout;
+    const TexelTrace &trace;
+
+    Fixture()
+        : layout(scene,
+                 [] {
+                     LayoutParams p;
+                     p.kind = LayoutKind::Nonblocked;
+                     return p;
+                 }()),
+          trace(store.trace(spec, order))
+    {}
+};
+
+Fixture &
+fix()
+{
+    static Fixture f;
+    return f;
+}
+
+std::vector<CacheConfig>
+testConfigs()
+{
+    return {{8 << 10, 32, 1},
+            {8 << 10, 32, CacheConfig::kFullyAssoc},
+            {16 << 10, 64, 4},
+            {32 << 10, 32, 2},
+            {32 << 10, 64, CacheConfig::kFullyAssoc}};
+}
+
+} // namespace
+
+TEST(ShardReplay, SweepAndGroupMatchSerial)
+{
+    Fixture &f = fix();
+    std::vector<CacheConfig> configs = testConfigs();
+    std::vector<CacheStats> sweepSerial =
+        runCacheSweep(f.trace, f.layout, configs);
+    std::vector<CacheStats> groupSerial =
+        runCacheGroup(f.trace, f.layout, configs);
+
+    MemoryTraceSource mem(f.trace);
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        std::vector<CacheStats> sweep =
+            runCacheSweepSharded(mem, f.layout, configs, shards);
+        std::vector<CacheStats> group =
+            runCacheGroupSharded(mem, f.layout, configs, shards);
+        for (size_t i = 0; i < configs.size(); ++i) {
+            expectStatsEq(sweep[i], sweepSerial[i],
+                          "sweep " + configs[i].str());
+            expectStatsEq(group[i], groupSerial[i],
+                          "group " + configs[i].str());
+        }
+    }
+}
+
+TEST(ShardReplay, SingleReplayDerivesFaEvictions)
+{
+    Fixture &f = fix();
+    MemoryTraceSource mem(f.trace);
+    // The FA single-replay path goes through the stack profiler and
+    // *derives* evictions; serial runCache counts them in an explicit
+    // FA LRU cache. They must agree - including the eviction count.
+    CacheConfig fa{8 << 10, 32, CacheConfig::kFullyAssoc};
+    CacheStats serial = runCache(f.trace, f.layout, fa);
+    ASSERT_GT(serial.evictions, 0u);
+    expectStatsEq(runCacheSharded(mem, f.layout, fa, 4), serial,
+                  "fa single");
+    CacheConfig sa{16 << 10, 32, 2};
+    expectStatsEq(runCacheSharded(mem, f.layout, sa, 4),
+                  runCache(f.trace, f.layout, sa), "sa single");
+}
+
+TEST(ShardReplay, ClassificationMatchesSerial)
+{
+    Fixture &f = fix();
+    MemoryTraceSource mem(f.trace);
+    CacheConfig c{16 << 10, 32, 2};
+    MissBreakdown want = classifyCache(f.trace, f.layout, c);
+    MissBreakdown got = classifySharded(mem, f.layout, c, 4);
+    EXPECT_EQ(got.accesses, want.accesses);
+    EXPECT_EQ(got.misses, want.misses);
+    EXPECT_EQ(got.cold, want.cold);
+    EXPECT_EQ(got.capacity, want.capacity);
+    EXPECT_EQ(got.conflict, want.conflict);
+}
+
+TEST(ShardReplay, ProfileMatchesSerialAtAllSizes)
+{
+    Fixture &f = fix();
+    MemoryTraceSource mem(f.trace);
+    StackDistProfiler serial = profileTrace(f.trace, f.layout, 32);
+    ShardedStackProfile merged =
+        profileTraceSharded(mem, f.layout, 32, 4);
+    EXPECT_EQ(merged.accesses, serial.accesses());
+    EXPECT_EQ(merged.cold, serial.coldMisses());
+    for (uint64_t size : cacheSizeSweep(1 << 10, 1 << 20))
+        EXPECT_EQ(merged.misses(size), serial.misses(size))
+            << size << "B";
+}
+
+TEST(ShardReplay, FaSweepMatchesProfiler)
+{
+    Fixture &f = fix();
+    MemoryTraceSource mem(f.trace);
+    std::vector<uint64_t> sizes = cacheSizeSweep(4 << 10, 256 << 10);
+    std::vector<CacheStats> sharded =
+        runFaSweepSharded(mem, f.layout, 32, sizes, 3);
+    StackDistProfiler serial = profileTrace(f.trace, f.layout, 32);
+    ASSERT_EQ(sharded.size(), sizes.size());
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        EXPECT_EQ(sharded[i].accesses, serial.accesses());
+        EXPECT_EQ(sharded[i].misses, serial.misses(sizes[i]));
+        EXPECT_EQ(sharded[i].coldMisses, serial.coldMisses());
+        // The collapsed sweep does not model evictions (multi_sim's
+        // FaCapacitySweep contract) - sharded must match that too.
+        EXPECT_EQ(sharded[i].evictions, 0u);
+    }
+}
+
+TEST(ShardReplay, FileSourceMatchesMemorySource)
+{
+    Fixture &f = fix();
+    std::string dir = ::testing::TempDir() + "texcache-shard-replay";
+    std::filesystem::create_directories(dir);
+    std::string path = f.store.spillTrace(f.spec, f.order, dir);
+
+    // The spilled stream is byte-identical to the materialized trace.
+    ChunkedTraceFile cf = ChunkedTraceFile::mustOpen(path);
+    TexelTrace back = cf.readAll();
+    ASSERT_EQ(back.size(), f.trace.size());
+    EXPECT_TRUE(back.packed() == f.trace.packed());
+
+    FileTraceSource file(path);
+    MemoryTraceSource mem(f.trace);
+    std::vector<CacheConfig> configs = testConfigs();
+    std::vector<CacheStats> fromFile =
+        runCacheGroupSharded(file, f.layout, configs, 3);
+    std::vector<CacheStats> fromMem =
+        runCacheGroupSharded(mem, f.layout, configs, 3);
+    for (size_t i = 0; i < configs.size(); ++i)
+        expectStatsEq(fromFile[i], fromMem[i], configs[i].str());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardReplay, FrameReplicationMatchesConcatenation)
+{
+    Fixture &f = fix();
+    TexelTrace three;
+    three.reserve(f.trace.size() * 3);
+    for (int i = 0; i < 3; ++i)
+        three.appendPacked(f.trace.packed().data(), f.trace.size());
+
+    MemoryTraceSource replicated(f.trace, 3);
+    EXPECT_EQ(replicated.records(), three.size());
+    std::vector<CacheConfig> configs = testConfigs();
+    std::vector<CacheStats> serial =
+        runCacheGroup(three, f.layout, configs);
+    std::vector<CacheStats> sharded =
+        runCacheGroupSharded(replicated, f.layout, configs, 4);
+    for (size_t i = 0; i < configs.size(); ++i)
+        expectStatsEq(sharded[i], serial[i], configs[i].str());
+
+    // And the FA profile over the replicated stream.
+    StackDistProfiler serialProf = profileTrace(three, f.layout, 32);
+    ShardedStackProfile prof =
+        profileTraceSharded(replicated, f.layout, 32, 4);
+    EXPECT_EQ(prof.accesses, serialProf.accesses());
+    EXPECT_EQ(prof.cold, serialProf.coldMisses());
+    for (uint64_t size : cacheSizeSweep(1 << 10, 1 << 19))
+        EXPECT_EQ(prof.misses(size), serialProf.misses(size));
+}
+
+TEST(ShardReplay, ResolveShardsDefaultsToThreadCount)
+{
+    EXPECT_EQ(resolveShards(0), Sweep::threadCount());
+    EXPECT_EQ(resolveShards(5), 5u);
+}

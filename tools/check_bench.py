@@ -7,13 +7,18 @@ committed baseline manifest, metric by metric:
 
   direction "higher"  regression when fresh < base * (1 - tolerance)
   direction "lower"   regression when fresh > base * (1 + tolerance)
+  direction "ceiling" regression when fresh > base * (1 + tolerance),
+                      default tolerance 0: the baseline value is a
+                      hard budget (e.g. peak RSS of a streamed
+                      replay), not a noisy measurement
   direction "exact"   any difference fails (determinism pins)
   direction "report"  printed, never compared (machine-dependent)
 
 Tolerance precedence per metric: --metric NAME=TOL on the command line,
 else --tolerance, else the baseline metric's own "tolerance" field,
-else 0.15. Direction and the metric set are always taken from the
-baseline: a metric the baseline gates on must exist in the fresh run.
+else 0.15 (0 for "ceiling"). Direction and the metric set are always
+taken from the baseline: a metric the baseline gates on must exist in
+the fresh run.
 
 Exit status: 0 when every gated metric passes, 1 on any regression or
 missing metric, 2 on malformed input - including comparing manifests
@@ -70,14 +75,14 @@ def load_manifest(path):
     return doc
 
 
-def pick_tolerance(name, base_metric, args):
+def pick_tolerance(name, base_metric, args, default=DEFAULT_TOLERANCE):
     if name in args.metric_tol:
         return args.metric_tol[name], "command line"
     if args.tolerance is not None:
         return args.tolerance, "command line (global)"
     if "tolerance" in base_metric:
         return float(base_metric["tolerance"]), "baseline"
-    return DEFAULT_TOLERANCE, "default"
+    return default, "default"
 
 
 def list_metrics(doc):
@@ -87,7 +92,7 @@ def list_metrics(doc):
     for name, m in doc["metrics"].items():
         direction = m.get("direction", "report")
         gate = direction
-        if direction in ("higher", "lower") and "tolerance" in m:
+        if direction in ("higher", "lower", "ceiling") and "tolerance" in m:
             gate += f" (tolerance {m['tolerance']:g})"
         print(f"  {name:<{width}}  {float(m['value']):g}  [{gate}]")
 
@@ -121,12 +126,19 @@ def check_metric(name, base_metric, fresh_metric, fresh_names, args):
                        f"({delta:+.1%}); the simulation is expected to "
                        f"be deterministic")
 
-    tol, src = pick_tolerance(name, base_metric, args)
     if direction == "higher":
+        tol, src = pick_tolerance(name, base_metric, args)
         limit = base * (1.0 - tol)
         ok = fresh >= limit
         side = "below"
     elif direction == "lower":
+        tol, src = pick_tolerance(name, base_metric, args)
+        limit = base * (1.0 + tol)
+        ok = fresh <= limit
+        side = "above"
+    elif direction == "ceiling":
+        # A budget, not a measurement: no noise allowance by default.
+        tol, src = pick_tolerance(name, base_metric, args, default=0.0)
         limit = base * (1.0 + tol)
         ok = fresh <= limit
         side = "above"
